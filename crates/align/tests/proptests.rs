@@ -1,0 +1,108 @@
+//! Property-based tests for schema matching: the cannot-link invariant,
+//! clustering determinism and similarity bounds on arbitrary small
+//! integration sets.
+
+use dialite_align::{average_linkage_cluster, silhouette_score, HolisticMatcher};
+use dialite_table::{Table, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => "[a-z]{1,6}".prop_map(Value::Text),
+        1 => (0i64..50).prop_map(Value::Int),
+        1 => Just(Value::null_missing()),
+    ]
+}
+
+fn arb_tables() -> impl Strategy<Value = Vec<Table>> {
+    prop::collection::vec((1usize..4, 0usize..5), 1..4).prop_flat_map(|shapes| {
+        let strategies: Vec<_> = shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cols, rows))| {
+                let names: Vec<String> = (0..cols).map(|c| format!("t{i}c{c}")).collect();
+                prop::collection::vec(prop::collection::vec(arb_value(), cols), rows).prop_map(
+                    move |data| {
+                        Table::from_rows(&format!("T{i}"), &names, data).expect("fixed arity")
+                    },
+                )
+            })
+            .collect();
+        strategies
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two columns of the same table must never share an integration ID
+    /// (the core ALITE constraint), whatever the data looks like.
+    #[test]
+    fn cannot_link_invariant_holds(tables in arb_tables()) {
+        let refs: Vec<&Table> = tables.iter().collect();
+        let al = HolisticMatcher::default().align(&refs);
+        for (t, table) in refs.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for c in 0..table.column_count() {
+                prop_assert!(
+                    seen.insert(al.id_of(t, c)),
+                    "table {t} repeats an integration id"
+                );
+            }
+        }
+        // Every ID is used and named.
+        for id in 0..al.num_ids() as u32 {
+            prop_assert!(!al.columns_of(id).is_empty());
+            prop_assert!(!al.name_of(id).is_empty());
+        }
+    }
+
+    #[test]
+    fn alignment_is_deterministic(tables in arb_tables()) {
+        let refs: Vec<&Table> = tables.iter().collect();
+        let a = HolisticMatcher::default().align(&refs);
+        let b = HolisticMatcher::default().align(&refs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_labels_are_compact(
+        n in 1usize..8,
+        threshold in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        // Random symmetric similarity matrix.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
+        for i in 0..n {
+            sim[i][i] = 1.0;
+            for j in i + 1..n {
+                let s: f64 = rng.gen();
+                sim[i][j] = s;
+                sim[j][i] = s;
+            }
+        }
+        let groups: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let labels = average_linkage_cluster(&sim, &groups, threshold);
+        prop_assert_eq!(labels.len(), n);
+        // Labels form a compact 0..k range.
+        let max = labels.iter().copied().max().unwrap_or(0) as usize;
+        for l in 0..=max {
+            prop_assert!(labels.contains(&(l as u32)), "gap at label {l}");
+        }
+        // Cannot-link respected.
+        for i in 0..n {
+            for j in i + 1..n {
+                if groups[i] == groups[j] {
+                    prop_assert_ne!(labels[i], labels[j]);
+                }
+            }
+        }
+        // Silhouette is bounded.
+        let s = silhouette_score(&sim, &labels);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,279 @@
+//! A small group-by / aggregation engine with explicit null semantics:
+//! nulls never enter an aggregate (like SQL), and rows whose *group key* is
+//! null form their own "null" group (displayed with the paper's glyphs).
+
+use std::collections::HashMap;
+
+use dialite_table::{Table, TableError, Value};
+
+/// An aggregate over one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of non-null values.
+    Count,
+    /// Number of distinct non-null values.
+    CountDistinct,
+    /// Sum of numeric values.
+    Sum,
+    /// Mean of numeric values.
+    Mean,
+    /// Minimum value (total [`Value`] order over non-nulls).
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+impl Aggregate {
+    fn label(&self) -> &'static str {
+        match self {
+            Aggregate::Count => "count",
+            Aggregate::CountDistinct => "count_distinct",
+            Aggregate::Sum => "sum",
+            Aggregate::Mean => "mean",
+            Aggregate::Min => "min",
+            Aggregate::Max => "max",
+        }
+    }
+
+    fn apply(&self, values: &[&Value]) -> Value {
+        let non_null: Vec<&Value> = values.iter().copied().filter(|v| !v.is_null()).collect();
+        if non_null.is_empty() {
+            return Value::null_produced();
+        }
+        match self {
+            Aggregate::Count => Value::Int(non_null.len() as i64),
+            Aggregate::CountDistinct => {
+                let set: std::collections::HashSet<&Value> = non_null.iter().copied().collect();
+                Value::Int(set.len() as i64)
+            }
+            Aggregate::Sum => {
+                let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+                if nums.is_empty() {
+                    Value::null_produced()
+                } else {
+                    let s: f64 = nums.iter().sum();
+                    if non_null.iter().all(|v| matches!(v, Value::Int(_))) {
+                        Value::Int(s as i64)
+                    } else {
+                        Value::Float(s)
+                    }
+                }
+            }
+            Aggregate::Mean => {
+                let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+                if nums.is_empty() {
+                    Value::null_produced()
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            Aggregate::Min => (*non_null.iter().min().unwrap()).clone(),
+            Aggregate::Max => (*non_null.iter().max().unwrap()).clone(),
+        }
+    }
+}
+
+/// A group-by query: `GROUP BY key_column` with a list of aggregates.
+#[derive(Debug, Clone)]
+pub struct GroupBy {
+    key_column: String,
+    aggregates: Vec<(String, Aggregate)>,
+}
+
+impl GroupBy {
+    /// Group rows by `key_column`.
+    pub fn new(key_column: &str) -> GroupBy {
+        GroupBy {
+            key_column: key_column.to_string(),
+            aggregates: Vec::new(),
+        }
+    }
+
+    /// Add an aggregate over `column` (builder style).
+    pub fn aggregate(mut self, column: &str, agg: Aggregate) -> GroupBy {
+        self.aggregates.push((column.to_string(), agg));
+        self
+    }
+
+    /// Run the query, producing a result table with one row per group,
+    /// sorted by group key.
+    pub fn run(&self, table: &Table) -> Result<Table, TableError> {
+        let key_idx = table
+            .column_index(&self.key_column)
+            .ok_or_else(|| TableError::UnknownColumn {
+                table: table.name().to_string(),
+                column: self.key_column.clone(),
+            })?;
+        let mut agg_idx = Vec::with_capacity(self.aggregates.len());
+        for (col, _) in &self.aggregates {
+            let idx = table
+                .column_index(col)
+                .ok_or_else(|| TableError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: col.clone(),
+                })?;
+            agg_idx.push(idx);
+        }
+
+        // Group rows (null keys form one shared group).
+        let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in table.rows().enumerate() {
+            groups.entry(row[key_idx].clone()).or_default().push(i);
+        }
+        let mut keys: Vec<Value> = groups.keys().cloned().collect();
+        keys.sort();
+
+        let mut out_cols = vec![self.key_column.clone()];
+        for (col, agg) in &self.aggregates {
+            out_cols.push(format!("{}({col})", agg.label()));
+        }
+        let mut out = Table::new(&format!("{} by {}", table.name(), self.key_column), &out_cols)?;
+        for key in keys {
+            let rows = &groups[&key];
+            let mut out_row = Vec::with_capacity(1 + self.aggregates.len());
+            out_row.push(key.clone());
+            for ((_, agg), &idx) in self.aggregates.iter().zip(&agg_idx) {
+                let values: Vec<&Value> = rows
+                    .iter()
+                    .map(|&r| &table.row(r).expect("row index from enumeration")[idx])
+                    .collect();
+                out_row.push(agg.apply(&values));
+            }
+            out.push_row(out_row)?;
+        }
+        out.infer_types();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::table;
+
+    fn cities() -> Table {
+        table! {
+            "cities"; ["country", "city", "pop"];
+            ["Germany", "Berlin", 3_600_000],
+            ["Germany", "Hamburg", 1_800_000],
+            ["Spain", "Madrid", 3_200_000],
+            ["Spain", "Barcelona", Value::null_missing()],
+            [Value::null_produced(), "Atlantis", 1],
+        }
+    }
+
+    #[test]
+    fn count_and_sum_per_group() {
+        let out = GroupBy::new("country")
+            .aggregate("city", Aggregate::Count)
+            .aggregate("pop", Aggregate::Sum)
+            .run(&cities())
+            .unwrap();
+        // Groups sorted: null, Germany, Spain.
+        assert_eq!(out.row_count(), 3);
+        let germany = out
+            .rows()
+            .find(|r| r[0] == Value::Text("Germany".into()))
+            .unwrap();
+        assert_eq!(germany[1], Value::Int(2));
+        assert_eq!(germany[2], Value::Int(5_400_000));
+        let spain = out
+            .rows()
+            .find(|r| r[0] == Value::Text("Spain".into()))
+            .unwrap();
+        assert_eq!(spain[1], Value::Int(2));
+        assert_eq!(spain[2], Value::Int(3_200_000), "null pop excluded from sum");
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let out = GroupBy::new("country")
+            .aggregate("pop", Aggregate::Count)
+            .run(&cities())
+            .unwrap();
+        let null_group = out.rows().find(|r| r[0].is_null()).unwrap();
+        assert_eq!(null_group[1], Value::Int(1));
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let out = GroupBy::new("country")
+            .aggregate("pop", Aggregate::Mean)
+            .aggregate("pop", Aggregate::Min)
+            .aggregate("pop", Aggregate::Max)
+            .run(&cities())
+            .unwrap();
+        let germany = out
+            .rows()
+            .find(|r| r[0] == Value::Text("Germany".into()))
+            .unwrap();
+        assert_eq!(germany[1], Value::Float(2_700_000.0));
+        assert_eq!(germany[2], Value::Int(1_800_000));
+        assert_eq!(germany[3], Value::Int(3_600_000));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let t = table! {
+            "t"; ["g", "v"];
+            ["a", 1], ["a", 1], ["a", 2], ["a", Value::null_missing()],
+        };
+        let out = GroupBy::new("g")
+            .aggregate("v", Aggregate::CountDistinct)
+            .run(&t)
+            .unwrap();
+        assert_eq!(out.row(0).unwrap()[1], Value::Int(2));
+    }
+
+    #[test]
+    fn all_null_aggregate_is_produced_null() {
+        let t = table! {
+            "t"; ["g", "v"];
+            ["a", Value::null_missing()],
+        };
+        let out = GroupBy::new("g")
+            .aggregate("v", Aggregate::Sum)
+            .run(&t)
+            .unwrap();
+        assert!(out.row(0).unwrap()[1].is_null());
+    }
+
+    #[test]
+    fn sum_of_text_column_is_null() {
+        let t = table! { "t"; ["g", "v"]; ["a", "x"], ["a", "y"] };
+        let out = GroupBy::new("g")
+            .aggregate("v", Aggregate::Sum)
+            .run(&t)
+            .unwrap();
+        assert!(out.row(0).unwrap()[1].is_null());
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        assert!(GroupBy::new("nope").run(&cities()).is_err());
+        assert!(GroupBy::new("country")
+            .aggregate("nope", Aggregate::Count)
+            .run(&cities())
+            .is_err());
+    }
+
+    #[test]
+    fn output_column_names_are_descriptive() {
+        let out = GroupBy::new("country")
+            .aggregate("pop", Aggregate::Mean)
+            .run(&cities())
+            .unwrap();
+        let names: Vec<&str> = out.schema().names().collect();
+        assert_eq!(names, vec!["country", "mean(pop)"]);
+    }
+
+    #[test]
+    fn mixed_int_float_sum_is_float() {
+        let t = table! { "t"; ["g", "v"]; ["a", 1], ["a", 0.5] };
+        let out = GroupBy::new("g")
+            .aggregate("v", Aggregate::Sum)
+            .run(&t)
+            .unwrap();
+        assert_eq!(out.row(0).unwrap()[1], Value::Float(1.5));
+    }
+}

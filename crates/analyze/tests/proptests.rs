@@ -1,0 +1,127 @@
+//! Property-based tests for analytics and entity resolution.
+
+use dialite_analyze::agg::{Aggregate, GroupBy};
+use dialite_analyze::er::pairwise_f1;
+use dialite_analyze::{pearson, EntityResolver, ErConfig, Gazetteer};
+use dialite_table::{Table, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => (0i64..6).prop_map(Value::Int),
+        2 => "[a-c]{1,3}".prop_map(Value::Text),
+        1 => Just(Value::null_missing()),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec(prop::collection::vec(arb_value(), 3), 0..15).prop_map(|rows| {
+        Table::from_rows("t", &["g", "x", "y"], rows).expect("fixed arity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn groupby_counts_partition_the_table(t in arb_table()) {
+        let out = GroupBy::new("g")
+            .aggregate("x", Aggregate::Count)
+            .run(&t)
+            .unwrap();
+        // Counts of non-null x per group never exceed group sizes, and the
+        // number of groups equals the number of distinct keys (plus a null
+        // group when null keys exist).
+        let nulls = t.column_values(0).filter(|v| v.is_null()).count();
+        let distinct = t.column_token_set(0).len() + usize::from(nulls > 0);
+        prop_assert_eq!(out.row_count(), distinct);
+        let total: i64 = out
+            .rows()
+            .filter_map(|r| r[1].as_int())
+            .sum();
+        let non_null_x = t.column_values(1).filter(|v| !v.is_null()).count() as i64;
+        prop_assert_eq!(total, non_null_x);
+    }
+
+    #[test]
+    fn groupby_min_le_max(t in arb_table()) {
+        let out = GroupBy::new("g")
+            .aggregate("x", Aggregate::Min)
+            .aggregate("x", Aggregate::Max)
+            .run(&t)
+            .unwrap();
+        for row in out.rows() {
+            if !row[1].is_null() && !row[2].is_null() {
+                prop_assert!(row[1] <= row[2]);
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..20),
+    ) {
+        let fwd = pearson(&pairs);
+        let swapped: Vec<(f64, f64)> = pairs.iter().map(|&(x, y)| (y, x)).collect();
+        let bwd = pearson(&swapped);
+        match (fwd, bwd) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a - b).abs() < 1e-9);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "symmetry of definedness violated"),
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_transform(
+        pairs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..15),
+        a in 0.5f64..5.0,
+        b in -10.0f64..10.0,
+    ) {
+        if let Some(r) = pearson(&pairs) {
+            let scaled: Vec<(f64, f64)> = pairs.iter().map(|&(x, y)| (a * x + b, y)).collect();
+            if let Some(r2) = pearson(&scaled) {
+                prop_assert!((r - r2).abs() < 1e-6, "{r} vs {r2}");
+            }
+        }
+    }
+
+    /// ER never merges rows with conflicting non-null text values, and its
+    /// output never exceeds the input size.
+    #[test]
+    fn er_output_bounds_and_cluster_partition(t in arb_table()) {
+        let er = EntityResolver::new(ErConfig::default(), Gazetteer::new());
+        let out = er.resolve(&t);
+        prop_assert!(out.table.row_count() <= t.row_count().max(1) || t.row_count() == 0);
+        // Clusters partition the input rows.
+        let mut seen = vec![false; t.row_count()];
+        for cluster in &out.clusters {
+            for &i in cluster {
+                prop_assert!(!seen[i], "row {i} in two clusters");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn pairwise_f1_perfect_on_identity(labels in prop::collection::vec(0usize..5, 0..12)) {
+        // Predicting exactly the truth clusters gives F1 = 1.
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for label in 0..5 {
+            let members: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == label)
+                .map(|(i, _)| i)
+                .collect();
+            if !members.is_empty() {
+                clusters.push(members);
+            }
+        }
+        let (p, r, f1) = pairwise_f1(&clusters, &labels);
+        prop_assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion bench behind experiment E8: holistic matcher runtime versus
+//! the column count of the integration set, plus the baseline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
+use dialite_datagen::lake::{LakeSpec, SyntheticLake};
+use dialite_table::Table;
+
+fn bench_align(c: &mut Criterion) {
+    let mut group = c.benchmark_group("align");
+    group.sample_size(10);
+    for fragments in [3usize, 6, 9] {
+        let synth = SyntheticLake::generate(&LakeSpec {
+            universes: 1,
+            fragments_per_universe: fragments,
+            rows_per_universe: 60,
+            categorical_cols: 3,
+            numeric_cols: 1,
+            null_rate: 0.05,
+            value_dirt_rate: 0.0,
+            scramble_headers: true,
+            seed: 21,
+        });
+        let tables_owned: Vec<Table> =
+            synth.lake.tables().map(|t| t.as_ref().clone()).collect();
+        let refs: Vec<&Table> = tables_owned.iter().collect();
+        let kb = Arc::new(synth.truth.kb.clone());
+
+        let holistic = HolisticMatcher::default();
+        group.bench_with_input(
+            BenchmarkId::new("holistic", fragments),
+            &fragments,
+            |b, _| b.iter(|| holistic.align(std::hint::black_box(&refs))),
+        );
+        let with_kb =
+            HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb)));
+        group.bench_with_input(
+            BenchmarkId::new("holistic+kb", fragments),
+            &fragments,
+            |b, _| b.iter(|| with_kb.align(std::hint::black_box(&refs))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("by-headers", fragments),
+            &fragments,
+            |b, _| b.iter(|| Alignment::by_headers(std::hint::black_box(&refs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_align);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench behind experiment E7: discovery index build and query
+//! latency.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dialite_datagen::lake::{LakeSpec, SyntheticLake};
+use dialite_discovery::{
+    Discovery, ExactOverlapDiscovery, LshEnsembleConfig, LshEnsembleDiscovery, SantosConfig,
+    SantosDiscovery, TableQuery,
+};
+
+fn bench_discovery(c: &mut Criterion) {
+    let synth = SyntheticLake::generate(&LakeSpec {
+        universes: 6,
+        fragments_per_universe: 5,
+        rows_per_universe: 80,
+        categorical_cols: 3,
+        numeric_cols: 1,
+        null_rate: 0.05,
+        value_dirt_rate: 0.0,
+        scramble_headers: true,
+        seed: 8,
+    });
+    let kb = Arc::new(synth.truth.kb.clone());
+    let query_table = synth.lake.tables().next().unwrap().as_ref().clone();
+    let query = TableQuery::with_column(query_table, 0);
+
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+
+    group.bench_function("build/santos", |b| {
+        b.iter(|| SantosDiscovery::build(&synth.lake, kb.clone(), SantosConfig::default()))
+    });
+    group.bench_function("build/lsh-ensemble", |b| {
+        b.iter(|| LshEnsembleDiscovery::build(&synth.lake, LshEnsembleConfig::default()))
+    });
+    group.bench_function("build/exact-overlap", |b| {
+        b.iter(|| ExactOverlapDiscovery::build(&synth.lake, true))
+    });
+
+    let santos = SantosDiscovery::build(&synth.lake, kb.clone(), SantosConfig::default());
+    let lshe = LshEnsembleDiscovery::build(&synth.lake, LshEnsembleConfig::default());
+    let overlap = ExactOverlapDiscovery::build(&synth.lake, true);
+    group.bench_function("query/santos", |b| {
+        b.iter(|| santos.discover(std::hint::black_box(&query), 8))
+    });
+    group.bench_function("query/lsh-ensemble", |b| {
+        b.iter(|| lshe.discover(std::hint::black_box(&query), 8))
+    });
+    group.bench_function("query/exact-overlap", |b| {
+        b.iter(|| overlap.discover(std::hint::black_box(&query), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind experiment E10: entity-resolution throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dialite_analyze::{EntityResolver, ErConfig, Gazetteer};
+use dialite_datagen::workloads::ErWorkload;
+
+fn bench_er(c: &mut Criterion) {
+    let mut group = c.benchmark_group("er");
+    group.sample_size(10);
+    for entities in [50usize, 200, 500] {
+        let (table, _) = ErWorkload {
+            entities,
+            mentions_per_entity: 3,
+            null_rate: 0.2,
+            seed: 4,
+        }
+        .generate();
+        let er = EntityResolver::new(ErConfig::default(), Gazetteer::new());
+        group.bench_with_input(
+            BenchmarkId::new("resolve", entities * 3),
+            &entities,
+            |b, _| b.iter(|| er.resolve(std::hint::black_box(&table))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_er);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind experiment E6: FD engines on the star workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dialite_align::Alignment;
+use dialite_datagen::workloads::FdWorkload;
+use dialite_integrate::{AliteFd, Integrator, NaiveFd, OuterJoinIntegrator, ParallelFd};
+use dialite_table::Table;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd");
+    group.sample_size(10);
+    for rows in [50usize, 150, 400] {
+        let tables = FdWorkload {
+            tables: 4,
+            rows,
+            key_domain: rows * 2,
+            null_rate: 0.1,
+            seed: 3,
+        }
+        .generate();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let al = Alignment::by_headers(&refs);
+        let engines: Vec<Box<dyn Integrator>> = vec![
+            Box::new(NaiveFd::default()),
+            Box::new(AliteFd::default()),
+            Box::new(ParallelFd::default()),
+            Box::new(OuterJoinIntegrator),
+        ];
+        for engine in engines {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name().to_string(), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        engine
+                            .integrate(std::hint::black_box(&refs), &al)
+                            .expect("within budget")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench behind experiment E5: the end-to-end demo pipeline
+//! (discover → align → integrate) and its stages in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dialite_core::{demo, Pipeline};
+use dialite_discovery::TableQuery;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let lake = demo::covid_lake();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("build-demo-indexes", |b| {
+        b.iter(|| Pipeline::demo_default(std::hint::black_box(&lake)))
+    });
+
+    let pipeline = Pipeline::demo_default(&lake);
+    group.bench_function("run-end-to-end", |b| {
+        b.iter(|| {
+            let query = TableQuery::with_column(demo::fig2_query(), 1);
+            pipeline
+                .run(std::hint::black_box(&lake), &query)
+                .expect("pipeline")
+        })
+    });
+
+    group.bench_function("integrate-set-fig7", |b| {
+        b.iter(|| {
+            let (t4, t5, t6) = demo::fig7_tables();
+            pipeline
+                .integrate_set(vec![t4, t5, t6])
+                .expect("integration")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

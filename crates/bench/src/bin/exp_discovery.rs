@@ -1,0 +1,149 @@
+//! **Experiment E7** — discovery quality and speed on the synthetic lake
+//! with ground truth: precision/recall@k for the SANTOS-style, LSH Ensemble
+//! and exact-overlap engines on unionable and joinable queries, plus index
+//! build and query latency versus lake size.
+//!
+//! ```text
+//! cargo run --release --bin exp_discovery -p dialite-bench
+//! ```
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use dialite_bench::{f3, row, section, timed};
+use dialite_datagen::lake::{LakeSpec, SyntheticLake};
+use dialite_datagen::metrics::precision_recall_at_k;
+use dialite_discovery::{
+    Discovery, ExactOverlapDiscovery, LshEnsembleConfig, LshEnsembleDiscovery, SantosConfig,
+    SantosDiscovery, TableQuery,
+};
+
+fn spec(universes: usize, fragments: usize) -> LakeSpec {
+    LakeSpec {
+        universes,
+        fragments_per_universe: fragments,
+        rows_per_universe: 80,
+        categorical_cols: 3,
+        numeric_cols: 1,
+        null_rate: 0.05,
+        value_dirt_rate: 0.0,
+        scramble_headers: true,
+        seed: 2023,
+    }
+}
+
+fn evaluate(
+    synth: &SyntheticLake,
+    engine: &dyn Discovery,
+    k: usize,
+    joinable_only: bool,
+) -> (f64, f64, f64) {
+    let (mut p_sum, mut r_sum, mut q_ms, mut n) = (0.0, 0.0, 0.0, 0usize);
+    for table in synth.lake.tables() {
+        let truth: HashSet<String> = if joinable_only {
+            synth
+                .truth
+                .joinable
+                .get(table.name())
+                .cloned()
+                .unwrap_or_default()
+        } else {
+            synth.truth.related(table.name())
+        };
+        if truth.is_empty() {
+            continue;
+        }
+        // Joinable queries mark the key column (original column 0).
+        let query = if joinable_only {
+            let key = (0..table.column_count())
+                .find(|&c| synth.truth.column_class[&(table.name().to_string(), c)].1 == 0);
+            match key {
+                Some(c) => TableQuery::with_column(table.as_ref().clone(), c),
+                None => continue,
+            }
+        } else {
+            TableQuery::new(table.as_ref().clone())
+        };
+        let (hits, ms) = timed(|| engine.discover(&query, k));
+        let ranked: Vec<String> = hits.into_iter().map(|d| d.table).collect();
+        let (p, r) = precision_recall_at_k(&ranked, &truth, k);
+        p_sum += p;
+        r_sum += r;
+        q_ms += ms;
+        n += 1;
+    }
+    let n = n.max(1) as f64;
+    (p_sum / n, r_sum / n, q_ms / n)
+}
+
+fn main() {
+    let synth = SyntheticLake::generate(&spec(6, 5));
+    let kb = Arc::new(synth.truth.kb.clone());
+    let k = 8;
+
+    section("E7.1 — index build time");
+    let (santos, santos_ms) =
+        timed(|| SantosDiscovery::build(&synth.lake, kb.clone(), SantosConfig::default()));
+    let (lshe, lshe_ms) =
+        timed(|| LshEnsembleDiscovery::build(&synth.lake, LshEnsembleConfig::default()));
+    let (overlap, overlap_ms) = timed(|| ExactOverlapDiscovery::build(&synth.lake, true));
+    println!("{}", row(&["engine".into(), "build ms".into()]));
+    println!("{}", row(&["santos".into(), f3(santos_ms)]));
+    println!("{}", row(&["lsh-ensemble".into(), f3(lshe_ms)]));
+    println!("{}", row(&["exact-overlap".into(), f3(overlap_ms)]));
+
+    section("E7.2 — related-table search (all relatives), k = 8");
+    println!(
+        "{}",
+        row(&["engine".into(), "P@8".into(), "R@8".into(), "query ms".into()])
+    );
+    for (name, engine) in [
+        ("santos", &santos as &dyn Discovery),
+        ("lsh-ensemble", &lshe as &dyn Discovery),
+        ("exact-overlap", &overlap as &dyn Discovery),
+    ] {
+        let (p, r, ms) = evaluate(&synth, engine, k, false);
+        println!("{}", row(&[name.into(), f3(p), f3(r), f3(ms)]));
+    }
+
+    section("E7.3 — joinable search (key column marked), k = 8");
+    println!(
+        "{}",
+        row(&["engine".into(), "P@8".into(), "R@8".into(), "query ms".into()])
+    );
+    for (name, engine) in [
+        ("lsh-ensemble", &lshe as &dyn Discovery),
+        ("exact-overlap", &overlap as &dyn Discovery),
+    ] {
+        let (p, r, ms) = evaluate(&synth, engine, k, true);
+        println!("{}", row(&[name.into(), f3(p), f3(r), f3(ms)]));
+    }
+
+    section("E7.4 — query latency vs lake size (exact-overlap vs lsh-ensemble)");
+    println!(
+        "{}",
+        row(&[
+            "fragments".into(),
+            "lshe build ms".into(),
+            "lshe q ms".into(),
+            "exact q ms".into(),
+        ])
+    );
+    for universes in [4usize, 8, 16] {
+        let synth = SyntheticLake::generate(&spec(universes, 6));
+        let (lshe, b_ms) =
+            timed(|| LshEnsembleDiscovery::build(&synth.lake, LshEnsembleConfig::default()));
+        let overlap = ExactOverlapDiscovery::build(&synth.lake, true);
+        let (_, _, lshe_q) = evaluate(&synth, &lshe, k, true);
+        let (_, _, ex_q) = evaluate(&synth, &overlap, k, true);
+        println!(
+            "{}",
+            row(&[
+                format!("{}", universes * 6),
+                f3(b_ms),
+                f3(lshe_q),
+                f3(ex_q),
+            ])
+        );
+    }
+}

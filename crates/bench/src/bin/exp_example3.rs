@@ -1,0 +1,44 @@
+//! **Experiment E2** — regenerate paper Example 3: the correlation analysis
+//! over the integrated COVID table (vaccination vs. death rates ≈ 0.16,
+//! cases vs. vaccination ≈ 0.9) and the extremes query (Boston lowest,
+//! Toronto highest vaccination rate).
+//!
+//! ```text
+//! cargo run --release --bin exp_example3 -p dialite-bench
+//! ```
+
+use dialite_analyze::{extremes, pearson_columns};
+use dialite_bench::{row, section};
+use dialite_core::demo;
+
+fn main() {
+    let t = demo::fig3_expected();
+    section("Input: the integrated table of Fig. 3");
+    println!("{t}");
+
+    let rate = t.column_index("Vaccination Rate").unwrap();
+    let death = t.column_index("Death Rate").unwrap();
+    let cases = t.column_index("Total Cases").unwrap();
+    let city = t.column_index("City").unwrap();
+
+    section("Example 3 — extremes");
+    let (lo, hi) = extremes(&t, rate).unwrap();
+    println!("lowest vaccination rate:  {}", t.row(lo).unwrap()[city]);
+    println!("highest vaccination rate: {}", t.row(hi).unwrap()[city]);
+
+    section("Example 3 — correlations (paper vs measured)");
+    let r_vd = pearson_columns(&t, rate, death).unwrap();
+    let r_cv = pearson_columns(&t, cases, rate).unwrap();
+    println!("{}", row(&["pair".into(), "paper".into(), "measured".into()]));
+    println!(
+        "{}",
+        row(&["vacc↔death".into(), "0.16".into(), format!("{r_vd:.4}")])
+    );
+    println!(
+        "{}",
+        row(&["cases↔vacc".into(), "0.90".into(), format!("{r_cv:.4}")])
+    );
+    assert!((r_vd - 0.16).abs() < 0.005);
+    assert!((r_cv - 0.9).abs() < 0.01);
+    println!("\nboth correlations match the paper: YES");
+}

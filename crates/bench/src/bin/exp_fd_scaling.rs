@@ -1,0 +1,140 @@
+//! **Experiment E6** — FD engine scaling (the claim DIALITE inherits from
+//! ALITE: its FD algorithm is faster than baselines on real lake tables).
+//!
+//! Sweeps the integration-set size, rows per table and null rate on the
+//! star-shaped FD workload, timing the reference quadratic engine, ALITE's
+//! indexed engine and the parallel engine. The expected *shape*: ALITE ≤
+//! naive everywhere, with the gap widening as rows grow; the parallel
+//! engine wins on the largest settings.
+//!
+//! ```text
+//! cargo run --release --bin exp_fd_scaling -p dialite-bench
+//! ```
+
+use dialite_align::Alignment;
+use dialite_bench::{f3, row, section, timed};
+use dialite_datagen::workloads::FdWorkload;
+use dialite_integrate::{AliteFd, Integrator, NaiveFd, OuterJoinIntegrator, ParallelFd};
+use dialite_table::Table;
+
+fn run_engines(tables: &[Table]) -> Vec<(String, f64, usize)> {
+    let refs: Vec<&Table> = tables.iter().collect();
+    let al = Alignment::by_headers(&refs);
+    let engines: Vec<Box<dyn Integrator>> = vec![
+        Box::new(NaiveFd::default()),
+        Box::new(AliteFd::default()),
+        Box::new(ParallelFd::default()),
+        Box::new(OuterJoinIntegrator),
+    ];
+    engines
+        .into_iter()
+        .map(|e| {
+            let (out, ms) = timed(|| e.integrate(&refs, &al).expect("within budget"));
+            (e.name().to_string(), ms, out.row_count())
+        })
+        .collect()
+}
+
+fn header() {
+    println!(
+        "{}",
+        row(&[
+            "setting".into(),
+            "naive ms".into(),
+            "alite ms".into(),
+            "parallel ms".into(),
+            "outer-join ms".into(),
+            "fd rows".into(),
+        ])
+    );
+}
+
+fn report(setting: &str, results: &[(String, f64, usize)]) {
+    let ms = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, m, _)| *m)
+            .unwrap_or(f64::NAN)
+    };
+    let fd_rows = results
+        .iter()
+        .find(|(n, _, _)| n == "alite-fd")
+        .map(|(_, _, r)| *r)
+        .unwrap_or(0);
+    println!(
+        "{}",
+        row(&[
+            setting.into(),
+            f3(ms("naive-fd")),
+            f3(ms("alite-fd")),
+            f3(ms("parallel-fd")),
+            f3(ms("outer-join")),
+            fd_rows.to_string(),
+        ])
+    );
+}
+
+fn main() {
+    section("E6.1 — scaling the number of tables (rows = 150, nulls = 0.1)");
+    header();
+    for tables in [2usize, 4, 6, 8, 10] {
+        let w = FdWorkload {
+            tables,
+            rows: 150,
+            key_domain: 300,
+            null_rate: 0.1,
+            seed: 11,
+        };
+        report(&format!("{tables} tables"), &run_engines(&w.generate()));
+    }
+
+    section("E6.2 — scaling rows per table (4 tables, nulls = 0.1)");
+    header();
+    for rows in [50usize, 100, 200, 400, 800] {
+        let w = FdWorkload {
+            tables: 4,
+            rows,
+            key_domain: rows * 2,
+            null_rate: 0.1,
+            seed: 12,
+        };
+        report(&format!("{rows} rows"), &run_engines(&w.generate()));
+    }
+
+    section("E6.3 — null-rate sensitivity (4 tables × 200 rows)");
+    header();
+    for null_pct in [0usize, 10, 30, 50] {
+        let w = FdWorkload {
+            tables: 4,
+            rows: 200,
+            key_domain: 400,
+            null_rate: null_pct as f64 / 100.0,
+            seed: 13,
+        };
+        report(&format!("{null_pct}% nulls"), &run_engines(&w.generate()));
+    }
+
+    section("Shape check");
+    let w = FdWorkload {
+        tables: 6,
+        rows: 400,
+        key_domain: 800,
+        null_rate: 0.1,
+        seed: 14,
+    };
+    let results = run_engines(&w.generate());
+    let ms = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, m, _)| *m)
+            .unwrap()
+    };
+    println!(
+        "alite faster than naive at 6×400: {} ({:.1} ms vs {:.1} ms)",
+        ms("alite-fd") < ms("naive-fd"),
+        ms("alite-fd"),
+        ms("naive-fd")
+    );
+}

@@ -1,0 +1,82 @@
+//! **Experiments E3 + E4** — regenerate paper Fig. 7 (the vaccine
+//! integration set) and all four panels of Fig. 8: (a) outer join,
+//! (b) full disjunction, (c) ER over outer join, (d) ER over FD.
+//!
+//! ```text
+//! cargo run --release --bin exp_fig7_fig8 -p dialite-bench
+//! ```
+
+use dialite_align::Alignment;
+use dialite_analyze::EntityResolver;
+use dialite_bench::section;
+use dialite_core::demo;
+use dialite_integrate::{AliteFd, Integrator, OuterJoinIntegrator};
+use dialite_table::{table, Table, Value};
+
+fn main() {
+    let (t4, t5, t6) = demo::fig7_tables();
+    section("Fig. 7 — integration set");
+    println!("{t4}\n{t5}\n{t6}");
+    let tables = vec![&t4, &t5, &t6];
+    let al = Alignment::by_headers(&tables);
+
+    section("Fig. 8(a) — T4 ⟗ T5 ⟗ T6 (outer join)");
+    let oj = OuterJoinIntegrator.integrate(&tables, &al).unwrap();
+    println!("{}", oj.display_with_provenance(Some(&["T4", "T5", "T6"])));
+    let expected_a = table! {
+        "a"; ["Vaccine", "Approver", "Country"];
+        ["Pfizer", "FDA", "United States"],
+        ["JnJ", Value::null_missing(), Value::null_produced()],
+        [Value::null_produced(), Value::null_missing(), "USA"],
+        ["J&J", Value::null_produced(), "United States"],
+        ["JnJ", Value::null_produced(), "USA"],
+    };
+    check("Fig. 8(a)", oj.table(), &expected_a);
+
+    section("Fig. 8(b) — FD(T4, T5, T6) (ALITE)");
+    let fd = AliteFd::default().integrate(&tables, &al).unwrap();
+    println!("{}", fd.display_with_provenance(Some(&["T4", "T5", "T6"])));
+    let expected_b = table! {
+        "b"; ["Vaccine", "Approver", "Country"];
+        ["Pfizer", "FDA", "United States"],
+        ["JnJ", Value::null_produced(), "USA"],
+        ["J&J", "FDA", "United States"],
+    };
+    check("Fig. 8(b)", fd.table(), &expected_b);
+
+    let er = EntityResolver::demo_default();
+
+    section("Fig. 8(c) — ER over the outer-join result");
+    let c = er.resolve(oj.table());
+    println!("{}", c.table);
+    let expected_c = table! {
+        "c"; ["Vaccine", "Approver", "Country"];
+        ["Pfizer", "FDA", "United States"],
+        ["JnJ", Value::null_missing(), Value::null_produced()],
+        [Value::null_produced(), Value::null_missing(), "USA"],
+        ["J&J", Value::null_produced(), "United States"],
+    };
+    check("Fig. 8(c)", &c.table, &expected_c);
+
+    section("Fig. 8(d) — ER over the FD result");
+    let d = er.resolve(fd.table());
+    println!("{}", d.table);
+    let expected_d = table! {
+        "d"; ["Vaccine", "Approver", "Country"];
+        ["Pfizer", "FDA", "United States"],
+        ["J&J", "FDA", "United States"],
+    };
+    check("Fig. 8(d)", &d.table, &expected_d);
+
+    section("Headline contrast");
+    println!(
+        "outer join derives J&J's approver: NO (paper: NO)\n\
+         FD derives J&J's approver:        YES (paper: YES, via f13 = {{t13, t15}})"
+    );
+}
+
+fn check(label: &str, got: &Table, expected: &Table) {
+    let ok = got.same_content(&expected.clone().renamed(got.name()));
+    println!("{label} matches paper: {}", if ok { "YES" } else { "NO" });
+    assert!(ok, "{label} must reproduce exactly;\ngot:\n{got}\nexpected:\n{expected}");
+}

@@ -1,0 +1,48 @@
+//! **Experiment E5** — the end-to-end pipeline of paper Fig. 1 / §2 on the
+//! bundled demo lake: discover (SANTOS-style + LSH Ensemble), align &
+//! integrate (ALITE FD vs outer join), analyze.
+//!
+//! ```text
+//! cargo run --release --bin exp_pipeline -p dialite-bench
+//! ```
+
+use dialite_analyze::pearson_columns;
+use dialite_bench::{section, timed};
+use dialite_core::{demo, Pipeline};
+use dialite_discovery::TableQuery;
+
+fn main() {
+    let lake = demo::covid_lake();
+    section("Data lake");
+    for t in lake.tables() {
+        println!(
+            "  {:10} {} rows × {} cols",
+            t.name(),
+            t.row_count(),
+            t.column_count()
+        );
+    }
+
+    let (pipeline, build_ms) = timed(|| Pipeline::demo_default(&lake));
+    println!("\nindex build: {build_ms:.1} ms");
+
+    let query = TableQuery::with_column(demo::fig2_query(), 1);
+    let (run, run_ms) = timed(|| pipeline.run(&lake, &query).expect("pipeline"));
+    section("Per-stage outputs");
+    println!("{}", run.report());
+    println!("pipeline run: {run_ms:.1} ms");
+
+    section("Analysis over the integrated table");
+    let out = run.integrated.table();
+    let rate = out.column_index("Vaccination Rate").unwrap();
+    let death = out.column_index("Death Rate").unwrap();
+    println!(
+        "corr(vaccination, death rate) = {:.3} (paper: 0.16)",
+        pearson_columns(out, rate, death).unwrap()
+    );
+
+    section("Verification");
+    let ok = out.same_content(&demo::fig3_expected());
+    println!("end-to-end output equals paper Fig. 3: {}", if ok { "YES" } else { "NO" });
+    assert!(ok);
+}

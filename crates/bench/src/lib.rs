@@ -1,0 +1,52 @@
+//! Shared helpers for the experiment binaries and criterion benches.
+//!
+//! Every table and figure of the DIALITE paper maps to a binary in
+//! `src/bin/` (`exp_*`) or a criterion bench in `benches/` — the index
+//! lives in `DESIGN.md` §2 and the measured results in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+/// Run a closure, returning its result and the elapsed milliseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Print a section header in the experiment binaries' uniform style.
+pub fn section(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Render a row of right-aligned cells for result tables.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Format a float with three decimals (result-table convention).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, ms) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn row_aligns() {
+        let r = row(&["a".into(), "b".into()]);
+        assert!(r.contains("a"));
+        assert!(r.len() >= 28);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dialite-core
+//!
+//! The DIALITE pipeline (paper Fig. 1): **Discover → Align & Integrate →
+//! Analyze**, with every stage pluggable — the extensibility that §3.2
+//! demonstrates:
+//!
+//! * any number of [`Discovery`] engines (SANTOS-style, LSH Ensemble,
+//!   exact overlap, user-defined closures — Fig. 4);
+//! * a configurable holistic matcher for alignment;
+//! * a primary [`Integrator`] (ALITE's FD by default) plus alternative
+//!   operators for comparison (outer join — Fig. 6);
+//! * downstream analysis via `dialite-analyze` over the integrated table.
+//!
+//! ```
+//! use dialite_core::{demo, Pipeline};
+//! use dialite_discovery::TableQuery;
+//!
+//! let lake = demo::covid_lake();
+//! let pipeline = Pipeline::demo_default(&lake);
+//! let query = TableQuery::with_column(demo::fig2_query(), 1); // City
+//! let run = pipeline.run(&lake, &query).unwrap();
+//! assert!(run.integrated.table().row_count() >= 7);
+//! ```
+
+pub mod demo;
+mod pipeline;
+
+pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineRun};
+
+// Re-export the stage traits so downstream users need only this crate.
+pub use dialite_align::{Alignment, HolisticMatcher};
+pub use dialite_analyze::{EntityResolver, GroupBy};
+pub use dialite_discovery::{Discovered, Discovery, TableQuery};
+pub use dialite_integrate::{IntegratedTable, Integrator};

@@ -1,0 +1,435 @@
+//! The pipeline runner.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
+use dialite_discovery::{
+    union_integration_set, Discovered, Discovery, LshEnsembleConfig, LshEnsembleDiscovery,
+    SantosConfig, SantosDiscovery, TableQuery,
+};
+use dialite_integrate::{AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator};
+use dialite_kb::curated::covid_kb;
+use dialite_table::{DataLake, Table, TableError};
+
+/// Pipeline failures.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// An integration engine failed.
+    Integrate(IntegrateError),
+    /// A table-level failure (unknown table etc.).
+    Table(TableError),
+    /// The discovery stage produced an empty integration set and the query
+    /// alone cannot be integrated meaningfully.
+    EmptyIntegrationSet,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Integrate(e) => write!(f, "integration failed: {e}"),
+            PipelineError::Table(e) => write!(f, "table error: {e}"),
+            PipelineError::EmptyIntegrationSet => {
+                write!(f, "discovery produced an empty integration set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<IntegrateError> for PipelineError {
+    fn from(e: IntegrateError) -> Self {
+        PipelineError::Integrate(e)
+    }
+}
+
+impl From<TableError> for PipelineError {
+    fn from(e: TableError) -> Self {
+        PipelineError::Table(e)
+    }
+}
+
+/// Everything a pipeline run produced, stage by stage — the demo lets users
+/// "interact with the system after each step so that they can validate the
+/// intermediate results" (§2.4), so every intermediate is kept.
+pub struct PipelineRun {
+    /// Per-engine discovery results.
+    pub discovered: Vec<(String, Vec<Discovered>)>,
+    /// The integration set: the query table first, then discovered tables.
+    pub integration_set: Vec<Arc<Table>>,
+    /// The integration-ID assignment.
+    pub alignment: Alignment,
+    /// The primary integration result.
+    pub integrated: IntegratedTable,
+    /// Results of the alternative integration operators, by engine name.
+    pub alternatives: Vec<(String, IntegratedTable)>,
+}
+
+impl PipelineRun {
+    /// A human-readable per-stage report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Discover ==\n");
+        for (engine, hits) in &self.discovered {
+            let names: Vec<String> = hits
+                .iter()
+                .map(|d| format!("{} ({:.3})", d.table, d.score))
+                .collect();
+            out.push_str(&format!("{engine}: [{}]\n", names.join(", ")));
+        }
+        let set: Vec<&str> = self.integration_set.iter().map(|t| t.name()).collect();
+        out.push_str(&format!("integration set: [{}]\n", set.join(", ")));
+        out.push_str("\n== Align ==\n");
+        for (t, table) in self.integration_set.iter().enumerate() {
+            let ids: Vec<String> = (0..table.column_count())
+                .map(|c| {
+                    format!(
+                        "{} → {}",
+                        table.schema().column(c).name,
+                        self.alignment.name_of(self.alignment.id_of(t, c))
+                    )
+                })
+                .collect();
+            out.push_str(&format!("{}: {}\n", table.name(), ids.join(", ")));
+        }
+        out.push_str("\n== Integrate ==\n");
+        out.push_str(&self.integrated.table().to_string());
+        for (name, alt) in &self.alternatives {
+            out.push_str(&format!("\n-- alternative: {name} --\n"));
+            out.push_str(&alt.table().to_string());
+        }
+        out
+    }
+}
+
+/// The DIALITE pipeline. Build with [`Pipeline::builder`], or use
+/// [`Pipeline::demo_default`] for the paper's demo configuration.
+pub struct Pipeline {
+    discoveries: Vec<Box<dyn Discovery>>,
+    matcher: HolisticMatcher,
+    integrator: Box<dyn Integrator>,
+    alternatives: Vec<Box<dyn Integrator>>,
+    top_k: usize,
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    discoveries: Vec<Box<dyn Discovery>>,
+    matcher: HolisticMatcher,
+    integrator: Box<dyn Integrator>,
+    alternatives: Vec<Box<dyn Integrator>>,
+    top_k: usize,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        PipelineBuilder {
+            discoveries: Vec::new(),
+            matcher: HolisticMatcher::default(),
+            integrator: Box::new(AliteFd::default()),
+            alternatives: Vec::new(),
+            top_k: 5,
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Add a discovery engine (run in order; results unioned).
+    pub fn discovery(mut self, d: Box<dyn Discovery>) -> Self {
+        self.discoveries.push(d);
+        self
+    }
+
+    /// Replace the alignment matcher.
+    pub fn matcher(mut self, m: HolisticMatcher) -> Self {
+        self.matcher = m;
+        self
+    }
+
+    /// Replace the primary integration operator (default: ALITE's FD).
+    pub fn integrator(mut self, i: Box<dyn Integrator>) -> Self {
+        self.integrator = i;
+        self
+    }
+
+    /// Add an alternative integration operator for comparison (Fig. 6).
+    pub fn alternative(mut self, i: Box<dyn Integrator>) -> Self {
+        self.alternatives.push(i);
+        self
+    }
+
+    /// Number of tables each discovery engine returns (§2.1: "users can
+    /// control the number of tables returned").
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            discoveries: self.discoveries,
+            matcher: self.matcher,
+            integrator: self.integrator,
+            alternatives: self.alternatives,
+            top_k: self.top_k,
+        }
+    }
+}
+
+impl Pipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// Adjust the per-engine result count after construction.
+    pub fn set_top_k(&mut self, k: usize) {
+        self.top_k = k;
+    }
+
+    /// The paper's demo configuration over a given lake: SANTOS-style and
+    /// LSH Ensemble discovery backed by the curated COVID KB, KB-assisted
+    /// holistic matching, ALITE FD as the integrator and outer join as the
+    /// comparison alternative.
+    pub fn demo_default(lake: &DataLake) -> Pipeline {
+        let kb = Arc::new(covid_kb());
+        Pipeline::builder()
+            .discovery(Box::new(SantosDiscovery::build(
+                lake,
+                kb.clone(),
+                SantosConfig::default(),
+            )))
+            .discovery(Box::new(LshEnsembleDiscovery::build(
+                lake,
+                LshEnsembleConfig::default(),
+            )))
+            .matcher(HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb))))
+            .integrator(Box::new(AliteFd::default()))
+            .alternative(Box::new(OuterJoinIntegrator))
+            .build()
+    }
+
+    /// Run the full pipeline: discover an integration set for the query,
+    /// align it, integrate it (plus alternatives).
+    pub fn run(&self, lake: &DataLake, query: &TableQuery) -> Result<PipelineRun, PipelineError> {
+        // Discover.
+        let mut discovered = Vec::with_capacity(self.discoveries.len());
+        for engine in &self.discoveries {
+            discovered.push((
+                engine.name().to_string(),
+                engine.discover(query, self.top_k),
+            ));
+        }
+        let results: Vec<Vec<Discovered>> =
+            discovered.iter().map(|(_, hits)| hits.clone()).collect();
+        let names = union_integration_set(&results);
+
+        // Integration set = query + discovered tables.
+        let mut integration_set: Vec<Arc<Table>> = vec![query.table.clone()];
+        for name in &names {
+            integration_set.push(lake.require(name)?);
+        }
+        if integration_set.len() == 1 && !self.discoveries.is_empty() {
+            return Err(PipelineError::EmptyIntegrationSet);
+        }
+        self.integrate_run(discovered, integration_set)
+    }
+
+    /// The "traditional data integration scenario" (§2.2): the integration
+    /// set is given directly; discovery is skipped.
+    pub fn integrate_set(&self, tables: Vec<Table>) -> Result<PipelineRun, PipelineError> {
+        if tables.is_empty() {
+            return Err(PipelineError::EmptyIntegrationSet);
+        }
+        let set: Vec<Arc<Table>> = tables.into_iter().map(Arc::new).collect();
+        self.integrate_run(Vec::new(), set)
+    }
+
+    fn integrate_run(
+        &self,
+        discovered: Vec<(String, Vec<Discovered>)>,
+        integration_set: Vec<Arc<Table>>,
+    ) -> Result<PipelineRun, PipelineError> {
+        // Align.
+        let refs: Vec<&Table> = integration_set.iter().map(|t| t.as_ref()).collect();
+        let alignment = self.matcher.align(&refs);
+
+        // Integrate.
+        let integrated = self.integrator.integrate(&refs, &alignment)?;
+        let mut alternatives = Vec::with_capacity(self.alternatives.len());
+        for alt in &self.alternatives {
+            alternatives.push((alt.name().to_string(), alt.integrate(&refs, &alignment)?));
+        }
+        Ok(PipelineRun {
+            discovered,
+            integration_set,
+            alignment,
+            integrated,
+            alternatives,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo;
+    use dialite_analyze::{extremes, pearson_columns};
+    use dialite_discovery::SimilarityDiscovery;
+    use dialite_table::{table, Value};
+
+    fn demo_run() -> PipelineRun {
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::demo_default(&lake);
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        pipeline.run(&lake, &query).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_discovers_t2_and_t3() {
+        let run = demo_run();
+        let set: Vec<&str> = run.integration_set.iter().map(|t| t.name()).collect();
+        assert!(set.contains(&"T1"), "{set:?}");
+        assert!(set.contains(&"T2"), "unionable T2 must be discovered: {set:?}");
+        assert!(set.contains(&"T3"), "joinable T3 must be discovered: {set:?}");
+        assert!(!set.contains(&"animals"), "{set:?}");
+    }
+
+    #[test]
+    fn end_to_end_reproduces_fig3_exactly() {
+        let run = demo_run();
+        let out = run.integrated.table();
+        let expected = demo::fig3_expected();
+        assert!(
+            out.same_content(&expected),
+            "pipeline output:\n{out}\nexpected (paper Fig. 3):\n{expected}"
+        );
+    }
+
+    #[test]
+    fn example3_analysis_over_pipeline_output() {
+        let run = demo_run();
+        let out = run.integrated.table();
+        let col = |name: &str| {
+            out.schema()
+                .names()
+                .position(|n| n.eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| panic!("column {name} missing"))
+        };
+        let rate = col("vaccination rate");
+        let death = col("death rate");
+        let cases = col("total cases");
+        let r1 = pearson_columns(out, rate, death).unwrap();
+        assert!((r1 - 0.16).abs() < 0.02, "paper says 0.16, got {r1:.3}");
+        let r2 = pearson_columns(out, cases, rate).unwrap();
+        assert!((r2 - 0.9).abs() < 0.02, "paper says 0.9, got {r2:.3}");
+        // Boston lowest, Toronto highest.
+        let (lo, hi) = extremes(out, rate).unwrap();
+        let city = col("city");
+        assert_eq!(out.row(lo).unwrap()[city], Value::Text("Boston".into()));
+        assert_eq!(out.row(hi).unwrap()[city], Value::Text("Toronto".into()));
+    }
+
+    #[test]
+    fn alternatives_are_computed() {
+        let run = demo_run();
+        assert_eq!(run.alternatives.len(), 1);
+        assert_eq!(run.alternatives[0].0, "outer-join");
+    }
+
+    #[test]
+    fn report_mentions_every_stage() {
+        let run = demo_run();
+        let report = run.report();
+        for needle in ["== Discover ==", "== Align ==", "== Integrate ==", "santos"] {
+            assert!(report.contains(needle), "report missing {needle}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn integrate_set_skips_discovery() {
+        let (t4, t5, t6) = demo::fig7_tables();
+        let pipeline = Pipeline::demo_default(&demo::covid_lake());
+        let run = pipeline.integrate_set(vec![t4, t5, t6]).unwrap();
+        assert!(run.discovered.is_empty());
+        assert_eq!(run.integrated.table().row_count(), 3, "Fig. 8(b)");
+    }
+
+    #[test]
+    fn empty_integration_set_is_an_error() {
+        let pipeline = Pipeline::demo_default(&demo::covid_lake());
+        assert!(matches!(
+            pipeline.integrate_set(vec![]),
+            Err(PipelineError::EmptyIntegrationSet)
+        ));
+    }
+
+    #[test]
+    fn user_defined_discovery_plugs_in() {
+        // Fig. 4: an inner-join-size similarity as a user algorithm.
+        let lake = demo::covid_lake();
+        let custom = SimilarityDiscovery::new("inner-join-size", &lake, |q, t| {
+            let mut best = 0usize;
+            for qc in 0..q.column_count() {
+                for tc in 0..t.column_count() {
+                    let qs = q.column_token_set(qc);
+                    let ts = t.column_token_set(tc);
+                    best = best.max(qs.intersection(&ts).count());
+                }
+            }
+            best as f64
+        });
+        let pipeline = Pipeline::builder()
+            .discovery(Box::new(custom))
+            .top_k(2)
+            .build();
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        let run = pipeline.run(&lake, &query).unwrap();
+        assert_eq!(run.discovered.len(), 1);
+        assert_eq!(run.discovered[0].0, "inner-join-size");
+        let set: Vec<&str> = run.integration_set.iter().map(|t| t.name()).collect();
+        assert!(set.contains(&"T3"), "T3 shares the most values: {set:?}");
+    }
+
+    #[test]
+    fn custom_integrator_as_primary() {
+        let pipeline = Pipeline::builder()
+            .integrator(Box::new(OuterJoinIntegrator))
+            .build();
+        let (t4, t5, t6) = demo::fig7_tables();
+        let run = pipeline.integrate_set(vec![t4, t5, t6]).unwrap();
+        assert_eq!(run.integrated.table().row_count(), 5, "Fig. 8(a)");
+    }
+
+    #[test]
+    fn pipeline_error_display() {
+        let e = PipelineError::EmptyIntegrationSet;
+        assert!(e.to_string().contains("empty"));
+        let e = PipelineError::Table(TableError::UnknownTable { table: "x".into() });
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn off_topic_query_may_yield_no_results() {
+        // §3.1 footnote: an off-topic query "may yield no results".
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::demo_default(&lake);
+        let query = TableQuery::new(table! {
+            "offtopic"; ["isotope", "half_life"];
+            ["U-235", 7.04e8],
+            ["C-14", 5.73e3],
+        });
+        match pipeline.run(&lake, &query) {
+            Err(PipelineError::EmptyIntegrationSet) => {}
+            Ok(run) => {
+                // Anything that *was* discovered must at least be scored.
+                assert!(run.discovered.iter().all(|(_, hits)| hits
+                    .iter()
+                    .all(|d| d.score > 0.0)));
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+}

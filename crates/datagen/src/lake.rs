@@ -1,0 +1,438 @@
+//! Synthetic benchmark lakes with ground truth.
+//!
+//! A lake is built from `universes` base relations. Universe `u` has a key
+//! column (entity labels `u{u}_e{i}`), `categorical` token columns and
+//! `numeric` columns over a universe-specific range. Each universe is
+//! sliced into `fragments` tables: a random column subset (always keeping
+//! the key) over a random row window, with nulls injected at `null_rate`
+//! and headers optionally scrambled.
+//!
+//! Ground truth (see [`GroundTruth`]):
+//! * two fragments of the same universe with the *same column subset* and
+//!   different row windows are **unionable**;
+//! * two fragments of the same universe with *different column subsets*
+//!   are **joinable** (they share the key column);
+//! * every fragment column carries its global **integration class**
+//!   `(universe, original column)` for alignment scoring;
+//! * a synthetic **KB** types every categorical domain, giving the
+//!   semantic matcher/discovery the coverage that YAGO provides at scale.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dialite_kb::{KbBuilder, KnowledgeBase};
+use dialite_table::{DataLake, Table, Value};
+
+/// Parameters of the synthetic lake.
+#[derive(Debug, Clone)]
+pub struct LakeSpec {
+    /// Number of base universes.
+    pub universes: usize,
+    /// Fragments sliced from each universe.
+    pub fragments_per_universe: usize,
+    /// Rows in each universe relation.
+    pub rows_per_universe: usize,
+    /// Categorical columns per universe (beyond the key).
+    pub categorical_cols: usize,
+    /// Numeric columns per universe.
+    pub numeric_cols: usize,
+    /// Fraction of fragment cells nulled out (missing nulls).
+    pub null_rate: f64,
+    /// Fraction of categorical fragment cells replaced by a *dirty variant*
+    /// of the value (a character swap) — weakens exact value overlap while
+    /// keeping lexical similarity, stressing instance-based matching.
+    pub value_dirt_rate: f64,
+    /// Replace fragment headers with opaque names (`c17`), the data-lake
+    /// reality the paper stresses.
+    pub scramble_headers: bool,
+    /// RNG seed — same spec + seed → identical lake.
+    pub seed: u64,
+}
+
+impl Default for LakeSpec {
+    fn default() -> Self {
+        LakeSpec {
+            universes: 4,
+            fragments_per_universe: 4,
+            rows_per_universe: 60,
+            categorical_cols: 3,
+            numeric_cols: 1,
+            null_rate: 0.05,
+            value_dirt_rate: 0.0,
+            scramble_headers: false,
+            seed: 0xD1A117E,
+        }
+    }
+}
+
+/// Swap two adjacent characters — the dirty-variant transformation.
+fn dirty(rng: &mut StdRng, s: &str) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.len() >= 2 {
+        let i = rng.gen_range(0..chars.len() - 1);
+        chars.swap(i, i + 1);
+    }
+    chars.into_iter().collect()
+}
+
+/// What is true about the generated lake.
+#[derive(Debug)]
+pub struct GroundTruth {
+    /// Universe index of every fragment.
+    pub universe_of: HashMap<String, usize>,
+    /// For each fragment: tables it is unionable with.
+    pub unionable: HashMap<String, HashSet<String>>,
+    /// For each fragment: tables it is joinable with.
+    pub joinable: HashMap<String, HashSet<String>>,
+    /// Integration class of every fragment column:
+    /// `(table, column index) → (universe, original column index)`.
+    pub column_class: HashMap<(String, usize), (usize, usize)>,
+    /// A synthetic KB typing every categorical domain of every universe.
+    pub kb: KnowledgeBase,
+}
+
+impl GroundTruth {
+    /// All tables related (unionable or joinable) to `table`.
+    pub fn related(&self, table: &str) -> HashSet<String> {
+        let mut out = self
+            .unionable
+            .get(table)
+            .cloned()
+            .unwrap_or_default();
+        if let Some(j) = self.joinable.get(table) {
+            out.extend(j.iter().cloned());
+        }
+        out
+    }
+}
+
+/// The generated lake plus its ground truth.
+#[derive(Debug)]
+pub struct SyntheticLake {
+    /// The data lake of fragments.
+    pub lake: DataLake,
+    /// Ground-truth relations for evaluation.
+    pub truth: GroundTruth,
+}
+
+/// One universe's full relation held during generation.
+struct Universe {
+    /// Column headers of the universe (`key`, categorical…, numeric…).
+    headers: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl SyntheticLake {
+    /// Generate a lake per the spec.
+    pub fn generate(spec: &LakeSpec) -> SyntheticLake {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut kb = KbBuilder::new();
+        kb.add_type("entity", None);
+
+        // Build universes.
+        let mut universes = Vec::with_capacity(spec.universes);
+        for u in 0..spec.universes {
+            let mut headers = vec![format!("u{u}_key")];
+            for c in 0..spec.categorical_cols {
+                headers.push(format!("u{u}_cat{c}"));
+            }
+            for c in 0..spec.numeric_cols {
+                headers.push(format!("u{u}_num{c}"));
+            }
+            // KB types per domain.
+            let key_type = format!("u{u}_entity");
+            kb.add_type(&key_type, Some("entity"));
+            let cat_types: Vec<String> = (0..spec.categorical_cols)
+                .map(|c| {
+                    let t = format!("u{u}_domain{c}");
+                    kb.add_type(&t, Some("entity"));
+                    t
+                })
+                .collect();
+
+            let mut rows = Vec::with_capacity(spec.rows_per_universe);
+            // Categorical vocabularies: ~√rows distinct values per column.
+            let vocab = (spec.rows_per_universe as f64).sqrt().ceil() as usize + 2;
+            for r in 0..spec.rows_per_universe {
+                let key = format!("u{u}_e{r}");
+                kb.add_entity(&key, &[key_type.as_str()]);
+                let mut row: Vec<Value> = vec![Value::Text(key.clone())];
+                for (c, cat_type) in cat_types.iter().enumerate() {
+                    let v = format!("u{u}c{c}_v{}", rng.gen_range(0..vocab));
+                    kb.add_entity(&v, &[cat_type.as_str()]);
+                    kb.add_fact(&key, &format!("u{u}_has{c}"), &v);
+                    row.push(Value::Text(v));
+                }
+                let base = (u as f64 + 1.0) * 1000.0;
+                for _ in 0..spec.numeric_cols {
+                    row.push(Value::Float(base + rng.gen_range(0.0..100.0)));
+                }
+                rows.push(row);
+            }
+            universes.push(Universe { headers, rows });
+        }
+
+        // Slice fragments.
+        let mut lake = DataLake::new();
+        let mut universe_of = HashMap::new();
+        let mut column_class: HashMap<(String, usize), (usize, usize)> = HashMap::new();
+        // (universe, sorted column subset) per fragment, for truth relations.
+        let mut frag_cols: HashMap<String, (usize, Vec<usize>)> = HashMap::new();
+
+        for (u, universe) in universes.iter().enumerate() {
+            let total_cols = universe.headers.len();
+            for f in 0..spec.fragments_per_universe {
+                let name = format!("u{u}_frag{f}");
+                // Column subset: key + random non-empty subset of the rest.
+                let mut others: Vec<usize> = (1..total_cols).collect();
+                others.shuffle(&mut rng);
+                let keep = rng.gen_range(1..=others.len());
+                let mut cols: Vec<usize> = std::iter::once(0)
+                    .chain(others.into_iter().take(keep))
+                    .collect();
+                cols.sort_unstable();
+                // Row window: contiguous slice covering 40–80% of rows.
+                let len = spec.rows_per_universe;
+                let window = (len as f64 * rng.gen_range(0.4..0.8)) as usize;
+                let start = rng.gen_range(0..=(len - window.min(len)));
+                let window = window.max(1);
+
+                let headers: Vec<String> = cols
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        if spec.scramble_headers {
+                            format!("c{}", rng.gen_range(0..10_000) * 10 + i)
+                        } else {
+                            universe.headers[c].clone()
+                        }
+                    })
+                    .collect();
+                let mut rows = Vec::with_capacity(window);
+                for r in start..(start + window).min(len) {
+                    let row: Vec<Value> = cols
+                        .iter()
+                        .map(|&c| {
+                            if rng.gen_bool(spec.null_rate) {
+                                return Value::null_missing();
+                            }
+                            let v = universe.rows[r][c].clone();
+                            match v {
+                                Value::Text(s) if rng.gen_bool(spec.value_dirt_rate) => {
+                                    Value::Text(dirty(&mut rng, &s))
+                                }
+                                v => v,
+                            }
+                        })
+                        .collect();
+                    rows.push(row);
+                }
+                let table = Table::from_rows(&name, &headers, rows)
+                    .expect("generated fragments are well-formed");
+                for (i, &c) in cols.iter().enumerate() {
+                    column_class.insert((name.clone(), i), (u, c));
+                }
+                universe_of.insert(name.clone(), u);
+                frag_cols.insert(name.clone(), (u, cols));
+                lake.add(table).expect("fragment names are unique");
+            }
+        }
+
+        // Truth relations.
+        let mut unionable: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut joinable: HashMap<String, HashSet<String>> = HashMap::new();
+        let names: Vec<&String> = frag_cols.keys().collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                let (ua, ca) = &frag_cols[*a];
+                let (ub, cb) = &frag_cols[*b];
+                if ua != ub {
+                    continue;
+                }
+                if ca == cb {
+                    unionable.entry((**a).clone()).or_default().insert((**b).clone());
+                    unionable.entry((**b).clone()).or_default().insert((**a).clone());
+                } else {
+                    joinable.entry((**a).clone()).or_default().insert((**b).clone());
+                    joinable.entry((**b).clone()).or_default().insert((**a).clone());
+                }
+            }
+        }
+
+        SyntheticLake {
+            lake,
+            truth: GroundTruth {
+                universe_of,
+                unionable,
+                joinable,
+                column_class,
+                kb: kb.build(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> LakeSpec {
+        LakeSpec {
+            universes: 3,
+            fragments_per_universe: 3,
+            rows_per_universe: 30,
+            categorical_cols: 2,
+            numeric_cols: 1,
+            null_rate: 0.1,
+            value_dirt_rate: 0.0,
+            scramble_headers: false,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn generates_expected_table_count() {
+        let s = SyntheticLake::generate(&small_spec());
+        assert_eq!(s.lake.len(), 9);
+        assert_eq!(s.truth.universe_of.len(), 9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticLake::generate(&small_spec());
+        let b = SyntheticLake::generate(&small_spec());
+        for name in a.lake.names() {
+            let ta = a.lake.get(name).unwrap();
+            let tb = b.lake.get(name).unwrap();
+            assert_eq!(ta.as_ref(), tb.as_ref(), "table {name} differs");
+        }
+    }
+
+    #[test]
+    fn truth_relations_stay_within_universe() {
+        let s = SyntheticLake::generate(&small_spec());
+        for (frag, related) in s.truth.unionable.iter().chain(s.truth.joinable.iter()) {
+            let u = s.truth.universe_of[frag];
+            for r in related {
+                assert_eq!(s.truth.universe_of[r], u);
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_share_key_values_with_siblings() {
+        // Joinable fragments must actually overlap on the key domain.
+        let s = SyntheticLake::generate(&small_spec());
+        for (frag, related) in &s.truth.joinable {
+            let t = s.lake.get(frag).unwrap();
+            let key_col = (0..t.column_count())
+                .find(|&c| s.truth.column_class[&(frag.clone(), c)].1 == 0)
+                .unwrap();
+            let keys = t.column_token_set(key_col);
+            for r in related {
+                let rt = s.lake.get(r).unwrap();
+                let rkey = (0..rt.column_count())
+                    .find(|&c| s.truth.column_class[&(r.clone(), c)].1 == 0)
+                    .unwrap();
+                let rkeys = rt.column_token_set(rkey);
+                // Row windows cover ≥40% each, so they overlap with very
+                // high probability in a 30-row universe.
+                let shared = keys.intersection(&rkeys).count();
+                assert!(shared > 0, "{frag} and {r} share no keys");
+            }
+        }
+    }
+
+    #[test]
+    fn null_rate_is_respected_roughly() {
+        let spec = LakeSpec {
+            null_rate: 0.3,
+            value_dirt_rate: 0.0,
+            ..small_spec()
+        };
+        let s = SyntheticLake::generate(&spec);
+        let mut cells = 0usize;
+        let mut nulls = 0usize;
+        for t in s.lake.tables() {
+            cells += t.row_count() * t.column_count();
+            nulls += t.null_count();
+        }
+        let rate = nulls as f64 / cells as f64;
+        assert!((rate - 0.3).abs() < 0.08, "observed null rate {rate}");
+    }
+
+    #[test]
+    fn value_dirt_weakens_overlap_but_preserves_shape() {
+        let clean = SyntheticLake::generate(&small_spec());
+        let dirty = SyntheticLake::generate(&LakeSpec {
+            value_dirt_rate: 0.5,
+            ..small_spec()
+        });
+        // Same table names / shapes.
+        assert_eq!(clean.lake.len(), dirty.lake.len());
+        // Dirty fragments share fewer exact tokens with their siblings.
+        let overlap = |s: &SyntheticLake| -> usize {
+            let mut total = 0;
+            let names: Vec<String> = s.lake.names().map(str::to_string).collect();
+            for a in &names {
+                for b in &names {
+                    if a < b && s.truth.universe_of[a] == s.truth.universe_of[b] {
+                        let ta = s.lake.get(a).unwrap();
+                        let tb = s.lake.get(b).unwrap();
+                        total += ta
+                            .column_token_set(0)
+                            .intersection(&tb.column_token_set(0))
+                            .count();
+                    }
+                }
+            }
+            total
+        };
+        assert!(
+            overlap(&dirty) < overlap(&clean),
+            "dirt should reduce exact key overlap"
+        );
+    }
+
+    #[test]
+    fn synthetic_kb_types_categorical_domains() {
+        let s = SyntheticLake::generate(&small_spec());
+        let kb = &s.truth.kb;
+        // Every key entity of universe 0 should be typed u0_entity.
+        let t = kb.type_id("u0_entity").unwrap();
+        assert!(kb.types_of("u0_e5").contains(&t));
+        // Categorical values are typed by domain.
+        let d = kb.type_id("u0_domain0").unwrap();
+        assert!(kb.types_of("u0c0_v1").contains(&d));
+    }
+
+    #[test]
+    fn scrambled_headers_have_no_universe_hint() {
+        let spec = LakeSpec {
+            scramble_headers: true,
+            ..small_spec()
+        };
+        let s = SyntheticLake::generate(&spec);
+        for t in s.lake.tables() {
+            for name in t.schema().names() {
+                assert!(!name.contains("u0_"), "header {name} leaks identity");
+            }
+        }
+    }
+
+    #[test]
+    fn column_classes_cover_every_column() {
+        let s = SyntheticLake::generate(&small_spec());
+        for t in s.lake.tables() {
+            for c in 0..t.column_count() {
+                assert!(s
+                    .truth
+                    .column_class
+                    .contains_key(&(t.name().to_string(), c)));
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # dialite-datagen
+//!
+//! Synthetic data for the reproduction's tests and benchmarks:
+//!
+//! * [`TableSynth`] — the GPT-3 substitute of paper Fig. 5: a seeded,
+//!   template-grammar query-table generator ("generate a query table about
+//!   COVID-19 cases with 5 columns and 5 rows"). Deterministic by seed, so
+//!   experiments are reproducible (DESIGN.md §1 documents the substitution
+//!   for the closed OpenAI API).
+//! * [`SyntheticLake`] — a benchmark data lake with **ground truth**: base
+//!   *universe* relations are sliced into overlapping vertical/horizontal
+//!   fragments with injected nulls, dirtied values and (optionally)
+//!   scrambled headers. The truth records which fragments are unionable /
+//!   joinable with which, the integration class of every column, and a
+//!   synthetic KB typed over the universe domains — enabling
+//!   precision/recall evaluation of discovery (E7) and alignment (E8).
+//! * [`workloads`] — parameterized workloads for the FD scaling bench (E6)
+//!   and the ER-quality experiment (E10).
+//! * [`metrics`] — precision/recall@k and pair-based alignment scoring.
+
+pub mod lake;
+pub mod metrics;
+pub mod synth;
+pub mod workloads;
+
+pub use lake::{GroundTruth, LakeSpec, SyntheticLake};
+pub use synth::TableSynth;

@@ -1,0 +1,155 @@
+//! Evaluation metrics for discovery and alignment experiments.
+
+use std::collections::HashSet;
+
+use dialite_align::Alignment;
+use dialite_table::Table;
+
+use crate::lake::GroundTruth;
+
+/// Precision@k and recall@k of a ranked result list against a truth set.
+/// Precision@k counts hits among the first `k` results; recall@k counts
+/// which truths were retrieved. Both are 1.0 for an empty truth set with no
+/// results.
+pub fn precision_recall_at_k(
+    ranked: &[String],
+    truth: &HashSet<String>,
+    k: usize,
+) -> (f64, f64) {
+    let top: Vec<&String> = ranked.iter().take(k).collect();
+    let hits = top.iter().filter(|t| truth.contains(t.as_str())).count();
+    let precision = if top.is_empty() {
+        if truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        hits as f64 / top.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hits as f64 / truth.len().min(k) as f64
+    };
+    (precision, recall)
+}
+
+/// Pair-level precision/recall/F1 of an alignment against the lake's
+/// ground-truth column classes: a *pair* is two columns (from different
+/// tables) sharing an integration ID; it is correct when the columns carry
+/// the same `(universe, original column)` class.
+pub fn alignment_pair_f1(
+    tables: &[&Table],
+    alignment: &Alignment,
+    truth: &GroundTruth,
+) -> (f64, f64, f64) {
+    // Collect all cross-table column pairs with truth and predicted labels.
+    let mut predicted: HashSet<((usize, usize), (usize, usize))> = HashSet::new();
+    let mut actual: HashSet<((usize, usize), (usize, usize))> = HashSet::new();
+    for (ta, a) in tables.iter().enumerate() {
+        for (tb, b) in tables.iter().enumerate().skip(ta + 1) {
+            for ca in 0..a.column_count() {
+                for cb in 0..b.column_count() {
+                    let key = ((ta, ca), (tb, cb));
+                    if alignment.id_of(ta, ca) == alignment.id_of(tb, cb) {
+                        predicted.insert(key);
+                    }
+                    let class_a = truth.column_class.get(&(a.name().to_string(), ca));
+                    let class_b = truth.column_class.get(&(b.name().to_string(), cb));
+                    if let (Some(x), Some(y)) = (class_a, class_b) {
+                        if x == y {
+                            actual.insert(key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let tp = predicted.intersection(&actual).count() as f64;
+    let precision = if predicted.is_empty() {
+        1.0
+    } else {
+        tp / predicted.len() as f64
+    };
+    let recall = if actual.is_empty() {
+        1.0
+    } else {
+        tp / actual.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lake::{LakeSpec, SyntheticLake};
+    use dialite_align::Alignment;
+
+    #[test]
+    fn precision_recall_basics() {
+        let truth: HashSet<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let ranked = vec!["a".to_string(), "x".to_string(), "b".to_string()];
+        let (p, r) = precision_recall_at_k(&ranked, &truth, 2);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        let (p3, r3) = precision_recall_at_k(&ranked, &truth, 3);
+        assert!((p3 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_edge_cases() {
+        let empty: HashSet<String> = HashSet::new();
+        assert_eq!(precision_recall_at_k(&[], &empty, 5), (1.0, 1.0));
+        let truth: HashSet<String> = ["a".to_string()].into_iter().collect();
+        assert_eq!(precision_recall_at_k(&[], &truth, 5), (0.0, 0.0));
+    }
+
+    #[test]
+    fn perfect_alignment_scores_one_on_unscrambled_lake() {
+        // Fragments keep original universe headers → header-equality
+        // alignment is exactly the truth.
+        let s = SyntheticLake::generate(&LakeSpec {
+            universes: 2,
+            fragments_per_universe: 2,
+            rows_per_universe: 20,
+            categorical_cols: 2,
+            numeric_cols: 1,
+            null_rate: 0.0,
+            value_dirt_rate: 0.0,
+            scramble_headers: false,
+            seed: 5,
+        });
+        let tables: Vec<_> = s.lake.tables().map(|t| t.as_ref().clone()).collect();
+        let refs: Vec<&dialite_table::Table> = tables.iter().collect();
+        let al = Alignment::by_headers(&refs);
+        let (p, r, f1) = alignment_pair_f1(&refs, &al, &s.truth);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn header_alignment_fails_on_scrambled_lake() {
+        let s = SyntheticLake::generate(&LakeSpec {
+            universes: 2,
+            fragments_per_universe: 2,
+            rows_per_universe: 20,
+            categorical_cols: 2,
+            numeric_cols: 1,
+            null_rate: 0.0,
+            value_dirt_rate: 0.0,
+            scramble_headers: true,
+            seed: 5,
+        });
+        let tables: Vec<_> = s.lake.tables().map(|t| t.as_ref().clone()).collect();
+        let refs: Vec<&dialite_table::Table> = tables.iter().collect();
+        let al = Alignment::by_headers(&refs);
+        let (_, r, _) = alignment_pair_f1(&refs, &al, &s.truth);
+        assert!(r < 0.2, "scrambled headers should defeat the baseline: {r}");
+    }
+}

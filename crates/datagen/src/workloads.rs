@@ -1,0 +1,273 @@
+//! Parameterized workloads for the benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dialite_table::{Table, Value};
+
+/// Parameters of the FD scaling workload (experiment E6).
+#[derive(Debug, Clone)]
+pub struct FdWorkload {
+    /// Number of tables in the integration set.
+    pub tables: usize,
+    /// Rows per table.
+    pub rows: usize,
+    /// Size of the shared key domain; smaller = more joins. Each table
+    /// draws keys uniformly from `0..key_domain`.
+    pub key_domain: usize,
+    /// Fraction of non-key cells nulled out.
+    pub null_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FdWorkload {
+    fn default() -> Self {
+        FdWorkload {
+            tables: 4,
+            rows: 100,
+            key_domain: 200,
+            null_rate: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl FdWorkload {
+    /// Generate the integration set: table `i` has schema
+    /// `(key, attr_i)` — a star around the shared key, so FD merges chains
+    /// through key equality while attribute columns stay disjoint. The
+    /// shapes match the open-data lakes ALITE evaluates on: many narrow
+    /// tables overlapping on entity columns.
+    pub fn generate(&self) -> Vec<Table> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.tables);
+        for t in 0..self.tables {
+            let cols = ["key".to_string(), format!("attr_{t}")];
+            let mut rows = Vec::with_capacity(self.rows);
+            for r in 0..self.rows {
+                let key = Value::Text(format!("k{}", rng.gen_range(0..self.key_domain.max(1))));
+                let attr = if rng.gen_bool(self.null_rate) {
+                    Value::null_missing()
+                } else {
+                    Value::Text(format!("t{t}v{r}"))
+                };
+                rows.push(vec![key, attr]);
+            }
+            out.push(Table::from_rows(&format!("W{t}"), &cols, rows).expect("fixed arity"));
+        }
+        out
+    }
+}
+
+/// Parameters of the ER-quality workload (experiment E10): one table of
+/// entity mentions with duplicates under typo/whitespace dirt, plus
+/// ground-truth entity labels. Entity names, codes and locations are drawn
+/// from random letter pools so that *distinct* entities are lexically far
+/// apart (as real organization names are) while a mention's dirt keeps it
+/// close to its own entity.
+#[derive(Debug, Clone)]
+pub struct ErWorkload {
+    /// Number of distinct entities.
+    pub entities: usize,
+    /// Mentions per entity (≥ 1; duplicates beyond the first are dirtied).
+    pub mentions_per_entity: usize,
+    /// Probability a duplicate drops code/location to null — mimicking the
+    /// incomplete tuples outer join produces.
+    pub null_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ErWorkload {
+    fn default() -> Self {
+        ErWorkload {
+            entities: 50,
+            mentions_per_entity: 3,
+            null_rate: 0.2,
+            seed: 13,
+        }
+    }
+}
+
+fn rand_word(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+/// Swap two adjacent characters (a typo).
+fn typo(rng: &mut StdRng, s: &str) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.len() >= 2 {
+        let i = rng.gen_range(0..chars.len() - 1);
+        chars.swap(i, i + 1);
+    }
+    chars.into_iter().collect()
+}
+
+/// One synthetic entity: a distinctive name, code and location.
+#[derive(Debug, Clone)]
+pub struct ErEntity {
+    /// Multi-word organization-like name.
+    pub name: String,
+    /// Short unique code.
+    pub code: String,
+    /// Distinctive location string (secondary key).
+    pub location: String,
+}
+
+/// Generate the entity roster of the workload (shared by E10.1 and E10.2).
+pub fn er_entities(count: usize, seed: u64) -> Vec<ErEntity> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|e| ErEntity {
+            name: format!(
+                "{} {} {}",
+                rand_word(&mut rng, 7),
+                rand_word(&mut rng, 6),
+                rand_word(&mut rng, 5)
+            ),
+            code: format!("{}{e:03}", rand_word(&mut rng, 4).to_uppercase()),
+            location: format!("{} city", rand_word(&mut rng, 7)),
+        })
+        .collect()
+}
+
+impl ErWorkload {
+    /// Generate `(mention table, ground-truth entity label per row)`.
+    pub fn generate(&self) -> (Table, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let entities = er_entities(self.entities, self.seed.wrapping_add(1));
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (e, ent) in entities.iter().enumerate() {
+            for m in 0..self.mentions_per_entity.max(1) {
+                let mention_name = match m % 3 {
+                    0 => ent.name.clone(),
+                    1 => typo(&mut rng, &ent.name),
+                    _ => ent.name.replace(' ', "  "), // whitespace dirt
+                };
+                let code_v = if m > 0 && rng.gen_bool(self.null_rate) {
+                    Value::null_missing()
+                } else {
+                    Value::Text(ent.code.clone())
+                };
+                let city_v = if m > 0 && rng.gen_bool(self.null_rate) {
+                    Value::null_missing()
+                } else {
+                    Value::Text(ent.location.clone())
+                };
+                rows.push(vec![Value::Text(mention_name), code_v, city_v]);
+                labels.push(e);
+            }
+        }
+        let table = Table::from_rows("mentions", &["name", "code", "city"], rows)
+            .expect("fixed arity");
+        (table, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_workload_shapes() {
+        let w = FdWorkload {
+            tables: 3,
+            rows: 20,
+            ..FdWorkload::default()
+        };
+        let tables = w.generate();
+        assert_eq!(tables.len(), 3);
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(t.row_count(), 20);
+            assert_eq!(t.column_count(), 2);
+            assert_eq!(t.column_index("key"), Some(0));
+            assert_eq!(t.column_index(&format!("attr_{i}")), Some(1));
+        }
+    }
+
+    #[test]
+    fn fd_workload_is_deterministic() {
+        let a = FdWorkload::default().generate();
+        let b = FdWorkload::default().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smaller_key_domain_means_more_shared_keys() {
+        let dense = FdWorkload {
+            key_domain: 10,
+            ..FdWorkload::default()
+        }
+        .generate();
+        let sparse = FdWorkload {
+            key_domain: 10_000,
+            ..FdWorkload::default()
+        }
+        .generate();
+        let shared = |tables: &[Table]| {
+            let a = tables[0].column_token_set(0);
+            let b = tables[1].column_token_set(0);
+            a.intersection(&b).count()
+        };
+        assert!(shared(&dense) > shared(&sparse));
+    }
+
+    #[test]
+    fn er_workload_labels_align_with_rows() {
+        let (t, labels) = ErWorkload::default().generate();
+        assert_eq!(t.row_count(), labels.len());
+        assert_eq!(t.row_count(), 150);
+        // Each entity has its mentions_per_entity rows.
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 3);
+    }
+
+    #[test]
+    fn er_entities_are_lexically_distinct() {
+        use dialite_text::levenshtein_sim;
+        let ents = er_entities(20, 3);
+        for (i, a) in ents.iter().enumerate() {
+            for b in ents.iter().skip(i + 1) {
+                assert!(
+                    levenshtein_sim(&a.name, &b.name) < 0.8,
+                    "{} too close to {}",
+                    a.name,
+                    b.name
+                );
+                assert_ne!(a.code, b.code);
+            }
+        }
+    }
+
+    #[test]
+    fn er_workload_dirt_stays_close_to_its_entity() {
+        use dialite_text::levenshtein_sim;
+        let (t, labels) = ErWorkload {
+            entities: 5,
+            mentions_per_entity: 3,
+            null_rate: 0.0,
+            seed: 2,
+        }
+        .generate();
+        // Mentions of the same entity have highly similar names.
+        for e in 0..5 {
+            let names: Vec<&str> = t
+                .rows()
+                .zip(&labels)
+                .filter(|(_, &l)| l == e)
+                .filter_map(|(r, _)| r[0].as_text())
+                .collect();
+            for pair in names.windows(2) {
+                assert!(
+                    levenshtein_sim(pair[0], pair[1]) > 0.8,
+                    "{} vs {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+}

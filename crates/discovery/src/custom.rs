@@ -1,0 +1,118 @@
+//! User-defined discovery — the extension point of paper Fig. 4.
+//!
+//! "The user basically implements a similarity function between two
+//! datasets that is used by DIALITE for table discovery." Here the user
+//! supplies any `Fn(&Table, &Table) -> f64`; the engine scans the lake and
+//! returns the top-k tables by that function.
+
+use std::sync::Arc;
+
+use dialite_table::{DataLake, Table};
+
+use crate::types::{top_k, Discovered, Discovery, TableQuery};
+
+/// A discovery algorithm defined by a user-provided similarity function.
+///
+/// ```
+/// use dialite_discovery::{Discovery, SimilarityDiscovery, TableQuery};
+/// use dialite_table::{table, DataLake};
+///
+/// // The paper's Fig. 4 example: similarity = size of the inner join on
+/// // the first column (here: count of shared values).
+/// let lake = DataLake::from_tables([
+///     table! { "a"; ["x"]; [1], [2], [3] },
+///     table! { "b"; ["x"]; [7], [8] },
+/// ]).unwrap();
+/// let engine = SimilarityDiscovery::new("inner-join-size", &lake, |q, t| {
+///     let qs = q.column_token_set(0);
+///     let ts = t.column_token_set(0);
+///     qs.intersection(&ts).count() as f64
+/// });
+/// let hits = engine.discover(&TableQuery::new(table! { "q"; ["x"]; [2], [3] }), 1);
+/// assert_eq!(hits[0].table, "a");
+/// ```
+pub struct SimilarityDiscovery<F> {
+    name: String,
+    tables: Vec<Arc<Table>>,
+    sim: F,
+}
+
+impl<F> SimilarityDiscovery<F>
+where
+    F: Fn(&Table, &Table) -> f64 + Send + Sync,
+{
+    /// Wrap a similarity function over a lake snapshot.
+    pub fn new(name: &str, lake: &DataLake, sim: F) -> SimilarityDiscovery<F> {
+        SimilarityDiscovery {
+            name: name.to_string(),
+            tables: lake.tables().cloned().collect(),
+            sim,
+        }
+    }
+}
+
+impl<F> Discovery for SimilarityDiscovery<F>
+where
+    F: Fn(&Table, &Table) -> f64 + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let scored = self
+            .tables
+            .iter()
+            .filter(|t| t.name() != query.table.name())
+            .map(|t| Discovered {
+                table: t.name().to_string(),
+                score: (self.sim)(&query.table, t),
+            })
+            .filter(|d| d.score > 0.0)
+            .collect();
+        top_k(scored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::table;
+    use dialite_text::jaccard;
+
+    fn lake() -> DataLake {
+        DataLake::from_tables([
+            table! { "close"; ["x"]; ["a"], ["b"], ["c"] },
+            table! { "far"; ["x"]; ["p"], ["q"] },
+            table! { "mid"; ["x"]; ["a"], ["q"] },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ranks_by_user_function() {
+        let engine = SimilarityDiscovery::new("jaccard-col0", &lake(), |q, t| {
+            jaccard(&q.column_token_set(0), &t.column_token_set(0))
+        });
+        let q = TableQuery::new(table! { "q"; ["x"]; ["a"], ["b"] });
+        let hits = engine.discover(&q, 3);
+        assert_eq!(hits[0].table, "close");
+        assert_eq!(hits[1].table, "mid");
+        assert_eq!(hits.len(), 2, "zero-score tables dropped: {hits:?}");
+    }
+
+    #[test]
+    fn excludes_query_table_by_name() {
+        let engine = SimilarityDiscovery::new("const", &lake(), |_, _| 1.0);
+        let q = TableQuery::new(table! { "close"; ["x"]; ["a"] });
+        let hits = engine.discover(&q, 10);
+        assert!(hits.iter().all(|d| d.table != "close"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn name_is_user_defined() {
+        let engine = SimilarityDiscovery::new("my-algo", &lake(), |_, _| 0.0);
+        assert_eq!(engine.name(), "my-algo");
+    }
+}

@@ -1,0 +1,40 @@
+//! # dialite-discovery
+//!
+//! The **Discover** stage of DIALITE (paper §2.1): given a query table `Q`
+//! and a data lake `D`, find tables that are *unionable*, *joinable* or
+//! simply similar to `Q`, returning an integration set for ALITE.
+//!
+//! Four search engines implement the common [`Discovery`] trait:
+//!
+//! * [`SantosDiscovery`] — semantic **union** search in the style of SANTOS
+//!   (Khatiwada et al., SIGMOD 2023): columns are annotated with semantic
+//!   types from a knowledge base and column *pairs* with relationships; a
+//!   query's semantic graph (a star around the intent column) is matched
+//!   against indexed tables. When KB coverage is thin, a synthesized signal
+//!   (direct domain overlap mined from the lake itself) fills in — the
+//!   reproduction's laptop-scale stand-in for SANTOS's synthesized KB
+//!   (DESIGN.md §1).
+//! * [`LshEnsembleDiscovery`] — **joinable** search over MinHash sketches
+//!   using the LSH Ensemble containment index (Zhu et al., VLDB 2016), with
+//!   exact containment verification of candidates.
+//! * [`ExactOverlapDiscovery`] — exact top-k overlap search over an inverted
+//!   token index (JOSIE-shaped, without the cost-based posting-list
+//!   scheduling that internet-scale lakes need — documented simplification).
+//! * [`SimilarityDiscovery`] — the user-defined extension point of paper
+//!   Fig. 4: any `Fn(&Table, &Table) -> f64` becomes a discovery algorithm.
+//!
+//! Results from several engines are merged with [`union_integration_set`],
+//! mirroring the demo's "persist the set of tables found by all techniques
+//! to form an integration set".
+
+mod custom;
+mod lshe;
+mod overlap;
+mod santos;
+mod types;
+
+pub use custom::SimilarityDiscovery;
+pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
+pub use overlap::ExactOverlapDiscovery;
+pub use santos::{SantosConfig, SantosDiscovery};
+pub use types::{union_integration_set, Discovered, Discovery, TableQuery};

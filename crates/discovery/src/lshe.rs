@@ -1,0 +1,259 @@
+//! Joinable-table search over the LSH Ensemble containment index, with
+//! exact verification of candidates — the discovery backend the demo drives
+//! through `datasketch` (paper §2.1, §3.1).
+
+use std::collections::HashMap;
+
+use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher};
+use dialite_table::DataLake;
+use dialite_text::containment;
+
+use crate::types::{top_k, Discovered, Discovery, TableQuery};
+
+/// Configuration of the joinable search.
+#[derive(Debug, Clone)]
+pub struct LshEnsembleConfig {
+    /// MinHash permutations (signature length).
+    pub num_perm: usize,
+    /// Size partitions of the ensemble.
+    pub num_partitions: usize,
+    /// Containment threshold a candidate column must (probabilistically)
+    /// exceed to be retrieved, and (exactly) to be reported.
+    pub threshold: f64,
+    /// Seed for the hash family.
+    pub seed: u64,
+    /// Queries with fewer distinct tokens than this bypass the sketch index
+    /// and scan the stored domains exactly. MinHash banding has ~50% recall
+    /// at the threshold and tiny sets sit near it by construction; exact
+    /// scanning a handful of tokens is cheaper than a false negative.
+    pub exact_fallback_below: usize,
+}
+
+impl Default for LshEnsembleConfig {
+    fn default() -> Self {
+        LshEnsembleConfig {
+            num_perm: 256,
+            num_partitions: 8,
+            threshold: 0.5,
+            seed: 0x1517,
+            exact_fallback_below: 16,
+        }
+    }
+}
+
+/// Joinable-table discovery: find lake tables with a column whose domain
+/// contains (most of) the query column's domain.
+pub struct LshEnsembleDiscovery {
+    config: LshEnsembleConfig,
+    hasher: MinHasher,
+    ensemble: LshEnsemble,
+    /// key "table\u{1}col" → exact token set, for candidate verification.
+    domains: HashMap<String, std::collections::HashSet<String>>,
+}
+
+const KEY_SEP: char = '\u{1}';
+
+impl LshEnsembleDiscovery {
+    /// Index every column of every lake table.
+    pub fn build(lake: &DataLake, config: LshEnsembleConfig) -> LshEnsembleDiscovery {
+        let mut builder = LshEnsembleBuilder::new(config.num_perm, config.seed);
+        let mut domains = HashMap::new();
+        for table in lake.tables() {
+            for c in 0..table.column_count() {
+                let tokens = table.column_token_set(c);
+                if tokens.is_empty() {
+                    continue;
+                }
+                let key = format!("{}{}{}", table.name(), KEY_SEP, c);
+                builder.insert_tokens(&key, tokens.iter().map(String::as_str));
+                domains.insert(key, tokens);
+            }
+        }
+        let hasher = builder.hasher().clone();
+        let ensemble = builder.build(config.num_partitions);
+        LshEnsembleDiscovery {
+            config,
+            hasher,
+            ensemble,
+            domains,
+        }
+    }
+
+    /// Number of indexed column domains.
+    pub fn indexed_domains(&self) -> usize {
+        self.domains.len()
+    }
+}
+
+impl Discovery for LshEnsembleDiscovery {
+    fn name(&self) -> &str {
+        "lsh-ensemble"
+    }
+
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let col = query.effective_column();
+        if col >= query.table.column_count() {
+            return Vec::new();
+        }
+        let q_tokens = query.table.column_token_set(col);
+        if q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let candidates: Vec<String> = if q_tokens.len() < self.config.exact_fallback_below {
+            self.domains.keys().cloned().collect()
+        } else {
+            let sig = self
+                .hasher
+                .signature(q_tokens.iter().map(String::as_str));
+            self.ensemble
+                .query(&sig, q_tokens.len(), self.config.threshold)
+        };
+
+        // Exact verification + per-table aggregation (best column wins).
+        let mut best_per_table: HashMap<&str, f64> = HashMap::new();
+        for key in &candidates {
+            let Some(domain) = self.domains.get(key) else {
+                continue;
+            };
+            let c = containment(&q_tokens, domain);
+            if c + 1e-12 < self.config.threshold {
+                continue; // LSH false positive
+            }
+            let table = key.split(KEY_SEP).next().unwrap_or(key.as_str());
+            if table == query.table.name() {
+                continue;
+            }
+            let entry = best_per_table.entry(table).or_insert(0.0);
+            if c > *entry {
+                *entry = c;
+            }
+        }
+        let scored = best_per_table
+            .into_iter()
+            .map(|(t, s)| Discovered {
+                table: t.to_string(),
+                score: s,
+            })
+            .collect();
+        top_k(scored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::{table, Table};
+
+    fn city_table(name: &str, extra: &[&str]) -> Table {
+        let mut rows: Vec<Vec<dialite_table::Value>> = ["berlin", "barcelona", "boston", "new delhi"]
+            .iter()
+            .map(|c| vec![(*c).into(), 1i64.into()])
+            .collect();
+        for e in extra {
+            rows.push(vec![(*e).into(), 2i64.into()]);
+        }
+        Table::from_rows(name, &["city", "v"], rows).unwrap()
+    }
+
+    fn demo_lake() -> DataLake {
+        let joinable = city_table("cases_by_city", &["madrid", "mumbai"]);
+        let partial = table! {
+            "partial"; ["place", "x"];
+            ["berlin", 1], ["barcelona", 1], ["boston", 1],
+            ["zzz1", 1], ["zzz2", 1],
+        };
+        let noise = table! {
+            "noise"; ["animal", "n"];
+            ["cat", 1], ["dog", 2], ["emu", 3],
+        };
+        DataLake::from_tables([joinable, partial, noise]).unwrap()
+    }
+
+    fn query() -> TableQuery {
+        TableQuery::with_column(
+            table! {
+                "Q"; ["City", "Rate"];
+                ["Berlin", 0.63],
+                ["Barcelona", 0.82],
+                ["Boston", 0.62],
+                ["New Delhi", 0.55],
+                ["Madrid", 0.71],
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn finds_fully_containing_table() {
+        let engine = LshEnsembleDiscovery::build(&demo_lake(), LshEnsembleConfig::default());
+        let hits = engine.discover(&query(), 5);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].table, "cases_by_city", "{hits:?}");
+        assert!((hits[0].score - 1.0).abs() < 1e-12, "exact containment 1.0");
+    }
+
+    #[test]
+    fn verification_filters_below_threshold() {
+        // "partial" contains 3/5 of the query (< 0.7 threshold) → excluded
+        // by exact verification even if LSH proposes it.
+        let config = LshEnsembleConfig {
+            threshold: 0.7,
+            ..LshEnsembleConfig::default()
+        };
+        let engine = LshEnsembleDiscovery::build(&demo_lake(), config);
+        let hits = engine.discover(&query(), 5);
+        assert!(hits.iter().all(|d| d.table != "partial"), "{hits:?}");
+        assert!(hits.iter().all(|d| d.table != "noise"), "{hits:?}");
+    }
+
+    #[test]
+    fn lower_threshold_admits_partial_container() {
+        // Containment 0.6 is decisively above the 0.3 threshold (the LSH
+        // S-curve is centred at the threshold, so borderline pairs are
+        // 50/50 by construction — tests stay away from the borderline).
+        let config = LshEnsembleConfig {
+            threshold: 0.3,
+            ..LshEnsembleConfig::default()
+        };
+        let engine = LshEnsembleDiscovery::build(&demo_lake(), config);
+        let hits = engine.discover(&query(), 5);
+        assert!(
+            hits.iter().any(|d| d.table == "partial"),
+            "0.6-containment should pass a 0.3 threshold: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn scores_are_exact_containment() {
+        let config = LshEnsembleConfig {
+            threshold: 0.3,
+            ..LshEnsembleConfig::default()
+        };
+        let engine = LshEnsembleDiscovery::build(&demo_lake(), config);
+        let hits = engine.discover(&query(), 5);
+        let partial = hits.iter().find(|d| d.table == "partial").unwrap();
+        assert!((partial.score - 3.0 / 5.0).abs() < 1e-9, "{partial:?}");
+    }
+
+    #[test]
+    fn unmarked_query_column_defaults_to_first() {
+        let engine = LshEnsembleDiscovery::build(&demo_lake(), LshEnsembleConfig::default());
+        let q = TableQuery::new(query().table.as_ref().clone());
+        let hits = engine.discover(&q, 5);
+        assert_eq!(hits[0].table, "cases_by_city");
+    }
+
+    #[test]
+    fn empty_lake_and_empty_query_column() {
+        let engine = LshEnsembleDiscovery::build(&DataLake::new(), LshEnsembleConfig::default());
+        assert_eq!(engine.indexed_domains(), 0);
+        assert!(engine.discover(&query(), 5).is_empty());
+
+        let engine = LshEnsembleDiscovery::build(&demo_lake(), LshEnsembleConfig::default());
+        let empty_q = TableQuery::new(
+            Table::from_rows("e", &["c"], vec![vec![dialite_table::Value::null_missing()]])
+                .unwrap(),
+        );
+        assert!(engine.discover(&empty_q, 5).is_empty());
+    }
+}

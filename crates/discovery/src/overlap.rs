@@ -1,0 +1,194 @@
+//! Exact top-k overlap search (JOSIE-shaped).
+//!
+//! JOSIE (Zhu et al., SIGMOD 2019) answers exact top-k overlap set
+//! similarity queries with a cost model that interleaves posting-list reads
+//! and candidate verification. At laptop scale a straight inverted-index
+//! merge is exact and fast, so this engine keeps JOSIE's *semantics*
+//! (exact overlap, top-k) without the distributed cost model — the
+//! simplification is documented in DESIGN.md §1.
+
+use std::collections::HashMap;
+
+use dialite_table::DataLake;
+
+use crate::types::{top_k, Discovered, Discovery, TableQuery};
+
+/// Exact overlap-based joinable discovery.
+pub struct ExactOverlapDiscovery {
+    /// token → (table index, column) posting lists.
+    postings: HashMap<String, Vec<(u32, u16)>>,
+    /// Per (table, column): domain size (for containment normalization).
+    domain_sizes: HashMap<(u32, u16), usize>,
+    table_names: Vec<String>,
+    /// Score = overlap / |query| (containment) when true; raw overlap count
+    /// otherwise.
+    normalize: bool,
+}
+
+impl ExactOverlapDiscovery {
+    /// Index every column of every lake table. `normalize` selects
+    /// containment scoring (`true`) or raw overlap counts (`false`).
+    pub fn build(lake: &DataLake, normalize: bool) -> ExactOverlapDiscovery {
+        let mut postings: HashMap<String, Vec<(u32, u16)>> = HashMap::new();
+        let mut domain_sizes = HashMap::new();
+        let mut table_names = Vec::with_capacity(lake.len());
+        for (t, table) in lake.tables().enumerate() {
+            table_names.push(table.name().to_string());
+            for c in 0..table.column_count() {
+                let tokens = table.column_token_set(c);
+                domain_sizes.insert((t as u32, c as u16), tokens.len());
+                for tok in tokens {
+                    postings.entry(tok).or_default().push((t as u32, c as u16));
+                }
+            }
+        }
+        ExactOverlapDiscovery {
+            postings,
+            domain_sizes,
+            table_names,
+            normalize,
+        }
+    }
+
+    /// Number of distinct indexed tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of indexed column domains.
+    pub fn indexed_columns(&self) -> usize {
+        self.domain_sizes.len()
+    }
+}
+
+impl Discovery for ExactOverlapDiscovery {
+    fn name(&self) -> &str {
+        "exact-overlap"
+    }
+
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let col = query.effective_column();
+        if col >= query.table.column_count() {
+            return Vec::new();
+        }
+        let q_tokens = query.table.column_token_set(col);
+        if q_tokens.is_empty() {
+            return Vec::new();
+        }
+        // Merge posting lists: overlap count per (table, column).
+        let mut overlap: HashMap<(u32, u16), usize> = HashMap::new();
+        for tok in &q_tokens {
+            if let Some(post) = self.postings.get(tok) {
+                for &key in post {
+                    *overlap.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        // Best column per table.
+        let mut best: HashMap<u32, f64> = HashMap::new();
+        for ((t, _), count) in overlap {
+            if self.table_names[t as usize] == query.table.name() {
+                continue;
+            }
+            let score = if self.normalize {
+                count as f64 / q_tokens.len() as f64
+            } else {
+                count as f64
+            };
+            let e = best.entry(t).or_insert(0.0);
+            if score > *e {
+                *e = score;
+            }
+        }
+        let scored = best
+            .into_iter()
+            .map(|(t, score)| Discovered {
+                table: self.table_names[t as usize].clone(),
+                score,
+            })
+            .collect();
+        top_k(scored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::table;
+
+    fn demo_lake() -> DataLake {
+        let full = table! {
+            "full"; ["city"];
+            ["berlin"], ["barcelona"], ["boston"],
+        };
+        let half = table! {
+            "half"; ["place", "n"];
+            ["berlin", 1], ["zzz", 2],
+        };
+        let none = table! {
+            "none"; ["animal"];
+            ["cat"], ["dog"],
+        };
+        DataLake::from_tables([full, half, none]).unwrap()
+    }
+
+    fn query() -> TableQuery {
+        TableQuery::with_column(
+            table! { "Q"; ["City"]; ["Berlin"], ["Barcelona"], ["Boston"] },
+            0,
+        )
+    }
+
+    #[test]
+    fn exact_containment_ranking() {
+        let engine = ExactOverlapDiscovery::build(&demo_lake(), true);
+        let hits = engine.discover(&query(), 10);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].table, "full");
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        assert_eq!(hits[1].table, "half");
+        assert!((hits[1].score - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_overlap_counts() {
+        let engine = ExactOverlapDiscovery::build(&demo_lake(), false);
+        let hits = engine.discover(&query(), 10);
+        assert_eq!(hits[0].score, 3.0);
+        assert_eq!(hits[1].score, 1.0);
+    }
+
+    #[test]
+    fn zero_overlap_tables_are_absent() {
+        let engine = ExactOverlapDiscovery::build(&demo_lake(), true);
+        let hits = engine.discover(&query(), 10);
+        assert!(hits.iter().all(|d| d.table != "none"));
+    }
+
+    #[test]
+    fn case_insensitive_token_matching() {
+        // Query uses "Berlin", lake stores "berlin" — overlap tokens
+        // normalize case.
+        let engine = ExactOverlapDiscovery::build(&demo_lake(), true);
+        let hits = engine.discover(&query(), 1);
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vocabulary_counts_distinct_tokens() {
+        let engine = ExactOverlapDiscovery::build(&demo_lake(), true);
+        // berlin, barcelona, boston, zzz, 1, 2, cat, dog
+        assert_eq!(engine.vocabulary_size(), 8);
+    }
+
+    #[test]
+    fn numeric_join_columns_work() {
+        let a = table! { "ids"; ["id"]; [17], [42], [99] };
+        let lake = DataLake::from_tables([a]).unwrap();
+        let engine = ExactOverlapDiscovery::build(&lake, true);
+        let q = TableQuery::new(table! { "Q"; ["key"]; [42], [17] });
+        let hits = engine.discover(&q, 5);
+        assert_eq!(hits[0].table, "ids");
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+    }
+}

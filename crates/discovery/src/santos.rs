@@ -1,0 +1,463 @@
+//! SANTOS-style semantic union search.
+//!
+//! SANTOS scores a candidate table by how well the *semantic graph* of the
+//! query — semantic types on columns, binary relationships between the
+//! intent column and the other columns — matches the candidate's graph.
+//! This implementation follows that construction over the mini KB:
+//!
+//! 1. **Index.** For every lake table, annotate each column with its top
+//!    semantic type (confidence-weighted, alias-resolved, leaf types) and
+//!    each ordered column pair with its top relationship. An inverted index
+//!    `type → tables` provides candidate retrieval.
+//! 2. **Query.** Annotate the query the same way; build its star graph
+//!    around the intent column.
+//! 3. **Score.** For each candidate: the best-matching candidate column for
+//!    the intent (type similarity), plus for every other query column the
+//!    best candidate column matching both edge relationship and node type.
+//!    Scores are normalized to `[0, 1]`.
+//! 4. **Synthesized signal.** Where the KB knows neither domain, direct
+//!    value overlap (Jaccard) between the columns substitutes — the
+//!    laptop-scale stand-in for SANTOS's data-lake-synthesized KB.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use dialite_kb::{Direction, KnowledgeBase, RelationId, TypeId};
+use dialite_table::{DataLake, Table};
+use dialite_text::jaccard;
+
+use crate::types::{top_k, Discovered, Discovery, TableQuery};
+
+/// Configuration of the SANTOS-style engine.
+#[derive(Debug, Clone)]
+pub struct SantosConfig {
+    /// Minimum annotation confidence for a type/relationship to be used.
+    pub min_confidence: f64,
+    /// Weight of relationship-edge agreement relative to node types.
+    pub edge_weight: f64,
+    /// Weight of the synthesized (value-overlap) signal when KB annotations
+    /// are absent on both sides.
+    pub synth_weight: f64,
+    /// Minimum candidate score to be reported at all; keeps weakly related
+    /// tables (one coincidental column) out of the integration set.
+    pub min_score: f64,
+}
+
+impl Default for SantosConfig {
+    fn default() -> Self {
+        SantosConfig {
+            min_confidence: 0.4,
+            edge_weight: 0.5,
+            synth_weight: 0.6,
+            min_score: 0.2,
+        }
+    }
+}
+
+/// Per-column annotation kept in the index.
+#[derive(Debug, Clone, Default)]
+struct ColumnSemantics {
+    /// `(type, confidence)` above the confidence floor, best first.
+    types: Vec<(TypeId, f64)>,
+    /// Distinct value tokens (for the synthesized signal).
+    tokens: HashSet<String>,
+}
+
+/// Per-table annotation kept in the index.
+struct TableSemantics {
+    name: String,
+    columns: Vec<ColumnSemantics>,
+    /// `(col_a, col_b) → (relation, direction, confidence)` for the top
+    /// relationship of each ordered pair (a < b).
+    pairs: HashMap<(usize, usize), (RelationId, Direction, f64)>,
+}
+
+/// The SANTOS-style discovery engine. Build once per lake, query many times.
+pub struct SantosDiscovery {
+    kb: Arc<KnowledgeBase>,
+    config: SantosConfig,
+    tables: Vec<TableSemantics>,
+    /// Inverted index: type → table indices exhibiting it on some column.
+    by_type: HashMap<TypeId, HashSet<usize>>,
+}
+
+impl SantosDiscovery {
+    /// Annotate and index the whole lake.
+    pub fn build(lake: &DataLake, kb: Arc<KnowledgeBase>, config: SantosConfig) -> SantosDiscovery {
+        let mut tables = Vec::with_capacity(lake.len());
+        let mut by_type: HashMap<TypeId, HashSet<usize>> = HashMap::new();
+        for table in lake.tables() {
+            let sem = annotate_table(&kb, table, &config);
+            let idx = tables.len();
+            for col in &sem.columns {
+                for (t, _) in &col.types {
+                    by_type.entry(*t).or_default().insert(idx);
+                }
+            }
+            tables.push(sem);
+        }
+        SantosDiscovery {
+            kb,
+            config,
+            tables,
+            by_type,
+        }
+    }
+
+    /// Number of indexed tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no table is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Similarity of two annotated columns: semantic type agreement when
+    /// available on both sides, otherwise the synthesized value-overlap
+    /// signal.
+    fn column_sim(&self, q: &ColumnSemantics, c: &ColumnSemantics) -> f64 {
+        if !q.types.is_empty() && !c.types.is_empty() {
+            let mut best = 0.0f64;
+            for (qt, qconf) in &q.types {
+                for (ct, cconf) in &c.types {
+                    if qt == ct {
+                        best = best.max(qconf.min(*cconf));
+                    }
+                }
+            }
+            best
+        } else {
+            self.config.synth_weight * jaccard(&q.tokens, &c.tokens)
+        }
+    }
+}
+
+/// Specificity-weighted column annotation: each known value votes 1.0 for
+/// its *leaf* types and 0.5 for their direct parents. Full ancestor closure
+/// would make city and country columns indistinguishable through a shared
+/// distant ancestor ("place"), destroying discrimination — SANTOS likewise
+/// prefers the most specific annotation.
+fn annotate_column_specific(
+    kb: &KnowledgeBase,
+    tokens: &HashSet<String>,
+    min_confidence: f64,
+) -> Vec<(TypeId, f64)> {
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let mut votes: HashMap<TypeId, f64> = HashMap::new();
+    for tok in tokens {
+        let leafs = kb.leaf_types_of(tok);
+        let mut token_votes: HashMap<TypeId, f64> = HashMap::new();
+        for t in &leafs {
+            token_votes.insert(*t, 1.0);
+        }
+        for t in &leafs {
+            for p in kb.parent_types(*t) {
+                token_votes.entry(*p).or_insert(0.5);
+            }
+        }
+        for (t, w) in token_votes {
+            *votes.entry(t).or_insert(0.0) += w;
+        }
+    }
+    let total = tokens.len() as f64;
+    let mut types: Vec<(TypeId, f64)> = votes
+        .into_iter()
+        .map(|(t, v)| (t, v / total))
+        .filter(|(_, conf)| *conf >= min_confidence)
+        .collect();
+    types.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    types
+}
+
+fn annotate_table(kb: &KnowledgeBase, table: &Table, config: &SantosConfig) -> TableSemantics {
+    let ncols = table.column_count();
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let tokens = table.column_token_set(c);
+        let types = annotate_column_specific(kb, &tokens, config.min_confidence);
+        columns.push(ColumnSemantics { types, tokens });
+    }
+    let mut pairs = HashMap::new();
+    for a in 0..ncols {
+        for b in (a + 1)..ncols {
+            let pair_values: Vec<(String, String)> = table
+                .rows()
+                .filter_map(|row| {
+                    let va = row[a].overlap_token()?;
+                    let vb = row[b].overlap_token()?;
+                    Some((va, vb))
+                })
+                .collect();
+            let ann = kb.annotate_pair(
+                pair_values
+                    .iter()
+                    .map(|(x, y)| (x.as_str(), y.as_str())),
+            );
+            if let Some(((rel, dir), conf)) = ann.top() {
+                if conf >= config.min_confidence {
+                    pairs.insert((a, b), (rel, dir, conf));
+                }
+            }
+        }
+    }
+    TableSemantics {
+        name: table.name().to_string(),
+        columns,
+        pairs,
+    }
+}
+
+/// Relationship of the ordered pair `(a, b)` normalized to "a plays subject".
+fn pair_rel(sem: &TableSemantics, a: usize, b: usize) -> Option<(RelationId, Direction, f64)> {
+    if a < b {
+        sem.pairs.get(&(a, b)).copied()
+    } else {
+        sem.pairs.get(&(b, a)).map(|&(r, d, c)| {
+            let flipped = match d {
+                Direction::Forward => Direction::Backward,
+                Direction::Backward => Direction::Forward,
+            };
+            (r, flipped, c)
+        })
+    }
+}
+
+impl Discovery for SantosDiscovery {
+    fn name(&self) -> &str {
+        "santos"
+    }
+
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let q_sem = annotate_table(&self.kb, &query.table, &self.config);
+        let intent = query.effective_column().min(q_sem.columns.len().saturating_sub(1));
+        if q_sem.columns.is_empty() {
+            return Vec::new();
+        }
+
+        // Candidate retrieval: tables sharing any annotated type with the
+        // query; when the query has no annotations at all, scan the lake
+        // (synthesized signal only).
+        let mut candidates: HashSet<usize> = HashSet::new();
+        let mut any_types = false;
+        for col in &q_sem.columns {
+            for (t, _) in &col.types {
+                any_types = true;
+                if let Some(set) = self.by_type.get(t) {
+                    candidates.extend(set.iter().copied());
+                }
+            }
+        }
+        if !any_types {
+            candidates.extend(0..self.tables.len());
+        }
+
+        let mut scored = Vec::with_capacity(candidates.len());
+        for idx in candidates {
+            let cand = &self.tables[idx];
+            if cand.name == query.table.name() {
+                continue; // the query itself, if it lives in the lake
+            }
+            let score = self.score_candidate(&q_sem, intent, cand);
+            if score >= self.config.min_score && score > 0.0 {
+                scored.push(Discovered {
+                    table: cand.name.clone(),
+                    score,
+                });
+            }
+        }
+        top_k(scored, k)
+    }
+}
+
+impl SantosDiscovery {
+    fn score_candidate(&self, q: &TableSemantics, intent: usize, cand: &TableSemantics) -> f64 {
+        let qcols = q.columns.len();
+        if qcols == 0 || cand.columns.is_empty() {
+            return 0.0;
+        }
+        // Choose the candidate column best matching the intent column.
+        let (best_intent_col, intent_sim) = cand
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, self.column_sim(&q.columns[intent], c)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+
+        if qcols == 1 {
+            return intent_sim;
+        }
+
+        // For every other query column: best candidate column by node type
+        // plus edge agreement with the intent relationship.
+        let mut rest = 0.0;
+        for (j, qcol) in q.columns.iter().enumerate() {
+            if j == intent {
+                continue;
+            }
+            let q_edge = pair_rel(q, intent, j);
+            let mut best = 0.0f64;
+            for (cj, ccol) in cand.columns.iter().enumerate() {
+                if cj == best_intent_col {
+                    continue;
+                }
+                let node = self.column_sim(qcol, ccol);
+                let edge = match (q_edge, pair_rel(cand, best_intent_col, cj)) {
+                    (Some((qr, qd, qc)), Some((cr, cd, cc))) if qr == cr && qd == cd => {
+                        qc.min(cc)
+                    }
+                    _ => 0.0,
+                };
+                let w = self.config.edge_weight;
+                best = best.max((1.0 - w) * node + w * edge);
+            }
+            rest += best;
+        }
+        // Normalize: intent contributes like one column.
+        (intent_sim + rest) / qcols as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_kb::curated::covid_kb;
+    use dialite_table::{table, Value};
+
+    /// Lake: a unionable COVID table (cities/countries/rates), a vaccine
+    /// table, and numeric noise.
+    fn demo_lake() -> DataLake {
+        let unionable = table! {
+            "covid_na"; ["nation", "town", "pct"];
+            ["Canada", "Toronto", 0.83],
+            ["Mexico", "Mexico City", Value::null_missing()],
+            ["USA", "Boston", 0.62],
+        };
+        let vaccines = table! {
+            "vaccines"; ["shot", "maker_country"];
+            ["Pfizer", "United States"],
+            ["AstraZeneca", "England"],
+        };
+        let noise = table! {
+            "numbers"; ["a", "b"];
+            [1, 2],
+            [3, 4],
+        };
+        DataLake::from_tables([unionable, vaccines, noise]).unwrap()
+    }
+
+    fn query() -> TableQuery {
+        TableQuery::with_column(
+            table! {
+                "Q"; ["Country", "City", "Rate"];
+                ["Germany", "Berlin", 0.63],
+                ["England", "Manchester", 0.78],
+                ["Spain", "Barcelona", 0.82],
+            },
+            1, // City is the intent column, as in the demo scenario
+        )
+    }
+
+    fn engine() -> SantosDiscovery {
+        SantosDiscovery::build(&demo_lake(), Arc::new(covid_kb()), SantosConfig::default())
+    }
+
+    #[test]
+    fn finds_unionable_table_first() {
+        let hits = engine().discover(&query(), 3);
+        assert!(!hits.is_empty());
+        assert_eq!(
+            hits[0].table, "covid_na",
+            "the city/country/rate table should win: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn noise_table_scores_lower_or_absent() {
+        let hits = engine().discover(&query(), 10);
+        let noise = hits.iter().find(|d| d.table == "numbers");
+        let union = hits.iter().find(|d| d.table == "covid_na").unwrap();
+        if let Some(noise) = noise {
+            assert!(noise.score < union.score);
+        }
+    }
+
+    #[test]
+    fn relationship_edges_boost_semantically_coherent_tables() {
+        // Candidate A has (city, country) with the located_in edge;
+        // candidate B has cities and countries in *unrelated* columns
+        // (shuffled rows), so the edge confidence is low.
+        let coherent = table! {
+            "coherent"; ["c1", "c2"];
+            ["Toronto", "Canada"],
+            ["Boston", "United States"],
+            ["Ottawa", "Canada"],
+        };
+        let incoherent = table! {
+            "incoherent"; ["c1", "c2"];
+            ["Toronto", "United States"],
+            ["Boston", "India"],
+            ["Ottawa", "Mexico"],
+        };
+        let lake = DataLake::from_tables([coherent, incoherent]).unwrap();
+        let engine =
+            SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let q = TableQuery::with_column(
+            table! {
+                "Q"; ["City", "Country"];
+                ["Berlin", "Germany"],
+                ["Barcelona", "Spain"],
+            },
+            0,
+        );
+        let hits = engine.discover(&q, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].table, "coherent", "{hits:?}");
+        assert!(hits[0].score > hits[1].score, "{hits:?}");
+    }
+
+    #[test]
+    fn synthesized_signal_works_without_kb_coverage() {
+        // Domains unknown to the KB, but overlapping values.
+        let a = table! { "parts"; ["part"]; ["bolt-17"], ["nut-4"], ["washer-9"] };
+        let b = table! { "other"; ["x"]; ["gear-1"], ["gear-2"] };
+        let lake = DataLake::from_tables([a, b]).unwrap();
+        let engine =
+            SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let q = TableQuery::new(table! { "Q"; ["p"]; ["bolt-17"], ["nut-4"] });
+        let hits = engine.discover(&q, 2);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].table, "parts");
+    }
+
+    #[test]
+    fn query_table_itself_is_excluded() {
+        let mut lake = demo_lake();
+        lake.add(query().table.as_ref().clone().renamed("Q")).unwrap();
+        let engine =
+            SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let hits = engine.discover(&query(), 10);
+        assert!(hits.iter().all(|d| d.table != "Q"));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let hits = engine().discover(&query(), 1);
+        assert!(hits.len() <= 1);
+    }
+
+    #[test]
+    fn empty_lake_is_fine() {
+        let engine = SantosDiscovery::build(
+            &DataLake::new(),
+            Arc::new(covid_kb()),
+            SantosConfig::default(),
+        );
+        assert!(engine.is_empty());
+        assert!(engine.discover(&query(), 5).is_empty());
+    }
+}

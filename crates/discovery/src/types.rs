@@ -1,0 +1,140 @@
+//! The discovery trait and result types.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use dialite_table::Table;
+
+/// A discovery query: the query table plus an optional *intent / query
+/// column* (paper §3.1: "a user selects City as an intent column and query
+/// column"). Engines that need a column (joinable search) fall back to the
+/// first column when none is given.
+#[derive(Debug, Clone)]
+pub struct TableQuery {
+    /// The query table `Q`.
+    pub table: Arc<Table>,
+    /// Index of the intent/query column, if the user marked one.
+    pub column: Option<usize>,
+}
+
+impl TableQuery {
+    /// Query over a whole table (no marked column).
+    pub fn new(table: Table) -> TableQuery {
+        TableQuery {
+            table: Arc::new(table),
+            column: None,
+        }
+    }
+
+    /// Query with a marked intent/query column.
+    pub fn with_column(table: Table, column: usize) -> TableQuery {
+        assert!(
+            column < table.column_count(),
+            "query column {column} out of range"
+        );
+        TableQuery {
+            table: Arc::new(table),
+            column: Some(column),
+        }
+    }
+
+    /// The effective query column (marked, or 0).
+    pub fn effective_column(&self) -> usize {
+        self.column.unwrap_or(0)
+    }
+}
+
+/// One discovered table with its relevance score (engine-specific scale,
+/// always "higher is better"; results come sorted descending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discovered {
+    /// Name of the table in the lake.
+    pub table: String,
+    /// Relevance score.
+    pub score: f64,
+}
+
+/// A table-discovery algorithm over a fixed, pre-indexed data lake.
+pub trait Discovery: Send + Sync {
+    /// Short identifier used in reports (e.g. `"santos"`).
+    fn name(&self) -> &str;
+
+    /// The top-`k` most relevant lake tables for the query, sorted by
+    /// descending score. May return fewer than `k`.
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered>;
+}
+
+/// Sort candidates by descending score (ties broken by name for
+/// determinism) and truncate to `k`. Shared by all engines.
+pub(crate) fn top_k(mut candidates: Vec<Discovered>, k: usize) -> Vec<Discovered> {
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.table.cmp(&b.table))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+/// Union the results of several discovery runs into one integration set
+/// (table names, deduplicated, in first-seen score order) — the demo
+/// persists "the set of tables found by all techniques".
+pub fn union_integration_set(results: &[Vec<Discovered>]) -> Vec<String> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut out: Vec<String> = Vec::new();
+    for run in results {
+        for d in run {
+            if seen.insert(d.table.as_str()) {
+                out.push(d.table.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::table;
+
+    #[test]
+    fn top_k_sorts_and_truncates_deterministically() {
+        let c = vec![
+            Discovered { table: "b".into(), score: 0.5 },
+            Discovered { table: "a".into(), score: 0.5 },
+            Discovered { table: "c".into(), score: 0.9 },
+        ];
+        let out = top_k(c, 2);
+        assert_eq!(out[0].table, "c");
+        assert_eq!(out[1].table, "a", "ties break by name");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn union_preserves_first_seen_order() {
+        let r1 = vec![
+            Discovered { table: "x".into(), score: 1.0 },
+            Discovered { table: "y".into(), score: 0.5 },
+        ];
+        let r2 = vec![
+            Discovered { table: "y".into(), score: 0.9 },
+            Discovered { table: "z".into(), score: 0.8 },
+        ];
+        assert_eq!(union_integration_set(&[r1, r2]), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn effective_column_defaults_to_zero() {
+        let q = TableQuery::new(table! { "q"; ["a", "b"]; [1, 2] });
+        assert_eq!(q.effective_column(), 0);
+        let q = TableQuery::with_column(table! { "q"; ["a", "b"]; [1, 2] }, 1);
+        assert_eq!(q.effective_column(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_column_out_of_range_panics() {
+        let _ = TableQuery::with_column(table! { "q"; ["a"]; [1] }, 5);
+    }
+}

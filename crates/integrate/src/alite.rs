@@ -1,0 +1,225 @@
+//! ALITE's FD algorithm: outer union → hash-indexed complementation
+//! fixpoint → index-accelerated subsumption removal.
+//!
+//! The key observation (Khatiwada et al., PVLDB 16(4)) is that two tuples
+//! can only complement each other if they *share a non-null value in some
+//! column* — so candidate pairs come from an inverted index over
+//! `(column, value)` posting lists instead of a quadratic scan, and the
+//! fixpoint is driven by a worklist of freshly created tuples.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dialite_align::Alignment;
+use dialite_table::{Table, Value};
+
+use crate::engine::{check_alignment, IntegrateError, Integrator};
+use crate::naive::{fd_name, insert_tuple};
+use crate::result::IntegratedTable;
+use crate::subsume::remove_subsumed_indexed;
+use crate::tuple::{outer_union, AlignedTuple};
+
+/// ALITE's production FD engine.
+#[derive(Debug, Clone)]
+pub struct AliteFd {
+    /// Abort with [`IntegrateError::BudgetExceeded`] when the working set
+    /// exceeds this many tuples (FD output can be exponential).
+    pub max_tuples: usize,
+}
+
+impl Default for AliteFd {
+    fn default() -> Self {
+        AliteFd {
+            max_tuples: 1_000_000,
+        }
+    }
+}
+
+impl Integrator for AliteFd {
+    fn name(&self) -> &str {
+        "alite-fd"
+    }
+
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError> {
+        check_alignment(tables, alignment)?;
+        let (names, base) = outer_union(tables, alignment);
+
+        let mut store: Vec<AlignedTuple> = Vec::with_capacity(base.len());
+        let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in base {
+            insert_tuple(&mut store, &mut by_content, t);
+        }
+
+        // Inverted index: (column, value) → tuple indices having that value.
+        let mut index: HashMap<(u32, Value), Vec<u32>> = HashMap::new();
+        let index_tuple = |index: &mut HashMap<(u32, Value), Vec<u32>>, store: &[AlignedTuple], i: usize| {
+            for (c, v) in store[i].values.iter().enumerate() {
+                if !v.is_null() {
+                    index.entry((c as u32, v.clone())).or_default().push(i as u32);
+                }
+            }
+        };
+        for i in 0..store.len() {
+            index_tuple(&mut index, &store, i);
+        }
+
+        let mut tried: HashSet<(u32, u32)> = HashSet::new();
+        let mut work: VecDeque<u32> = (0..store.len() as u32).collect();
+        while let Some(i) = work.pop_front() {
+            // Collect complement candidates: all tuples sharing any
+            // non-null value with tuple i.
+            let mut candidates: Vec<u32> = Vec::new();
+            for (c, v) in store[i as usize].values.iter().enumerate() {
+                if v.is_null() {
+                    continue;
+                }
+                if let Some(post) = index.get(&(c as u32, v.clone())) {
+                    candidates.extend(post.iter().copied());
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for j in candidates {
+                if j == i {
+                    continue;
+                }
+                let key = (i.min(j), i.max(j));
+                if !tried.insert(key) {
+                    continue;
+                }
+                // Shared value ⇒ connected; only consistency left to check.
+                if store[i as usize].consistent(&store[j as usize]) {
+                    let merged = store[i as usize].merge(&store[j as usize]);
+                    let before = store.len();
+                    insert_tuple(&mut store, &mut by_content, merged);
+                    if store.len() > before {
+                        let new_idx = store.len() - 1;
+                        index_tuple(&mut index, &store, new_idx);
+                        work.push_back(new_idx as u32);
+                    }
+                }
+            }
+            if store.len() > self.max_tuples {
+                return Err(IntegrateError::BudgetExceeded {
+                    engine: self.name().to_string(),
+                    limit: self.max_tuples,
+                });
+            }
+        }
+
+        let tuples = remove_subsumed_indexed(store);
+        Ok(IntegratedTable::from_tuples(&fd_name(tables), &names, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveFd;
+    use crate::testutil::fig2_tables;
+    use dialite_align::Alignment;
+    use dialite_table::table;
+
+    #[test]
+    fn reproduces_paper_fig3_exactly() {
+        let (t1, t2, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t2, &t3]);
+        let out = AliteFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+
+        let expected = table! {
+            "FD(T1, T2, T3)";
+            ["Country", "City", "Vaccination Rate", "Total Cases", "Death Rate"];
+            ["Germany", "Berlin", 0.63, 1_400_000, 147],
+            ["England", "Manchester", 0.78, Value::null_produced(), Value::null_produced()],
+            ["Spain", "Barcelona", 0.82, 2_680_000, 275],
+            ["Canada", "Toronto", 0.83, Value::null_produced(), Value::null_produced()],
+            ["Mexico", "Mexico City", Value::null_missing(), Value::null_produced(), Value::null_produced()],
+            ["USA", "Boston", 0.62, 263_000, 335],
+            [Value::null_produced(), "New Delhi", Value::null_produced(), 2_000_000, 158],
+        };
+        assert!(
+            out.table().same_content(&expected),
+            "got:\n{}\nexpected:\n{}",
+            out.table(),
+            expected
+        );
+        assert_eq!(out.row_count(), 7);
+    }
+
+    #[test]
+    fn fig3_provenance_matches_paper() {
+        let (t1, t2, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t2, &t3]);
+        let out = AliteFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        // Find the Berlin row; it must be witnessed by t1 (T1 row 0) and
+        // t7 (T3 row 0) — `f1 = {t1, t7}` in the paper.
+        let city_col = 1;
+        let (i, _) = out
+            .table()
+            .rows()
+            .enumerate()
+            .find(|(_, r)| r[city_col] == Value::Text("Berlin".into()))
+            .expect("Berlin row present");
+        let tids: Vec<(u32, u32)> = out.provenance(i).iter().map(|t| (t.table, t.row)).collect();
+        assert_eq!(tids, vec![(0, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn matches_naive_on_fig2() {
+        let (t1, t2, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t2, &t3]);
+        let fast = AliteFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        let slow = NaiveFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        assert!(fast.table().same_content(slow.table()));
+    }
+
+    #[test]
+    fn preserves_null_kind_distinction() {
+        let (t1, t2, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t2, &t3]);
+        let out = AliteFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        let rate_col = 2;
+        let mut missing = 0;
+        let mut produced = 0;
+        for row in out.table().rows() {
+            match &row[rate_col] {
+                Value::Null(dialite_table::NullKind::Missing) => missing += 1,
+                Value::Null(dialite_table::NullKind::Produced) => produced += 1,
+                _ => {}
+            }
+        }
+        // Mexico City's rate is a missing null; New Delhi's is produced.
+        assert_eq!(missing, 1);
+        assert_eq!(produced, 1);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        for i in 0..8 {
+            rows_a.push(vec![Value::Int(1), Value::Text(format!("a{i}")), Value::null_missing()]);
+            rows_b.push(vec![Value::Int(1), Value::null_missing(), Value::Text(format!("b{i}"))]);
+        }
+        let a = Table::from_rows("A", &["k", "p", "q"], rows_a).unwrap();
+        let b = Table::from_rows("B", &["k", "p", "q"], rows_b).unwrap();
+        let al = Alignment::by_headers(&[&a, &b]);
+        let engine = AliteFd { max_tuples: 20 };
+        assert!(matches!(
+            engine.integrate(&[&a, &b], &al),
+            Err(IntegrateError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn single_table_fd_is_subsumption_free_identity() {
+        let t = table! { "T"; ["a", "b"]; [1, 2], [1, Value::null_missing()] };
+        let al = Alignment::by_headers(&[&t]);
+        let out = AliteFd::default().integrate(&[&t], &al).unwrap();
+        // (1, ±) is subsumed by (1, 2).
+        assert_eq!(out.row_count(), 1);
+    }
+}

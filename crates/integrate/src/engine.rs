@@ -1,0 +1,81 @@
+//! The [`Integrator`] trait — DIALITE's integration extension point
+//! (paper Fig. 6: "users can add alternative integration operators").
+
+use std::fmt;
+
+use dialite_align::Alignment;
+use dialite_table::Table;
+
+use crate::result::IntegratedTable;
+
+/// Errors produced by integration engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrateError {
+    /// The alignment does not cover the integration set.
+    AlignmentMismatch { expected: usize, got: usize },
+    /// An engine-specific limit was exceeded (e.g. the merge budget of an
+    /// FD fixpoint on adversarial input).
+    BudgetExceeded { engine: String, limit: usize },
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::AlignmentMismatch { expected, got } => write!(
+                f,
+                "alignment covers {got} tables but the integration set has {expected}"
+            ),
+            IntegrateError::BudgetExceeded { engine, limit } => {
+                write!(f, "{engine}: merge budget of {limit} tuples exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+/// An integration operator: integration set + alignment → integrated table.
+pub trait Integrator: Send + Sync {
+    /// Short identifier used in reports and benchmarks (e.g. `"alite-fd"`).
+    fn name(&self) -> &str;
+
+    /// Integrate the aligned tables.
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError>;
+}
+
+/// Shared argument validation for engines.
+pub(crate) fn check_alignment(
+    tables: &[&Table],
+    alignment: &Alignment,
+) -> Result<(), IntegrateError> {
+    if alignment.assignments().len() != tables.len() {
+        return Err(IntegrateError::AlignmentMismatch {
+            expected: tables.len(),
+            got: alignment.assignments().len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = IntegrateError::AlignmentMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        let b = IntegrateError::BudgetExceeded {
+            engine: "naive-fd".into(),
+            limit: 10,
+        };
+        assert!(b.to_string().contains("naive-fd"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The alternative integration operators of the demo: natural outer join
+//! (paper Fig. 6, evaluated in Fig. 8(a)), inner join and outer union.
+//!
+//! Natural join semantics over the integrated schema: tuples join when they
+//! agree — with **null-rejecting** equality — on *every* integration ID
+//! present in both operands' schemas. Operands with no shared IDs produce a
+//! cross product (the textbook natural-join degenerate case). Evaluation is
+//! left-to-right, which is exactly why outer join is not associative and
+//! loses derivable facts — the demo's motivating contrast with FD.
+
+use std::collections::{HashMap, HashSet};
+
+use dialite_align::Alignment;
+use dialite_table::{Table, Value};
+
+use crate::engine::{check_alignment, IntegrateError, Integrator};
+use crate::result::IntegratedTable;
+use crate::subsume::{dedup_content, remove_subsumed_indexed};
+use crate::tuple::{outer_union, AlignedTuple};
+
+/// One operand of a join chain: its aligned tuples plus the set of schema
+/// slots (integration IDs) its table covers.
+type Operand = (Vec<AlignedTuple>, HashSet<usize>);
+
+/// Per-table aligned tuples plus the set of schema slots the table covers.
+fn aligned_per_table(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, Vec<Operand>) {
+    let (names, all) = outer_union(tables, alignment);
+    // Recover the slot coverage of each table from the alignment.
+    let mut slot_of: HashMap<u32, usize> = HashMap::new();
+    {
+        let mut next = 0usize;
+        for (t, table) in tables.iter().enumerate() {
+            for c in 0..table.column_count() {
+                let id = alignment.id_of(t, c);
+                slot_of.entry(id).or_insert_with(|| {
+                    let s = next;
+                    next += 1;
+                    s
+                });
+            }
+        }
+    }
+    let mut per_table: Vec<Operand> = tables
+        .iter()
+        .enumerate()
+        .map(|(t, table)| {
+            let slots: HashSet<usize> = (0..table.column_count())
+                .map(|c| slot_of[&alignment.id_of(t, c)])
+                .collect();
+            (Vec::new(), slots)
+        })
+        .collect();
+    for tup in all {
+        let t = tup.tids.iter().next().expect("base tuple has one tid").table as usize;
+        per_table[t].0.push(tup);
+    }
+    (names, per_table)
+}
+
+/// Join two aligned tuple sets naturally on `shared` slots.
+/// Returns (joined, matched_left_flags, matched_right_flags).
+fn natural_match(
+    left: &[AlignedTuple],
+    right: &[AlignedTuple],
+    shared: &[usize],
+) -> (Vec<AlignedTuple>, Vec<bool>, Vec<bool>) {
+    let mut joined = Vec::new();
+    let mut left_matched = vec![false; left.len()];
+    let mut right_matched = vec![false; right.len()];
+
+    if shared.is_empty() {
+        // Degenerate natural join: cross product.
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                joined.push(l.merge(r));
+                left_matched[i] = true;
+                right_matched[j] = true;
+            }
+        }
+        return (joined, left_matched, right_matched);
+    }
+
+    // Hash join keyed on the shared-slot values; null-rejecting → tuples
+    // with any null in a shared slot never enter the hash table.
+    let key_of = |t: &AlignedTuple| -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(shared.len());
+        for &s in shared {
+            if t.values[s].is_null() {
+                return None;
+            }
+            key.push(t.values[s].clone());
+        }
+        Some(key)
+    };
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (j, r) in right.iter().enumerate() {
+        if let Some(k) = key_of(r) {
+            table.entry(k).or_default().push(j);
+        }
+    }
+    for (i, l) in left.iter().enumerate() {
+        let Some(k) = key_of(l) else { continue };
+        if let Some(matches) = table.get(&k) {
+            for &j in matches {
+                joined.push(l.merge(&right[j]));
+                left_matched[i] = true;
+                right_matched[j] = true;
+            }
+        }
+    }
+    (joined, left_matched, right_matched)
+}
+
+fn join_chain(
+    tables: &[&Table],
+    alignment: &Alignment,
+    keep_unmatched: bool,
+    op_symbol: &str,
+) -> Result<(String, Vec<String>, Vec<AlignedTuple>), IntegrateError> {
+    check_alignment(tables, alignment)?;
+    let (names, per_table) = aligned_per_table(tables, alignment);
+    let mut iter = per_table.into_iter();
+    let Some((mut acc, mut present)) = iter.next() else {
+        let display = format!("{}()", if keep_unmatched { "OuterJoin" } else { "InnerJoin" });
+        return Ok((display, names, Vec::new()));
+    };
+    for (right, right_slots) in iter {
+        let shared: Vec<usize> = {
+            let mut s: Vec<usize> = present.intersection(&right_slots).copied().collect();
+            s.sort_unstable();
+            s
+        };
+        let (joined, lmat, rmat) = natural_match(&acc, &right, &shared);
+        let mut next = joined;
+        if keep_unmatched {
+            for (i, m) in lmat.iter().enumerate() {
+                if !m {
+                    next.push(acc[i].clone());
+                }
+            }
+            for (j, m) in rmat.iter().enumerate() {
+                if !m {
+                    next.push(right[j].clone());
+                }
+            }
+        }
+        acc = next;
+        present.extend(right_slots);
+    }
+    let table_names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
+    let display = table_names.join(&format!(" {op_symbol} "));
+    Ok((display, names, acc))
+}
+
+/// Left-to-right natural **full outer join** — the demo's user-defined
+/// alternative operator (Fig. 6), shown non-maximal in Fig. 8(a).
+#[derive(Debug, Clone, Default)]
+pub struct OuterJoinIntegrator;
+
+impl Integrator for OuterJoinIntegrator {
+    fn name(&self) -> &str {
+        "outer-join"
+    }
+
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError> {
+        let (display, names, tuples) = join_chain(tables, alignment, true, "⟗")?;
+        let tuples = dedup_content(tuples);
+        Ok(IntegratedTable::from_tuples(&display, &names, tuples))
+    }
+}
+
+/// Left-to-right natural **inner join** (the integration Auctus applies to
+/// joinable pairs; loses all unmatched facts).
+#[derive(Debug, Clone, Default)]
+pub struct InnerJoinIntegrator;
+
+impl Integrator for InnerJoinIntegrator {
+    fn name(&self) -> &str {
+        "inner-join"
+    }
+
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError> {
+        let (display, names, tuples) = join_chain(tables, alignment, false, "⋈")?;
+        let tuples = dedup_content(tuples);
+        Ok(IntegratedTable::from_tuples(&display, &names, tuples))
+    }
+}
+
+/// Outer union: align, pad, deduplicate — optionally also subsumption-free.
+/// With `subsume = true` this is FD *minus the complementation step*, a
+/// useful ablation of how much work the merges do.
+#[derive(Debug, Clone, Default)]
+pub struct OuterUnionIntegrator {
+    /// Also remove subsumed tuples.
+    pub subsume: bool,
+}
+
+impl Integrator for OuterUnionIntegrator {
+    fn name(&self) -> &str {
+        if self.subsume {
+            "outer-union-subsumed"
+        } else {
+            "outer-union"
+        }
+    }
+
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError> {
+        check_alignment(tables, alignment)?;
+        let (names, tuples) = outer_union(tables, alignment);
+        let tuples = if self.subsume {
+            remove_subsumed_indexed(tuples)
+        } else {
+            dedup_content(tuples)
+        };
+        let table_names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
+        let display = format!("OuterUnion({})", table_names.join(", "));
+        Ok(IntegratedTable::from_tuples(&display, &names, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig2_tables, fig7_tables};
+    use dialite_table::{table, Tid};
+
+    fn fig7_alignment(tables: &[&Table; 3]) -> Alignment {
+        Alignment::by_headers(tables)
+    }
+
+    #[test]
+    fn reproduces_paper_fig8a_outer_join() {
+        let (t4, t5, t6) = fig7_tables();
+        let al = fig7_alignment(&[&t4, &t5, &t6]);
+        let out = OuterJoinIntegrator
+            .integrate(&[&t4, &t5, &t6], &al)
+            .unwrap();
+        let expected = table! {
+            "T4 ⟗ T5 ⟗ T6";
+            ["Vaccine", "Approver", "Country"];
+            ["Pfizer", "FDA", "United States"],
+            ["JnJ", Value::null_missing(), Value::null_produced()],
+            [Value::null_produced(), Value::null_missing(), "USA"],
+            ["J&J", Value::null_produced(), "United States"],
+            ["JnJ", Value::null_produced(), "USA"],
+        };
+        use dialite_table::Value;
+        assert!(
+            out.table().same_content(&expected),
+            "got:\n{}\nexpected:\n{}",
+            out.table(),
+            expected
+        );
+        assert_eq!(out.row_count(), 5, "paper Fig. 8(a) has f8–f12");
+    }
+
+    #[test]
+    fn outer_join_is_order_sensitive_unlike_fd() {
+        // The motivation for FD: outer join is not associative. Reordering
+        // T4, T5, T6 changes the result (J&J's approver is only derivable
+        // when T6 links first).
+        let (t4, t5, t6) = fig7_tables();
+        let a = OuterJoinIntegrator
+            .integrate(&[&t4, &t5, &t6], &Alignment::by_headers(&[&t4, &t5, &t6]))
+            .unwrap();
+        let b = OuterJoinIntegrator
+            .integrate(&[&t6, &t5, &t4], &Alignment::by_headers(&[&t6, &t5, &t4]))
+            .unwrap();
+        // Compare as value multisets over the same column order.
+        let cols_b: Vec<usize> = ["Vaccine", "Approver", "Country"]
+            .iter()
+            .map(|n| b.table().column_index(n).unwrap())
+            .collect();
+        let b_reordered = b.table().project(&cols_b, "b").unwrap();
+        let a_named = a.table().clone().renamed("b");
+        assert!(
+            !a_named.same_content(&b_reordered),
+            "outer join should be order-sensitive on Fig. 7:\n{}\nvs\n{}",
+            a_named,
+            b_reordered
+        );
+    }
+
+    #[test]
+    fn inner_join_keeps_only_full_matches() {
+        let (t1, _, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t3]);
+        let out = InnerJoinIntegrator.integrate(&[&t1, &t3], &al).unwrap();
+        // Berlin and Barcelona join; Manchester/Boston/New Delhi drop.
+        assert_eq!(out.row_count(), 2);
+        for row in out.table().rows() {
+            assert!(row.iter().all(|v| !v.is_null()));
+        }
+    }
+
+    #[test]
+    fn outer_join_with_no_shared_columns_is_cross_product() {
+        let a = table! { "A"; ["x"]; [1], [2] };
+        let b = table! { "B"; ["y"]; ["p"], ["q"], ["r"] };
+        let al = Alignment::by_headers(&[&a, &b]);
+        let out = OuterJoinIntegrator.integrate(&[&a, &b], &al).unwrap();
+        assert_eq!(out.row_count(), 6);
+    }
+
+    #[test]
+    fn outer_union_stacks_and_dedups() {
+        let a = table! { "A"; ["x", "y"]; [1, 2], [3, 4] };
+        let b = table! { "B"; ["x", "y"]; [1, 2] };
+        let al = Alignment::by_headers(&[&a, &b]);
+        let out = OuterUnionIntegrator::default()
+            .integrate(&[&a, &b], &al)
+            .unwrap();
+        assert_eq!(out.row_count(), 2);
+    }
+
+    #[test]
+    fn outer_union_subsumed_removes_partial_rows() {
+        let a = table! { "A"; ["x", "y"]; [1, 2] };
+        let b = table! { "B"; ["x"]; [1] };
+        let al = Alignment::by_headers(&[&a, &b]);
+        let plain = OuterUnionIntegrator { subsume: false }
+            .integrate(&[&a, &b], &al)
+            .unwrap();
+        assert_eq!(plain.row_count(), 2);
+        let subsumed = OuterUnionIntegrator { subsume: true }
+            .integrate(&[&a, &b], &al)
+            .unwrap();
+        assert_eq!(subsumed.row_count(), 1);
+    }
+
+    #[test]
+    fn provenance_propagates_through_joins() {
+        let (t4, t5, t6) = fig7_tables();
+        let al = fig7_alignment(&[&t4, &t5, &t6]);
+        let out = OuterJoinIntegrator
+            .integrate(&[&t4, &t5, &t6], &al)
+            .unwrap();
+        // The Pfizer row is witnessed by t11 (T4 row 0) and t13 (T5 row 0).
+        let (i, _) = out
+            .table()
+            .rows()
+            .enumerate()
+            .find(|(_, r)| r[0] == Value::Text("Pfizer".into()))
+            .unwrap();
+        use dialite_table::Value;
+        let tids: Vec<Tid> = out.provenance(i).iter().copied().collect();
+        assert_eq!(tids, vec![Tid::new(0, 0), Tid::new(1, 0)]);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let out = OuterJoinIntegrator
+            .integrate(&[], &Alignment::by_headers(&[]))
+            .unwrap();
+        assert_eq!(out.row_count(), 0);
+        let out = InnerJoinIntegrator
+            .integrate(&[], &Alignment::by_headers(&[]))
+            .unwrap();
+        assert_eq!(out.row_count(), 0);
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(OuterJoinIntegrator.name(), "outer-join");
+        assert_eq!(InnerJoinIntegrator.name(), "inner-join");
+        assert_eq!(OuterUnionIntegrator::default().name(), "outer-union");
+        assert_eq!(
+            OuterUnionIntegrator { subsume: true }.name(),
+            "outer-union-subsumed"
+        );
+    }
+}

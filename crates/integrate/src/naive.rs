@@ -1,0 +1,192 @@
+//! Reference Full Disjunction: quadratic complementation fixpoint plus
+//! quadratic subsumption scan. Exponential on adversarial inputs (FD output
+//! can be exponential), guarded by a tuple budget. Used as the correctness
+//! oracle for the optimized engines.
+
+use std::collections::{HashMap, HashSet};
+
+use dialite_align::Alignment;
+use dialite_table::{Table, Value};
+
+use crate::engine::{check_alignment, IntegrateError, Integrator};
+use crate::result::IntegratedTable;
+use crate::subsume::remove_subsumed_naive;
+use crate::tuple::{outer_union, AlignedTuple};
+
+/// The reference FD engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct NaiveFd {
+    /// Abort with [`IntegrateError::BudgetExceeded`] when the working set
+    /// exceeds this many tuples.
+    pub max_tuples: usize,
+}
+
+impl Default for NaiveFd {
+    fn default() -> Self {
+        NaiveFd {
+            max_tuples: 1_000_000,
+        }
+    }
+}
+
+impl Integrator for NaiveFd {
+    fn name(&self) -> &str {
+        "naive-fd"
+    }
+
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError> {
+        check_alignment(tables, alignment)?;
+        let (names, base) = outer_union(tables, alignment);
+
+        let mut store: Vec<AlignedTuple> = Vec::with_capacity(base.len());
+        let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in base {
+            insert_tuple(&mut store, &mut by_content, t);
+        }
+
+        let mut tried: HashSet<(u32, u32)> = HashSet::new();
+        loop {
+            let mut new_tuples: Vec<AlignedTuple> = Vec::new();
+            let n = store.len();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if !tried.insert((i as u32, j as u32)) {
+                        continue;
+                    }
+                    if store[i].complementable(&store[j]) {
+                        new_tuples.push(store[i].merge(&store[j]));
+                    }
+                }
+            }
+            let before = store.len();
+            for t in new_tuples {
+                insert_tuple(&mut store, &mut by_content, t);
+            }
+            if store.len() > self.max_tuples {
+                return Err(IntegrateError::BudgetExceeded {
+                    engine: self.name().to_string(),
+                    limit: self.max_tuples,
+                });
+            }
+            if store.len() == before {
+                break;
+            }
+        }
+
+        let tuples = remove_subsumed_naive(store);
+        let name = fd_name(tables);
+        Ok(IntegratedTable::from_tuples(&name, &names, tuples))
+    }
+}
+
+/// Insert keeping content unique with the smallest witness TID set.
+pub(crate) fn insert_tuple(
+    store: &mut Vec<AlignedTuple>,
+    by_content: &mut HashMap<Vec<Value>, usize>,
+    t: AlignedTuple,
+) {
+    match by_content.get(&t.values) {
+        Some(&idx) => {
+            let existing = &mut store[idx];
+            if (t.tids.len(), &t.tids) < (existing.tids.len(), &existing.tids) {
+                existing.tids = t.tids;
+            }
+        }
+        None => {
+            by_content.insert(t.values.clone(), store.len());
+            store.push(t);
+        }
+    }
+}
+
+/// Result-table name in the paper's style: `FD(T1, T2, T3)`.
+pub(crate) fn fd_name(tables: &[&Table]) -> String {
+    let names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
+    format!("FD({})", names.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_align::Alignment;
+    use dialite_table::table;
+
+    #[test]
+    fn two_joinable_rows_merge() {
+        let a = table! { "A"; ["city", "country"]; ["Berlin", "Germany"] };
+        let b = table! { "B"; ["city", "cases"]; ["Berlin", 147] };
+        let al = Alignment::by_headers(&[&a, &b]);
+        let out = NaiveFd::default().integrate(&[&a, &b], &al).unwrap();
+        assert_eq!(out.row_count(), 1);
+        let row = out.table().row(0).unwrap();
+        assert_eq!(row[0], Value::Text("Berlin".into()));
+        assert_eq!(row[1], Value::Text("Germany".into()));
+        assert_eq!(row[2], Value::Int(147));
+        assert_eq!(out.provenance(0).len(), 2);
+    }
+
+    #[test]
+    fn disconnected_rows_stay_separate() {
+        let a = table! { "A"; ["city"]; ["Berlin"] };
+        let b = table! { "B"; ["city"]; ["Boston"] };
+        let al = Alignment::by_headers(&[&a, &b]);
+        let out = NaiveFd::default().integrate(&[&a, &b], &al).unwrap();
+        assert_eq!(out.row_count(), 2);
+    }
+
+    #[test]
+    fn transitive_merge_through_chain() {
+        // a–b share x, b–c share y: the triple merges via the chain.
+        let a = table! { "A"; ["x", "y", "z"]; [1, Value::null_missing(), Value::null_missing()] };
+        let b = table! { "B"; ["x", "y"]; [1, 2] };
+        let c = table! { "C"; ["y", "z"]; [2, 3] };
+        let al = Alignment::by_headers(&[&a, &b, &c]);
+        let out = NaiveFd::default().integrate(&[&a, &b, &c], &al).unwrap();
+        assert_eq!(out.row_count(), 1, "{}", out.table());
+        let row = out.table().row(0).unwrap();
+        assert_eq!(row, &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        // Minimal witness: A's tuple (1, ±, ±) adds no information beyond
+        // merge(B, C), so the reported provenance is {B.0, C.0} alone —
+        // the same convention as paper Fig. 8(b)'s f12 = {t16}.
+        assert_eq!(out.provenance(0).len(), 2);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        // Every row joins with every other through a shared key → lots of
+        // merges; a tiny budget must trip, not hang.
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        for i in 0..8 {
+            rows_a.push(vec![Value::Int(1), Value::Text(format!("a{i}")), Value::null_missing()]);
+            rows_b.push(vec![Value::Int(1), Value::null_missing(), Value::Text(format!("b{i}"))]);
+        }
+        let a = Table::from_rows("A", &["k", "p", "q"], rows_a).unwrap();
+        let b = Table::from_rows("B", &["k", "p", "q"], rows_b).unwrap();
+        let al = Alignment::by_headers(&[&a, &b]);
+        let engine = NaiveFd { max_tuples: 20 };
+        let err = engine.integrate(&[&a, &b], &al).unwrap_err();
+        assert!(matches!(err, IntegrateError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = NaiveFd::default()
+            .integrate(&[], &Alignment::by_headers(&[]))
+            .unwrap();
+        assert_eq!(out.row_count(), 0);
+    }
+
+    #[test]
+    fn result_name_follows_paper_convention() {
+        let a = table! { "T1"; ["x"]; [1] };
+        let b = table! { "T2"; ["x"]; [1] };
+        let al = Alignment::by_headers(&[&a, &b]);
+        let out = NaiveFd::default().integrate(&[&a, &b], &al).unwrap();
+        assert_eq!(out.table().name(), "FD(T1, T2)");
+    }
+}

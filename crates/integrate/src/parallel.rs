@@ -1,0 +1,223 @@
+//! ParaFD-style parallel Full Disjunction (stand-in for Paganelli et al.,
+//! Big Data Research 2019 — see DESIGN.md §1).
+//!
+//! The complementation fixpoint proceeds in rounds. Each round takes the
+//! *frontier* (tuples created in the previous round; initially the outer
+//! union) and, in parallel over crossbeam scoped threads, probes the shared
+//! read-only inverted index for complementable partners. Merges are
+//! collected per thread, deduplicated serially, appended to the store, and
+//! become the next frontier. Subsumption removal reuses ALITE's indexed pass.
+
+use std::collections::{HashMap, HashSet};
+
+use dialite_align::Alignment;
+use dialite_table::{Table, Value};
+
+use crate::engine::{check_alignment, IntegrateError, Integrator};
+use crate::naive::{fd_name, insert_tuple};
+use crate::result::IntegratedTable;
+use crate::subsume::remove_subsumed_indexed;
+use crate::tuple::{outer_union, AlignedTuple};
+
+/// Round-parallel FD engine.
+#[derive(Debug, Clone)]
+pub struct ParallelFd {
+    /// Worker threads per round (defaults to available parallelism).
+    pub threads: usize,
+    /// Abort when the working set exceeds this many tuples.
+    pub max_tuples: usize,
+}
+
+impl Default for ParallelFd {
+    fn default() -> Self {
+        ParallelFd {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_tuples: 1_000_000,
+        }
+    }
+}
+
+impl Integrator for ParallelFd {
+    fn name(&self) -> &str {
+        "parallel-fd"
+    }
+
+    fn integrate(
+        &self,
+        tables: &[&Table],
+        alignment: &Alignment,
+    ) -> Result<IntegratedTable, IntegrateError> {
+        check_alignment(tables, alignment)?;
+        let (names, base) = outer_union(tables, alignment);
+        let threads = self.threads.max(1);
+
+        let mut store: Vec<AlignedTuple> = Vec::with_capacity(base.len());
+        let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in base {
+            insert_tuple(&mut store, &mut by_content, t);
+        }
+
+        let mut index: HashMap<(u32, Value), Vec<u32>> = HashMap::new();
+        for (i, t) in store.iter().enumerate() {
+            for (c, v) in t.values.iter().enumerate() {
+                if !v.is_null() {
+                    index.entry((c as u32, v.clone())).or_default().push(i as u32);
+                }
+            }
+        }
+
+        let mut tried: HashSet<(u32, u32)> = HashSet::new();
+        let mut frontier: Vec<u32> = (0..store.len() as u32).collect();
+
+        while !frontier.is_empty() {
+            // Parallel candidate probing: each worker scans a slice of the
+            // frontier against the read-only store/index of this round.
+            let store_ref = &store;
+            let index_ref = &index;
+            let chunk = frontier.len().div_ceil(threads);
+            let mut proposals: Vec<(u32, u32)> = crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for slice in frontier.chunks(chunk.max(1)) {
+                    handles.push(s.spawn(move |_| {
+                        let mut local: Vec<(u32, u32)> = Vec::new();
+                        for &i in slice {
+                            let t = &store_ref[i as usize];
+                            let mut cands: Vec<u32> = Vec::new();
+                            for (c, v) in t.values.iter().enumerate() {
+                                if v.is_null() {
+                                    continue;
+                                }
+                                if let Some(post) = index_ref.get(&(c as u32, v.clone())) {
+                                    cands.extend(post.iter().copied());
+                                }
+                            }
+                            cands.sort_unstable();
+                            cands.dedup();
+                            for j in cands {
+                                if j == i {
+                                    continue;
+                                }
+                                if t.consistent(&store_ref[j as usize]) {
+                                    local.push((i.min(j), i.max(j)));
+                                }
+                            }
+                        }
+                        local
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+
+            proposals.sort_unstable();
+            proposals.dedup();
+
+            // Serial merge application keeps the store/index/dedup simple
+            // and deterministic (the probing dominates the cost).
+            let round_start = store.len();
+            for (i, j) in proposals {
+                if !tried.insert((i, j)) {
+                    continue;
+                }
+                let merged = store[i as usize].merge(&store[j as usize]);
+                let before = store.len();
+                insert_tuple(&mut store, &mut by_content, merged);
+                if store.len() > before {
+                    let idx = (store.len() - 1) as u32;
+                    for (c, v) in store[idx as usize].values.iter().enumerate() {
+                        if !v.is_null() {
+                            index.entry((c as u32, v.clone())).or_default().push(idx);
+                        }
+                    }
+                }
+            }
+            if store.len() > self.max_tuples {
+                return Err(IntegrateError::BudgetExceeded {
+                    engine: self.name().to_string(),
+                    limit: self.max_tuples,
+                });
+            }
+            frontier = (round_start as u32..store.len() as u32).collect();
+        }
+
+        let tuples = remove_subsumed_indexed(store);
+        Ok(IntegratedTable::from_tuples(&fd_name(tables), &names, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alite::AliteFd;
+    use crate::testutil::fig2_tables;
+    use dialite_align::Alignment;
+    use dialite_table::table;
+
+    #[test]
+    fn matches_alite_on_fig2() {
+        let (t1, t2, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t2, &t3]);
+        let par = ParallelFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        let ser = AliteFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        assert!(par.table().same_content(ser.table()));
+        assert_eq!(par.row_count(), 7);
+    }
+
+    #[test]
+    fn single_thread_configuration_works() {
+        let (t1, t2, t3) = fig2_tables();
+        let al = Alignment::by_headers(&[&t1, &t2, &t3]);
+        let engine = ParallelFd {
+            threads: 1,
+            ..ParallelFd::default()
+        };
+        let out = engine.integrate(&[&t1, &t2, &t3], &al).unwrap();
+        assert_eq!(out.row_count(), 7);
+    }
+
+    #[test]
+    fn more_threads_than_tuples_is_fine() {
+        let a = table! { "A"; ["x"]; [1] };
+        let al = Alignment::by_headers(&[&a]);
+        let engine = ParallelFd {
+            threads: 64,
+            ..ParallelFd::default()
+        };
+        let out = engine.integrate(&[&a], &al).unwrap();
+        assert_eq!(out.row_count(), 1);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        for i in 0..8 {
+            rows_a.push(vec![Value::Int(1), Value::Text(format!("a{i}")), Value::null_missing()]);
+            rows_b.push(vec![Value::Int(1), Value::null_missing(), Value::Text(format!("b{i}"))]);
+        }
+        let a = Table::from_rows("A", &["k", "p", "q"], rows_a).unwrap();
+        let b = Table::from_rows("B", &["k", "p", "q"], rows_b).unwrap();
+        let al = Alignment::by_headers(&[&a, &b]);
+        let engine = ParallelFd {
+            threads: 2,
+            max_tuples: 20,
+        };
+        assert!(matches!(
+            engine.integrate(&[&a, &b], &al),
+            Err(IntegrateError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = ParallelFd::default()
+            .integrate(&[], &Alignment::by_headers(&[]))
+            .unwrap();
+        assert_eq!(out.row_count(), 0);
+    }
+}

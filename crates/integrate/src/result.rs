@@ -1,0 +1,148 @@
+//! The output of an integration operator: an integrated table plus
+//! per-tuple provenance.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dialite_table::{Table, Tid};
+
+use crate::tuple::AlignedTuple;
+
+/// An integrated table: the data (a [`Table`] over the integration IDs) plus
+/// the witness TID set of every output tuple, as displayed in the paper's
+/// figures (`f1 = {t1, t7}` …).
+#[derive(Debug, Clone)]
+pub struct IntegratedTable {
+    table: Table,
+    provenance: Vec<BTreeSet<Tid>>,
+}
+
+impl IntegratedTable {
+    /// Assemble from the integrated column names and tuples, sorting tuples
+    /// into canonical (value) order for deterministic output.
+    pub fn from_tuples(
+        name: &str,
+        columns: &[String],
+        mut tuples: Vec<AlignedTuple>,
+    ) -> IntegratedTable {
+        tuples.sort_by(|a, b| a.values.cmp(&b.values).then(a.tids.cmp(&b.tids)));
+        let mut table = Table::new(name, columns).expect("integration IDs are unique");
+        let mut provenance = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            table
+                .push_row(t.values)
+                .expect("aligned tuples have schema arity");
+            provenance.push(t.tids);
+        }
+        table.infer_types();
+        IntegratedTable { table, provenance }
+    }
+
+    /// The integrated data table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Consume into the data table (dropping provenance).
+    pub fn into_table(self) -> Table {
+        self.table
+    }
+
+    /// Witness TIDs of output row `i`.
+    pub fn provenance(&self, i: usize) -> &BTreeSet<Tid> {
+        &self.provenance[i]
+    }
+
+    /// All provenance sets, row-aligned with the table.
+    pub fn provenances(&self) -> &[BTreeSet<Tid>] {
+        &self.provenance
+    }
+
+    /// Number of output tuples.
+    pub fn row_count(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Render with OID/TID columns in the style of paper Figs. 3 and 8.
+    /// `table_names` (optional) maps table indices to display names.
+    pub fn display_with_provenance(&self, table_names: Option<&[&str]>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} ({} rows)\n", self.table.name(), self.row_count()));
+        for (i, row) in self.table.rows().enumerate() {
+            let tids: Vec<String> = self.provenance[i]
+                .iter()
+                .map(|tid| match table_names {
+                    Some(names) => format!("{}[{}]", names[tid.table as usize], tid.row),
+                    None => tid.to_string(),
+                })
+                .collect();
+            let values: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&format!(
+                "f{} {{{}}} | {}\n",
+                i + 1,
+                tids.join(", "),
+                values.join(" | ")
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for IntegratedTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::Value;
+
+    fn tuples() -> Vec<AlignedTuple> {
+        vec![
+            AlignedTuple {
+                values: vec![Value::Text("b".into()), Value::Int(2)],
+                tids: [Tid::new(1, 0)].into_iter().collect(),
+            },
+            AlignedTuple {
+                values: vec![Value::Text("a".into()), Value::Int(1)],
+                tids: [Tid::new(0, 0), Tid::new(1, 1)].into_iter().collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn rows_are_sorted_canonically_with_aligned_provenance() {
+        let it = IntegratedTable::from_tuples(
+            "r",
+            &["x".to_string(), "y".to_string()],
+            tuples(),
+        );
+        assert_eq!(it.row_count(), 2);
+        assert_eq!(it.table().row(0).unwrap()[0], Value::Text("a".into()));
+        assert_eq!(it.provenance(0).len(), 2);
+        assert_eq!(it.provenance(1).len(), 1);
+    }
+
+    #[test]
+    fn display_with_provenance_shows_tids() {
+        let it = IntegratedTable::from_tuples(
+            "r",
+            &["x".to_string(), "y".to_string()],
+            tuples(),
+        );
+        let plain = it.display_with_provenance(None);
+        assert!(plain.contains("t0.0"), "{plain}");
+        let named = it.display_with_provenance(Some(&["T1", "T2"]));
+        assert!(named.contains("T1[0]"), "{named}");
+        assert!(named.contains("T2[1]"), "{named}");
+    }
+
+    #[test]
+    fn empty_result() {
+        let it = IntegratedTable::from_tuples("r", &["x".to_string()], vec![]);
+        assert_eq!(it.row_count(), 0);
+        assert!(it.provenances().is_empty());
+    }
+}

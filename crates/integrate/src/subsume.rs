@@ -1,0 +1,185 @@
+//! Subsumption removal: dropping output tuples that add no information.
+//!
+//! Two variants share semantics and differ in cost, which experiment E6
+//! ablates: a quadratic reference scan and ALITE's index-accelerated pass.
+
+use std::collections::HashMap;
+
+use dialite_table::Value;
+
+use crate::tuple::AlignedTuple;
+
+/// Deduplicate by content, keeping the smallest witness TID set
+/// (paper Fig. 8(b): `f12 = {t16}`, not `{t12, t16}`).
+pub(crate) fn dedup_content(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
+    let mut by_content: HashMap<Vec<Value>, AlignedTuple> = HashMap::with_capacity(tuples.len());
+    for t in tuples {
+        match by_content.get_mut(&t.values) {
+            Some(existing) => {
+                if (t.tids.len(), &t.tids) < (existing.tids.len(), &existing.tids) {
+                    existing.tids = t.tids;
+                }
+            }
+            None => {
+                by_content.insert(t.values.clone(), t);
+            }
+        }
+    }
+    by_content.into_values().collect()
+}
+
+/// Quadratic reference implementation: keep `t` unless some other tuple with
+/// different content subsumes it. Input is content-deduplicated first.
+pub fn remove_subsumed_naive(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
+    let tuples = dedup_content(tuples);
+    let mut keep = Vec::with_capacity(tuples.len());
+    'outer: for (i, t) in tuples.iter().enumerate() {
+        for (j, other) in tuples.iter().enumerate() {
+            if i != j && other.subsumes(t) {
+                // Content is deduplicated, so subsumption here is strict
+                // unless both subsume each other with equal content — which
+                // dedup ruled out.
+                continue 'outer;
+            }
+        }
+        keep.push(t.clone());
+    }
+    keep
+}
+
+/// ALITE's accelerated pass: process tuples in decreasing non-null count; a
+/// subsumer of `t` must agree with `t` on *every* non-null attribute, so it
+/// must appear in the posting list of any one of them — we probe the first.
+/// All-null tuples are subsumed by anything non-empty.
+pub fn remove_subsumed_indexed(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
+    let mut tuples = dedup_content(tuples);
+    tuples.sort_by(|a, b| {
+        b.non_null_count()
+            .cmp(&a.non_null_count())
+            .then_with(|| a.values.cmp(&b.values))
+    });
+    let mut kept: Vec<AlignedTuple> = Vec::with_capacity(tuples.len());
+    let mut index: HashMap<(u32, Value), Vec<usize>> = HashMap::new();
+    for t in tuples {
+        let first_non_null = t
+            .values
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_null())
+            .map(|(c, v)| (c as u32, v.clone()));
+        let subsumed = match &first_non_null {
+            Some(key) => index
+                .get(key)
+                .map(|cands| cands.iter().any(|&k| kept[k].subsumes(&t)))
+                .unwrap_or(false),
+            // All-null tuple: subsumed by any kept tuple (vacuous agreement).
+            None => !kept.is_empty(),
+        };
+        if subsumed {
+            continue;
+        }
+        let idx = kept.len();
+        for (c, v) in t.values.iter().enumerate() {
+            if !v.is_null() {
+                index.entry((c as u32, v.clone())).or_default().push(idx);
+            }
+        }
+        kept.push(t);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::Tid;
+    use std::collections::BTreeSet;
+
+    fn tup(values: Vec<Value>, tids: &[(u32, u32)]) -> AlignedTuple {
+        AlignedTuple {
+            values,
+            tids: tids.iter().map(|&(t, r)| Tid::new(t, r)).collect(),
+        }
+    }
+
+    fn contents(mut tuples: Vec<AlignedTuple>) -> Vec<Vec<Value>> {
+        tuples.sort_by(|a, b| a.values.cmp(&b.values));
+        tuples.into_iter().map(|t| t.values).collect()
+    }
+
+    #[test]
+    fn dedup_keeps_smallest_witness_set() {
+        let a = tup(vec![Value::Int(1)], &[(0, 0), (1, 0)]);
+        let b = tup(vec![Value::Int(1)], &[(2, 0)]);
+        let out = dedup_content(vec![a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tids, [Tid::new(2, 0)].into_iter().collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn dedup_treats_null_kinds_as_equal_content() {
+        let a = tup(vec![Value::Int(1), Value::null_missing()], &[(0, 0)]);
+        let b = tup(vec![Value::Int(1), Value::null_produced()], &[(1, 0)]);
+        assert_eq!(dedup_content(vec![a, b]).len(), 1);
+    }
+
+    #[test]
+    fn strictly_subsumed_tuples_are_removed() {
+        let full = tup(vec![Value::Int(1), Value::Int(2)], &[(0, 0), (1, 0)]);
+        let part = tup(vec![Value::Int(1), Value::null_produced()], &[(0, 0)]);
+        let out = remove_subsumed_naive(vec![full.clone(), part.clone()]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, full.values);
+        let out = remove_subsumed_indexed(vec![part, full.clone()]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, full.values);
+    }
+
+    #[test]
+    fn incomparable_tuples_all_kept() {
+        let a = tup(vec![Value::Int(1), Value::null_produced()], &[(0, 0)]);
+        let b = tup(vec![Value::null_produced(), Value::Int(2)], &[(1, 0)]);
+        let c = tup(vec![Value::Int(9), Value::Int(2)], &[(2, 0)]);
+        let naive = remove_subsumed_naive(vec![a.clone(), b.clone(), c.clone()]);
+        // b IS subsumed by c (b non-null only at col1, c agrees there).
+        assert_eq!(naive.len(), 2);
+        let indexed = remove_subsumed_indexed(vec![a, b, c]);
+        assert_eq!(contents(naive), contents(indexed));
+    }
+
+    #[test]
+    fn all_null_tuple_subsumed_by_anything() {
+        let empty = tup(
+            vec![Value::null_missing(), Value::null_missing()],
+            &[(0, 0)],
+        );
+        let something = tup(vec![Value::Int(1), Value::null_produced()], &[(1, 0)]);
+        assert_eq!(
+            remove_subsumed_naive(vec![empty.clone(), something.clone()]).len(),
+            1
+        );
+        assert_eq!(
+            remove_subsumed_indexed(vec![empty.clone(), something]).len(),
+            1
+        );
+        // …but kept when alone.
+        assert_eq!(remove_subsumed_indexed(vec![empty]).len(), 1);
+    }
+
+    #[test]
+    fn naive_and_indexed_agree_on_chains() {
+        // a ⊑ b ⊑ c chain plus an incomparable d.
+        let a = tup(vec![Value::Int(1), Value::null_produced(), Value::null_produced()], &[(0, 0)]);
+        let b = tup(vec![Value::Int(1), Value::Int(2), Value::null_produced()], &[(1, 0)]);
+        let c = tup(vec![Value::Int(1), Value::Int(2), Value::Int(3)], &[(2, 0)]);
+        let d = tup(vec![Value::Int(9), Value::null_produced(), Value::null_produced()], &[(3, 0)]);
+        let input = vec![a, b, c.clone(), d.clone()];
+        let naive = remove_subsumed_naive(input.clone());
+        let indexed = remove_subsumed_indexed(input);
+        assert_eq!(contents(naive.clone()), contents(indexed));
+        assert_eq!(naive.len(), 2);
+        let cs = contents(naive);
+        assert!(cs.contains(&c.values));
+        assert!(cs.contains(&d.values));
+    }
+}

@@ -1,0 +1,275 @@
+//! Aligned tuples over the integrated schema, and the core FD relations:
+//! consistency, connection, merge and subsumption.
+
+use std::collections::BTreeSet;
+
+use dialite_align::Alignment;
+use dialite_table::{NullKind, Table, Tid, Value};
+
+/// A tuple over the integrated schema (one slot per integration ID), with
+/// its witness TID set — the `{t1, t7}` provenance of paper Fig. 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedTuple {
+    /// One value per integration ID.
+    pub values: Vec<Value>,
+    /// Source tuples merged into this one (sorted set for determinism).
+    pub tids: BTreeSet<Tid>,
+}
+
+impl AlignedTuple {
+    /// Consistency: agree wherever both are non-null (nulls are wildcards).
+    pub fn consistent(&self, other: &AlignedTuple) -> bool {
+        self.values.iter().zip(&other.values).all(|(a, b)| {
+            a.is_null() || b.is_null() || a == b
+        })
+    }
+
+    /// Connection: at least one attribute where both are non-null and equal
+    /// (null-rejecting equality, as in the join semantics of §3.2).
+    pub fn connected(&self, other: &AlignedTuple) -> bool {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .any(|(a, b)| a.join_eq(b))
+    }
+
+    /// Complementable = consistent ∧ connected: the merge condition of
+    /// ALITE's complementation step.
+    pub fn complementable(&self, other: &AlignedTuple) -> bool {
+        self.consistent(other) && self.connected(other)
+    }
+
+    /// Merge two (complementable) tuples: non-null values win; a *missing*
+    /// null dominates a *produced* null so that the output distinguishes
+    /// "source said null" (`±`) from "no source had the attribute" (`⊥`),
+    /// as in paper Figs. 2–3.
+    pub fn merge(&self, other: &AlignedTuple) -> AlignedTuple {
+        debug_assert!(self.consistent(other), "merging inconsistent tuples");
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| match (a.is_null(), b.is_null()) {
+                (false, _) => a.clone(),
+                (true, false) => b.clone(),
+                (true, true) => {
+                    if matches!(a, Value::Null(NullKind::Missing))
+                        || matches!(b, Value::Null(NullKind::Missing))
+                    {
+                        Value::null_missing()
+                    } else {
+                        Value::null_produced()
+                    }
+                }
+            })
+            .collect();
+        let tids = self.tids.union(&other.tids).copied().collect();
+        AlignedTuple { values, tids }
+    }
+
+    /// Subsumption: `self ⊒ other` — self agrees with other on every
+    /// attribute where other is non-null (so other adds no information).
+    pub fn subsumes(&self, other: &AlignedTuple) -> bool {
+        other
+            .values
+            .iter()
+            .zip(&self.values)
+            .all(|(o, s)| o.is_null() || o == s)
+    }
+
+    /// Number of non-null attributes.
+    pub fn non_null_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+
+    /// Bitmask of non-null positions (one `u64` word per 64 columns).
+    pub fn non_null_mask(&self) -> Vec<u64> {
+        let mut mask = vec![0u64; self.values.len().div_ceil(64)];
+        for (i, v) in self.values.iter().enumerate() {
+            if !v.is_null() {
+                mask[i / 64] |= 1 << (i % 64);
+            }
+        }
+        mask
+    }
+}
+
+/// Compute the outer union of an integration set over the aligned schema:
+/// every input row becomes an [`AlignedTuple`] with produced nulls in the
+/// attributes its table does not have. Returns the integrated column names
+/// (integration IDs ordered by first appearance) and the tuples.
+///
+/// # Panics
+/// If `alignment` does not cover exactly the given tables/columns.
+pub fn outer_union(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, Vec<AlignedTuple>) {
+    assert_eq!(
+        alignment.assignments().len(),
+        tables.len(),
+        "alignment covers a different number of tables"
+    );
+    // Order integration IDs by first appearance (paper figures' order).
+    let mut order: Vec<u32> = Vec::with_capacity(alignment.num_ids());
+    let mut seen = vec![false; alignment.num_ids()];
+    for (t, table) in tables.iter().enumerate() {
+        assert_eq!(
+            alignment.assignments()[t].len(),
+            table.column_count(),
+            "alignment covers a different number of columns for table {t}"
+        );
+        for c in 0..table.column_count() {
+            let id = alignment.id_of(t, c);
+            if !seen[id as usize] {
+                seen[id as usize] = true;
+                order.push(id);
+            }
+        }
+    }
+    let mut slot_of = vec![usize::MAX; alignment.num_ids()];
+    for (slot, &id) in order.iter().enumerate() {
+        slot_of[id as usize] = slot;
+    }
+    let names: Vec<String> = order
+        .iter()
+        .map(|&id| alignment.name_of(id).to_string())
+        .collect();
+
+    let width = order.len();
+    let mut tuples = Vec::new();
+    for (t, table) in tables.iter().enumerate() {
+        for (r, row) in table.rows().enumerate() {
+            let mut values = vec![Value::null_produced(); width];
+            for (c, v) in row.iter().enumerate() {
+                let slot = slot_of[alignment.id_of(t, c) as usize];
+                values[slot] = v.clone();
+            }
+            let mut tids = BTreeSet::new();
+            tids.insert(Tid::new(t as u32, r as u32));
+            tuples.push(AlignedTuple { values, tids });
+        }
+    }
+    (names, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_align::Alignment;
+    use dialite_table::table;
+
+    fn tup(values: Vec<Value>) -> AlignedTuple {
+        AlignedTuple {
+            values,
+            tids: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn consistency_treats_nulls_as_wildcards() {
+        let a = tup(vec![Value::Int(1), Value::null_missing()]);
+        let b = tup(vec![Value::Int(1), Value::Int(2)]);
+        let c = tup(vec![Value::Int(9), Value::Int(2)]);
+        assert!(a.consistent(&b));
+        assert!(b.consistent(&a));
+        assert!(!b.consistent(&c));
+    }
+
+    #[test]
+    fn consistency_detects_conflicts() {
+        let a = tup(vec![Value::Int(1), Value::null_missing()]);
+        let c = tup(vec![Value::Int(9), Value::Int(2)]);
+        assert!(!a.consistent(&c));
+    }
+
+    #[test]
+    fn connection_requires_shared_non_null_equal() {
+        let a = tup(vec![Value::Int(1), Value::null_missing()]);
+        let b = tup(vec![Value::Int(1), Value::Int(2)]);
+        let c = tup(vec![Value::null_produced(), Value::Int(2)]);
+        assert!(a.connected(&b));
+        assert!(!a.connected(&c), "nulls never connect");
+        let d = tup(vec![Value::null_missing(), Value::null_missing()]);
+        assert!(!d.connected(&d), "all-null tuples connect to nothing");
+    }
+
+    #[test]
+    fn merge_prefers_values_then_missing_nulls() {
+        let a = AlignedTuple {
+            values: vec![Value::Int(1), Value::null_missing(), Value::null_produced()],
+            tids: [Tid::new(0, 0)].into_iter().collect(),
+        };
+        let b = AlignedTuple {
+            values: vec![Value::Int(1), Value::null_produced(), Value::null_produced()],
+            tids: [Tid::new(1, 0)].into_iter().collect(),
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.values[0], Value::Int(1));
+        assert!(matches!(m.values[1], Value::Null(NullKind::Missing)));
+        assert!(matches!(m.values[2], Value::Null(NullKind::Produced)));
+        assert_eq!(m.tids.len(), 2);
+    }
+
+    #[test]
+    fn subsumption_examples_from_fig8() {
+        // f12 = (JnJ, ⊥, USA) subsumes t12-as-aligned = (JnJ, ±, ⊥).
+        let f12 = tup(vec!["JnJ".into(), Value::null_produced(), "USA".into()]);
+        let t12 = tup(vec!["JnJ".into(), Value::null_missing(), Value::null_produced()]);
+        assert!(f12.subsumes(&t12));
+        assert!(!t12.subsumes(&f12));
+        // Every tuple subsumes itself.
+        assert!(f12.subsumes(&f12));
+        // f13 (J&J,…) does not subsume f12 (JnJ,…).
+        let f13 = tup(vec!["J&J".into(), "FDA".into(), "United States".into()]);
+        assert!(!f13.subsumes(&f12));
+    }
+
+    #[test]
+    fn masks_and_counts() {
+        let t = tup(vec![Value::Int(1), Value::null_missing(), Value::Int(3)]);
+        assert_eq!(t.non_null_count(), 2);
+        assert_eq!(t.non_null_mask(), vec![0b101]);
+        let wide = tup(vec![Value::Int(1); 65]);
+        assert_eq!(wide.non_null_mask().len(), 2);
+        assert_eq!(wide.non_null_mask()[1], 1);
+    }
+
+    #[test]
+    fn outer_union_pads_with_produced_nulls_and_orders_by_first_appearance() {
+        let t1 = table! { "T1"; ["country", "city"]; ["Germany", "Berlin"] };
+        let t3 = table! { "T3"; ["city", "cases"]; ["Berlin", 1_400_000] };
+        let al = Alignment::by_headers(&[&t1, &t3]);
+        let (names, tuples) = outer_union(&[&t1, &t3], &al);
+        assert_eq!(names, vec!["country", "city", "cases"]);
+        assert_eq!(tuples.len(), 2);
+        // T1 row: cases is produced-null.
+        assert!(matches!(tuples[0].values[2], Value::Null(NullKind::Produced)));
+        // T3 row: country is produced-null, city set.
+        assert!(tuples[1].values[0].is_null());
+        assert_eq!(tuples[1].values[1], Value::Text("Berlin".into()));
+        assert_eq!(
+            tuples[1].tids.iter().next().copied(),
+            Some(Tid::new(1, 0))
+        );
+    }
+
+    #[test]
+    fn outer_union_preserves_missing_nulls() {
+        let t = dialite_table::Table::from_rows(
+            "t",
+            &["a"],
+            vec![vec![Value::null_missing()]],
+        )
+        .unwrap();
+        let al = Alignment::by_headers(&[&t]);
+        let (_, tuples) = outer_union(&[&t], &al);
+        assert!(matches!(tuples[0].values[0], Value::Null(NullKind::Missing)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different number of tables")]
+    fn alignment_table_count_mismatch_panics() {
+        let t = table! { "t"; ["a"]; [1] };
+        let al = Alignment::by_headers(&[&t]);
+        let other = table! { "o"; ["a"]; [1] };
+        let _ = outer_union(&[&t, &other], &al);
+    }
+}

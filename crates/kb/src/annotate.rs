@@ -1,0 +1,238 @@
+//! Confidence-weighted annotation of columns and column pairs — the KB-side
+//! half of SANTOS-style semantic table search.
+//!
+//! A *column annotation* scores each semantic type by the fraction of the
+//! column's values that the KB maps to it (after alias resolution and type
+//! hierarchy expansion). A *pair annotation* does the same for directed
+//! relationships over the rows of two columns, which is SANTOS's
+//! "relationship semantics" between a table's columns.
+
+use std::collections::HashMap;
+
+use crate::base::{KnowledgeBase, RelationId, TypeId};
+
+/// Direction of a relationship between two columns (left column plays
+/// subject in `Forward`, object in `Backward`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// left → right facts.
+    Forward,
+    /// right → left facts.
+    Backward,
+}
+
+/// Semantic types of a column with confidence scores.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnAnnotation {
+    /// `(type, confidence)` sorted by descending confidence, then type id.
+    /// Confidence is the fraction of *annotatable* values carrying the type.
+    pub scores: Vec<(TypeId, f64)>,
+    /// Fraction of non-empty values known to the KB at all.
+    pub coverage: f64,
+}
+
+impl ColumnAnnotation {
+    /// The highest-confidence type, if any.
+    pub fn top(&self) -> Option<(TypeId, f64)> {
+        self.scores.first().copied()
+    }
+
+    /// Confidence of a specific type (0.0 if absent).
+    pub fn confidence(&self, t: TypeId) -> f64 {
+        self.scores
+            .iter()
+            .find(|(id, _)| *id == t)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Directed relationships between two columns with confidence scores.
+#[derive(Debug, Clone, Default)]
+pub struct PairAnnotation {
+    /// `((relation, direction), confidence)` sorted by descending
+    /// confidence. Confidence is the fraction of value pairs exhibiting the
+    /// relationship.
+    pub scores: Vec<((RelationId, Direction), f64)>,
+    /// Fraction of value pairs where both sides resolved to known entities.
+    pub coverage: f64,
+}
+
+impl PairAnnotation {
+    /// The highest-confidence relationship, if any.
+    pub fn top(&self) -> Option<((RelationId, Direction), f64)> {
+        self.scores.first().copied()
+    }
+}
+
+impl KnowledgeBase {
+    /// Annotate a column given its non-null values.
+    ///
+    /// Votes are counted per *distinct* value (SANTOS annotates the column's
+    /// domain, so a repeated value does not dominate the vote).
+    pub fn annotate_column<'a, I: IntoIterator<Item = &'a str>>(&self, values: I) -> ColumnAnnotation {
+        let mut distinct: HashMap<String, ()> = HashMap::new();
+        for v in values {
+            if !v.trim().is_empty() {
+                distinct.entry(crate::base::normalize(v)).or_insert(());
+            }
+        }
+        let total = distinct.len();
+        if total == 0 {
+            return ColumnAnnotation::default();
+        }
+        let mut votes: HashMap<TypeId, usize> = HashMap::new();
+        let mut known = 0usize;
+        for value in distinct.keys() {
+            let types = self.types_of(value);
+            if self.knows(value) {
+                known += 1;
+            }
+            for t in types {
+                *votes.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut scores: Vec<(TypeId, f64)> = votes
+            .into_iter()
+            .map(|(t, v)| (t, v as f64 / total as f64))
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ColumnAnnotation {
+            scores,
+            coverage: known as f64 / total as f64,
+        }
+    }
+
+    /// Annotate the relationship between two columns given their row-aligned
+    /// value pairs (nulls should be filtered by the caller; empty strings
+    /// are skipped here). Votes are per distinct pair.
+    pub fn annotate_pair<'a, I>(&self, pairs: I) -> PairAnnotation
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut distinct: HashMap<(String, String), ()> = HashMap::new();
+        for (a, b) in pairs {
+            if !a.trim().is_empty() && !b.trim().is_empty() {
+                distinct
+                    .entry((crate::base::normalize(a), crate::base::normalize(b)))
+                    .or_insert(());
+            }
+        }
+        let total = distinct.len();
+        if total == 0 {
+            return PairAnnotation::default();
+        }
+        let mut votes: HashMap<(RelationId, Direction), usize> = HashMap::new();
+        let mut covered = 0usize;
+        for (a, b) in distinct.keys() {
+            let fwd = self.relations_between(a, b);
+            let bwd = self.relations_between(b, a);
+            if self.knows(a) && self.knows(b) {
+                covered += 1;
+            }
+            for r in fwd {
+                *votes.entry((r, Direction::Forward)).or_insert(0) += 1;
+            }
+            for r in bwd {
+                *votes.entry((r, Direction::Backward)).or_insert(0) += 1;
+            }
+        }
+        let mut scores: Vec<((RelationId, Direction), f64)> = votes
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total as f64))
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        PairAnnotation {
+            scores,
+            coverage: covered as f64 / total as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::KbBuilder;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        b.add_type("place", None);
+        b.add_type("city", Some("place"));
+        b.add_type("country", Some("place"));
+        for c in ["berlin", "boston", "barcelona"] {
+            b.add_entity(c, &["city"]);
+        }
+        for c in ["germany", "spain"] {
+            b.add_entity(c, &["country"]);
+        }
+        b.add_fact("berlin", "located_in", "germany");
+        b.add_fact("barcelona", "located_in", "spain");
+        b.build()
+    }
+
+    #[test]
+    fn column_annotation_scores_majority_type() {
+        let kb = kb();
+        let ann = kb.annotate_column(["Berlin", "Boston", "Barcelona", "Xyzzy"]);
+        let city = kb.type_id("city").unwrap();
+        let place = kb.type_id("place").unwrap();
+        assert!((ann.confidence(city) - 0.75).abs() < 1e-12);
+        assert!((ann.confidence(place) - 0.75).abs() < 1e-12);
+        assert!((ann.coverage - 0.75).abs() < 1e-12);
+        let (top, conf) = ann.top().unwrap();
+        assert!(top == city || top == place);
+        assert!((conf - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_values_do_not_stack_votes() {
+        let kb = kb();
+        let ann = kb.annotate_column(["Berlin", "berlin", "BERLIN", "unknownville"]);
+        let city = kb.type_id("city").unwrap();
+        // distinct domain = {berlin, unknownville} → confidence 1/2.
+        assert!((ann.confidence(city) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column_annotation_is_default() {
+        let kb = kb();
+        let ann = kb.annotate_column(["", "   "]);
+        assert!(ann.scores.is_empty());
+        assert_eq!(ann.coverage, 0.0);
+        assert!(ann.top().is_none());
+    }
+
+    #[test]
+    fn pair_annotation_detects_direction() {
+        let kb = kb();
+        let rel = kb.relation_id("located_in").unwrap();
+        // city → country order: forward
+        let fwd = kb.annotate_pair([("Berlin", "Germany"), ("Barcelona", "Spain")]);
+        let ((r, d), conf) = fwd.top().unwrap();
+        assert_eq!(r, rel);
+        assert_eq!(d, Direction::Forward);
+        assert!((conf - 1.0).abs() < 1e-12);
+        // reversed order: backward
+        let bwd = kb.annotate_pair([("Germany", "Berlin")]);
+        assert_eq!(bwd.top().unwrap().0 .1, Direction::Backward);
+    }
+
+    #[test]
+    fn pair_annotation_confidence_is_fraction_of_pairs() {
+        let kb = kb();
+        let ann = kb.annotate_pair([
+            ("Berlin", "Germany"),
+            ("Boston", "Germany"), // no fact
+        ]);
+        assert!((ann.top().unwrap().1 - 0.5).abs() < 1e-12);
+        assert!((ann.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_annotation_empty_for_unknowns() {
+        let kb = kb();
+        let ann = kb.annotate_pair([("a", "b")]);
+        assert!(ann.scores.is_empty());
+        assert_eq!(ann.coverage, 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The LSH Ensemble containment-search index (Zhu et al., VLDB 2016).
+//!
+//! Domains (column value sets) are partitioned by set size (equi-depth).
+//! Each partition materializes banding tables for every power-of-two row
+//! count `r ≤ num_perm`. A containment query converts its threshold into a
+//! per-partition Jaccard threshold using the partition's upper size bound,
+//! picks the (near-)optimal `(b, r)` for that threshold among the
+//! materialized `r` values, and probes `b` bands.
+
+use std::collections::{HashMap, HashSet};
+
+use dialite_text::fnv1a64;
+
+use crate::hasher::{MinHasher, Signature};
+use crate::params::{containment_to_jaccard, optimal_params_restricted};
+
+fn band_hash(r: usize, band_idx: usize, slots: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + slots.len() * 8);
+    bytes.extend_from_slice(&(r as u64).to_le_bytes());
+    bytes.extend_from_slice(&(band_idx as u64).to_le_bytes());
+    for s in slots {
+        bytes.extend_from_slice(&s.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+struct REntry {
+    r: usize,
+    /// `num_perm / r` hash tables, one per band.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+}
+
+struct Partition {
+    /// Maximum domain size in this partition (the `u` of the containment →
+    /// Jaccard conversion).
+    upper: usize,
+    lower: usize,
+    keys: Vec<String>,
+    r_entries: Vec<REntry>,
+}
+
+impl Partition {
+    fn insert(&mut self, key: &str, sig: &Signature) {
+        let id = self.keys.len() as u32;
+        self.keys.push(key.to_string());
+        for re in &mut self.r_entries {
+            for (band, table) in re.tables.iter_mut().enumerate() {
+                let lo = band * re.r;
+                let h = band_hash(re.r, band, &sig.0[lo..lo + re.r]);
+                table.entry(h).or_default().push(id);
+            }
+        }
+    }
+
+    fn query(&self, sig: &Signature, b: usize, r: usize, hits: &mut HashSet<String>) {
+        let Some(re) = self.r_entries.iter().find(|re| re.r == r) else {
+            return;
+        };
+        for band in 0..b.min(re.tables.len()) {
+            let lo = band * r;
+            let h = band_hash(r, band, &sig.0[lo..lo + r]);
+            if let Some(ids) = re.tables[band].get(&h) {
+                hits.extend(ids.iter().map(|&id| self.keys[id as usize].clone()));
+            }
+        }
+    }
+}
+
+/// Accumulates domains before partitioning.
+pub struct LshEnsembleBuilder {
+    hasher: MinHasher,
+    num_perm: usize,
+    entries: Vec<(String, usize, Signature)>,
+}
+
+impl LshEnsembleBuilder {
+    /// Builder with `num_perm` hash functions and a deterministic seed.
+    pub fn new(num_perm: usize, seed: u64) -> LshEnsembleBuilder {
+        LshEnsembleBuilder {
+            hasher: MinHasher::new(num_perm, seed),
+            num_perm,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The hasher queries must use to be comparable with this index.
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Hash and stage a domain under `key`.
+    pub fn insert_tokens<'a, I: IntoIterator<Item = &'a str>>(&mut self, key: &str, tokens: I) {
+        let toks: Vec<&str> = tokens.into_iter().collect();
+        let size = toks.len();
+        let sig = self.hasher.signature(toks);
+        self.entries.push((key.to_string(), size, sig));
+    }
+
+    /// Stage a pre-computed signature (size = domain cardinality).
+    pub fn insert_signature(&mut self, key: &str, size: usize, sig: Signature) {
+        assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
+        self.entries.push((key.to_string(), size, sig));
+    }
+
+    /// Number of staged domains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no domain has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Partition (equi-depth by size) and build the banding tables.
+    pub fn build(mut self, num_partitions: usize) -> LshEnsemble {
+        let num_partitions = num_partitions.max(1);
+        self.entries.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let n = self.entries.len();
+        let rs: Vec<usize> = std::iter::successors(Some(1usize), |r| Some(r * 2))
+            .take_while(|&r| r <= self.num_perm)
+            .collect();
+
+        let mut partitions: Vec<Partition> = Vec::new();
+        if n > 0 {
+            let per = n.div_ceil(num_partitions);
+            for chunk in self.entries.chunks(per) {
+                let lower = chunk.first().map(|e| e.1).unwrap_or(0);
+                let upper = chunk.last().map(|e| e.1).unwrap_or(0);
+                let mut p = Partition {
+                    upper,
+                    lower,
+                    keys: Vec::with_capacity(chunk.len()),
+                    r_entries: rs
+                        .iter()
+                        .map(|&r| REntry {
+                            r,
+                            tables: vec![HashMap::new(); self.num_perm / r],
+                        })
+                        .collect(),
+                };
+                for (key, _, sig) in chunk {
+                    p.insert(key, sig);
+                }
+                partitions.push(p);
+            }
+        }
+        LshEnsemble {
+            num_perm: self.num_perm,
+            allowed_r: rs,
+            partitions,
+        }
+    }
+}
+
+/// The built containment index. Query with a signature from the builder's
+/// [`MinHasher`], the query set's cardinality, and a containment threshold.
+pub struct LshEnsemble {
+    num_perm: usize,
+    allowed_r: Vec<usize>,
+    partitions: Vec<Partition>,
+}
+
+impl LshEnsemble {
+    /// Candidate keys whose domains likely contain at least `threshold` of
+    /// the query set. Candidates are *probabilistic* — callers verify exact
+    /// containment against the real token sets (the discovery layer does).
+    pub fn query(&self, sig: &Signature, query_size: usize, threshold: f64) -> Vec<String> {
+        assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
+        let mut hits = HashSet::new();
+        for p in &self.partitions {
+            let j = containment_to_jaccard(threshold, query_size, p.upper);
+            let (b, r) = optimal_params_restricted(j, self.num_perm, &self.allowed_r);
+            p.query(sig, b, r, &mut hits);
+        }
+        let mut out: Vec<String> = hits.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Number of partitions actually built.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The `(lower, upper)` size bounds of each partition, in order.
+    pub fn partition_bounds(&self) -> Vec<(usize, usize)> {
+        self.partitions.iter().map(|p| (p.lower, p.upper)).collect()
+    }
+
+    /// Total number of indexed domains.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.keys.len()).sum()
+    }
+
+    /// `true` when the index holds no domains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(prefix: &str, range: std::ops::Range<usize>) -> Vec<String> {
+        range.map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    fn build_demo() -> (LshEnsemble, MinHasher) {
+        let mut b = LshEnsembleBuilder::new(256, 17);
+        // A larger domain fully containing the query universe.
+        let big = toks("q", 0..50)
+            .into_iter()
+            .chain(toks("extra", 0..150))
+            .collect::<Vec<_>>();
+        b.insert_tokens("big_superset", big.iter().map(String::as_str));
+        // A small domain equal to half the query.
+        let half = toks("q", 0..25);
+        b.insert_tokens("half", half.iter().map(String::as_str));
+        // Disjoint noise domains of assorted sizes.
+        for i in 0..20 {
+            let noise = toks(&format!("n{i}_"), 0..(10 + i * 17));
+            b.insert_tokens(&format!("noise{i}"), noise.iter().map(String::as_str));
+        }
+        let hasher = b.hasher().clone();
+        (b.build(4), hasher)
+    }
+
+    /// Pairs decisively above the converted Jaccard threshold must be
+    /// recalled. (Pairs *at* the threshold collide with ~50% probability by
+    /// construction — the S-curve is centred there — so the test avoids the
+    /// borderline regime; exact verification downstream handles it.)
+    #[test]
+    fn finds_superset_above_threshold() {
+        let (index, hasher) = build_demo();
+        let q = toks("q", 0..50);
+        let sig = hasher.signature(q.iter().map(String::as_str));
+        let hits = index.query(&sig, q.len(), 0.5);
+        assert!(
+            hits.contains(&"big_superset".to_string()),
+            "containment-1.0 domain must be found: {hits:?}"
+        );
+        assert!(
+            !hits.iter().any(|h| h.starts_with("noise")),
+            "disjoint noise should not surface: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn lower_threshold_also_finds_partial_container() {
+        let (index, hasher) = build_demo();
+        let q = toks("q", 0..50);
+        let sig = hasher.signature(q.iter().map(String::as_str));
+        let hits = index.query(&sig, q.len(), 0.3);
+        assert!(hits.contains(&"big_superset".to_string()));
+        assert!(
+            hits.contains(&"half".to_string()),
+            "0.5-containment domain should pass a 0.3 threshold: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn partitions_are_size_ordered() {
+        let (index, _) = build_demo();
+        let bounds = index.partition_bounds();
+        assert_eq!(bounds.len(), index.partition_count());
+        for w in bounds.windows(2) {
+            assert!(w[0].1 <= w[1].0 || w[0].1 <= w[1].1, "bounds: {bounds:?}");
+        }
+        for (lo, hi) in bounds {
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn empty_index_queries_cleanly() {
+        let b = LshEnsembleBuilder::new(64, 1);
+        let hasher = b.hasher().clone();
+        let index = b.build(4);
+        assert!(index.is_empty());
+        let sig = hasher.signature(["x"]);
+        assert!(index.query(&sig, 1, 0.5).is_empty());
+    }
+
+    #[test]
+    fn builder_len_tracks_inserts() {
+        let mut b = LshEnsembleBuilder::new(64, 1);
+        assert!(b.is_empty());
+        b.insert_tokens("a", ["1", "2"]);
+        b.insert_signature("b", 3, MinHasher::new(64, 1).signature(["x", "y", "z"]));
+        assert_eq!(b.len(), 2);
+        let index = b.build(8);
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let (i1, h1) = build_demo();
+        let (i2, _) = build_demo();
+        let q = toks("q", 0..50);
+        let sig = h1.signature(q.iter().map(String::as_str));
+        assert_eq!(i1.query(&sig, 50, 0.5), i2.query(&sig, 50, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length mismatch")]
+    fn mismatched_query_signature_panics() {
+        let (index, _) = build_demo();
+        index.query(&Signature(vec![0; 32]), 10, 0.5);
+    }
+}

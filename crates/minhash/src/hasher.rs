@@ -1,0 +1,181 @@
+//! MinHash signatures over string token sets.
+
+use dialite_text::fnv1a64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Mersenne prime 2^61 − 1, the modulus of the universal hash family.
+const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// A seeded family of `num_perm` universal hash functions producing MinHash
+/// signatures. Two `MinHasher`s with the same `num_perm` and `seed` are
+/// interchangeable — signatures are only comparable within one family.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    a: Vec<u64>,
+    b: Vec<u64>,
+}
+
+/// A MinHash signature: the element-wise minimum of each hash function over
+/// the input set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(pub Vec<u64>);
+
+impl MinHasher {
+    /// Create a family of `num_perm` hash functions from a seed.
+    pub fn new(num_perm: usize, seed: u64) -> MinHasher {
+        assert!(num_perm > 0, "num_perm must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..num_perm)
+            .map(|_| rng.gen_range(1..MERSENNE_61))
+            .collect();
+        let b = (0..num_perm)
+            .map(|_| rng.gen_range(0..MERSENNE_61))
+            .collect();
+        MinHasher { a, b }
+    }
+
+    /// Number of hash functions / signature length.
+    pub fn num_perm(&self) -> usize {
+        self.a.len()
+    }
+
+    #[inline]
+    fn perm(&self, i: usize, x: u64) -> u64 {
+        // (a*x + b) mod p with p = 2^61-1 via 128-bit arithmetic.
+        let v = (u128::from(self.a[i]) * u128::from(x) + u128::from(self.b[i]))
+            % u128::from(MERSENNE_61);
+        v as u64
+    }
+
+    /// Compute the signature of a set of string tokens.
+    ///
+    /// An empty set yields the all-`u64::MAX` signature, which estimates
+    /// Jaccard 1.0 against another empty set and ~0 against anything else.
+    pub fn signature<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Signature {
+        let mut mins = vec![u64::MAX; self.a.len()];
+        for tok in tokens {
+            let x = fnv1a64(tok.as_bytes());
+            for (i, m) in mins.iter_mut().enumerate() {
+                let h = self.perm(i, x);
+                if h < *m {
+                    *m = h;
+                }
+            }
+        }
+        Signature(mins)
+    }
+}
+
+impl Signature {
+    /// Unbiased estimate of the Jaccard similarity of the underlying sets:
+    /// the fraction of agreeing signature slots.
+    pub fn estimate_jaccard(&self, other: &Signature) -> f64 {
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "signatures from different families are not comparable"
+        );
+        let agree = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.0.len() as f64
+    }
+
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for a zero-length signature (never produced by [`MinHasher`]).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn sig_of(h: &MinHasher, items: &[&str]) -> Signature {
+        h.signature(items.iter().copied())
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let h = MinHasher::new(64, 42);
+        let a = sig_of(&h, &["x", "y", "z"]);
+        let b = sig_of(&h, &["z", "y", "x"]);
+        assert_eq!(a, b);
+        assert_eq!(a.estimate_jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn signature_is_deterministic_across_instances() {
+        let h1 = MinHasher::new(32, 7);
+        let h2 = MinHasher::new(32, 7);
+        assert_eq!(sig_of(&h1, &["a", "b"]), sig_of(&h2, &["a", "b"]));
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        let h1 = MinHasher::new(32, 1);
+        let h2 = MinHasher::new(32, 2);
+        assert_ne!(sig_of(&h1, &["a", "b"]), sig_of(&h2, &["a", "b"]));
+    }
+
+    #[test]
+    fn jaccard_estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 13);
+        // Two sets with known Jaccard 50/150 = 1/3.
+        let a: Vec<String> = (0..100).map(|i| format!("tok{i}")).collect();
+        let b: Vec<String> = (50..150).map(|i| format!("tok{i}")).collect();
+        let sa = h.signature(a.iter().map(String::as_str));
+        let sb = h.signature(b.iter().map(String::as_str));
+        let est = sa.estimate_jaccard(&sb);
+        let true_j = {
+            let sa: HashSet<_> = a.iter().collect();
+            let sb: HashSet<_> = b.iter().collect();
+            sa.intersection(&sb).count() as f64 / sa.union(&sb).count() as f64
+        };
+        assert!(
+            (est - true_j).abs() < 0.12,
+            "estimate {est} too far from true {true_j}"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(256, 99);
+        let a: Vec<String> = (0..80).map(|i| format!("a{i}")).collect();
+        let b: Vec<String> = (0..80).map(|i| format!("b{i}")).collect();
+        let sa = h.signature(a.iter().map(String::as_str));
+        let sb = h.signature(b.iter().map(String::as_str));
+        assert!(sa.estimate_jaccard(&sb) < 0.1);
+    }
+
+    #[test]
+    fn empty_set_signature_is_max() {
+        let h = MinHasher::new(8, 0);
+        let s = h.signature([]);
+        assert!(s.0.iter().all(|&m| m == u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "not comparable")]
+    fn mismatched_lengths_panic() {
+        let a = Signature(vec![1, 2]);
+        let b = Signature(vec![1]);
+        let _ = a.estimate_jaccard(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_perm must be positive")]
+    fn zero_perm_panics() {
+        let _ = MinHasher::new(0, 1);
+    }
+}

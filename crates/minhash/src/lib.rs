@@ -1,0 +1,31 @@
+//! # dialite-minhash
+//!
+//! MinHash signatures, banded Locality-Sensitive Hashing, and a from-scratch
+//! implementation of the **LSH Ensemble** domain-search index
+//! (Zhu, Nargesian, Pu, Miller — *LSH Ensemble: Internet-Scale Domain
+//! Search*, VLDB 2016), which is the joinable-table discovery backend the
+//! DIALITE demo exposes (paper §2.1; the authors used `ekzhu/datasketch`).
+//!
+//! Three layers:
+//!
+//! * [`MinHasher`] / [`Signature`] — fixed-length MinHash signatures over
+//!   string token sets, using a seeded universal hash family modulo the
+//!   Mersenne prime `2^61 - 1`. Signatures estimate Jaccard similarity.
+//! * [`LshIndex`] — classic banded LSH for a fixed Jaccard threshold.
+//! * [`LshEnsemble`] — the containment-search index: indexed domains are
+//!   partitioned by set size; each partition keeps banding tables for every
+//!   power-of-two row count, and at query time the containment threshold is
+//!   converted to a per-partition Jaccard threshold for which (near-)optimal
+//!   `(b, r)` parameters are chosen by minimizing the sum of false-positive
+//!   and false-negative probability integrals — the same construction as the
+//!   paper's optimal-parameter tuning.
+
+mod ensemble;
+mod hasher;
+mod lsh;
+mod params;
+
+pub use ensemble::{LshEnsemble, LshEnsembleBuilder};
+pub use hasher::{MinHasher, Signature};
+pub use lsh::LshIndex;
+pub use params::{containment_to_jaccard, optimal_params, optimal_params_restricted};

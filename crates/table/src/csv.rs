@@ -1,0 +1,301 @@
+//! A dependency-free RFC-4180-style CSV reader/writer.
+//!
+//! Supports quoted fields, doubled-quote escapes, embedded newlines and
+//! configurable delimiters — enough to ingest real open-data CSVs, which is
+//! the input format the DIALITE demo accepts (§3.1).
+//!
+//! Caveat (inherent to CSV, same as pandas' `na_values`): a text field whose
+//! content spells a null (`na`, `null`, …), boolean or number is
+//! indistinguishable from that typed value after a round trip — the reader
+//! re-infers types from the raw strings.
+
+use std::path::Path;
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header row (default `true`).
+    /// When `false`, columns are named `col_0`, `col_1`, ….
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+        }
+    }
+}
+
+/// Parse CSV text into raw string records.
+pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<Vec<Vec<String>>, TableError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(TableError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            '\r' => {
+                // swallow; \r\n handled by the \n branch
+            }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                if !(record.len() == 1 && record[0].is_empty()) {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+            }
+            d if d == opts.delimiter => {
+                record.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parse CSV text into a typed [`Table`], inferring column types and
+/// deduplicating repeated headers.
+pub fn read_csv_str(name: &str, input: &str, opts: &CsvOptions) -> Result<Table, TableError> {
+    let records = parse_csv(input, opts)?;
+    let mut iter = records.into_iter();
+    let (schema, first_data): (Schema, Option<Vec<String>>) = if opts.has_header {
+        match iter.next() {
+            Some(h) => (Schema::new_deduped(&h), None),
+            None => (Schema::new_deduped::<String>(&[]), None),
+        }
+    } else {
+        match iter.next() {
+            Some(first) => {
+                let names: Vec<String> =
+                    (0..first.len()).map(|i| format!("col_{i}")).collect();
+                (Schema::new_deduped(&names), Some(first))
+            }
+            None => (Schema::new_deduped::<String>(&[]), None),
+        }
+    };
+
+    let mut table = Table::with_schema(name, schema);
+    let parse_record = |rec: Vec<String>| -> Vec<Value> {
+        rec.iter().map(|s| Value::parse_str(s)).collect()
+    };
+    if let Some(first) = first_data {
+        table.push_row(parse_record(first))?;
+    }
+    for rec in iter {
+        table.push_row(parse_record(rec))?;
+    }
+    table.infer_types();
+    Ok(table)
+}
+
+fn needs_quoting(s: &str, delimiter: char) -> bool {
+    s.contains(delimiter) || s.contains('"') || s.contains('\n') || s.contains('\r')
+}
+
+fn quote(s: &str, delimiter: char) -> String {
+    if needs_quoting(s, delimiter) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize a table to CSV text (header + rows). Nulls serialize to their
+/// paper glyphs (`±` / `⊥`) so a round trip preserves null provenance.
+pub fn table_to_csv(table: &Table) -> String {
+    let delimiter = ',';
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .map(|n| quote(n, delimiter))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| quote(&v.to_string(), delimiter))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv_path(table: &Table, path: &Path) -> Result<(), TableError> {
+    std::fs::write(path, table_to_csv(table)).map_err(|e| TableError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn parses_simple_records() {
+        let recs = parse_csv("a,b\n1,2\n3,4\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parses_quotes_and_embedded_delimiters() {
+        let recs = parse_csv("name,notes\n\"Smith, J\",\"said \"\"hi\"\"\"\n", &CsvOptions::default())
+            .unwrap();
+        assert_eq!(recs[1][0], "Smith, J");
+        assert_eq!(recs[1][1], "said \"hi\"");
+    }
+
+    #[test]
+    fn parses_embedded_newline() {
+        let recs = parse_csv("a\n\"line1\nline2\"\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let recs = parse_csv("a,b\r\n1,2\r\n3,4", &CsvOptions::default()).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse_csv("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn quote_inside_unquoted_field_is_error() {
+        let err = parse_csv("a\nx\"y\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let recs = parse_csv("a,b\n\n1,2\n\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn read_infers_types_and_nulls() {
+        let t = read_csv_str(
+            "covid",
+            "city,rate,cases\nBerlin,0.63,1400000\nManchester,,\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.schema().column(1).ctype, ColumnType::Float);
+        assert_eq!(t.schema().column(2).ctype, ColumnType::Int);
+        assert!(t.row(1).unwrap()[1].is_null());
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "1,2\n3,4\n", &opts).unwrap();
+        let names: Vec<_> = t.schema().names().collect();
+        assert_eq!(names, vec!["col_0", "col_1"]);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(t.row(0).unwrap()[1], Value::Int(2));
+    }
+
+    #[test]
+    fn round_trip_preserves_content_and_null_kinds() {
+        let t = Table::from_rows(
+            "t",
+            &["city", "note"],
+            vec![
+                vec![Value::Text("Boston, MA".into()), Value::null_missing()],
+                vec![Value::Text("said \"hi\"".into()), Value::null_produced()],
+                vec![Value::Int(5), Value::Float(2.5)],
+            ],
+        )
+        .unwrap();
+        let csv = table_to_csv(&t);
+        let back = read_csv_str("t", &csv, &CsvOptions::default()).unwrap();
+        assert!(t.same_content(&back));
+        // null kinds survive, not just null-ness
+        assert_eq!(back.row(0).unwrap()[1], Value::null_missing());
+        assert!(matches!(
+            back.row(1).unwrap()[1],
+            Value::Null(crate::NullKind::Produced)
+        ));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = read_csv_str("t", "", &CsvOptions::default()).unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column_count(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced by the table substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row had a different arity than the table schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A column name was referenced that the schema does not contain.
+    UnknownColumn { table: String, column: String },
+    /// Two columns in one schema share a name.
+    DuplicateColumn { table: String, column: String },
+    /// A table name was referenced that the lake does not contain.
+    UnknownTable { table: String },
+    /// A table with this name is already registered in the lake.
+    DuplicateTable { table: String },
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// An I/O failure while reading or writing table files.
+    Io { path: String, message: String },
+    /// A row index out of bounds.
+    RowOutOfBounds { table: String, row: usize },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "table '{table}': row arity {got} does not match schema arity {expected}"
+            ),
+            TableError::UnknownColumn { table, column } => {
+                write!(f, "table '{table}': unknown column '{column}'")
+            }
+            TableError::DuplicateColumn { table, column } => {
+                write!(f, "table '{table}': duplicate column '{column}'")
+            }
+            TableError::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            TableError::DuplicateTable { table } => {
+                write!(f, "table '{table}' is already registered")
+            }
+            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Io { path, message } => write!(f, "io error on '{path}': {message}"),
+            TableError::RowOutOfBounds { table, row } => {
+                write!(f, "table '{table}': row index {row} out of bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TableError::ArityMismatch {
+            table: "t".into(),
+            expected: 3,
+            got: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("t"));
+        assert!(s.contains('3'));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(TableError::UnknownTable { table: "x".into() });
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,195 @@
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::csv::{read_csv_str, CsvOptions};
+use crate::error::TableError;
+use crate::table::Table;
+
+/// An in-memory data lake: the table repository `D` that discovery searches
+/// over (paper §2.1).
+///
+/// Tables are keyed by name and shared via `Arc` so that discovery indexes,
+/// pipelines and benchmarks can hold references without copying data.
+#[derive(Debug, Clone, Default)]
+pub struct DataLake {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl DataLake {
+    /// An empty lake.
+    pub fn new() -> DataLake {
+        DataLake::default()
+    }
+
+    /// Build a lake from an iterator of tables; duplicate names fail.
+    pub fn from_tables(tables: impl IntoIterator<Item = Table>) -> Result<DataLake, TableError> {
+        let mut lake = DataLake::new();
+        for t in tables {
+            lake.add(t)?;
+        }
+        Ok(lake)
+    }
+
+    /// Register a table; fails if a table with the same name exists.
+    pub fn add(&mut self, table: Table) -> Result<(), TableError> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(TableError::DuplicateTable { table: name });
+        }
+        self.tables.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Register or replace a table.
+    pub fn upsert(&mut self, table: Table) {
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(name).cloned()
+    }
+
+    /// Look up a table or fail with [`TableError::UnknownTable`].
+    pub fn require(&self, name: &str) -> Result<Arc<Table>, TableError> {
+        self.get(name).ok_or_else(|| TableError::UnknownTable {
+            table: name.to_string(),
+        })
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.tables.remove(name)
+    }
+
+    /// Table names in deterministic (sorted) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// All tables in deterministic (name-sorted) order.
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<Table>> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when the lake holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Load every `*.csv` file in a directory as a table named after the
+    /// file stem. Non-CSV files are ignored; subdirectories are not
+    /// descended into.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<usize, TableError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| TableError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut loaded = 0usize;
+        let mut paths: Vec<_> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| TableError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("table")
+                .to_string();
+            let text = std::fs::read_to_string(&path).map_err(|e| TableError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let table = read_csv_str(&name, &text, &CsvOptions::default())?;
+            self.add(table)?;
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    #[test]
+    fn add_and_get() {
+        let mut lake = DataLake::new();
+        lake.add(table! { "a"; ["x"]; [1] }).unwrap();
+        assert_eq!(lake.len(), 1);
+        assert_eq!(lake.get("a").unwrap().row_count(), 1);
+        assert!(lake.get("b").is_none());
+    }
+
+    #[test]
+    fn duplicate_add_fails_but_upsert_replaces() {
+        let mut lake = DataLake::new();
+        lake.add(table! { "a"; ["x"]; [1] }).unwrap();
+        assert!(lake.add(table! { "a"; ["x"]; [2] }).is_err());
+        lake.upsert(table! { "a"; ["x"]; [2], [3] });
+        assert_eq!(lake.get("a").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let lake = DataLake::new();
+        assert!(matches!(
+            lake.require("missing"),
+            Err(TableError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut lake = DataLake::new();
+        lake.add(table! { "zeta"; ["x"]; [1] }).unwrap();
+        lake.add(table! { "alpha"; ["x"]; [1] }).unwrap();
+        let names: Vec<_> = lake.names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn totals() {
+        let mut lake = DataLake::new();
+        lake.add(table! { "a"; ["x"]; [1], [2] }).unwrap();
+        lake.add(table! { "b"; ["x"]; [3] }).unwrap();
+        assert_eq!(lake.total_rows(), 3);
+        assert!(!lake.is_empty());
+    }
+
+    #[test]
+    fn load_dir_reads_csvs() {
+        let dir = std::env::temp_dir().join(format!("dialite_lake_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("one.csv"), "a,b\n1,2\n").unwrap();
+        std::fs::write(dir.join("two.csv"), "c\nx\n").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a table").unwrap();
+        let mut lake = DataLake::new();
+        let n = lake.load_dir(&dir).unwrap();
+        assert_eq!(n, 2);
+        assert!(lake.get("one").is_some());
+        assert!(lake.get("two").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! # dialite-table
+//!
+//! The relational substrate for `dialite-rs`: a typed, null-aware table model
+//! together with CSV I/O and an in-memory data-lake store.
+//!
+//! The model follows the semantics pinned down by the DIALITE paper
+//! (SIGMOD-Companion 2023) and its ALITE backend (PVLDB 16(4)):
+//!
+//! * Cell values are dynamically typed ([`Value`]): integers, floats, text,
+//!   booleans and **two kinds of nulls** — *missing* nulls (`±`, present in
+//!   the source data) and *produced* nulls (`⊥`, introduced by integration).
+//!   Both kinds behave identically for comparison and hashing (any null
+//!   equals any other null as *content*), but they are distinguished for
+//!   display and provenance, exactly as in the paper's Figures 2 and 3.
+//! * A [`Table`] is a named schema plus row-major tuples; every row carries
+//!   an implicit tuple identifier ([`Tid`]) used for provenance through
+//!   integration (the `{t1, t7}` sets of Figure 3).
+//! * A [`DataLake`] is a named collection of tables — the repository `D` that
+//!   discovery searches over.
+//!
+//! ```
+//! use dialite_table::{Table, Value};
+//!
+//! let t = Table::from_rows(
+//!     "cities",
+//!     &["country", "city", "rate"],
+//!     vec![
+//!         vec!["Germany".into(), "Berlin".into(), Value::Float(0.63)],
+//!         vec!["Spain".into(), "Barcelona".into(), Value::Float(0.82)],
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(t.row_count(), 2);
+//! assert_eq!(t.column_index("city"), Some(1));
+//! ```
+
+mod csv;
+mod error;
+mod lake;
+mod schema;
+mod table;
+mod value;
+
+pub use csv::{parse_csv, read_csv_str, table_to_csv, write_csv_path, CsvOptions};
+pub use error::TableError;
+pub use lake::DataLake;
+pub use schema::{ColumnMeta, ColumnType, Schema};
+pub use table::{Table, Tid};
+pub use value::{NullKind, Value};
+
+/// Convenience macro for constructing tables in tests and examples.
+///
+/// ```
+/// use dialite_table::{table, Value};
+/// let t = table! {
+///     "t1"; ["country", "city"];
+///     ["Germany", "Berlin"],
+///     ["Spain", "Barcelona"],
+/// };
+/// assert_eq!(t.row_count(), 2);
+/// ```
+#[macro_export]
+macro_rules! table {
+    ($name:expr; [$($col:expr),* $(,)?]; $([$($cell:expr),* $(,)?]),* $(,)?) => {{
+        $crate::Table::from_rows(
+            $name,
+            &[$($col),*],
+            vec![$(vec![$($crate::Value::from($cell)),*]),*],
+        )
+        .expect("table! literal must be well-formed")
+    }};
+}

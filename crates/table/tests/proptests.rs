@@ -1,0 +1,112 @@
+//! Property-based tests for the table substrate: CSV round-trips, value
+//! ordering laws and canonical-form invariants.
+
+use dialite_table::{parse_csv, read_csv_str, table_to_csv, CsvOptions, Table, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::null_missing()),
+        Just(Value::null_produced()),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: CSV text cannot distinguish NaN spellings from
+        // the "nan" null spelling, which is by design.
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        // Text that does not itself look like a number/null/bool, so that a
+        // round trip preserves the type (CSV cannot distinguish the text
+        // "na" from a null — see the csv module docs). Includes
+        // quotes/commas/newlines to exercise the quoting machinery.
+        "[a-zA-Z][a-zA-Z ,\"\n_-]{0,20}[a-zA-Z]"
+            .prop_filter("must not spell a null/bool", |s| {
+                !matches!(
+                    s.trim().to_ascii_lowercase().as_str(),
+                    "null" | "na" | "n/a" | "nan" | "none" | "true" | "false"
+                )
+            })
+            .prop_map(Value::Text),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..6, 0usize..12).prop_flat_map(|(cols, rows)| {
+        let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+        prop::collection::vec(prop::collection::vec(arb_value(), cols), rows).prop_map(
+            move |rows| {
+                Table::from_rows("t", &names, rows).expect("arity is fixed by construction")
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip_preserves_content(t in arb_table()) {
+        let csv = table_to_csv(&t);
+        let back = read_csv_str("t", &csv, &CsvOptions::default()).unwrap();
+        prop_assert!(t.same_content(&back), "csv was:\n{csv}");
+    }
+
+    #[test]
+    fn parse_csv_field_counts_are_consistent(t in arb_table()) {
+        let csv = table_to_csv(&t);
+        let recs = parse_csv(&csv, &CsvOptions::default()).unwrap();
+        // header + rows
+        prop_assert_eq!(recs.len(), 1 + t.row_count());
+        for rec in &recs {
+            prop_assert_eq!(rec.len(), t.column_count());
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+    }
+
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn distinct_is_idempotent(t in arb_table()) {
+        let once = t.distinct();
+        let twice = once.distinct();
+        prop_assert!(once.same_content(&twice));
+        prop_assert!(once.row_count() <= t.row_count());
+    }
+
+    #[test]
+    fn sorted_is_canonical(t in arb_table()) {
+        let s1 = t.sorted();
+        let s2 = s1.sorted();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert!(t.same_content(&s1));
+    }
+
+    #[test]
+    fn parse_str_never_panics(s in "\\PC*") {
+        let _ = Value::parse_str(&s);
+    }
+}

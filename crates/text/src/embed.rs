@@ -1,0 +1,200 @@
+//! Deterministic hashed character n-gram embeddings.
+//!
+//! This is the reproduction's substitute for the pretrained value embeddings
+//! ALITE's holistic schema matcher feeds to its clustering step (DESIGN.md
+//! §1). Strings are decomposed into padded character n-grams; each gram is
+//! feature-hashed into a fixed-dimension vector with a ±1 sign hash (the
+//! "hashing trick"), and the result is L2-normalized. Bags of strings embed
+//! as the normalized centroid of their member embeddings, so two columns
+//! drawing from lexically similar domains get high cosine similarity.
+
+use crate::tokenize::{fnv1a64, qgrams_padded, word_tokens};
+
+/// A hashed n-gram embedder with a fixed output dimension and gram sizes.
+#[derive(Debug, Clone)]
+pub struct NgramEmbedder {
+    dim: usize,
+    gram_sizes: Vec<usize>,
+    include_words: bool,
+}
+
+impl Default for NgramEmbedder {
+    /// 256 dimensions, 2- and 3-grams plus whole-word features: small enough
+    /// to centroid thousands of columns quickly, selective enough to
+    /// separate unrelated domains.
+    fn default() -> Self {
+        NgramEmbedder {
+            dim: 256,
+            gram_sizes: vec![2, 3],
+            include_words: true,
+        }
+    }
+}
+
+impl NgramEmbedder {
+    /// Custom dimension and gram sizes.
+    pub fn new(dim: usize, gram_sizes: Vec<usize>, include_words: bool) -> NgramEmbedder {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(!gram_sizes.is_empty(), "need at least one gram size");
+        NgramEmbedder {
+            dim,
+            gram_sizes,
+            include_words,
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn add_feature(&self, out: &mut [f32], feature: &str) {
+        let h = fnv1a64(feature.as_bytes());
+        let idx = (h % self.dim as u64) as usize;
+        // An independent bit decides the sign, which keeps hash collisions
+        // from systematically inflating similarity.
+        let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+        out[idx] += sign;
+    }
+
+    /// Embed one string into an (unnormalized) feature vector.
+    fn accumulate(&self, s: &str, out: &mut [f32]) {
+        for &q in &self.gram_sizes {
+            for gram in qgrams_padded(s, q) {
+                self.add_feature(out, &gram);
+            }
+        }
+        if self.include_words {
+            for w in word_tokens(s) {
+                self.add_feature(out, &format!("w:{w}"));
+            }
+        }
+    }
+
+    /// Embed a single string; L2-normalized (zero vector for empty input).
+    pub fn embed(&self, s: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        self.accumulate(s, &mut v);
+        normalize(&mut v);
+        v
+    }
+
+    /// Embed a bag of strings as the normalized centroid of member
+    /// embeddings. The per-member normalization stops a single long value
+    /// from dominating the column representation.
+    pub fn embed_bag<'a, I: IntoIterator<Item = &'a str>>(&self, bag: I) -> Vec<f32> {
+        let mut centroid = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        let mut member = vec![0.0f32; self.dim];
+        for s in bag {
+            member.iter_mut().for_each(|x| *x = 0.0);
+            self.accumulate(s, &mut member);
+            if normalize(&mut member) {
+                for (c, m) in centroid.iter_mut().zip(member.iter()) {
+                    *c += *m;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            normalize(&mut centroid);
+        }
+        centroid
+    }
+}
+
+/// L2-normalize in place; returns false (leaving zeros) for a zero vector.
+fn normalize(v: &mut [f32]) -> bool {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm == 0.0 {
+        return false;
+    }
+    v.iter_mut().for_each(|x| *x /= norm);
+    true
+}
+
+/// Convenience: embed a column's non-null value tokens with the default
+/// embedder configuration.
+pub fn column_embedding<'a, I: IntoIterator<Item = &'a str>>(values: I) -> Vec<f32> {
+    NgramEmbedder::default().embed_bag(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::cosine_dense;
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = NgramEmbedder::default();
+        assert_eq!(e.embed("Berlin"), e.embed("Berlin"));
+    }
+
+    #[test]
+    fn embedding_is_case_insensitive() {
+        let e = NgramEmbedder::default();
+        assert_eq!(e.embed("BERLIN"), e.embed("berlin"));
+    }
+
+    #[test]
+    fn similar_strings_are_closer_than_dissimilar() {
+        let e = NgramEmbedder::default();
+        let berlin = e.embed("berlin");
+        let berlin2 = e.embed("berlin city");
+        let number = e.embed("42,17");
+        assert!(cosine_dense(&berlin, &berlin2) > cosine_dense(&berlin, &number));
+    }
+
+    #[test]
+    fn similar_domains_have_high_cosine() {
+        let e = NgramEmbedder::default();
+        let cities_a = e.embed_bag(["berlin", "manchester", "barcelona"]);
+        let cities_b = e.embed_bag(["toronto", "mexico city", "boston", "barcelona"]);
+        let rates = e.embed_bag(["63%", "78%", "82%"]);
+        assert!(
+            cosine_dense(&cities_a, &cities_b) > cosine_dense(&cities_a, &rates),
+            "city domains should be closer to each other than to percentage domains"
+        );
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = NgramEmbedder::default();
+        let v = e.embed("hello world");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        let bag = e.embed_bag(["a", "b", "c"]);
+        let norm: f32 = bag.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_inputs_embed_to_zero() {
+        let e = NgramEmbedder::default();
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+        assert!(e.embed_bag([]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn bag_order_does_not_matter() {
+        let e = NgramEmbedder::default();
+        let a = e.embed_bag(["x", "y", "z"]);
+        let b = e.embed_bag(["z", "x", "y"]);
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = NgramEmbedder::new(0, vec![2], true);
+    }
+
+    #[test]
+    fn custom_dim_is_respected() {
+        let e = NgramEmbedder::new(64, vec![3], false);
+        assert_eq!(e.dim(), 64);
+        assert_eq!(e.embed("abc").len(), 64);
+    }
+}

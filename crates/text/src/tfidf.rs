@@ -1,0 +1,132 @@
+//! TF-IDF weighting over token bags, used to represent columns as weighted
+//! term vectors (e.g. for the synthesized-KB fallback of semantic search
+//! and for baseline column matchers).
+
+use std::collections::HashMap;
+
+use crate::tokenize::fnv1a64;
+use crate::vector::SparseVector;
+
+/// A fitted TF-IDF model: document frequencies over a corpus of token bags.
+///
+/// Terms are identified by their FNV-1a hash, so the model never stores the
+/// corpus vocabulary strings themselves.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    doc_count: usize,
+    doc_freq: HashMap<u64, usize>,
+}
+
+impl TfIdf {
+    /// Fit from a corpus of documents, each a bag of tokens.
+    pub fn fit<D, T>(corpus: D) -> TfIdf
+    where
+        D: IntoIterator<Item = T>,
+        T: IntoIterator<Item = String>,
+    {
+        let mut model = TfIdf::default();
+        for doc in corpus {
+            model.add_document(doc);
+        }
+        model
+    }
+
+    /// Incrementally add one document to the statistics.
+    pub fn add_document<T: IntoIterator<Item = String>>(&mut self, doc: T) {
+        self.doc_count += 1;
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        for tok in doc {
+            seen.entry(fnv1a64(tok.as_bytes())).or_insert(());
+        }
+        for term in seen.keys() {
+            *self.doc_freq.entry(*term).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Smoothed inverse document frequency: `ln((1 + N) / (1 + df)) + 1`.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self
+            .doc_freq
+            .get(&fnv1a64(token.as_bytes()))
+            .copied()
+            .unwrap_or(0);
+        ((1.0 + self.doc_count as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Transform a token bag into an L2-normalizable TF-IDF sparse vector
+    /// (raw term frequency × smoothed idf).
+    pub fn transform<'a, T: IntoIterator<Item = &'a str>>(&self, doc: T) -> SparseVector {
+        let mut tf: HashMap<&str, usize> = HashMap::new();
+        for tok in doc {
+            *tf.entry(tok).or_insert(0) += 1;
+        }
+        let pairs = tf
+            .into_iter()
+            .map(|(tok, count)| (fnv1a64(tok.as_bytes()), count as f64 * self.idf(tok)))
+            .collect();
+        SparseVector::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let model = TfIdf::fit(vec![
+            doc(&["city", "berlin"]),
+            doc(&["city", "boston"]),
+            doc(&["city", "delhi"]),
+        ]);
+        assert!(model.idf("berlin") > model.idf("city"));
+        assert_eq!(model.doc_count(), 3);
+    }
+
+    #[test]
+    fn unseen_terms_get_max_idf() {
+        let model = TfIdf::fit(vec![doc(&["a"]), doc(&["a", "b"])]);
+        assert!(model.idf("zzz") >= model.idf("b"));
+        assert!(model.idf("b") > model.idf("a"));
+    }
+
+    #[test]
+    fn transform_counts_term_frequency() {
+        let model = TfIdf::fit(vec![doc(&["x", "y"])]);
+        let v1 = model.transform(["x"]);
+        let v2 = model.transform(["x", "x"]);
+        assert!(v2.norm() > v1.norm());
+        assert_eq!(v1.nnz(), 1);
+    }
+
+    #[test]
+    fn similar_docs_have_higher_cosine() {
+        let model = TfIdf::fit(vec![
+            doc(&["covid", "cases", "city"]),
+            doc(&["vaccine", "country", "approver"]),
+            doc(&["population", "gdp"]),
+        ]);
+        let a = model.transform(["covid", "cases", "city"]);
+        let b = model.transform(["covid", "cases", "berlin"]);
+        let c = model.transform(["population", "gdp"]);
+        assert!(a.cosine(&b) > a.cosine(&c));
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_doc_transforms_to_zero_vector() {
+        let model = TfIdf::fit(vec![doc(&["a"])]);
+        let v = model.transform([]);
+        assert!(v.is_empty());
+        assert_eq!(v.norm(), 0.0);
+    }
+}

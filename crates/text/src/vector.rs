@@ -1,0 +1,117 @@
+//! A minimal sparse vector for TF-IDF document/column representations.
+
+/// A sparse vector stored as (dimension, weight) pairs sorted by dimension.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    entries: Vec<(u64, f64)>,
+}
+
+impl SparseVector {
+    /// Build from unsorted (dimension, weight) pairs; duplicate dimensions
+    /// are summed, zero weights dropped.
+    pub fn from_pairs(mut pairs: Vec<(u64, f64)>) -> SparseVector {
+        pairs.sort_by_key(|&(d, _)| d);
+        let mut entries: Vec<(u64, f64)> = Vec::with_capacity(pairs.len());
+        for (d, w) in pairs {
+            match entries.last_mut() {
+                Some((ld, lw)) if *ld == d => *lw += w,
+                _ => entries.push((d, w)),
+            }
+        }
+        entries.retain(|&(_, w)| w != 0.0);
+        SparseVector { entries }
+    }
+
+    /// Number of non-zero dimensions.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate (dimension, weight) pairs in dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Dot product via sorted merge.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (da, wa) = self.entries[i];
+            let (db, wb) = other.entries[j];
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Cosine similarity; 0 when either vector is zero.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let na = self.norm();
+        let nb = other.norm();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / (na * nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_merges_and_drops_zero() {
+        let v = SparseVector::from_pairs(vec![(5, 1.0), (2, 2.0), (5, 3.0), (7, 0.0)]);
+        let entries: Vec<_> = v.iter().collect();
+        assert_eq!(entries, vec![(2, 2.0), (5, 4.0)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_merges_sorted_dims() {
+        let a = SparseVector::from_pairs(vec![(1, 2.0), (3, 1.0)]);
+        let b = SparseVector::from_pairs(vec![(3, 4.0), (9, 5.0)]);
+        assert_eq!(a.dot(&b), 4.0);
+        assert_eq!(b.dot(&a), 4.0);
+    }
+
+    #[test]
+    fn cosine_identity_and_orthogonality() {
+        let a = SparseVector::from_pairs(vec![(1, 3.0), (2, 4.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+        let b = SparseVector::from_pairs(vec![(7, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+        let zero = SparseVector::default();
+        assert_eq!(a.cosine(&zero), 0.0);
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let a = SparseVector::from_pairs(vec![(0, 3.0), (1, 4.0)]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+}

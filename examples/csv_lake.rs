@@ -1,0 +1,48 @@
+//! A file-based workflow: build a CSV data lake on disk, point DIALITE at
+//! it, and write the integrated result back out as CSV — the way a
+//! command-line user (or the bundled `dialite` binary) drives the system.
+//!
+//! ```text
+//! cargo run --example csv_lake
+//! ```
+
+use std::path::PathBuf;
+
+use dialite::analyze::describe;
+use dialite::discovery::TableQuery;
+use dialite::pipeline::{demo, Pipeline};
+use dialite::table::{table_to_csv, write_csv_path, DataLake};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage a lake directory with the demo tables as CSV files.
+    let dir: PathBuf = std::env::temp_dir().join(format!("dialite_csv_lake_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    for table in demo::covid_lake().tables() {
+        write_csv_path(table, &dir.join(format!("{}.csv", table.name())))?;
+    }
+    println!("lake directory: {}", dir.display());
+
+    // Load it back the way the CLI does.
+    let mut lake = DataLake::new();
+    let loaded = lake.load_dir(&dir)?;
+    println!("loaded {loaded} CSV tables");
+
+    // Run the pipeline with the uploaded query table.
+    let pipeline = Pipeline::demo_default(&lake);
+    let query = TableQuery::with_column(demo::fig2_query(), 1);
+    let run = pipeline.run(&lake, &query)?;
+    println!("\nintegrated table:\n{}", run.integrated.table());
+
+    // Profile and persist the result.
+    println!("{}", describe(run.integrated.table()));
+    let out_path = dir.join("integrated.csv");
+    write_csv_path(run.integrated.table(), &out_path)?;
+    println!("wrote {}", out_path.display());
+    println!("\nfirst lines:\n{}", {
+        let csv = table_to_csv(run.integrated.table());
+        csv.lines().take(3).collect::<Vec<_>>().join("\n")
+    });
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

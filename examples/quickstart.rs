@@ -1,0 +1,50 @@
+//! Quickstart: the full DIALITE pipeline on the bundled demo lake.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Uploads the paper's query table T1 (COVID vaccination rates), discovers
+//! unionable/joinable tables (SANTOS-style + LSH Ensemble), aligns and
+//! integrates them with ALITE's Full Disjunction, and runs a first analysis.
+
+use dialite::analyze::{extremes, pearson_columns};
+use dialite::pipeline::{demo, Pipeline};
+use dialite::discovery::TableQuery;
+
+fn main() {
+    // The data lake of the demonstration (T2, T3, vaccine tables, noise).
+    let lake = demo::covid_lake();
+    println!(
+        "Data lake: {} tables, {} rows total\n",
+        lake.len(),
+        lake.total_rows()
+    );
+
+    // The user uploads a query table and marks `City` as the intent column.
+    let query = TableQuery::with_column(demo::fig2_query(), 1);
+    println!("Query table:\n{}", query.table);
+
+    // Discover → Align → Integrate with the demo configuration.
+    let pipeline = Pipeline::demo_default(&lake);
+    let run = pipeline.run(&lake, &query).expect("pipeline run");
+    println!("{}", run.report());
+
+    // Analyze (paper Example 3).
+    let out = run.integrated.table();
+    let col = |name: &str| out.column_index(name).expect("integration id");
+    let rate = col("Vaccination Rate");
+    let (lo, hi) = extremes(out, rate).expect("numeric column");
+    println!(
+        "\nLowest vaccination rate:  {}",
+        out.row(lo).unwrap()[col("City")]
+    );
+    println!(
+        "Highest vaccination rate: {}",
+        out.row(hi).unwrap()[col("City")]
+    );
+    let r1 = pearson_columns(out, rate, col("Death Rate")).unwrap();
+    let r2 = pearson_columns(out, col("Total Cases"), rate).unwrap();
+    println!("corr(vaccination, death rate) = {r1:.2}   (paper: 0.16)");
+    println!("corr(cases, vaccination)      = {r2:.2}   (paper: 0.9)");
+}

@@ -1,0 +1,47 @@
+//! The paper's §3.2 scenario (Figs. 7–8): integrate the vaccine tables with
+//! outer join and with Full Disjunction, then run entity resolution over
+//! both results — showing why FD's maximal tuples make the downstream task
+//! work.
+//!
+//! ```text
+//! cargo run --example vaccine_er
+//! ```
+
+use dialite::align::Alignment;
+use dialite::analyze::EntityResolver;
+use dialite::pipeline::demo;
+use dialite::table::Table;
+use dialite_integrate::{AliteFd, Integrator, OuterJoinIntegrator};
+
+fn main() {
+    let (t4, t5, t6) = demo::fig7_tables();
+    println!("Integration set:\n{t4}\n{t5}\n{t6}");
+    let tables: Vec<&Table> = vec![&t4, &t5, &t6];
+    let alignment = Alignment::by_headers(&tables);
+
+    // Fig. 8(a): the user-defined outer-join operator.
+    let oj = OuterJoinIntegrator
+        .integrate(&tables, &alignment)
+        .expect("outer join");
+    println!("(a) outer join:\n{}", oj.display_with_provenance(Some(&["T4", "T5", "T6"])));
+
+    // Fig. 8(b): ALITE's FD.
+    let fd = AliteFd::default()
+        .integrate(&tables, &alignment)
+        .expect("full disjunction");
+    println!("(b) full disjunction:\n{}", fd.display_with_provenance(Some(&["T4", "T5", "T6"])));
+
+    // Figs. 8(c)/(d): entity resolution over both results.
+    let er = EntityResolver::demo_default();
+    let over_oj = er.resolve(oj.table());
+    let over_fd = er.resolve(fd.table());
+    println!("(c) ER over outer join ({} entities):\n{}", over_oj.entity_count(), over_oj.table);
+    println!("(d) ER over FD ({} entities):\n{}", over_fd.entity_count(), over_fd.table);
+
+    println!(
+        "FD derived J&J's approver; outer join did not. \
+         FD+ER yields {} complete entities vs {} fragmented outer-join rows.",
+        over_fd.entity_count(),
+        over_oj.table.row_count()
+    );
+}

@@ -1,0 +1,205 @@
+//! `dialite` — a command-line interface to the DIALITE pipeline, standing in
+//! for the paper's interactive web demo (§2.4). Users point it at a
+//! directory of CSV files (the data lake) and drive the three stages:
+//!
+//! ```text
+//! dialite demo
+//! dialite discover  --lake DIR --query Q.csv [--column N] [--k K]
+//! dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
+//! dialite analyze   --table T.csv --corr colA,colB
+//! dialite generate  --prompt "covid cases" [--rows N] [--cols N]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dialite::align::{HolisticMatcher, KbAnnotator};
+use dialite::analyze::{column_summary, pearson_columns};
+use dialite::datagen::TableSynth;
+use dialite::discovery::TableQuery;
+use dialite::kb::curated::covid_kb;
+use dialite::pipeline::{demo, Pipeline};
+use dialite::table::{read_csv_str, CsvOptions, DataLake, Table};
+use dialite_integrate::{
+    AliteFd, InnerJoinIntegrator, Integrator, OuterJoinIntegrator, OuterUnionIntegrator,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dialite: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dialite demo
+  dialite discover  --lake DIR --query FILE.csv [--column N] [--k K]
+  dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
+  dialite analyze   --table FILE.csv [--corr colA,colB] [--summary]
+  dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]";
+
+/// Minimal `--flag value` argument reader.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_lake(dir: &str) -> Result<DataLake, String> {
+    let mut lake = DataLake::new();
+    let n = lake
+        .load_dir(Path::new(dir))
+        .map_err(|e| format!("loading lake from {dir}: {e}"))?;
+    if n == 0 {
+        return Err(format!("no .csv files found in {dir}"));
+    }
+    Ok(lake)
+}
+
+fn load_table(path: &str) -> Result<Table, String> {
+    let text = std::fs::read_to_string(PathBuf::from(path))
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("query");
+    read_csv_str(name, &text, &CsvOptions::default()).map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(),
+        Some("discover") => cmd_discover(&args[1..]),
+        Some("integrate") => cmd_integrate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let lake = demo::covid_lake();
+    let pipeline = Pipeline::demo_default(&lake);
+    let query = TableQuery::with_column(demo::fig2_query(), 1);
+    println!("Query table:\n{}", query.table);
+    let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
+    println!("{}", run.report());
+    Ok(())
+}
+
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
+    let table = load_table(flag(args, "--query").ok_or("--query FILE is required")?)?;
+    let k: usize = flag(args, "--k").unwrap_or("5").parse().map_err(|_| "--k must be a number")?;
+    let query = match flag(args, "--column") {
+        Some(c) => {
+            let col: usize = c.parse().map_err(|_| "--column must be a number")?;
+            if col >= table.column_count() {
+                return Err(format!("--column {col} out of range"));
+            }
+            TableQuery::with_column(table, col)
+        }
+        None => TableQuery::new(table),
+    };
+    let mut pipeline = Pipeline::demo_default(&lake);
+    pipeline.set_top_k(k);
+    let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
+    println!("{}", run.report());
+    Ok(())
+}
+
+fn parse_operator(name: Option<&str>) -> Result<Box<dyn Integrator>, String> {
+    Ok(match name.unwrap_or("fd") {
+        "fd" => Box::new(AliteFd::default()),
+        "outer-join" => Box::new(OuterJoinIntegrator),
+        "inner-join" => Box::new(InnerJoinIntegrator),
+        "union" => Box::new(OuterUnionIntegrator { subsume: true }),
+        other => return Err(format!("unknown operator '{other}'")),
+    })
+}
+
+fn cmd_integrate(args: &[String]) -> Result<(), String> {
+    let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
+    let names = flag(args, "--tables").ok_or("--tables a,b,c is required")?;
+    let operator = parse_operator(flag(args, "--operator"))?;
+    let tables: Vec<Arc<Table>> = names
+        .split(',')
+        .map(|n| lake.require(n.trim()).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
+    let matcher = HolisticMatcher::default()
+        .with_annotator(Arc::new(KbAnnotator::new(Arc::new(covid_kb()))));
+    let alignment = matcher.align(&refs);
+    println!("Integration IDs:");
+    for (t, table) in refs.iter().enumerate() {
+        for c in 0..table.column_count() {
+            println!(
+                "  {}.{} → {}",
+                table.name(),
+                table.schema().column(c).name,
+                alignment.name_of(alignment.id_of(t, c))
+            );
+        }
+    }
+    let out = operator
+        .integrate(&refs, &alignment)
+        .map_err(|e| e.to_string())?;
+    println!("\n{}", out.table());
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let table = load_table(flag(args, "--table").ok_or("--table FILE is required")?)?;
+    if let Some(pair) = flag(args, "--corr") {
+        let (a, b) = pair
+            .split_once(',')
+            .ok_or("--corr expects colA,colB")?;
+        let ca = table
+            .column_index(a.trim())
+            .ok_or_else(|| format!("unknown column '{a}'"))?;
+        let cb = table
+            .column_index(b.trim())
+            .ok_or_else(|| format!("unknown column '{b}'"))?;
+        match pearson_columns(&table, ca, cb) {
+            Some(r) => println!("pearson({a}, {b}) = {r:.4}"),
+            None => println!("pearson({a}, {b}) undefined (insufficient pairs or zero variance)"),
+        }
+    }
+    // Summary is the default action (and runs alongside --corr with --summary).
+    if flag(args, "--corr").is_none() || args.iter().any(|a| a == "--summary") {
+        println!("{table}");
+        for c in 0..table.column_count() {
+            let s = column_summary(&table, c).map_err(|e| e.to_string())?;
+            println!(
+                "{:<20} rows={} nulls={} distinct={} mean={} min={} max={}",
+                s.column,
+                s.rows,
+                s.nulls,
+                s.distinct,
+                s.mean.map_or("-".into(), |x| format!("{x:.3}")),
+                s.min.map_or("-".into(), |x| format!("{x:.3}")),
+                s.max.map_or("-".into(), |x| format!("{x:.3}")),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let prompt = flag(args, "--prompt").ok_or("--prompt TEXT is required")?;
+    let rows: usize = flag(args, "--rows").unwrap_or("5").parse().map_err(|_| "--rows must be a number")?;
+    let cols: usize = flag(args, "--cols").unwrap_or("5").parse().map_err(|_| "--cols must be a number")?;
+    let seed: u64 = flag(args, "--seed").unwrap_or("42").parse().map_err(|_| "--seed must be a number")?;
+    let table = TableSynth::new(seed).generate(prompt, rows, cols);
+    print!("{}", dialite::table::table_to_csv(&table));
+    Ok(())
+}
