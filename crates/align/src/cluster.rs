@@ -59,7 +59,10 @@ pub fn average_linkage_cluster(sim: &[Vec<f64>], groups: &[usize], threshold: f6
         }
         match best {
             Some((i, j, s)) if s >= threshold => {
-                let (mj, gj) = (std::mem::take(&mut members[j]), std::mem::take(&mut cluster_groups[j]));
+                let (mj, gj) = (
+                    std::mem::take(&mut members[j]),
+                    std::mem::take(&mut cluster_groups[j]),
+                );
                 members[i].extend(mj);
                 cluster_groups[i].extend(gj);
                 active[j] = false;

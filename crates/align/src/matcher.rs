@@ -408,7 +408,8 @@ mod tests {
         // Paper Fig. 7: T4(Vaccine, Approver), T5(Country, Approver),
         // T6(Vaccine, Country) — with neutral headers.
         let t4 = table! { "T4"; ["p", "q"]; ["Pfizer", "FDA"], ["JnJ", Value::null_missing()] };
-        let t5 = table! { "T5"; ["r", "s"]; ["United States", "FDA"], ["USA", Value::null_missing()] };
+        let t5 =
+            table! { "T5"; ["r", "s"]; ["United States", "FDA"], ["USA", Value::null_missing()] };
         let t6 = table! { "T6"; ["u", "v"]; ["J&J", "United States"], ["JnJ", "USA"] };
         use dialite_table::Value;
         let al = demo_matcher().align(&[&t4, &t5, &t6]);

@@ -137,7 +137,9 @@ mod tests {
         assert!(sparse.is_empty());
         // Lowering the gate admits it.
         let lax = KbAnnotator::new(Arc::new(covid_kb())).with_min_coverage(0.2);
-        assert!(!lax.annotate(&toks(&["berlin", "aa", "bb", "cc"])).is_empty());
+        assert!(!lax
+            .annotate(&toks(&["berlin", "aa", "bb", "cc"]))
+            .is_empty());
     }
 
     #[test]

@@ -65,13 +65,8 @@ pub fn column_signature_with(
     let t = tables[table];
     let tokens = t.column_token_set(column);
     let embedding = embedder.embed_bag(tokens.iter().map(String::as_str));
-    let semantics = annotator
-        .map(|a| a.annotate(&tokens))
-        .unwrap_or_default();
-    let numerics: Vec<f64> = t
-        .column_values(column)
-        .filter_map(|v| v.as_f64())
-        .collect();
+    let semantics = annotator.map(|a| a.annotate(&tokens)).unwrap_or_default();
+    let numerics: Vec<f64> = t.column_values(column).filter_map(|v| v.as_f64()).collect();
     let non_null = t.column_values(column).filter(|v| !v.is_null()).count();
     let (mean, std, range) = if numerics.is_empty() {
         (0.0, 0.0, (0.0, 0.0))

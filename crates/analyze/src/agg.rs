@@ -98,12 +98,13 @@ impl GroupBy {
     /// Run the query, producing a result table with one row per group,
     /// sorted by group key.
     pub fn run(&self, table: &Table) -> Result<Table, TableError> {
-        let key_idx = table
-            .column_index(&self.key_column)
-            .ok_or_else(|| TableError::UnknownColumn {
-                table: table.name().to_string(),
-                column: self.key_column.clone(),
-            })?;
+        let key_idx =
+            table
+                .column_index(&self.key_column)
+                .ok_or_else(|| TableError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: self.key_column.clone(),
+                })?;
         let mut agg_idx = Vec::with_capacity(self.aggregates.len());
         for (col, _) in &self.aggregates {
             let idx = table
@@ -127,7 +128,10 @@ impl GroupBy {
         for (col, agg) in &self.aggregates {
             out_cols.push(format!("{}({col})", agg.label()));
         }
-        let mut out = Table::new(&format!("{} by {}", table.name(), self.key_column), &out_cols)?;
+        let mut out = Table::new(
+            &format!("{} by {}", table.name(), self.key_column),
+            &out_cols,
+        )?;
         for key in keys {
             let rows = &groups[&key];
             let mut out_row = Vec::with_capacity(1 + self.aggregates.len());
@@ -182,7 +186,11 @@ mod tests {
             .find(|r| r[0] == Value::Text("Spain".into()))
             .unwrap();
         assert_eq!(spain[1], Value::Int(2));
-        assert_eq!(spain[2], Value::Int(3_200_000), "null pop excluded from sum");
+        assert_eq!(
+            spain[2],
+            Value::Int(3_200_000),
+            "null pop excluded from sum"
+        );
     }
 
     #[test]

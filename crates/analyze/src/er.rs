@@ -289,7 +289,8 @@ impl EntityResolver {
             .expect("schema names are unique");
         for cluster in &clusters {
             let row = consolidate(table, cluster);
-            out.push_row(row).expect("consolidated row has schema arity");
+            out.push_row(row)
+                .expect("consolidated row has schema arity");
         }
         out.infer_types();
         ErResult {
@@ -451,7 +452,10 @@ mod tests {
             matches!(&r[0], Value::Text(s) if er.gazetteer.canonical(s) == "johnson johnson")
                 && !r[1].is_null()
         });
-        assert!(!jnj_with_approver, "outer join cannot derive J&J's approver");
+        assert!(
+            !jnj_with_approver,
+            "outer join cannot derive J&J's approver"
+        );
     }
 
     #[test]
@@ -481,7 +485,10 @@ mod tests {
         assert_eq!(er.value_sim(&Value::Int(3), &Value::Int(3)), Some(1.0));
         // Synonyms.
         assert_eq!(
-            er.value_sim(&Value::Text("USA".into()), &Value::Text("United States".into())),
+            er.value_sim(
+                &Value::Text("USA".into()),
+                &Value::Text("United States".into())
+            ),
             Some(1.0)
         );
         // Acronym fallback for unseen pairs.

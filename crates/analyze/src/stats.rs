@@ -139,7 +139,9 @@ pub fn spearman(pairs: &[(f64, f64)]) -> Option<f64> {
 pub fn describe(table: &Table) -> Table {
     let mut out = Table::new(
         &format!("describe({})", table.name()),
-        &["column", "type", "rows", "nulls", "distinct", "mean", "min", "max"],
+        &[
+            "column", "type", "rows", "nulls", "distinct", "mean", "min", "max",
+        ],
     )
     .expect("static schema");
     for c in 0..table.column_count() {
@@ -300,7 +302,11 @@ mod tests {
     fn spearman_degenerate() {
         assert_eq!(spearman(&[]), None);
         assert_eq!(spearman(&[(1.0, 1.0)]), None);
-        assert_eq!(spearman(&[(2.0, 1.0), (2.0, 3.0)]), None, "tied x has no rank variance");
+        assert_eq!(
+            spearman(&[(2.0, 1.0), (2.0, 3.0)]),
+            None,
+            "tied x has no rank variance"
+        );
     }
 
     #[test]

@@ -15,9 +15,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_table() -> impl Strategy<Value = Table> {
-    prop::collection::vec(prop::collection::vec(arb_value(), 3), 0..15).prop_map(|rows| {
-        Table::from_rows("t", &["g", "x", "y"], rows).expect("fixed arity")
-    })
+    prop::collection::vec(prop::collection::vec(arb_value(), 3), 0..15)
+        .prop_map(|rows| Table::from_rows("t", &["g", "x", "y"], rows).expect("fixed arity"))
 }
 
 proptest! {

@@ -23,8 +23,7 @@ fn bench_align(c: &mut Criterion) {
             scramble_headers: true,
             seed: 21,
         });
-        let tables_owned: Vec<Table> =
-            synth.lake.tables().map(|t| t.as_ref().clone()).collect();
+        let tables_owned: Vec<Table> = synth.lake.tables().map(|t| t.as_ref().clone()).collect();
         let refs: Vec<&Table> = tables_owned.iter().collect();
         let kb = Arc::new(synth.truth.kb.clone());
 
@@ -34,8 +33,7 @@ fn bench_align(c: &mut Criterion) {
             &fragments,
             |b, _| b.iter(|| holistic.align(std::hint::black_box(&refs))),
         );
-        let with_kb =
-            HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb)));
+        let with_kb = HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb)));
         group.bench_with_input(
             BenchmarkId::new("holistic+kb", fragments),
             &fragments,

@@ -19,9 +19,7 @@ fn bench_minhash(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("signature-128", set_size),
             &set_size,
-            |b, _| {
-                b.iter(|| hasher.signature(toks.iter().map(String::as_str)))
-            },
+            |b, _| b.iter(|| hasher.signature(toks.iter().map(String::as_str))),
         );
     }
 

@@ -15,7 +15,11 @@ use dialite_datagen::lake::{LakeSpec, SyntheticLake};
 use dialite_datagen::metrics::alignment_pair_f1;
 use dialite_table::Table;
 
-fn eval(synth: &SyntheticLake, universes: usize, matcher: Option<&HolisticMatcher>) -> (f64, f64, f64, f64) {
+fn eval(
+    synth: &SyntheticLake,
+    universes: usize,
+    matcher: Option<&HolisticMatcher>,
+) -> (f64, f64, f64, f64) {
     let tables_owned: Vec<Table> = synth.lake.tables().map(|t| t.as_ref().clone()).collect();
     let (mut p, mut r, mut f, mut ms_sum, mut n) = (0.0, 0.0, 0.0, 0.0, 0usize);
     for u in 0..universes {
@@ -67,7 +71,13 @@ fn main() {
         section(title);
         println!(
             "{}",
-            row(&["matcher".into(), "P".into(), "R".into(), "F1".into(), "ms".into()])
+            row(&[
+                "matcher".into(),
+                "P".into(),
+                "R".into(),
+                "F1".into(),
+                "ms".into()
+            ])
         );
         let holistic = HolisticMatcher::default();
         let with_kb =

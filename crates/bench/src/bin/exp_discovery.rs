@@ -95,7 +95,12 @@ fn main() {
     section("E7.2 — related-table search (all relatives), k = 8");
     println!(
         "{}",
-        row(&["engine".into(), "P@8".into(), "R@8".into(), "query ms".into()])
+        row(&[
+            "engine".into(),
+            "P@8".into(),
+            "R@8".into(),
+            "query ms".into()
+        ])
     );
     for (name, engine) in [
         ("santos", &santos as &dyn Discovery),
@@ -109,7 +114,12 @@ fn main() {
     section("E7.3 — joinable search (key column marked), k = 8");
     println!(
         "{}",
-        row(&["engine".into(), "P@8".into(), "R@8".into(), "query ms".into()])
+        row(&[
+            "engine".into(),
+            "P@8".into(),
+            "R@8".into(),
+            "query ms".into()
+        ])
     );
     for (name, engine) in [
         ("lsh-ensemble", &lshe as &dyn Discovery),
@@ -138,12 +148,7 @@ fn main() {
         let (_, _, ex_q) = evaluate(&synth, &overlap, k, true);
         println!(
             "{}",
-            row(&[
-                format!("{}", universes * 6),
-                f3(b_ms),
-                f3(lshe_q),
-                f3(ex_q),
-            ])
+            row(&[format!("{}", universes * 6), f3(b_ms), f3(lshe_q), f3(ex_q),])
         );
     }
 }

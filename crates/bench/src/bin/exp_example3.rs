@@ -29,7 +29,10 @@ fn main() {
     section("Example 3 — correlations (paper vs measured)");
     let r_vd = pearson_columns(&t, rate, death).unwrap();
     let r_cv = pearson_columns(&t, cases, rate).unwrap();
-    println!("{}", row(&["pair".into(), "paper".into(), "measured".into()]));
+    println!(
+        "{}",
+        row(&["pair".into(), "paper".into(), "measured".into()])
+    );
     println!(
         "{}",
         row(&["vacc↔death".into(), "0.16".into(), format!("{r_vd:.4}")])

@@ -78,5 +78,8 @@ fn main() {
 fn check(label: &str, got: &Table, expected: &Table) {
     let ok = got.same_content(&expected.clone().renamed(got.name()));
     println!("{label} matches paper: {}", if ok { "YES" } else { "NO" });
-    assert!(ok, "{label} must reproduce exactly;\ngot:\n{got}\nexpected:\n{expected}");
+    assert!(
+        ok,
+        "{label} must reproduce exactly;\ngot:\n{got}\nexpected:\n{expected}"
+    );
 }

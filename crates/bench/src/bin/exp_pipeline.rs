@@ -43,6 +43,9 @@ fn main() {
 
     section("Verification");
     let ok = out.same_content(&demo::fig3_expected());
-    println!("end-to-end output equals paper Fig. 3: {}", if ok { "YES" } else { "NO" });
+    println!(
+        "end-to-end output equals paper Fig. 3: {}",
+        if ok { "YES" } else { "NO" }
+    );
     assert!(ok);
 }

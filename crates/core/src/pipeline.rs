@@ -8,7 +8,9 @@ use dialite_discovery::{
     union_integration_set, Discovered, Discovery, LshEnsembleConfig, LshEnsembleDiscovery,
     SantosConfig, SantosDiscovery, TableQuery,
 };
-use dialite_integrate::{AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator};
+use dialite_integrate::{
+    AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
+};
 use dialite_kb::curated::covid_kb;
 use dialite_table::{DataLake, Table, TableError};
 
@@ -292,8 +294,14 @@ mod tests {
         let run = demo_run();
         let set: Vec<&str> = run.integration_set.iter().map(|t| t.name()).collect();
         assert!(set.contains(&"T1"), "{set:?}");
-        assert!(set.contains(&"T2"), "unionable T2 must be discovered: {set:?}");
-        assert!(set.contains(&"T3"), "joinable T3 must be discovered: {set:?}");
+        assert!(
+            set.contains(&"T2"),
+            "unionable T2 must be discovered: {set:?}"
+        );
+        assert!(
+            set.contains(&"T3"),
+            "joinable T3 must be discovered: {set:?}"
+        );
         assert!(!set.contains(&"animals"), "{set:?}");
     }
 
@@ -344,7 +352,10 @@ mod tests {
         let run = demo_run();
         let report = run.report();
         for needle in ["== Discover ==", "== Align ==", "== Integrate ==", "santos"] {
-            assert!(report.contains(needle), "report missing {needle}:\n{report}");
+            assert!(
+                report.contains(needle),
+                "report missing {needle}:\n{report}"
+            );
         }
     }
 
@@ -425,9 +436,10 @@ mod tests {
             Err(PipelineError::EmptyIntegrationSet) => {}
             Ok(run) => {
                 // Anything that *was* discovered must at least be scored.
-                assert!(run.discovered.iter().all(|(_, hits)| hits
+                assert!(run
+                    .discovered
                     .iter()
-                    .all(|d| d.score > 0.0)));
+                    .all(|(_, hits)| hits.iter().all(|d| d.score > 0.0)));
             }
             Err(other) => panic!("unexpected error: {other}"),
         }

@@ -97,11 +97,7 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// All tables related (unionable or joinable) to `table`.
     pub fn related(&self, table: &str) -> HashSet<String> {
-        let mut out = self
-            .unionable
-            .get(table)
-            .cloned()
-            .unwrap_or_default();
+        let mut out = self.unionable.get(table).cloned().unwrap_or_default();
         if let Some(j) = self.joinable.get(table) {
             out.extend(j.iter().cloned());
         }
@@ -205,7 +201,7 @@ impl SyntheticLake {
                     .enumerate()
                     .map(|(i, &c)| {
                         if spec.scramble_headers {
-                            format!("c{}", rng.gen_range(0..10_000) * 10 + i)
+                            format!("c{}", rng.gen_range(0..10_000usize) * 10 + i)
                         } else {
                             universe.headers[c].clone()
                         }
@@ -253,11 +249,23 @@ impl SyntheticLake {
                     continue;
                 }
                 if ca == cb {
-                    unionable.entry((**a).clone()).or_default().insert((**b).clone());
-                    unionable.entry((**b).clone()).or_default().insert((**a).clone());
+                    unionable
+                        .entry((**a).clone())
+                        .or_default()
+                        .insert((**b).clone());
+                    unionable
+                        .entry((**b).clone())
+                        .or_default()
+                        .insert((**a).clone());
                 } else {
-                    joinable.entry((**a).clone()).or_default().insert((**b).clone());
-                    joinable.entry((**b).clone()).or_default().insert((**a).clone());
+                    joinable
+                        .entry((**a).clone())
+                        .or_default()
+                        .insert((**b).clone());
+                    joinable
+                        .entry((**b).clone())
+                        .or_default()
+                        .insert((**a).clone());
                 }
             }
         }

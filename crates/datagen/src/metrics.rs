@@ -11,11 +11,7 @@ use crate::lake::GroundTruth;
 /// Precision@k counts hits among the first `k` results; recall@k counts
 /// which truths were retrieved. Both are 1.0 for an empty truth set with no
 /// results.
-pub fn precision_recall_at_k(
-    ranked: &[String],
-    truth: &HashSet<String>,
-    k: usize,
-) -> (f64, f64) {
+pub fn precision_recall_at_k(ranked: &[String], truth: &HashSet<String>, k: usize) -> (f64, f64) {
     let top: Vec<&String> = ranked.iter().take(k).collect();
     let hits = top.iter().filter(|t| truth.contains(t.as_str())).count();
     let precision = if top.is_empty() {

@@ -88,7 +88,13 @@ impl TableSynth {
     }
 
     fn covid(&mut self, rows: usize, cols: usize) -> Table {
-        let all = ["Country", "City", "Vaccination Rate", "Total Cases", "Death Rate"];
+        let all = [
+            "Country",
+            "City",
+            "Vaccination Rate",
+            "Total Cases",
+            "Death Rate",
+        ];
         let ncols = cols.min(all.len()).max(2);
         let mut pool: Vec<&(&str, &str)> = CITIES.iter().collect();
         pool.shuffle(&mut self.rng);
@@ -182,14 +188,23 @@ mod tests {
         let b = TableSynth::new(7).generate("covid cases", 4, 3);
         assert_eq!(a, b);
         let c = TableSynth::new(8).generate("covid cases", 4, 3);
-        assert!(!a.same_content(&c) || a == c, "different seeds usually differ");
+        assert!(
+            !a.same_content(&c) || a == c,
+            "different seeds usually differ"
+        );
     }
 
     #[test]
     fn topic_routing() {
         let mut s = TableSynth::new(1);
-        assert_eq!(s.generate("vaccine approvals", 3, 3).name(), "generated_vaccines");
-        assert_eq!(s.generate("city populations", 3, 3).name(), "generated_cities");
+        assert_eq!(
+            s.generate("vaccine approvals", 3, 3).name(),
+            "generated_vaccines"
+        );
+        assert_eq!(
+            s.generate("city populations", 3, 3).name(),
+            "generated_cities"
+        );
         assert_eq!(s.generate("random stuff", 3, 3).name(), "generated");
     }
 

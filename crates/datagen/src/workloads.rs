@@ -162,8 +162,8 @@ impl ErWorkload {
                 labels.push(e);
             }
         }
-        let table = Table::from_rows("mentions", &["name", "code", "city"], rows)
-            .expect("fixed arity");
+        let table =
+            Table::from_rows("mentions", &["name", "code", "city"], rows).expect("fixed arity");
         (table, labels)
     }
 }

@@ -102,9 +102,7 @@ impl Discovery for LshEnsembleDiscovery {
         let candidates: Vec<String> = if q_tokens.len() < self.config.exact_fallback_below {
             self.domains.keys().cloned().collect()
         } else {
-            let sig = self
-                .hasher
-                .signature(q_tokens.iter().map(String::as_str));
+            let sig = self.hasher.signature(q_tokens.iter().map(String::as_str));
             self.ensemble
                 .query(&sig, q_tokens.len(), self.config.threshold)
         };
@@ -145,10 +143,11 @@ mod tests {
     use dialite_table::{table, Table};
 
     fn city_table(name: &str, extra: &[&str]) -> Table {
-        let mut rows: Vec<Vec<dialite_table::Value>> = ["berlin", "barcelona", "boston", "new delhi"]
-            .iter()
-            .map(|c| vec![(*c).into(), 1i64.into()])
-            .collect();
+        let mut rows: Vec<Vec<dialite_table::Value>> =
+            ["berlin", "barcelona", "boston", "new delhi"]
+                .iter()
+                .map(|c| vec![(*c).into(), 1i64.into()])
+                .collect();
         for e in extra {
             rows.push(vec![(*e).into(), 2i64.into()]);
         }
@@ -251,8 +250,12 @@ mod tests {
 
         let engine = LshEnsembleDiscovery::build(&demo_lake(), LshEnsembleConfig::default());
         let empty_q = TableQuery::new(
-            Table::from_rows("e", &["c"], vec![vec![dialite_table::Value::null_missing()]])
-                .unwrap(),
+            Table::from_rows(
+                "e",
+                &["c"],
+                vec![vec![dialite_table::Value::null_missing()]],
+            )
+            .unwrap(),
         );
         assert!(engine.discover(&empty_q, 5).is_empty());
     }

@@ -192,11 +192,7 @@ fn annotate_table(kb: &KnowledgeBase, table: &Table, config: &SantosConfig) -> T
                     Some((va, vb))
                 })
                 .collect();
-            let ann = kb.annotate_pair(
-                pair_values
-                    .iter()
-                    .map(|(x, y)| (x.as_str(), y.as_str())),
-            );
+            let ann = kb.annotate_pair(pair_values.iter().map(|(x, y)| (x.as_str(), y.as_str())));
             if let Some(((rel, dir), conf)) = ann.top() {
                 if conf >= config.min_confidence {
                     pairs.insert((a, b), (rel, dir, conf));
@@ -233,7 +229,9 @@ impl Discovery for SantosDiscovery {
 
     fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
         let q_sem = annotate_table(&self.kb, &query.table, &self.config);
-        let intent = query.effective_column().min(q_sem.columns.len().saturating_sub(1));
+        let intent = query
+            .effective_column()
+            .min(q_sem.columns.len().saturating_sub(1));
         if q_sem.columns.is_empty() {
             return Vec::new();
         }
@@ -307,9 +305,7 @@ impl SantosDiscovery {
                 }
                 let node = self.column_sim(qcol, ccol);
                 let edge = match (q_edge, pair_rel(cand, best_intent_col, cj)) {
-                    (Some((qr, qd, qc)), Some((cr, cd, cc))) if qr == cr && qd == cd => {
-                        qc.min(cc)
-                    }
+                    (Some((qr, qd, qc)), Some((cr, cd, cc))) if qr == cr && qd == cd => qc.min(cc),
                     _ => 0.0,
                 };
                 let w = self.config.edge_weight;
@@ -404,8 +400,7 @@ mod tests {
             ["Ottawa", "Mexico"],
         };
         let lake = DataLake::from_tables([coherent, incoherent]).unwrap();
-        let engine =
-            SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
         let q = TableQuery::with_column(
             table! {
                 "Q"; ["City", "Country"];
@@ -426,8 +421,7 @@ mod tests {
         let a = table! { "parts"; ["part"]; ["bolt-17"], ["nut-4"], ["washer-9"] };
         let b = table! { "other"; ["x"]; ["gear-1"], ["gear-2"] };
         let lake = DataLake::from_tables([a, b]).unwrap();
-        let engine =
-            SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
         let q = TableQuery::new(table! { "Q"; ["p"]; ["bolt-17"], ["nut-4"] });
         let hits = engine.discover(&q, 2);
         assert!(!hits.is_empty());
@@ -437,9 +431,9 @@ mod tests {
     #[test]
     fn query_table_itself_is_excluded() {
         let mut lake = demo_lake();
-        lake.add(query().table.as_ref().clone().renamed("Q")).unwrap();
-        let engine =
-            SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        lake.add(query().table.as_ref().clone().renamed("Q"))
+            .unwrap();
+        let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
         let hits = engine.discover(&query(), 10);
         assert!(hits.iter().all(|d| d.table != "Q"));
     }

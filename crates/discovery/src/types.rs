@@ -101,9 +101,18 @@ mod tests {
     #[test]
     fn top_k_sorts_and_truncates_deterministically() {
         let c = vec![
-            Discovered { table: "b".into(), score: 0.5 },
-            Discovered { table: "a".into(), score: 0.5 },
-            Discovered { table: "c".into(), score: 0.9 },
+            Discovered {
+                table: "b".into(),
+                score: 0.5,
+            },
+            Discovered {
+                table: "a".into(),
+                score: 0.5,
+            },
+            Discovered {
+                table: "c".into(),
+                score: 0.9,
+            },
         ];
         let out = top_k(c, 2);
         assert_eq!(out[0].table, "c");
@@ -114,12 +123,24 @@ mod tests {
     #[test]
     fn union_preserves_first_seen_order() {
         let r1 = vec![
-            Discovered { table: "x".into(), score: 1.0 },
-            Discovered { table: "y".into(), score: 0.5 },
+            Discovered {
+                table: "x".into(),
+                score: 1.0,
+            },
+            Discovered {
+                table: "y".into(),
+                score: 0.5,
+            },
         ];
         let r2 = vec![
-            Discovered { table: "y".into(), score: 0.9 },
-            Discovered { table: "z".into(), score: 0.8 },
+            Discovered {
+                table: "y".into(),
+                score: 0.9,
+            },
+            Discovered {
+                table: "z".into(),
+                score: 0.8,
+            },
         ];
         assert_eq!(union_integration_set(&[r1, r2]), vec!["x", "y", "z"]);
     }

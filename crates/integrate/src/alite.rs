@@ -55,13 +55,17 @@ impl Integrator for AliteFd {
 
         // Inverted index: (column, value) → tuple indices having that value.
         let mut index: HashMap<(u32, Value), Vec<u32>> = HashMap::new();
-        let index_tuple = |index: &mut HashMap<(u32, Value), Vec<u32>>, store: &[AlignedTuple], i: usize| {
-            for (c, v) in store[i].values.iter().enumerate() {
-                if !v.is_null() {
-                    index.entry((c as u32, v.clone())).or_default().push(i as u32);
+        let index_tuple =
+            |index: &mut HashMap<(u32, Value), Vec<u32>>, store: &[AlignedTuple], i: usize| {
+                for (c, v) in store[i].values.iter().enumerate() {
+                    if !v.is_null() {
+                        index
+                            .entry((c as u32, v.clone()))
+                            .or_default()
+                            .push(i as u32);
+                    }
                 }
-            }
-        };
+            };
         for i in 0..store.len() {
             index_tuple(&mut index, &store, i);
         }
@@ -111,7 +115,11 @@ impl Integrator for AliteFd {
         }
 
         let tuples = remove_subsumed_indexed(store);
-        Ok(IntegratedTable::from_tuples(&fd_name(tables), &names, tuples))
+        Ok(IntegratedTable::from_tuples(
+            &fd_name(tables),
+            &names,
+            tuples,
+        ))
     }
 }
 
@@ -201,8 +209,16 @@ mod tests {
         let mut rows_a = Vec::new();
         let mut rows_b = Vec::new();
         for i in 0..8 {
-            rows_a.push(vec![Value::Int(1), Value::Text(format!("a{i}")), Value::null_missing()]);
-            rows_b.push(vec![Value::Int(1), Value::null_missing(), Value::Text(format!("b{i}"))]);
+            rows_a.push(vec![
+                Value::Int(1),
+                Value::Text(format!("a{i}")),
+                Value::null_missing(),
+            ]);
+            rows_b.push(vec![
+                Value::Int(1),
+                Value::null_missing(),
+                Value::Text(format!("b{i}")),
+            ]);
         }
         let a = Table::from_rows("A", &["k", "p", "q"], rows_a).unwrap();
         let b = Table::from_rows("B", &["k", "p", "q"], rows_b).unwrap();

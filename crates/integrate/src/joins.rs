@@ -51,7 +51,12 @@ fn aligned_per_table(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, 
         })
         .collect();
     for tup in all {
-        let t = tup.tids.iter().next().expect("base tuple has one tid").table as usize;
+        let t = tup
+            .tids
+            .iter()
+            .next()
+            .expect("base tuple has one tid")
+            .table as usize;
         per_table[t].0.push(tup);
     }
     (names, per_table)
@@ -121,7 +126,14 @@ fn join_chain(
     let (names, per_table) = aligned_per_table(tables, alignment);
     let mut iter = per_table.into_iter();
     let Some((mut acc, mut present)) = iter.next() else {
-        let display = format!("{}()", if keep_unmatched { "OuterJoin" } else { "InnerJoin" });
+        let display = format!(
+            "{}()",
+            if keep_unmatched {
+                "OuterJoin"
+            } else {
+                "InnerJoin"
+            }
+        );
         return Ok((display, names, Vec::new()));
     };
     for (right, right_slots) in iter {

@@ -162,8 +162,16 @@ mod tests {
         let mut rows_a = Vec::new();
         let mut rows_b = Vec::new();
         for i in 0..8 {
-            rows_a.push(vec![Value::Int(1), Value::Text(format!("a{i}")), Value::null_missing()]);
-            rows_b.push(vec![Value::Int(1), Value::null_missing(), Value::Text(format!("b{i}"))]);
+            rows_a.push(vec![
+                Value::Int(1),
+                Value::Text(format!("a{i}")),
+                Value::null_missing(),
+            ]);
+            rows_b.push(vec![
+                Value::Int(1),
+                Value::null_missing(),
+                Value::Text(format!("b{i}")),
+            ]);
         }
         let a = Table::from_rows("A", &["k", "p", "q"], rows_a).unwrap();
         let b = Table::from_rows("B", &["k", "p", "q"], rows_b).unwrap();

@@ -3,7 +3,7 @@
 //!
 //! The complementation fixpoint proceeds in rounds. Each round takes the
 //! *frontier* (tuples created in the previous round; initially the outer
-//! union) and, in parallel over crossbeam scoped threads, probes the shared
+//! union) and, in parallel over std scoped threads, probes the shared
 //! read-only inverted index for complementable partners. Merges are
 //! collected per thread, deduplicated serially, appended to the store, and
 //! become the next frontier. Subsumption removal reuses ALITE's indexed pass.
@@ -63,7 +63,10 @@ impl Integrator for ParallelFd {
         for (i, t) in store.iter().enumerate() {
             for (c, v) in t.values.iter().enumerate() {
                 if !v.is_null() {
-                    index.entry((c as u32, v.clone())).or_default().push(i as u32);
+                    index
+                        .entry((c as u32, v.clone()))
+                        .or_default()
+                        .push(i as u32);
                 }
             }
         }
@@ -77,10 +80,10 @@ impl Integrator for ParallelFd {
             let store_ref = &store;
             let index_ref = &index;
             let chunk = frontier.len().div_ceil(threads);
-            let mut proposals: Vec<(u32, u32)> = crossbeam::thread::scope(|s| {
+            let mut proposals: Vec<(u32, u32)> = std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for slice in frontier.chunks(chunk.max(1)) {
-                    handles.push(s.spawn(move |_| {
+                    handles.push(s.spawn(move || {
                         let mut local: Vec<(u32, u32)> = Vec::new();
                         for &i in slice {
                             let t = &store_ref[i as usize];
@@ -111,8 +114,7 @@ impl Integrator for ParallelFd {
                     .into_iter()
                     .flat_map(|h| h.join().expect("worker panicked"))
                     .collect()
-            })
-            .expect("crossbeam scope failed");
+            });
 
             proposals.sort_unstable();
             proposals.dedup();
@@ -146,7 +148,11 @@ impl Integrator for ParallelFd {
         }
 
         let tuples = remove_subsumed_indexed(store);
-        Ok(IntegratedTable::from_tuples(&fd_name(tables), &names, tuples))
+        Ok(IntegratedTable::from_tuples(
+            &fd_name(tables),
+            &names,
+            tuples,
+        ))
     }
 }
 
@@ -162,7 +168,9 @@ mod tests {
     fn matches_alite_on_fig2() {
         let (t1, t2, t3) = fig2_tables();
         let al = Alignment::by_headers(&[&t1, &t2, &t3]);
-        let par = ParallelFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
+        let par = ParallelFd::default()
+            .integrate(&[&t1, &t2, &t3], &al)
+            .unwrap();
         let ser = AliteFd::default().integrate(&[&t1, &t2, &t3], &al).unwrap();
         assert!(par.table().same_content(ser.table()));
         assert_eq!(par.row_count(), 7);
@@ -197,8 +205,16 @@ mod tests {
         let mut rows_a = Vec::new();
         let mut rows_b = Vec::new();
         for i in 0..8 {
-            rows_a.push(vec![Value::Int(1), Value::Text(format!("a{i}")), Value::null_missing()]);
-            rows_b.push(vec![Value::Int(1), Value::null_missing(), Value::Text(format!("b{i}"))]);
+            rows_a.push(vec![
+                Value::Int(1),
+                Value::Text(format!("a{i}")),
+                Value::null_missing(),
+            ]);
+            rows_b.push(vec![
+                Value::Int(1),
+                Value::null_missing(),
+                Value::Text(format!("b{i}")),
+            ]);
         }
         let a = Table::from_rows("A", &["k", "p", "q"], rows_a).unwrap();
         let b = Table::from_rows("B", &["k", "p", "q"], rows_b).unwrap();

@@ -67,7 +67,11 @@ impl IntegratedTable {
     /// `table_names` (optional) maps table indices to display names.
     pub fn display_with_provenance(&self, table_names: Option<&[&str]>) -> String {
         let mut out = String::new();
-        out.push_str(&format!("# {} ({} rows)\n", self.table.name(), self.row_count()));
+        out.push_str(&format!(
+            "# {} ({} rows)\n",
+            self.table.name(),
+            self.row_count()
+        ));
         for (i, row) in self.table.rows().enumerate() {
             let tids: Vec<String> = self.provenance[i]
                 .iter()
@@ -114,11 +118,7 @@ mod tests {
 
     #[test]
     fn rows_are_sorted_canonically_with_aligned_provenance() {
-        let it = IntegratedTable::from_tuples(
-            "r",
-            &["x".to_string(), "y".to_string()],
-            tuples(),
-        );
+        let it = IntegratedTable::from_tuples("r", &["x".to_string(), "y".to_string()], tuples());
         assert_eq!(it.row_count(), 2);
         assert_eq!(it.table().row(0).unwrap()[0], Value::Text("a".into()));
         assert_eq!(it.provenance(0).len(), 2);
@@ -127,11 +127,7 @@ mod tests {
 
     #[test]
     fn display_with_provenance_shows_tids() {
-        let it = IntegratedTable::from_tuples(
-            "r",
-            &["x".to_string(), "y".to_string()],
-            tuples(),
-        );
+        let it = IntegratedTable::from_tuples("r", &["x".to_string(), "y".to_string()], tuples());
         let plain = it.display_with_provenance(None);
         assert!(plain.contains("t0.0"), "{plain}");
         let named = it.display_with_provenance(Some(&["T1", "T2"]));

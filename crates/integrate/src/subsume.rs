@@ -113,7 +113,10 @@ mod tests {
         let b = tup(vec![Value::Int(1)], &[(2, 0)]);
         let out = dedup_content(vec![a, b]);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].tids, [Tid::new(2, 0)].into_iter().collect::<BTreeSet<_>>());
+        assert_eq!(
+            out[0].tids,
+            [Tid::new(2, 0)].into_iter().collect::<BTreeSet<_>>()
+        );
     }
 
     #[test]
@@ -169,10 +172,27 @@ mod tests {
     #[test]
     fn naive_and_indexed_agree_on_chains() {
         // a ⊑ b ⊑ c chain plus an incomparable d.
-        let a = tup(vec![Value::Int(1), Value::null_produced(), Value::null_produced()], &[(0, 0)]);
-        let b = tup(vec![Value::Int(1), Value::Int(2), Value::null_produced()], &[(1, 0)]);
+        let a = tup(
+            vec![
+                Value::Int(1),
+                Value::null_produced(),
+                Value::null_produced(),
+            ],
+            &[(0, 0)],
+        );
+        let b = tup(
+            vec![Value::Int(1), Value::Int(2), Value::null_produced()],
+            &[(1, 0)],
+        );
         let c = tup(vec![Value::Int(1), Value::Int(2), Value::Int(3)], &[(2, 0)]);
-        let d = tup(vec![Value::Int(9), Value::null_produced(), Value::null_produced()], &[(3, 0)]);
+        let d = tup(
+            vec![
+                Value::Int(9),
+                Value::null_produced(),
+                Value::null_produced(),
+            ],
+            &[(3, 0)],
+        );
         let input = vec![a, b, c.clone(), d.clone()];
         let naive = remove_subsumed_naive(input.clone());
         let indexed = remove_subsumed_indexed(input);

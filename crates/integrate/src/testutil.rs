@@ -1,48 +1,5 @@
 //! Shared fixtures for the engine tests: the paper's Fig. 2 and Fig. 7
-//! integration sets.
+//! integration sets, re-exported from the workspace-wide fixture set in
+//! [`dialite_table::fixtures`] so every layer tests against one copy.
 
-use dialite_table::{table, Table, Value};
-
-/// Paper Fig. 2: the COVID tables (T1 query, T2 unionable, T3 joinable).
-pub(crate) fn fig2_tables() -> (Table, Table, Table) {
-    let t1 = table! {
-        "T1"; ["Country", "City", "Vaccination Rate"];
-        ["Germany", "Berlin", 0.63],
-        ["England", "Manchester", 0.78],
-        ["Spain", "Barcelona", 0.82],
-    };
-    let t2 = table! {
-        "T2"; ["Country", "City", "Vaccination Rate"];
-        ["Canada", "Toronto", 0.83],
-        ["Mexico", "Mexico City", Value::null_missing()],
-        ["USA", "Boston", 0.62],
-    };
-    let t3 = table! {
-        "T3"; ["City", "Total Cases", "Death Rate"];
-        ["Berlin", 1_400_000, 147],
-        ["Barcelona", 2_680_000, 275],
-        ["Boston", 263_000, 335],
-        ["New Delhi", 2_000_000, 158],
-    };
-    (t1, t2, t3)
-}
-
-/// Paper Fig. 7: the vaccine tables (T4, T5, T6).
-pub(crate) fn fig7_tables() -> (Table, Table, Table) {
-    let t4 = table! {
-        "T4"; ["Vaccine", "Approver"];
-        ["Pfizer", "FDA"],
-        ["JnJ", Value::null_missing()],
-    };
-    let t5 = table! {
-        "T5"; ["Country", "Approver"];
-        ["United States", "FDA"],
-        ["USA", Value::null_missing()],
-    };
-    let t6 = table! {
-        "T6"; ["Vaccine", "Country"];
-        ["J&J", "United States"],
-        ["JnJ", "USA"],
-    };
-    (t4, t5, t6)
-}
+pub(crate) use dialite_table::fixtures::{fig2_tables, fig7_tables};

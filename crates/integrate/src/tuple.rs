@@ -19,9 +19,10 @@ pub struct AlignedTuple {
 impl AlignedTuple {
     /// Consistency: agree wherever both are non-null (nulls are wildcards).
     pub fn consistent(&self, other: &AlignedTuple) -> bool {
-        self.values.iter().zip(&other.values).all(|(a, b)| {
-            a.is_null() || b.is_null() || a == b
-        })
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.is_null() || b.is_null() || a == b)
     }
 
     /// Connection: at least one attribute where both are non-null and equal
@@ -198,7 +199,11 @@ mod tests {
             tids: [Tid::new(0, 0)].into_iter().collect(),
         };
         let b = AlignedTuple {
-            values: vec![Value::Int(1), Value::null_produced(), Value::null_produced()],
+            values: vec![
+                Value::Int(1),
+                Value::null_produced(),
+                Value::null_produced(),
+            ],
             tids: [Tid::new(1, 0)].into_iter().collect(),
         };
         let m = a.merge(&b);
@@ -212,7 +217,11 @@ mod tests {
     fn subsumption_examples_from_fig8() {
         // f12 = (JnJ, ⊥, USA) subsumes t12-as-aligned = (JnJ, ±, ⊥).
         let f12 = tup(vec!["JnJ".into(), Value::null_produced(), "USA".into()]);
-        let t12 = tup(vec!["JnJ".into(), Value::null_missing(), Value::null_produced()]);
+        let t12 = tup(vec![
+            "JnJ".into(),
+            Value::null_missing(),
+            Value::null_produced(),
+        ]);
         assert!(f12.subsumes(&t12));
         assert!(!t12.subsumes(&f12));
         // Every tuple subsumes itself.
@@ -241,27 +250,26 @@ mod tests {
         assert_eq!(names, vec!["country", "city", "cases"]);
         assert_eq!(tuples.len(), 2);
         // T1 row: cases is produced-null.
-        assert!(matches!(tuples[0].values[2], Value::Null(NullKind::Produced)));
+        assert!(matches!(
+            tuples[0].values[2],
+            Value::Null(NullKind::Produced)
+        ));
         // T3 row: country is produced-null, city set.
         assert!(tuples[1].values[0].is_null());
         assert_eq!(tuples[1].values[1], Value::Text("Berlin".into()));
-        assert_eq!(
-            tuples[1].tids.iter().next().copied(),
-            Some(Tid::new(1, 0))
-        );
+        assert_eq!(tuples[1].tids.iter().next().copied(), Some(Tid::new(1, 0)));
     }
 
     #[test]
     fn outer_union_preserves_missing_nulls() {
-        let t = dialite_table::Table::from_rows(
-            "t",
-            &["a"],
-            vec![vec![Value::null_missing()]],
-        )
-        .unwrap();
+        let t = dialite_table::Table::from_rows("t", &["a"], vec![vec![Value::null_missing()]])
+            .unwrap();
         let al = Alignment::by_headers(&[&t]);
         let (_, tuples) = outer_union(&[&t], &al);
-        assert!(matches!(tuples[0].values[0], Value::Null(NullKind::Missing)));
+        assert!(matches!(
+            tuples[0].values[0],
+            Value::Null(NullKind::Missing)
+        ));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! join and Full Disjunction, and FD invariants on hand-built cases.
 
 use dialite_align::Alignment;
-use dialite_integrate::{
-    AliteFd, Integrator, NaiveFd, OuterJoinIntegrator, ParallelFd,
-};
+use dialite_integrate::{AliteFd, Integrator, NaiveFd, OuterJoinIntegrator, ParallelFd};
 use dialite_table::{table, Table, Tid, Value};
 
 fn fig7_tables() -> (Table, Table, Table) {
@@ -67,9 +65,8 @@ fn fig8b_f13_derives_jnj_approver_which_outer_join_misses() {
 
     let fd = AliteFd::default().integrate(&[&t4, &t5, &t6], &al).unwrap();
     let has_jnj_approver = |t: &Table| {
-        t.rows().any(|r| {
-            matches!(&r[0], Value::Text(s) if s == "J&J" || s == "JnJ") && !r[1].is_null()
-        })
+        t.rows()
+            .any(|r| matches!(&r[0], Value::Text(s) if s == "J&J" || s == "JnJ") && !r[1].is_null())
     };
     assert!(
         has_jnj_approver(fd.table()),
@@ -77,7 +74,9 @@ fn fig8b_f13_derives_jnj_approver_which_outer_join_misses() {
         fd.table()
     );
 
-    let oj = OuterJoinIntegrator.integrate(&[&t4, &t5, &t6], &al).unwrap();
+    let oj = OuterJoinIntegrator
+        .integrate(&[&t4, &t5, &t6], &al)
+        .unwrap();
     assert!(
         !has_jnj_approver(oj.table()),
         "outer join must NOT derive J&J's approver:\n{}",
@@ -129,7 +128,10 @@ fn fd_output_is_subsumption_free() {
             if i == j {
                 continue;
             }
-            let subsumes = b.iter().zip(a.iter()).all(|(bv, av)| bv.is_null() || bv == av);
+            let subsumes = b
+                .iter()
+                .zip(a.iter())
+                .all(|(bv, av)| bv.is_null() || bv == av);
             assert!(!subsumes, "row {j} is subsumed by row {i}");
         }
     }
@@ -193,9 +195,9 @@ fn every_input_tuple_is_represented_in_fd() {
     for (t, table) in tables.iter().enumerate() {
         for row in table.rows() {
             let found = out.table().rows().any(|orow| {
-                row.iter().enumerate().all(|(c, v)| {
-                    v.is_null() || orow[slots[t][c]] == *v
-                })
+                row.iter()
+                    .enumerate()
+                    .all(|(c, v)| v.is_null() || orow[slots[t][c]] == *v)
             });
             assert!(found, "input tuple {row:?} of table {t} lost");
         }
@@ -210,7 +212,9 @@ fn diamond_case_produces_both_maximal_merges() {
     let s1 = table! { "S1"; ["k", "b"]; [1, "left"] };
     let s2 = table! { "S2"; ["k", "b"]; [1, "right"] };
     let al = Alignment::by_headers(&[&hub, &s1, &s2]);
-    let out = AliteFd::default().integrate(&[&hub, &s1, &s2], &al).unwrap();
+    let out = AliteFd::default()
+        .integrate(&[&hub, &s1, &s2], &al)
+        .unwrap();
     let expected = table! {
         "x"; ["k", "a", "b"];
         [1, "hub", "left"],

@@ -70,7 +70,10 @@ impl KnowledgeBase {
     ///
     /// Votes are counted per *distinct* value (SANTOS annotates the column's
     /// domain, so a repeated value does not dominate the vote).
-    pub fn annotate_column<'a, I: IntoIterator<Item = &'a str>>(&self, values: I) -> ColumnAnnotation {
+    pub fn annotate_column<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        values: I,
+    ) -> ColumnAnnotation {
         let mut distinct: HashMap<String, ()> = HashMap::new();
         for v in values {
             if !v.trim().is_empty() {

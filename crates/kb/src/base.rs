@@ -181,7 +181,9 @@ impl KnowledgeBase {
             return Some(norm);
         }
         let via_alias = self.aliases.get(&norm)?;
-        self.entity_types.contains_key(via_alias).then(|| via_alias.clone())
+        self.entity_types
+            .contains_key(via_alias)
+            .then(|| via_alias.clone())
     }
 
     /// `true` if the mention resolves to a known entity.

@@ -54,7 +54,13 @@ pub fn covid_kb() -> KnowledgeBase {
     b.add_alias("Deutschland", "Germany");
 
     // Vaccines, manufacturers and agencies of Figs. 7–8.
-    for v in ["Pfizer", "Moderna", "Johnson & Johnson", "AstraZeneca", "Sputnik V"] {
+    for v in [
+        "Pfizer",
+        "Moderna",
+        "Johnson & Johnson",
+        "AstraZeneca",
+        "Sputnik V",
+    ] {
         b.add_entity(v, &["vaccine", "company"]);
     }
     b.add_alias("JnJ", "Johnson & Johnson");

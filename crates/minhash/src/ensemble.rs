@@ -115,7 +115,8 @@ impl LshEnsembleBuilder {
     /// Partition (equi-depth by size) and build the banding tables.
     pub fn build(mut self, num_partitions: usize) -> LshEnsemble {
         let num_partitions = num_partitions.max(1);
-        self.entries.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.entries
+            .sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
         let n = self.entries.len();
         let rs: Vec<usize> = std::iter::successors(Some(1usize), |r| Some(r * 2))
             .take_while(|&r| r <= self.num_perm)

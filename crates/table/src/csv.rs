@@ -117,8 +117,7 @@ pub fn read_csv_str(name: &str, input: &str, opts: &CsvOptions) -> Result<Table,
     } else {
         match iter.next() {
             Some(first) => {
-                let names: Vec<String> =
-                    (0..first.len()).map(|i| format!("col_{i}")).collect();
+                let names: Vec<String> = (0..first.len()).map(|i| format!("col_{i}")).collect();
                 (Schema::new_deduped(&names), Some(first))
             }
             None => (Schema::new_deduped::<String>(&[]), None),
@@ -126,9 +125,8 @@ pub fn read_csv_str(name: &str, input: &str, opts: &CsvOptions) -> Result<Table,
     };
 
     let mut table = Table::with_schema(name, schema);
-    let parse_record = |rec: Vec<String>| -> Vec<Value> {
-        rec.iter().map(|s| Value::parse_str(s)).collect()
-    };
+    let parse_record =
+        |rec: Vec<String>| -> Vec<Value> { rec.iter().map(|s| Value::parse_str(s)).collect() };
     if let Some(first) = first_data {
         table.push_row(parse_record(first))?;
     }
@@ -196,8 +194,11 @@ mod tests {
 
     #[test]
     fn parses_quotes_and_embedded_delimiters() {
-        let recs = parse_csv("name,notes\n\"Smith, J\",\"said \"\"hi\"\"\"\n", &CsvOptions::default())
-            .unwrap();
+        let recs = parse_csv(
+            "name,notes\n\"Smith, J\",\"said \"\"hi\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(recs[1][0], "Smith, J");
         assert_eq!(recs[1][1], "said \"hi\"");
     }

@@ -46,7 +46,9 @@ impl fmt::Display for TableError {
             TableError::DuplicateTable { table } => {
                 write!(f, "table '{table}' is already registered")
             }
-            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             TableError::Io { path, message } => write!(f, "io error on '{path}': {message}"),
             TableError::RowOutOfBounds { table, row } => {
                 write!(f, "table '{table}': row index {row} out of bounds")
@@ -76,7 +78,8 @@ mod tests {
 
     #[test]
     fn error_trait_object_works() {
-        let e: Box<dyn std::error::Error> = Box::new(TableError::UnknownTable { table: "x".into() });
+        let e: Box<dyn std::error::Error> =
+            Box::new(TableError::UnknownTable { table: "x".into() });
         assert!(e.to_string().contains('x'));
     }
 }

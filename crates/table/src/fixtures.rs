@@ -1,0 +1,126 @@
+//! Shared demo fixtures: the paper's Fig. 2 / Fig. 7 tables and the small
+//! demo lake built from them.
+//!
+//! These used to be duplicated between `dialite-integrate`'s test helpers
+//! and `dialite-core`'s demo module (and re-typed in integration tests);
+//! they live here — the bottom of the crate DAG — so that every layer,
+//! including the workspace-root integration tests, consumes one copy.
+
+use crate::{table, DataLake, Table, Value};
+
+/// Paper Fig. 2, T1 — the query table (COVID vaccination rates).
+pub fn fig2_query() -> Table {
+    table! {
+        "T1"; ["Country", "City", "Vaccination Rate"];
+        ["Germany", "Berlin", 0.63],
+        ["England", "Manchester", 0.78],
+        ["Spain", "Barcelona", 0.82],
+    }
+}
+
+/// Paper Fig. 2, T2 — the unionable table in the lake.
+pub fn fig2_unionable() -> Table {
+    table! {
+        "T2"; ["Country", "City", "Vaccination Rate"];
+        ["Canada", "Toronto", 0.83],
+        ["Mexico", "Mexico City", Value::null_missing()],
+        ["USA", "Boston", 0.62],
+    }
+}
+
+/// Paper Fig. 2, T3 — the joinable table in the lake.
+pub fn fig2_joinable() -> Table {
+    table! {
+        "T3"; ["City", "Total Cases", "Death Rate"];
+        ["Berlin", 1_400_000, 147],
+        ["Barcelona", 2_680_000, 275],
+        ["Boston", 263_000, 335],
+        ["New Delhi", 2_000_000, 158],
+    }
+}
+
+/// Paper Fig. 2: the COVID tables `(T1 query, T2 unionable, T3 joinable)`.
+pub fn fig2_tables() -> (Table, Table, Table) {
+    (fig2_query(), fig2_unionable(), fig2_joinable())
+}
+
+/// The expected integrated table of paper Fig. 3 (content; row order free).
+pub fn fig3_expected() -> Table {
+    table! {
+        "FD(T1, T2, T3)";
+        ["Country", "City", "Vaccination Rate", "Total Cases", "Death Rate"];
+        ["Germany", "Berlin", 0.63, 1_400_000, 147],
+        ["England", "Manchester", 0.78, Value::null_produced(), Value::null_produced()],
+        ["Spain", "Barcelona", 0.82, 2_680_000, 275],
+        ["Canada", "Toronto", 0.83, Value::null_produced(), Value::null_produced()],
+        ["Mexico", "Mexico City", Value::null_missing(), Value::null_produced(), Value::null_produced()],
+        ["USA", "Boston", 0.62, 263_000, 335],
+        [Value::null_produced(), "New Delhi", Value::null_produced(), 2_000_000, 158],
+    }
+}
+
+/// Paper Fig. 7 — the vaccine integration set `(T4, T5, T6)`.
+pub fn fig7_tables() -> (Table, Table, Table) {
+    let t4 = table! {
+        "T4"; ["Vaccine", "Approver"];
+        ["Pfizer", "FDA"],
+        ["JnJ", Value::null_missing()],
+    };
+    let t5 = table! {
+        "T5"; ["Country", "Approver"];
+        ["United States", "FDA"],
+        ["USA", Value::null_missing()],
+    };
+    let t6 = table! {
+        "T6"; ["Vaccine", "Country"];
+        ["J&J", "United States"],
+        ["JnJ", "USA"],
+    };
+    (t4, t5, t6)
+}
+
+/// The demo lake: T2, T3, the vaccine tables and two distractors. The query
+/// table T1 is *not* in the lake — it is uploaded by the user (paper §3.1).
+pub fn covid_lake() -> DataLake {
+    let (t4, t5, t6) = fig7_tables();
+    let gdp = table! {
+        "gdp"; ["economy", "gdp_musd"];
+        ["Germany", 4_200_000], ["Spain", 1_400_000], ["Canada", 2_100_000],
+    };
+    let animals = table! {
+        "animals"; ["species", "legs"];
+        ["cat", 4], ["emu", 2], ["ant", 6],
+    };
+    DataLake::from_tables([fig2_unionable(), fig2_joinable(), t4, t5, t6, gdp, animals])
+        .expect("demo table names are unique")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shapes_match_the_paper() {
+        let (t1, t2, t3) = fig2_tables();
+        assert_eq!((t1.row_count(), t1.column_count()), (3, 3));
+        assert_eq!((t2.row_count(), t2.column_count()), (3, 3));
+        assert_eq!((t3.row_count(), t3.column_count()), (4, 3));
+    }
+
+    #[test]
+    fn fig7_tables_are_two_by_two() {
+        let (t4, t5, t6) = fig7_tables();
+        for t in [&t4, &t5, &t6] {
+            assert_eq!((t.row_count(), t.column_count()), (2, 2));
+        }
+    }
+
+    #[test]
+    fn covid_lake_holds_demo_tables_but_not_the_query() {
+        let lake = covid_lake();
+        for name in ["T2", "T3", "T4", "T5", "T6", "gdp", "animals"] {
+            assert!(lake.get(name).is_some(), "{name} missing");
+        }
+        assert!(lake.get("T1").is_none());
+    }
+}

@@ -36,6 +36,7 @@
 
 mod csv;
 mod error;
+pub mod fixtures;
 mod lake;
 mod schema;
 mod table;

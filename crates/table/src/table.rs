@@ -293,7 +293,14 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = Table::new("t", &["a", "b"]).unwrap();
         let err = t.push_row(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, TableError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            TableError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -345,7 +345,10 @@ mod tests {
     #[test]
     fn nulls_of_both_kinds_are_content_equal() {
         assert_eq!(Value::null_missing(), Value::null_produced());
-        assert_eq!(hash_of(&Value::null_missing()), hash_of(&Value::null_produced()));
+        assert_eq!(
+            hash_of(&Value::null_missing()),
+            hash_of(&Value::null_produced())
+        );
     }
 
     #[test]
@@ -420,11 +423,13 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_ranks_types() {
-        let mut vals = [Value::Text("a".into()),
+        let mut vals = [
+            Value::Text("a".into()),
             Value::Int(1),
             Value::null_produced(),
             Value::Float(0.5),
-            Value::Bool(false)];
+            Value::Bool(false),
+        ];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(false));
@@ -435,7 +440,10 @@ mod tests {
 
     #[test]
     fn overlap_token_normalizes() {
-        assert_eq!(Value::Text(" Berlin ".into()).overlap_token().unwrap(), "berlin");
+        assert_eq!(
+            Value::Text(" Berlin ".into()).overlap_token().unwrap(),
+            "berlin"
+        );
         assert_eq!(Value::Int(5).overlap_token().unwrap(), "5");
         assert_eq!(Value::Float(5.0).overlap_token().unwrap(), "5");
         assert_eq!(Value::Float(5.5).overlap_token().unwrap(), "5.5");

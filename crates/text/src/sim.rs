@@ -48,7 +48,11 @@ pub fn dice(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }

@@ -60,11 +60,7 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Cosine similarity; 0 when either vector is zero.

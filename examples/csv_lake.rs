@@ -15,7 +15,8 @@ use dialite::table::{table_to_csv, write_csv_path, DataLake};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stage a lake directory with the demo tables as CSV files.
-    let dir: PathBuf = std::env::temp_dir().join(format!("dialite_csv_lake_{}", std::process::id()));
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("dialite_csv_lake_{}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
     for table in demo::covid_lake().tables() {
         write_csv_path(table, &dir.join(format!("{}.csv", table.name())))?;

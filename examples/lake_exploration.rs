@@ -66,7 +66,12 @@ fn main() {
             rsum += r;
             n += 1;
         }
-        println!("{:<14} {:>10.3} {:>10.3}", name, psum / n as f64, rsum / n as f64);
+        println!(
+            "{:<14} {:>10.3} {:>10.3}",
+            name,
+            psum / n as f64,
+            rsum / n as f64
+        );
     }
 
     // --- Alignment quality (E8 miniature) ---

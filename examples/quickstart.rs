@@ -9,8 +9,8 @@
 //! integrates them with ALITE's Full Disjunction, and runs a first analysis.
 
 use dialite::analyze::{extremes, pearson_columns};
-use dialite::pipeline::{demo, Pipeline};
 use dialite::discovery::TableQuery;
+use dialite::pipeline::{demo, Pipeline};
 
 fn main() {
     // The data lake of the demonstration (T2, T3, vaccine tables, noise).

@@ -23,20 +23,34 @@ fn main() {
     let oj = OuterJoinIntegrator
         .integrate(&tables, &alignment)
         .expect("outer join");
-    println!("(a) outer join:\n{}", oj.display_with_provenance(Some(&["T4", "T5", "T6"])));
+    println!(
+        "(a) outer join:\n{}",
+        oj.display_with_provenance(Some(&["T4", "T5", "T6"]))
+    );
 
     // Fig. 8(b): ALITE's FD.
     let fd = AliteFd::default()
         .integrate(&tables, &alignment)
         .expect("full disjunction");
-    println!("(b) full disjunction:\n{}", fd.display_with_provenance(Some(&["T4", "T5", "T6"])));
+    println!(
+        "(b) full disjunction:\n{}",
+        fd.display_with_provenance(Some(&["T4", "T5", "T6"]))
+    );
 
     // Figs. 8(c)/(d): entity resolution over both results.
     let er = EntityResolver::demo_default();
     let over_oj = er.resolve(oj.table());
     let over_fd = er.resolve(fd.table());
-    println!("(c) ER over outer join ({} entities):\n{}", over_oj.entity_count(), over_oj.table);
-    println!("(d) ER over FD ({} entities):\n{}", over_fd.entity_count(), over_fd.table);
+    println!(
+        "(c) ER over outer join ({} entities):\n{}",
+        over_oj.entity_count(),
+        over_oj.table
+    );
+    println!(
+        "(d) ER over FD ({} entities):\n{}",
+        over_fd.entity_count(),
+        over_fd.table
+    );
 
     println!(
         "FD derived J&J's approver; outer join did not. \

@@ -22,8 +22,20 @@
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs` for the end-to-end pipeline on the bundled
-//! COVID demo lake.
+//! The whole pipeline on the bundled COVID demo lake (paper Figs. 2–3;
+//! `examples/quickstart.rs` is the narrated version):
+//!
+//! ```
+//! use dialite::discovery::TableQuery;
+//! use dialite::pipeline::{demo, Pipeline};
+//! use dialite::table::fixtures;
+//!
+//! let lake = demo::covid_lake();
+//! let pipeline = Pipeline::demo_default(&lake);
+//! let query = TableQuery::with_column(fixtures::fig2_query(), 1); // City
+//! let run = pipeline.run(&lake, &query).unwrap();
+//! assert!(run.integrated.table().same_content(&fixtures::fig3_expected()));
+//! ```
 
 pub use dialite_align as align;
 pub use dialite_analyze as analyze;

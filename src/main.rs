@@ -65,8 +65,8 @@ fn load_lake(dir: &str) -> Result<DataLake, String> {
 }
 
 fn load_table(path: &str) -> Result<Table, String> {
-    let text = std::fs::read_to_string(PathBuf::from(path))
-        .map_err(|e| format!("reading {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(PathBuf::from(path)).map_err(|e| format!("reading {path}: {e}"))?;
     let name = Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -99,7 +99,10 @@ fn cmd_demo() -> Result<(), String> {
 fn cmd_discover(args: &[String]) -> Result<(), String> {
     let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
     let table = load_table(flag(args, "--query").ok_or("--query FILE is required")?)?;
-    let k: usize = flag(args, "--k").unwrap_or("5").parse().map_err(|_| "--k must be a number")?;
+    let k: usize = flag(args, "--k")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "--k must be a number")?;
     let query = match flag(args, "--column") {
         Some(c) => {
             let col: usize = c.parse().map_err(|_| "--column must be a number")?;
@@ -136,8 +139,8 @@ fn cmd_integrate(args: &[String]) -> Result<(), String> {
         .map(|n| lake.require(n.trim()).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
-    let matcher = HolisticMatcher::default()
-        .with_annotator(Arc::new(KbAnnotator::new(Arc::new(covid_kb()))));
+    let matcher =
+        HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(Arc::new(covid_kb()))));
     let alignment = matcher.align(&refs);
     println!("Integration IDs:");
     for (t, table) in refs.iter().enumerate() {
@@ -160,9 +163,7 @@ fn cmd_integrate(args: &[String]) -> Result<(), String> {
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let table = load_table(flag(args, "--table").ok_or("--table FILE is required")?)?;
     if let Some(pair) = flag(args, "--corr") {
-        let (a, b) = pair
-            .split_once(',')
-            .ok_or("--corr expects colA,colB")?;
+        let (a, b) = pair.split_once(',').ok_or("--corr expects colA,colB")?;
         let ca = table
             .column_index(a.trim())
             .ok_or_else(|| format!("unknown column '{a}'"))?;
@@ -196,9 +197,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let prompt = flag(args, "--prompt").ok_or("--prompt TEXT is required")?;
-    let rows: usize = flag(args, "--rows").unwrap_or("5").parse().map_err(|_| "--rows must be a number")?;
-    let cols: usize = flag(args, "--cols").unwrap_or("5").parse().map_err(|_| "--cols must be a number")?;
-    let seed: u64 = flag(args, "--seed").unwrap_or("42").parse().map_err(|_| "--seed must be a number")?;
+    let rows: usize = flag(args, "--rows")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "--rows must be a number")?;
+    let cols: usize = flag(args, "--cols")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "--cols must be a number")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "--seed must be a number")?;
     let table = TableSynth::new(seed).generate(prompt, rows, cols);
     print!("{}", dialite::table::table_to_csv(&table));
     Ok(())

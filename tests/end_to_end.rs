@@ -3,10 +3,11 @@
 
 use std::sync::Arc;
 
-use dialite::analyze::{pearson_columns, EntityResolver, GroupBy};
 use dialite::analyze::agg::Aggregate;
+use dialite::analyze::{pearson_columns, EntityResolver, GroupBy};
 use dialite::discovery::TableQuery;
-use dialite::pipeline::{demo, Pipeline};
+use dialite::pipeline::Pipeline;
+use dialite::table::fixtures;
 use dialite::table::{read_csv_str, CsvOptions, DataLake, Value};
 use dialite_align::Alignment;
 use dialite_integrate::{AliteFd, Integrator, OuterJoinIntegrator};
@@ -52,7 +53,9 @@ fn pipeline_from_csv_sources() {
         .run(&lake, &TableQuery::with_column(t1, 1))
         .unwrap();
     assert!(
-        run.integrated.table().same_content(&demo::fig3_expected()),
+        run.integrated
+            .table()
+            .same_content(&fixtures::fig3_expected()),
         "CSV-ingested pipeline must still reproduce Fig. 3:\n{}",
         run.integrated.table()
     );
@@ -62,7 +65,7 @@ fn pipeline_from_csv_sources() {
 fn fig8_contrast_end_to_end() {
     // The whole §3.2 story in one test: FD + ER succeeds where outer join
     // + ER fails.
-    let (t4, t5, t6) = demo::fig7_tables();
+    let (t4, t5, t6) = fixtures::fig7_tables();
     let tables = vec![&t4, &t5, &t6];
     let al = Alignment::by_headers(&tables);
 
@@ -79,8 +82,7 @@ fn fig8_contrast_end_to_end() {
     // The J&J entity is complete only on the FD side.
     let jj_complete = |t: &dialite::table::Table| {
         t.rows().any(|r| {
-            matches!(&r[0], Value::Text(s) if s.contains('J'))
-                && r.iter().all(|v| !v.is_null())
+            matches!(&r[0], Value::Text(s) if s.contains('J')) && r.iter().all(|v| !v.is_null())
         })
     };
     assert!(jj_complete(&fd_er.table));
@@ -89,10 +91,10 @@ fn fig8_contrast_end_to_end() {
 
 #[test]
 fn aggregation_over_pipeline_output() {
-    let lake = demo::covid_lake();
+    let lake = fixtures::covid_lake();
     let pipeline = Pipeline::demo_default(&lake);
     let run = pipeline
-        .run(&lake, &TableQuery::with_column(demo::fig2_query(), 1))
+        .run(&lake, &TableQuery::with_column(fixtures::fig2_query(), 1))
         .unwrap();
     let out = run.integrated.table();
     let agg = GroupBy::new("Country")
@@ -117,9 +119,9 @@ fn alignment_from_matcher_feeds_integration_like_by_headers() {
     use dialite::align::{HolisticMatcher, KbAnnotator};
     use dialite::kb::curated::covid_kb;
 
-    let t1 = demo::fig2_query();
-    let t2 = demo::fig2_unionable();
-    let t3 = demo::fig2_joinable();
+    let t1 = fixtures::fig2_query();
+    let t2 = fixtures::fig2_unionable();
+    let t3 = fixtures::fig2_joinable();
     let tables = vec![&t1, &t2, &t3];
 
     let matcher =
@@ -135,10 +137,10 @@ fn alignment_from_matcher_feeds_integration_like_by_headers() {
 
 #[test]
 fn example3_correlations_from_scratch() {
-    let lake = demo::covid_lake();
+    let lake = fixtures::covid_lake();
     let pipeline = Pipeline::demo_default(&lake);
     let run = pipeline
-        .run(&lake, &TableQuery::with_column(demo::fig2_query(), 1))
+        .run(&lake, &TableQuery::with_column(fixtures::fig2_query(), 1))
         .unwrap();
     let out = run.integrated.table();
     let rate = out.column_index("Vaccination Rate").unwrap();

@@ -1,0 +1,84 @@
+//! Smoke test: every file in `examples/` must build *and* run to
+//! completion, so examples cannot silently rot. Each test shells out to
+//! `cargo run --example` (reusing the build cache `cargo test` already
+//! populated — `cargo test` compile-checks examples by default).
+
+use std::path::Path;
+use std::process::Command;
+use std::sync::Mutex;
+
+/// The examples this suite runs; `all_examples_are_covered` keeps the
+/// list honest against the `examples/` directory.
+const EXAMPLES: &[&str] = &[
+    "csv_lake",
+    "custom_components",
+    "lake_exploration",
+    "quickstart",
+    "vaccine_er",
+];
+
+/// Serialize `cargo run` invocations: concurrent cargo processes would
+/// just contend on the build-directory lock.
+static CARGO_LOCK: Mutex<()> = Mutex::new(());
+
+fn run_example(name: &str) {
+    // A failed example panics while holding the guard; the lock only
+    // serializes (guards no state), so poisoning must not cascade.
+    let _guard = CARGO_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn all_examples_are_covered() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "rs"))
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(
+        on_disk, EXAMPLES,
+        "examples/ and the smoke-test list diverged; add a runner below"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn csv_lake_runs() {
+    run_example("csv_lake");
+}
+
+#[test]
+fn custom_components_runs() {
+    run_example("custom_components");
+}
+
+#[test]
+fn lake_exploration_runs() {
+    run_example("lake_exploration");
+}
+
+#[test]
+fn vaccine_er_runs() {
+    run_example("vaccine_er");
+}

@@ -46,7 +46,10 @@ fn exact_overlap_discovery_finds_relatives() {
         n += 1;
     }
     let recall = recall_sum / n as f64;
-    assert!(recall > 0.9, "exact overlap should find nearly all relatives: {recall}");
+    assert!(
+        recall > 0.9,
+        "exact overlap should find nearly all relatives: {recall}"
+    );
 }
 
 #[test]
@@ -63,9 +66,8 @@ fn lsh_ensemble_discovery_has_high_recall_on_key_joins() {
     let mut n = 0usize;
     for table in synth.lake.tables() {
         // Query on the fragment's key column (original column 0).
-        let key_col = (0..table.column_count()).find(|&c| {
-            synth.truth.column_class[&(table.name().to_string(), c)].1 == 0
-        });
+        let key_col = (0..table.column_count())
+            .find(|&c| synth.truth.column_class[&(table.name().to_string(), c)].1 == 0);
         let Some(key_col) = key_col else { continue };
         let truth: HashSet<String> = synth.truth.related(table.name());
         if truth.is_empty() {
@@ -96,8 +98,8 @@ fn kb_matcher_beats_header_baseline_under_scrambling() {
             .iter()
             .filter(|t| synth.truth.universe_of[t.name()] == u)
             .collect();
-        let matcher = HolisticMatcher::default()
-            .with_annotator(Arc::new(KbAnnotator::new(kb.clone())));
+        let matcher =
+            HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb.clone())));
         let (_, _, f_h) = alignment_pair_f1(&set, &matcher.align(&set), &synth.truth);
         let (_, _, f_b) = alignment_pair_f1(&set, &Alignment::by_headers(&set), &synth.truth);
         holistic_f1 += f_h;

@@ -1,0 +1,178 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a small property-testing engine under the same package name and import
+//! paths: the `proptest!` macro, `Strategy` with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! numeric range strategies, regex-subset string strategies,
+//! `prop::collection::{vec, hash_set}`, `prop::sample::subsequence` and
+//! `prop::num::f64::NORMAL`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and
+//!   panics; it is not minimized.
+//! * **Case counts are capped for speed.** The default is
+//!   [`test_runner::DEFAULT_CASES`] (32) rather than 256, and the
+//!   `PROPTEST_CASES` environment variable overrides *everything*,
+//!   including explicit `ProptestConfig::with_cases` values — so
+//!   `PROPTEST_CASES=1024 cargo test` is the deep-run escape hatch.
+//! * String strategies implement the small regex subset the workspace
+//!   uses (char classes, literals, `\PC`, and `*` `+` `?` `{n}` `{n,m}`
+//!   quantifiers), not full `regex-syntax`.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Mirrors `proptest::prelude::prop`: module shorthands.
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_holds(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each test runs its body for N generated cases (see
+/// [`test_runner::resolve_cases`]); on panic the generated inputs are
+/// printed before the panic is propagated.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                // A tuple of strategies is itself a strategy; build it once.
+                let strategies = ($($strat,)+);
+                for case in 0..cases {
+                    let ($($arg,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                    let rendered = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            let _ = $body;
+                        }),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs: {}",
+                            stringify!($name), case + 1, cases, rendered
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted/unweighted union of strategies. Mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a `proptest!` body. This shim panics (no shrinking),
+/// which fails the surrounding test case identically.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left,
+                right
+            ),
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(*left == *right, $($fmt)*),
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                left,
+                right
+            ),
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(*left != *right, $($fmt)*),
+        }
+    }};
+}

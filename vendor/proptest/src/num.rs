@@ -1,0 +1,41 @@
+//! Numeric strategies (subset of `proptest::num`).
+
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over all *normal* `f64`s: finite, non-zero, non-subnormal,
+    /// both signs, uniform over the normal bit patterns — mirrors
+    /// `proptest::num::f64::NORMAL`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let sign = rng.below(2) << 63;
+            // Biased exponents 1..=2046 cover exactly the normal floats
+            // (0 is zero/subnormal, 2047 is inf/NaN).
+            let exponent = (1 + rng.below(2046)) << 52;
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            ::core::primitive::f64::from_bits(sign | exponent | mantissa)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_floats_are_normal() {
+            let mut rng = TestRng::from_seed(3);
+            for _ in 0..2000 {
+                let x = NORMAL.generate(&mut rng);
+                assert!(x.is_normal(), "{x} (bits {:x})", x.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Sampling strategies (subset of `proptest::sample`).
+
+use std::fmt::Debug;
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding order-preserving subsequences of `values` with a
+/// size drawn from `size` (clamped to the available length). Mirrors
+/// `proptest::sample::subsequence`.
+pub fn subsequence<T>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T>
+where
+    T: Clone + Debug,
+{
+    let size = size.into();
+    assert!(
+        size.min <= values.len(),
+        "subsequence size {} exceeds pool of {}",
+        size.min,
+        values.len()
+    );
+    Subsequence { values, size }
+}
+
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let max = self.size.max.min(self.values.len());
+        let n = rng.usize_in(self.size.min, max);
+        // Partial Fisher–Yates over the index space, then restore order.
+        let mut indices: Vec<usize> = (0..self.values.len()).collect();
+        for i in 0..n {
+            let j = rng.usize_in(i, indices.len() - 1);
+            indices.swap(i, j);
+        }
+        let mut picked = indices[..n].to_vec();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}

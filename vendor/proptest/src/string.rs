@@ -1,0 +1,258 @@
+//! String strategies from regex-like patterns.
+//!
+//! `&str` implements [`Strategy`], generating `String`s matching the
+//! pattern. Supported subset (all the workspace's suites use):
+//!
+//! * literals and escapes (`\n`, `\t`, `\r`, `\\`, and escaped metachars)
+//! * character classes `[a-z0-9_]` with ranges, singles and a trailing `-`
+//! * `\PC` — any non-control character (printable), and `.` likewise
+//! * quantifiers `*`, `+`, `?`, `{n}`, `{n,m}` (unbounded repeats cap at 8)
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: usize = 8;
+
+/// Non-ASCII, non-control characters mixed into `\PC` / `.` output so
+/// multi-byte UTF-8 paths get exercised.
+const EXOTIC: &[char] = &[
+    'é', 'ß', 'ñ', 'Ж', 'λ', 'Ω', '中', '文', '€', '←', '∀', '🦀',
+];
+
+/// A printable (non-control) character: mostly ASCII, sometimes beyond.
+pub fn printable_char(rng: &mut TestRng) -> char {
+    if rng.below(100) < 85 {
+        char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap()
+    } else {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive character ranges; singles are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Lit(char),
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                match c {
+                    'P' => {
+                        // Negated one-letter Unicode category: only \PC
+                        // ("not control", i.e. printable) is supported.
+                        let cat = chars.get(i).copied();
+                        i += 1;
+                        match cat {
+                            Some('C') => Atom::Printable,
+                            other => {
+                                panic!("unsupported category \\P{other:?} in pattern {pattern:?}")
+                            }
+                        }
+                    }
+                    'n' => Atom::Lit('\n'),
+                    't' => Atom::Lit('\t'),
+                    'r' => Atom::Lit('\r'),
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    other => Atom::Lit(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parse the body of a `[...]` class starting just past the `[`.
+/// Returns the atom and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "negated classes are unsupported in pattern {pattern:?}"
+    );
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            match chars[i] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // `x-y` range, unless the `-` is the final char of the class.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "unterminated class in pattern {pattern:?}"
+    );
+    (Atom::Class(ranges), i + 1)
+}
+
+/// Parse an optional quantifier at `*i`, advancing past it.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_MAX)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated {{}} in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().expect("bad {n,m} lower bound");
+                    let hi = hi.trim().parse().expect("bad {n,m} upper bound");
+                    (lo, hi)
+                }
+                None => {
+                    let n = body.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Printable => printable_char(rng),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let size = (hi as u64) - (lo as u64) + 1;
+                if pick < size {
+                    return char::from_u32(lo as u32 + pick as u32)
+                        .expect("class range spans a surrogate gap");
+                }
+                pick -= size;
+            }
+            unreachable!()
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = rng.usize_in(piece.min, piece.max.max(piece.min));
+            for _ in 0..count {
+                out.push(gen_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn class_with_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-zA-Z][a-zA-Z ,\"\n_-]{0,20}[a-zA-Z]".generate(&mut r);
+            assert!(s.chars().count() >= 2, "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphabetic() || " ,\"\n_-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "\\PC*".generate(&mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

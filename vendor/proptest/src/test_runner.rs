@@ -1,0 +1,93 @@
+//! Deterministic RNG and run configuration for the proptest shim.
+
+/// Default number of cases per property. Deliberately low so the whole
+/// workspace's proptest suites finish in seconds under `cargo test -q`;
+/// set `PROPTEST_CASES` (e.g. `PROPTEST_CASES=1024`) for deep runs.
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Resolve the case count for one property: the `PROPTEST_CASES`
+/// environment variable wins over any configured value.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+        Err(_) => configured,
+    }
+}
+
+/// Run configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property (before `PROPTEST_CASES`).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+///
+/// Each property seeds its own stream from the test's fully-qualified
+/// name, so runs are reproducible and independent of test order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Seed from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive); panics if `lo > hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty size range {lo}..={hi}");
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}

@@ -1,0 +1,32 @@
+//! Concrete RNGs. `StdRng` here is a SplitMix64 generator — deterministic
+//! and well-distributed, though its stream differs from the real crate's
+//! ChaCha-based `StdRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic seeded generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Pre-mix so that small consecutive seeds give unrelated streams.
+        let mut rng = StdRng {
+            state: state ^ 0x5851_F42D_4C95_7F2D,
+        };
+        rng.next_u64();
+        rng
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so that
+//! they serialize once the real `serde` is available, but the build
+//! environment has no registry access. This shim provides the two traits
+//! and derive macros under the same names; the derives expand to nothing,
+//! so deriving is a no-op and nothing in-tree may *call* serialization.
+//! Swap the path dependency for the real crate to activate it.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
