@@ -1,0 +1,289 @@
+//! Criterion bench for the dictionary-encoded integration core: the
+//! interned `AliteFd` against a faithful re-implementation of the seed
+//! engine (clone-heavy `(u32, Value)` index keys and `Vec<Value>` content
+//! dedup) on the datagen lake workload. The point is to *measure* the
+//! interning speedup, not assert it.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dialite_align::Alignment;
+use dialite_datagen::workloads::FdWorkload;
+use dialite_integrate::{AliteFd, Integrator, ParallelFd};
+use dialite_table::{NullKind, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Seed baseline: the pre-interning ALITE engine, verbatim semantics.
+// Every index probe clones a `Value` to build its `(u32, Value)` key and
+// content dedup hashes whole `Vec<Value>` rows — exactly the costs the
+// dictionary-encoded engine removes.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct SeedTuple {
+    values: Vec<Value>,
+    tids: BTreeSet<(u32, u32)>,
+}
+
+impl SeedTuple {
+    fn consistent(&self, other: &SeedTuple) -> bool {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.is_null() || b.is_null() || a == b)
+    }
+
+    fn merge(&self, other: &SeedTuple) -> SeedTuple {
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| match (a.is_null(), b.is_null()) {
+                (false, _) => a.clone(),
+                (true, false) => b.clone(),
+                (true, true) => {
+                    if matches!(a, Value::Null(NullKind::Missing))
+                        || matches!(b, Value::Null(NullKind::Missing))
+                    {
+                        Value::null_missing()
+                    } else {
+                        Value::null_produced()
+                    }
+                }
+            })
+            .collect();
+        let tids = self.tids.union(&other.tids).copied().collect();
+        SeedTuple { values, tids }
+    }
+
+    fn subsumes(&self, other: &SeedTuple) -> bool {
+        other
+            .values
+            .iter()
+            .zip(&self.values)
+            .all(|(o, s)| o.is_null() || o == s)
+    }
+
+    fn non_null_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+}
+
+fn seed_outer_union(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, Vec<SeedTuple>) {
+    let mut order: Vec<u32> = Vec::with_capacity(alignment.num_ids());
+    let mut seen = vec![false; alignment.num_ids()];
+    for (t, table) in tables.iter().enumerate() {
+        for c in 0..table.column_count() {
+            let id = alignment.id_of(t, c);
+            if !seen[id as usize] {
+                seen[id as usize] = true;
+                order.push(id);
+            }
+        }
+    }
+    let mut slot_of = vec![usize::MAX; alignment.num_ids()];
+    for (slot, &id) in order.iter().enumerate() {
+        slot_of[id as usize] = slot;
+    }
+    let names: Vec<String> = order
+        .iter()
+        .map(|&id| alignment.name_of(id).to_string())
+        .collect();
+    let width = order.len();
+    let mut tuples = Vec::new();
+    for (t, table) in tables.iter().enumerate() {
+        for (r, row) in table.rows().enumerate() {
+            let mut values = vec![Value::null_produced(); width];
+            for (c, v) in row.iter().enumerate() {
+                values[slot_of[alignment.id_of(t, c) as usize]] = v.clone();
+            }
+            let mut tids = BTreeSet::new();
+            tids.insert((t as u32, r as u32));
+            tuples.push(SeedTuple { values, tids });
+        }
+    }
+    (names, tuples)
+}
+
+fn seed_insert(
+    store: &mut Vec<SeedTuple>,
+    by_content: &mut HashMap<Vec<Value>, usize>,
+    t: SeedTuple,
+) {
+    match by_content.get(&t.values) {
+        Some(&idx) => {
+            let existing = &mut store[idx];
+            if (t.tids.len(), &t.tids) < (existing.tids.len(), &existing.tids) {
+                existing.tids = t.tids;
+            }
+        }
+        None => {
+            by_content.insert(t.values.clone(), store.len());
+            store.push(t);
+        }
+    }
+}
+
+fn seed_remove_subsumed(tuples: Vec<SeedTuple>) -> Vec<SeedTuple> {
+    let mut tuples = tuples;
+    tuples.sort_by(|a, b| {
+        b.non_null_count()
+            .cmp(&a.non_null_count())
+            .then_with(|| a.values.cmp(&b.values))
+    });
+    let mut kept: Vec<SeedTuple> = Vec::with_capacity(tuples.len());
+    let mut index: HashMap<(u32, Value), Vec<usize>> = HashMap::new();
+    for t in tuples {
+        let first_non_null = t
+            .values
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_null())
+            .map(|(c, v)| (c as u32, v.clone()));
+        let subsumed = match &first_non_null {
+            Some(key) => index
+                .get(key)
+                .map(|cands| cands.iter().any(|&k| kept[k].subsumes(&t)))
+                .unwrap_or(false),
+            None => !kept.is_empty(),
+        };
+        if subsumed {
+            continue;
+        }
+        let idx = kept.len();
+        for (c, v) in t.values.iter().enumerate() {
+            if !v.is_null() {
+                index.entry((c as u32, v.clone())).or_default().push(idx);
+            }
+        }
+        kept.push(t);
+    }
+    kept
+}
+
+/// The seed `AliteFd::integrate`, boundary included (sorted result table).
+fn seed_alite_fd(tables: &[&Table], alignment: &Alignment) -> Table {
+    let (names, base) = seed_outer_union(tables, alignment);
+    let mut store: Vec<SeedTuple> = Vec::with_capacity(base.len());
+    let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+    for t in base {
+        seed_insert(&mut store, &mut by_content, t);
+    }
+    let mut index: HashMap<(u32, Value), Vec<u32>> = HashMap::new();
+    let index_tuple =
+        |index: &mut HashMap<(u32, Value), Vec<u32>>, store: &[SeedTuple], i: usize| {
+            for (c, v) in store[i].values.iter().enumerate() {
+                if !v.is_null() {
+                    index
+                        .entry((c as u32, v.clone()))
+                        .or_default()
+                        .push(i as u32);
+                }
+            }
+        };
+    for i in 0..store.len() {
+        index_tuple(&mut index, &store, i);
+    }
+    let mut tried: HashSet<(u32, u32)> = HashSet::new();
+    let mut work: VecDeque<u32> = (0..store.len() as u32).collect();
+    while let Some(i) = work.pop_front() {
+        let mut candidates: Vec<u32> = Vec::new();
+        for (c, v) in store[i as usize].values.iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            if let Some(post) = index.get(&(c as u32, v.clone())) {
+                candidates.extend(post.iter().copied());
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for j in candidates {
+            if j == i {
+                continue;
+            }
+            let key = (i.min(j), i.max(j));
+            if !tried.insert(key) {
+                continue;
+            }
+            if store[i as usize].consistent(&store[j as usize]) {
+                let merged = store[i as usize].merge(&store[j as usize]);
+                let before = store.len();
+                seed_insert(&mut store, &mut by_content, merged);
+                if store.len() > before {
+                    let new_idx = store.len() - 1;
+                    index_tuple(&mut index, &store, new_idx);
+                    work.push_back(new_idx as u32);
+                }
+            }
+        }
+    }
+    let mut tuples = seed_remove_subsumed(store);
+    tuples.sort_by(|a, b| a.values.cmp(&b.values).then_with(|| a.tids.cmp(&b.tids)));
+    let mut table = Table::new("FD(seed)", &names).expect("unique integration IDs");
+    for t in tuples {
+        table.push_row(t.values).expect("schema arity");
+    }
+    table.infer_types();
+    table
+}
+
+// ---------------------------------------------------------------------------
+// The bench proper.
+// ---------------------------------------------------------------------------
+
+fn bench_interned_vs_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrate");
+    group.sample_size(10);
+    for rows in [100usize, 300, 600] {
+        let tables = FdWorkload {
+            tables: 4,
+            rows,
+            key_domain: rows * 2,
+            null_rate: 0.1,
+            seed: 3,
+        }
+        .generate();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let al = Alignment::by_headers(&refs);
+
+        // Sanity: both implementations compute the same FD before we race
+        // them — a fast wrong answer would be worthless.
+        let interned = AliteFd::default()
+            .integrate(&refs, &al)
+            .expect("within budget");
+        let seed = seed_alite_fd(&refs, &al);
+        assert!(
+            interned
+                .table()
+                .same_content(&seed.renamed(interned.table().name())),
+            "seed baseline and interned engine disagree at rows={rows}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("seed-alite", rows), &rows, |b, _| {
+            b.iter(|| seed_alite_fd(std::hint::black_box(&refs), &al))
+        });
+        group.bench_with_input(BenchmarkId::new("interned-alite", rows), &rows, |b, _| {
+            b.iter(|| {
+                AliteFd::default()
+                    .integrate(std::hint::black_box(&refs), &al)
+                    .expect("within budget")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("interned-parallel", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    ParallelFd::default()
+                        .integrate(std::hint::black_box(&refs), &al)
+                        .expect("within budget")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interned_vs_seed);
+criterion_main!(benches);

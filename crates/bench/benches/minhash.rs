@@ -30,7 +30,7 @@ fn bench_minhash(c: &mut Criterion) {
         for d in 0..512 {
             let size = 20 + (d % 50) * 10;
             let toks = tokens(size, &format!("d{d}_"));
-            builder.insert_tokens(&format!("dom{d}"), toks.iter().map(String::as_str));
+            builder.insert_tokens(format!("dom{d}"), toks.iter().map(String::as_str));
         }
         let hasher = builder.hasher().clone();
         let index = builder.build(partitions);

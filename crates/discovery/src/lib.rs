@@ -30,11 +30,13 @@
 mod custom;
 mod lshe;
 mod overlap;
+mod pool;
 mod santos;
 mod types;
 
 pub use custom::SimilarityDiscovery;
 pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 pub use overlap::ExactOverlapDiscovery;
+pub use pool::StringPool;
 pub use santos::{SantosConfig, SantosDiscovery};
 pub use types::{union_integration_set, Discovered, Discovery, TableQuery};

@@ -1,13 +1,18 @@
 //! Joinable-table search over the LSH Ensemble containment index, with
 //! exact verification of candidates — the discovery backend the demo drives
 //! through `datasketch` (paper §2.1, §3.1).
+//!
+//! Column domains are identified by `(table_idx, col)` pairs and stored as
+//! token-**id** sets over a shared [`StringPool`], so verification probes
+//! `u32` sets instead of re-hashing strings, and table names never need to
+//! be embedded in (collision-prone) composite string keys.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher};
 use dialite_table::DataLake;
-use dialite_text::containment;
 
+use crate::pool::StringPool;
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of the joinable search.
@@ -41,32 +46,40 @@ impl Default for LshEnsembleConfig {
     }
 }
 
+/// A column domain's identity in the index: `(table index, column index)`.
+type DomainKey = (u32, u32);
+
 /// Joinable-table discovery: find lake tables with a column whose domain
 /// contains (most of) the query column's domain.
 pub struct LshEnsembleDiscovery {
     config: LshEnsembleConfig,
     hasher: MinHasher,
-    ensemble: LshEnsemble,
-    /// key "table\u{1}col" → exact token set, for candidate verification.
-    domains: HashMap<String, std::collections::HashSet<String>>,
+    ensemble: LshEnsemble<DomainKey>,
+    /// `(table_idx, col)` → interned token-id set, for exact verification.
+    domains: HashMap<DomainKey, HashSet<u32>>,
+    /// Lake table names, indexed by the `table_idx` of a [`DomainKey`].
+    table_names: Vec<String>,
+    /// The token dictionary shared by all indexed domains.
+    pool: StringPool,
 }
-
-const KEY_SEP: char = '\u{1}';
 
 impl LshEnsembleDiscovery {
     /// Index every column of every lake table.
     pub fn build(lake: &DataLake, config: LshEnsembleConfig) -> LshEnsembleDiscovery {
         let mut builder = LshEnsembleBuilder::new(config.num_perm, config.seed);
         let mut domains = HashMap::new();
-        for table in lake.tables() {
+        let mut table_names = Vec::new();
+        let mut pool = StringPool::new();
+        for (t, table) in lake.tables().enumerate() {
+            table_names.push(table.name().to_string());
             for c in 0..table.column_count() {
                 let tokens = table.column_token_set(c);
                 if tokens.is_empty() {
                     continue;
                 }
-                let key = format!("{}{}{}", table.name(), KEY_SEP, c);
-                builder.insert_tokens(&key, tokens.iter().map(String::as_str));
-                domains.insert(key, tokens);
+                let key: DomainKey = (t as u32, c as u32);
+                builder.insert_tokens(key, tokens.iter().map(String::as_str));
+                domains.insert(key, tokens.iter().map(|tok| pool.intern(tok)).collect());
             }
         }
         let hasher = builder.hasher().clone();
@@ -76,6 +89,8 @@ impl LshEnsembleDiscovery {
             hasher,
             ensemble,
             domains,
+            table_names,
+            pool,
         }
     }
 
@@ -99,25 +114,36 @@ impl Discovery for LshEnsembleDiscovery {
         if q_tokens.is_empty() {
             return Vec::new();
         }
-        let candidates: Vec<String> = if q_tokens.len() < self.config.exact_fallback_below {
-            self.domains.keys().cloned().collect()
+        let candidates: Vec<DomainKey> = if q_tokens.len() < self.config.exact_fallback_below {
+            // Exact scan: the keys are two copied words each — no cloning
+            // of the stored domains or their identities.
+            self.domains.keys().copied().collect()
         } else {
             let sig = self.hasher.signature(q_tokens.iter().map(String::as_str));
             self.ensemble
                 .query(&sig, q_tokens.len(), self.config.threshold)
         };
 
+        // Resolve the query's tokens through the shared pool once; a token
+        // the pool has never seen occurs in no domain.
+        let q_ids: Vec<Option<u32>> = q_tokens.iter().map(|t| self.pool.get(t)).collect();
+
         // Exact verification + per-table aggregation (best column wins).
         let mut best_per_table: HashMap<&str, f64> = HashMap::new();
-        for key in &candidates {
-            let Some(domain) = self.domains.get(key) else {
+        for key in candidates {
+            let Some(domain) = self.domains.get(&key) else {
                 continue;
             };
-            let c = containment(&q_tokens, domain);
+            // Containment |Q ∩ X| / |Q| over interned token ids.
+            let overlap = q_ids
+                .iter()
+                .filter(|id| id.is_some_and(|id| domain.contains(&id)))
+                .count();
+            let c = overlap as f64 / q_tokens.len() as f64;
             if c + 1e-12 < self.config.threshold {
                 continue; // LSH false positive
             }
-            let table = key.split(KEY_SEP).next().unwrap_or(key.as_str());
+            let table = self.table_names[key.0 as usize].as_str();
             if table == query.table.name() {
                 continue;
             }

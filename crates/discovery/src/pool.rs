@@ -1,0 +1,74 @@
+//! A shared string pool: dense `u32` ids for overlap tokens.
+//!
+//! Discovery engines compare *sets of tokens*. Storing each column's domain
+//! as `HashSet<String>` re-hashes the same strings for every (query,
+//! candidate) pair; interning tokens once at index-build time turns the
+//! exact-containment verification into `u32` set probes — the same
+//! dictionary-encoding move the integrate crate applies to cell values.
+
+use std::collections::HashMap;
+
+/// Interns strings to dense `u32` ids. Ids are assigned in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct StringPool {
+    ids: HashMap<String, u32>,
+}
+
+impl StringPool {
+    /// An empty pool.
+    pub fn new() -> StringPool {
+        StringPool::default()
+    }
+
+    /// Intern `s`, assigning a fresh id the first time it is seen.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        match self.ids.get(s) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.ids.len()).expect("pool id space");
+                self.ids.insert(s.to_string(), id);
+                id
+            }
+        }
+    }
+
+    /// Id of an already-interned string, if any. A miss means the token
+    /// occurs nowhere in the indexed corpus.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut p = StringPool::new();
+        let a = p.intern("berlin");
+        let b = p.intern("boston");
+        assert_eq!(p.intern("berlin"), a);
+        assert_ne!(a, b);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut p = StringPool::new();
+        assert_eq!(p.get("x"), None);
+        assert!(p.is_empty());
+        let id = p.intern("x");
+        assert_eq!(p.get("x"), Some(id));
+    }
+}

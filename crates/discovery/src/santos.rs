@@ -26,7 +26,7 @@ use dialite_kb::{Direction, KnowledgeBase, RelationId, TypeId};
 use dialite_table::{DataLake, Table};
 use dialite_text::jaccard;
 
-use crate::types::{top_k, Discovered, Discovery, TableQuery};
+use crate::types::{score_cmp, top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of the SANTOS-style engine.
 #[derive(Debug, Clone)]
@@ -169,7 +169,9 @@ fn annotate_column_specific(
         .map(|(t, v)| (t, v / total))
         .filter(|(_, conf)| *conf >= min_confidence)
         .collect();
-    types.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    // total_cmp: confidences can be NaN on degenerate inputs; sorting must
+    // stay panic-free and deterministic.
+    types.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     types
 }
 
@@ -283,7 +285,7 @@ impl SantosDiscovery {
             .iter()
             .enumerate()
             .map(|(i, c)| (i, self.column_sim(&q.columns[intent], c)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| score_cmp(a.1, b.1))
             .unwrap();
 
         if qcols == 1 {

@@ -64,15 +64,20 @@ pub trait Discovery: Send + Sync {
     fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered>;
 }
 
-/// Sort candidates by descending score (ties broken by name for
+/// Total order for relevance scores: higher is better, and a NaN score
+/// (e.g. from a `0.0 / 0.0` weight upstream) ranks *below every real
+/// score* — it must never panic a discovery run (the old
+/// `partial_cmp().unwrap()` did) nor silently outrank genuine results
+/// (raw `total_cmp` would put `+NaN` first).
+pub(crate) fn score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    key(a).total_cmp(&key(b))
+}
+
+/// Sort candidates by descending score (NaN last; ties broken by name for
 /// determinism) and truncate to `k`. Shared by all engines.
 pub(crate) fn top_k(mut candidates: Vec<Discovered>, k: usize) -> Vec<Discovered> {
-    candidates.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.table.cmp(&b.table))
-    });
+    candidates.sort_by(|a, b| score_cmp(b.score, a.score).then_with(|| a.table.cmp(&b.table)));
     candidates.truncate(k);
     candidates
 }
@@ -118,6 +123,48 @@ mod tests {
         assert_eq!(out[0].table, "c");
         assert_eq!(out[1].table, "a", "ties break by name");
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn top_k_with_nan_scores_does_not_panic_and_is_deterministic() {
+        // Regression: a NaN score (0.0/0.0 weight upstream) used to panic
+        // engines that sorted with partial_cmp().unwrap(); score_cmp makes
+        // the sort well-defined, repeatable, and NaN-last.
+        let mk = || {
+            vec![
+                Discovered {
+                    table: "nan".into(),
+                    score: f64::NAN,
+                },
+                Discovered {
+                    table: "best".into(),
+                    score: 0.9,
+                },
+                Discovered {
+                    table: "neg-nan".into(),
+                    score: -f64::NAN,
+                },
+                Discovered {
+                    table: "low".into(),
+                    score: 0.1,
+                },
+            ]
+        };
+        let out = top_k(mk(), 10);
+        assert_eq!(out.len(), 4);
+        let order: Vec<&str> = out.iter().map(|d| d.table.as_str()).collect();
+        // NaNs of either sign rank below every real score (tied among
+        // themselves, broken by name) — a degenerate candidate must never
+        // evict a genuine result from the top slots.
+        assert_eq!(order, vec!["best", "low", "nan", "neg-nan"]);
+        assert_eq!(
+            top_k(mk(), 1)[0].table,
+            "best",
+            "k=1 must keep the real match, not a NaN"
+        );
+        let rerun = top_k(mk(), 10);
+        let again: Vec<&str> = rerun.iter().map(|d| d.table.as_str()).collect();
+        assert_eq!(order, again);
     }
 
     #[test]

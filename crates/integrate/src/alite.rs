@@ -6,17 +6,21 @@
 //! column* — so candidate pairs come from an inverted index over
 //! `(column, value)` posting lists instead of a quadratic scan, and the
 //! fixpoint is driven by a worklist of freshly created tuples.
+//!
+//! The index is keyed on packed `(column << 32) | value_id` words over the
+//! dictionary built by [`outer_union`] — probing it is a `u64` hash, not a
+//! `Value` clone.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use dialite_align::Alignment;
-use dialite_table::{Table, Value};
+use dialite_table::{Table, ValueInterner};
 
 use crate::engine::{check_alignment, IntegrateError, Integrator};
 use crate::naive::{fd_name, insert_tuple};
 use crate::result::IntegratedTable;
 use crate::subsume::remove_subsumed_indexed;
-use crate::tuple::{outer_union, AlignedTuple};
+use crate::tuple::{outer_union, slot_key, AlignedTuple};
 
 /// ALITE's production FD engine.
 #[derive(Debug, Clone)]
@@ -45,27 +49,23 @@ impl Integrator for AliteFd {
         alignment: &Alignment,
     ) -> Result<IntegratedTable, IntegrateError> {
         check_alignment(tables, alignment)?;
-        let (names, base) = outer_union(tables, alignment);
+        let (names, base, interner) = outer_union(tables, alignment);
 
         let mut store: Vec<AlignedTuple> = Vec::with_capacity(base.len());
-        let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut by_content: HashMap<Vec<u32>, usize> = HashMap::new();
         for t in base {
             insert_tuple(&mut store, &mut by_content, t);
         }
 
-        // Inverted index: (column, value) → tuple indices having that value.
-        let mut index: HashMap<(u32, Value), Vec<u32>> = HashMap::new();
-        let index_tuple =
-            |index: &mut HashMap<(u32, Value), Vec<u32>>, store: &[AlignedTuple], i: usize| {
-                for (c, v) in store[i].values.iter().enumerate() {
-                    if !v.is_null() {
-                        index
-                            .entry((c as u32, v.clone()))
-                            .or_default()
-                            .push(i as u32);
-                    }
+        // Inverted index: packed (column, value-id) → tuple indices.
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let index_tuple = |index: &mut HashMap<u64, Vec<u32>>, store: &[AlignedTuple], i: usize| {
+            for (c, &v) in store[i].values.iter().enumerate() {
+                if !ValueInterner::is_null_id(v) {
+                    index.entry(slot_key(c, v)).or_default().push(i as u32);
                 }
-            };
+            }
+        };
         for i in 0..store.len() {
             index_tuple(&mut index, &store, i);
         }
@@ -76,11 +76,11 @@ impl Integrator for AliteFd {
             // Collect complement candidates: all tuples sharing any
             // non-null value with tuple i.
             let mut candidates: Vec<u32> = Vec::new();
-            for (c, v) in store[i as usize].values.iter().enumerate() {
-                if v.is_null() {
+            for (c, &v) in store[i as usize].values.iter().enumerate() {
+                if ValueInterner::is_null_id(v) {
                     continue;
                 }
-                if let Some(post) = index.get(&(c as u32, v.clone())) {
+                if let Some(post) = index.get(&slot_key(c, v)) {
                     candidates.extend(post.iter().copied());
                 }
             }
@@ -119,6 +119,7 @@ impl Integrator for AliteFd {
             &fd_name(tables),
             &names,
             tuples,
+            &interner,
         ))
     }
 }
@@ -129,7 +130,7 @@ mod tests {
     use crate::naive::NaiveFd;
     use crate::testutil::fig2_tables;
     use dialite_align::Alignment;
-    use dialite_table::table;
+    use dialite_table::{table, Value};
 
     #[test]
     fn reproduces_paper_fig3_exactly() {

@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dialite_align::Alignment;
-use dialite_table::{Table, Value};
+use dialite_table::{Table, ValueInterner};
 
 use crate::engine::{check_alignment, IntegrateError, Integrator};
 use crate::result::IntegratedTable;
@@ -23,8 +23,11 @@ use crate::tuple::{outer_union, AlignedTuple};
 type Operand = (Vec<AlignedTuple>, HashSet<usize>);
 
 /// Per-table aligned tuples plus the set of schema slots the table covers.
-fn aligned_per_table(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, Vec<Operand>) {
-    let (names, all) = outer_union(tables, alignment);
+fn aligned_per_table(
+    tables: &[&Table],
+    alignment: &Alignment,
+) -> (Vec<String>, Vec<Operand>, ValueInterner) {
+    let (names, all, interner) = outer_union(tables, alignment);
     // Recover the slot coverage of each table from the alignment.
     let mut slot_of: HashMap<u32, usize> = HashMap::new();
     {
@@ -59,7 +62,7 @@ fn aligned_per_table(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, 
             .table as usize;
         per_table[t].0.push(tup);
     }
-    (names, per_table)
+    (names, per_table, interner)
 }
 
 /// Join two aligned tuple sets naturally on `shared` slots.
@@ -85,19 +88,19 @@ fn natural_match(
         return (joined, left_matched, right_matched);
     }
 
-    // Hash join keyed on the shared-slot values; null-rejecting → tuples
+    // Hash join keyed on the shared-slot value-ids; null-rejecting → tuples
     // with any null in a shared slot never enter the hash table.
-    let key_of = |t: &AlignedTuple| -> Option<Vec<Value>> {
+    let key_of = |t: &AlignedTuple| -> Option<Vec<u32>> {
         let mut key = Vec::with_capacity(shared.len());
         for &s in shared {
-            if t.values[s].is_null() {
+            if ValueInterner::is_null_id(t.values[s]) {
                 return None;
             }
-            key.push(t.values[s].clone());
+            key.push(t.values[s]);
         }
         Some(key)
     };
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
     for (j, r) in right.iter().enumerate() {
         if let Some(k) = key_of(r) {
             table.entry(k).or_default().push(j);
@@ -121,9 +124,9 @@ fn join_chain(
     alignment: &Alignment,
     keep_unmatched: bool,
     op_symbol: &str,
-) -> Result<(String, Vec<String>, Vec<AlignedTuple>), IntegrateError> {
+) -> Result<(String, Vec<String>, Vec<AlignedTuple>, ValueInterner), IntegrateError> {
     check_alignment(tables, alignment)?;
-    let (names, per_table) = aligned_per_table(tables, alignment);
+    let (names, per_table, interner) = aligned_per_table(tables, alignment);
     let mut iter = per_table.into_iter();
     let Some((mut acc, mut present)) = iter.next() else {
         let display = format!(
@@ -134,7 +137,7 @@ fn join_chain(
                 "InnerJoin"
             }
         );
-        return Ok((display, names, Vec::new()));
+        return Ok((display, names, Vec::new(), interner));
     };
     for (right, right_slots) in iter {
         let shared: Vec<usize> = {
@@ -161,7 +164,7 @@ fn join_chain(
     }
     let table_names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
     let display = table_names.join(&format!(" {op_symbol} "));
-    Ok((display, names, acc))
+    Ok((display, names, acc, interner))
 }
 
 /// Left-to-right natural **full outer join** — the demo's user-defined
@@ -179,9 +182,11 @@ impl Integrator for OuterJoinIntegrator {
         tables: &[&Table],
         alignment: &Alignment,
     ) -> Result<IntegratedTable, IntegrateError> {
-        let (display, names, tuples) = join_chain(tables, alignment, true, "⟗")?;
+        let (display, names, tuples, interner) = join_chain(tables, alignment, true, "⟗")?;
         let tuples = dedup_content(tuples);
-        Ok(IntegratedTable::from_tuples(&display, &names, tuples))
+        Ok(IntegratedTable::from_tuples(
+            &display, &names, tuples, &interner,
+        ))
     }
 }
 
@@ -200,9 +205,11 @@ impl Integrator for InnerJoinIntegrator {
         tables: &[&Table],
         alignment: &Alignment,
     ) -> Result<IntegratedTable, IntegrateError> {
-        let (display, names, tuples) = join_chain(tables, alignment, false, "⋈")?;
+        let (display, names, tuples, interner) = join_chain(tables, alignment, false, "⋈")?;
         let tuples = dedup_content(tuples);
-        Ok(IntegratedTable::from_tuples(&display, &names, tuples))
+        Ok(IntegratedTable::from_tuples(
+            &display, &names, tuples, &interner,
+        ))
     }
 }
 
@@ -230,7 +237,7 @@ impl Integrator for OuterUnionIntegrator {
         alignment: &Alignment,
     ) -> Result<IntegratedTable, IntegrateError> {
         check_alignment(tables, alignment)?;
-        let (names, tuples) = outer_union(tables, alignment);
+        let (names, tuples, interner) = outer_union(tables, alignment);
         let tuples = if self.subsume {
             remove_subsumed_indexed(tuples)
         } else {
@@ -238,7 +245,9 @@ impl Integrator for OuterUnionIntegrator {
         };
         let table_names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
         let display = format!("OuterUnion({})", table_names.join(", "));
-        Ok(IntegratedTable::from_tuples(&display, &names, tuples))
+        Ok(IntegratedTable::from_tuples(
+            &display, &names, tuples, &interner,
+        ))
     }
 }
 

@@ -32,7 +32,7 @@
 //! |---|---|
 //! | [`NaiveFd`] | reference: quadratic complementation fixpoint + pairwise subsumption scan |
 //! | [`AliteFd`] | ALITE's algorithm: outer union → hash-indexed complementation fixpoint → index-accelerated subsumption removal |
-//! | [`ParallelFd`] | ParaFD-style (Paganelli et al.) round-parallel complementation on crossbeam scoped threads |
+//! | [`ParallelFd`] | ParaFD-style (Paganelli et al.) round-parallel complementation on std scoped threads |
 //! | [`OuterJoinIntegrator`] | left-to-right natural outer join (Fig. 6 / Fig. 8(a)); *not* associative, the demo's foil |
 //! | [`InnerJoinIntegrator`] | left-to-right natural inner join (Auctus-style) |
 //! | [`OuterUnionIntegrator`] | outer union with optional subsumption removal |
@@ -40,6 +40,20 @@
 //! All engines implement the [`Integrator`] trait, the extension point the
 //! demo's Fig. 6 illustrates ("users can add alternative integration
 //! operators").
+//!
+//! ## Dictionary-encoded core
+//!
+//! Every engine runs over **interned tuples**: [`outer_union`] interns
+//! each distinct cell value once into a [`dialite_table::ValueInterner`]
+//! and emits [`AlignedTuple`]s of `u32` value-ids. Consistency,
+//! connection, merge and subsumption are integer compares; the inverted
+//! indexes key on packed `(column, id)` words; and content dedup hashes
+//! `Vec<u32>` rows. The [`Integrator`] engines and [`IntegratedTable`]
+//! results stay `Value`-typed — ids are resolved back at
+//! [`IntegratedTable::from_tuples`]. The lower-level tuple toolkit
+//! ([`outer_union`], [`AlignedTuple`], [`remove_subsumed_naive`],
+//! [`remove_subsumed_indexed`]) *is* id-typed and passes the interner
+//! explicitly; use it when composing custom operators.
 
 mod alite;
 mod engine;

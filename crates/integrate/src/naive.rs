@@ -6,7 +6,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dialite_align::Alignment;
-use dialite_table::{Table, Value};
+use dialite_table::Table;
 
 use crate::engine::{check_alignment, IntegrateError, Integrator};
 use crate::result::IntegratedTable;
@@ -40,10 +40,10 @@ impl Integrator for NaiveFd {
         alignment: &Alignment,
     ) -> Result<IntegratedTable, IntegrateError> {
         check_alignment(tables, alignment)?;
-        let (names, base) = outer_union(tables, alignment);
+        let (names, base, interner) = outer_union(tables, alignment);
 
         let mut store: Vec<AlignedTuple> = Vec::with_capacity(base.len());
-        let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut by_content: HashMap<Vec<u32>, usize> = HashMap::new();
         for t in base {
             insert_tuple(&mut store, &mut by_content, t);
         }
@@ -79,25 +79,30 @@ impl Integrator for NaiveFd {
 
         let tuples = remove_subsumed_naive(store);
         let name = fd_name(tables);
-        Ok(IntegratedTable::from_tuples(&name, &names, tuples))
+        Ok(IntegratedTable::from_tuples(
+            &name, &names, tuples, &interner,
+        ))
     }
 }
 
-/// Insert keeping content unique with the smallest witness TID set.
+/// Insert keeping content unique with the smallest witness TID set. Content
+/// is keyed on normalized value-ids ([`AlignedTuple::content_key`]), so the
+/// two null kinds count as the same content.
 pub(crate) fn insert_tuple(
     store: &mut Vec<AlignedTuple>,
-    by_content: &mut HashMap<Vec<Value>, usize>,
+    by_content: &mut HashMap<Vec<u32>, usize>,
     t: AlignedTuple,
 ) {
-    match by_content.get(&t.values) {
-        Some(&idx) => {
-            let existing = &mut store[idx];
+    use std::collections::hash_map::Entry;
+    match by_content.entry(t.content_key()) {
+        Entry::Occupied(e) => {
+            let existing = &mut store[*e.get()];
             if (t.tids.len(), &t.tids) < (existing.tids.len(), &existing.tids) {
                 existing.tids = t.tids;
             }
         }
-        None => {
-            by_content.insert(t.values.clone(), store.len());
+        Entry::Vacant(e) => {
+            e.insert(store.len());
             store.push(t);
         }
     }
@@ -113,7 +118,7 @@ pub(crate) fn fd_name(tables: &[&Table]) -> String {
 mod tests {
     use super::*;
     use dialite_align::Alignment;
-    use dialite_table::table;
+    use dialite_table::{table, Value};
 
     #[test]
     fn two_joinable_rows_merge() {

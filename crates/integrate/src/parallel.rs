@@ -11,13 +11,13 @@
 use std::collections::{HashMap, HashSet};
 
 use dialite_align::Alignment;
-use dialite_table::{Table, Value};
+use dialite_table::{Table, ValueInterner};
 
 use crate::engine::{check_alignment, IntegrateError, Integrator};
 use crate::naive::{fd_name, insert_tuple};
 use crate::result::IntegratedTable;
 use crate::subsume::remove_subsumed_indexed;
-use crate::tuple::{outer_union, AlignedTuple};
+use crate::tuple::{outer_union, slot_key, AlignedTuple};
 
 /// Round-parallel FD engine.
 #[derive(Debug, Clone)]
@@ -50,23 +50,20 @@ impl Integrator for ParallelFd {
         alignment: &Alignment,
     ) -> Result<IntegratedTable, IntegrateError> {
         check_alignment(tables, alignment)?;
-        let (names, base) = outer_union(tables, alignment);
+        let (names, base, interner) = outer_union(tables, alignment);
         let threads = self.threads.max(1);
 
         let mut store: Vec<AlignedTuple> = Vec::with_capacity(base.len());
-        let mut by_content: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut by_content: HashMap<Vec<u32>, usize> = HashMap::new();
         for t in base {
             insert_tuple(&mut store, &mut by_content, t);
         }
 
-        let mut index: HashMap<(u32, Value), Vec<u32>> = HashMap::new();
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
         for (i, t) in store.iter().enumerate() {
-            for (c, v) in t.values.iter().enumerate() {
-                if !v.is_null() {
-                    index
-                        .entry((c as u32, v.clone()))
-                        .or_default()
-                        .push(i as u32);
+            for (c, &v) in t.values.iter().enumerate() {
+                if !ValueInterner::is_null_id(v) {
+                    index.entry(slot_key(c, v)).or_default().push(i as u32);
                 }
             }
         }
@@ -88,11 +85,11 @@ impl Integrator for ParallelFd {
                         for &i in slice {
                             let t = &store_ref[i as usize];
                             let mut cands: Vec<u32> = Vec::new();
-                            for (c, v) in t.values.iter().enumerate() {
-                                if v.is_null() {
+                            for (c, &v) in t.values.iter().enumerate() {
+                                if ValueInterner::is_null_id(v) {
                                     continue;
                                 }
-                                if let Some(post) = index_ref.get(&(c as u32, v.clone())) {
+                                if let Some(post) = index_ref.get(&slot_key(c, v)) {
                                     cands.extend(post.iter().copied());
                                 }
                             }
@@ -131,9 +128,9 @@ impl Integrator for ParallelFd {
                 insert_tuple(&mut store, &mut by_content, merged);
                 if store.len() > before {
                     let idx = (store.len() - 1) as u32;
-                    for (c, v) in store[idx as usize].values.iter().enumerate() {
-                        if !v.is_null() {
-                            index.entry((c as u32, v.clone())).or_default().push(idx);
+                    for (c, &v) in store[idx as usize].values.iter().enumerate() {
+                        if !ValueInterner::is_null_id(v) {
+                            index.entry(slot_key(c, v)).or_default().push(idx);
                         }
                     }
                 }
@@ -152,6 +149,7 @@ impl Integrator for ParallelFd {
             &fd_name(tables),
             &names,
             tuples,
+            &interner,
         ))
     }
 }
@@ -162,7 +160,7 @@ mod tests {
     use crate::alite::AliteFd;
     use crate::testutil::fig2_tables;
     use dialite_align::Alignment;
-    use dialite_table::table;
+    use dialite_table::{table, Value};
 
     #[test]
     fn matches_alite_on_fig2() {

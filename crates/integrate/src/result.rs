@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use dialite_table::{Table, Tid};
+use dialite_table::{Table, Tid, ValueInterner};
 
 use crate::tuple::AlignedTuple;
 
@@ -18,21 +18,30 @@ pub struct IntegratedTable {
 }
 
 impl IntegratedTable {
-    /// Assemble from the integrated column names and tuples, sorting tuples
-    /// into canonical (value) order for deterministic output.
+    /// Assemble from the integrated column names and dictionary-encoded
+    /// tuples, resolving value-ids back to `Value`s through `interner` (the
+    /// one [`crate::outer_union`] built) and sorting rows into canonical
+    /// (value) order for deterministic output. This is the boundary where
+    /// ids leave the integration core — everything downstream is
+    /// `Value`-typed.
     pub fn from_tuples(
         name: &str,
         columns: &[String],
-        mut tuples: Vec<AlignedTuple>,
+        tuples: Vec<AlignedTuple>,
+        interner: &ValueInterner,
     ) -> IntegratedTable {
-        tuples.sort_by(|a, b| a.values.cmp(&b.values).then(a.tids.cmp(&b.tids)));
+        let mut rows: Vec<(Vec<dialite_table::Value>, BTreeSet<Tid>)> = tuples
+            .into_iter()
+            .map(|t| (t.resolve(interner), t.tids))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let mut table = Table::new(name, columns).expect("integration IDs are unique");
-        let mut provenance = Vec::with_capacity(tuples.len());
-        for t in tuples {
+        let mut provenance = Vec::with_capacity(rows.len());
+        for (values, tids) in rows {
             table
-                .push_row(t.values)
+                .push_row(values)
                 .expect("aligned tuples have schema arity");
-            provenance.push(t.tids);
+            provenance.push(tids);
         }
         table.infer_types();
         IntegratedTable { table, provenance }
@@ -103,22 +112,36 @@ mod tests {
     use super::*;
     use dialite_table::Value;
 
-    fn tuples() -> Vec<AlignedTuple> {
-        vec![
+    fn tuples() -> (Vec<AlignedTuple>, ValueInterner) {
+        let mut interner = ValueInterner::new();
+        let tuples = vec![
             AlignedTuple {
-                values: vec![Value::Text("b".into()), Value::Int(2)],
+                values: vec![
+                    interner.intern(&Value::Text("b".into())),
+                    interner.intern(&Value::Int(2)),
+                ],
                 tids: [Tid::new(1, 0)].into_iter().collect(),
             },
             AlignedTuple {
-                values: vec![Value::Text("a".into()), Value::Int(1)],
+                values: vec![
+                    interner.intern(&Value::Text("a".into())),
+                    interner.intern(&Value::Int(1)),
+                ],
                 tids: [Tid::new(0, 0), Tid::new(1, 1)].into_iter().collect(),
             },
-        ]
+        ];
+        (tuples, interner)
     }
 
     #[test]
     fn rows_are_sorted_canonically_with_aligned_provenance() {
-        let it = IntegratedTable::from_tuples("r", &["x".to_string(), "y".to_string()], tuples());
+        let (tuples, interner) = tuples();
+        let it = IntegratedTable::from_tuples(
+            "r",
+            &["x".to_string(), "y".to_string()],
+            tuples,
+            &interner,
+        );
         assert_eq!(it.row_count(), 2);
         assert_eq!(it.table().row(0).unwrap()[0], Value::Text("a".into()));
         assert_eq!(it.provenance(0).len(), 2);
@@ -127,7 +150,13 @@ mod tests {
 
     #[test]
     fn display_with_provenance_shows_tids() {
-        let it = IntegratedTable::from_tuples("r", &["x".to_string(), "y".to_string()], tuples());
+        let (tuples, interner) = tuples();
+        let it = IntegratedTable::from_tuples(
+            "r",
+            &["x".to_string(), "y".to_string()],
+            tuples,
+            &interner,
+        );
         let plain = it.display_with_provenance(None);
         assert!(plain.contains("t0.0"), "{plain}");
         let named = it.display_with_provenance(Some(&["T1", "T2"]));
@@ -137,7 +166,8 @@ mod tests {
 
     #[test]
     fn empty_result() {
-        let it = IntegratedTable::from_tuples("r", &["x".to_string()], vec![]);
+        let it =
+            IntegratedTable::from_tuples("r", &["x".to_string()], vec![], &ValueInterner::new());
         assert_eq!(it.row_count(), 0);
         assert!(it.provenances().is_empty());
     }

@@ -2,26 +2,30 @@
 //!
 //! Two variants share semantics and differ in cost, which experiment E6
 //! ablates: a quadratic reference scan and ALITE's index-accelerated pass.
+//! Both operate on dictionary-encoded tuples: content dedup keys on
+//! `Vec<u32>` value-ids and the inverted index on packed `(col, id)` words,
+//! so neither pass touches a [`dialite_table::Value`].
 
 use std::collections::HashMap;
 
-use dialite_table::Value;
-
-use crate::tuple::AlignedTuple;
+use crate::tuple::{slot_key, AlignedTuple};
+use dialite_table::ValueInterner;
 
 /// Deduplicate by content, keeping the smallest witness TID set
 /// (paper Fig. 8(b): `f12 = {t16}`, not `{t12, t16}`).
 pub(crate) fn dedup_content(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
-    let mut by_content: HashMap<Vec<Value>, AlignedTuple> = HashMap::with_capacity(tuples.len());
+    let mut by_content: HashMap<Vec<u32>, AlignedTuple> = HashMap::with_capacity(tuples.len());
     for t in tuples {
-        match by_content.get_mut(&t.values) {
-            Some(existing) => {
+        use std::collections::hash_map::Entry;
+        match by_content.entry(t.content_key()) {
+            Entry::Occupied(mut e) => {
+                let existing = e.get_mut();
                 if (t.tids.len(), &t.tids) < (existing.tids.len(), &existing.tids) {
                     existing.tids = t.tids;
                 }
             }
-            None => {
-                by_content.insert(t.values.clone(), t);
+            Entry::Vacant(e) => {
+                e.insert(t);
             }
         }
     }
@@ -59,17 +63,17 @@ pub fn remove_subsumed_indexed(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
             .then_with(|| a.values.cmp(&b.values))
     });
     let mut kept: Vec<AlignedTuple> = Vec::with_capacity(tuples.len());
-    let mut index: HashMap<(u32, Value), Vec<usize>> = HashMap::new();
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
     for t in tuples {
         let first_non_null = t
             .values
             .iter()
             .enumerate()
-            .find(|(_, v)| !v.is_null())
-            .map(|(c, v)| (c as u32, v.clone()));
-        let subsumed = match &first_non_null {
+            .find(|(_, &v)| !ValueInterner::is_null_id(v))
+            .map(|(c, &v)| slot_key(c, v));
+        let subsumed = match first_non_null {
             Some(key) => index
-                .get(key)
+                .get(&key)
                 .map(|cands| cands.iter().any(|&k| kept[k].subsumes(&t)))
                 .unwrap_or(false),
             // All-null tuple: subsumed by any kept tuple (vacuous agreement).
@@ -79,9 +83,9 @@ pub fn remove_subsumed_indexed(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
             continue;
         }
         let idx = kept.len();
-        for (c, v) in t.values.iter().enumerate() {
-            if !v.is_null() {
-                index.entry((c as u32, v.clone())).or_default().push(idx);
+        for (c, &v) in t.values.iter().enumerate() {
+            if !ValueInterner::is_null_id(v) {
+                index.entry(slot_key(c, v)).or_default().push(idx);
             }
         }
         kept.push(t);
@@ -92,25 +96,43 @@ pub fn remove_subsumed_indexed(tuples: Vec<AlignedTuple>) -> Vec<AlignedTuple> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dialite_table::Tid;
+    use dialite_table::{Tid, Value};
     use std::collections::BTreeSet;
 
-    fn tup(values: Vec<Value>, tids: &[(u32, u32)]) -> AlignedTuple {
+    /// A tiny fixed dictionary so tests can write ids directly: id 2 ↔ 1,
+    /// id 3 ↔ 2, id 4 ↔ 3, id 5 ↔ 9.
+    fn interner() -> ValueInterner {
+        let mut it = ValueInterner::new();
+        for v in [1i64, 2, 3, 9] {
+            it.intern(&Value::Int(v));
+        }
+        it
+    }
+
+    fn vid(it: &ValueInterner, v: i64) -> u32 {
+        it.get(&Value::Int(v)).expect("in the fixed dictionary")
+    }
+
+    fn tup(values: Vec<u32>, tids: &[(u32, u32)]) -> AlignedTuple {
         AlignedTuple {
             values,
             tids: tids.iter().map(|&(t, r)| Tid::new(t, r)).collect(),
         }
     }
 
-    fn contents(mut tuples: Vec<AlignedTuple>) -> Vec<Vec<Value>> {
+    fn contents(mut tuples: Vec<AlignedTuple>) -> Vec<Vec<u32>> {
         tuples.sort_by(|a, b| a.values.cmp(&b.values));
         tuples.into_iter().map(|t| t.values).collect()
     }
 
+    const MISSING: u32 = ValueInterner::NULL_MISSING;
+    const PRODUCED: u32 = ValueInterner::NULL_PRODUCED;
+
     #[test]
     fn dedup_keeps_smallest_witness_set() {
-        let a = tup(vec![Value::Int(1)], &[(0, 0), (1, 0)]);
-        let b = tup(vec![Value::Int(1)], &[(2, 0)]);
+        let it = interner();
+        let a = tup(vec![vid(&it, 1)], &[(0, 0), (1, 0)]);
+        let b = tup(vec![vid(&it, 1)], &[(2, 0)]);
         let out = dedup_content(vec![a, b]);
         assert_eq!(out.len(), 1);
         assert_eq!(
@@ -121,15 +143,17 @@ mod tests {
 
     #[test]
     fn dedup_treats_null_kinds_as_equal_content() {
-        let a = tup(vec![Value::Int(1), Value::null_missing()], &[(0, 0)]);
-        let b = tup(vec![Value::Int(1), Value::null_produced()], &[(1, 0)]);
+        let it = interner();
+        let a = tup(vec![vid(&it, 1), MISSING], &[(0, 0)]);
+        let b = tup(vec![vid(&it, 1), PRODUCED], &[(1, 0)]);
         assert_eq!(dedup_content(vec![a, b]).len(), 1);
     }
 
     #[test]
     fn strictly_subsumed_tuples_are_removed() {
-        let full = tup(vec![Value::Int(1), Value::Int(2)], &[(0, 0), (1, 0)]);
-        let part = tup(vec![Value::Int(1), Value::null_produced()], &[(0, 0)]);
+        let it = interner();
+        let full = tup(vec![vid(&it, 1), vid(&it, 2)], &[(0, 0), (1, 0)]);
+        let part = tup(vec![vid(&it, 1), PRODUCED], &[(0, 0)]);
         let out = remove_subsumed_naive(vec![full.clone(), part.clone()]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].values, full.values);
@@ -140,9 +164,10 @@ mod tests {
 
     #[test]
     fn incomparable_tuples_all_kept() {
-        let a = tup(vec![Value::Int(1), Value::null_produced()], &[(0, 0)]);
-        let b = tup(vec![Value::null_produced(), Value::Int(2)], &[(1, 0)]);
-        let c = tup(vec![Value::Int(9), Value::Int(2)], &[(2, 0)]);
+        let it = interner();
+        let a = tup(vec![vid(&it, 1), PRODUCED], &[(0, 0)]);
+        let b = tup(vec![PRODUCED, vid(&it, 2)], &[(1, 0)]);
+        let c = tup(vec![vid(&it, 9), vid(&it, 2)], &[(2, 0)]);
         let naive = remove_subsumed_naive(vec![a.clone(), b.clone(), c.clone()]);
         // b IS subsumed by c (b non-null only at col1, c agrees there).
         assert_eq!(naive.len(), 2);
@@ -152,11 +177,9 @@ mod tests {
 
     #[test]
     fn all_null_tuple_subsumed_by_anything() {
-        let empty = tup(
-            vec![Value::null_missing(), Value::null_missing()],
-            &[(0, 0)],
-        );
-        let something = tup(vec![Value::Int(1), Value::null_produced()], &[(1, 0)]);
+        let it = interner();
+        let empty = tup(vec![MISSING, MISSING], &[(0, 0)]);
+        let something = tup(vec![vid(&it, 1), PRODUCED], &[(1, 0)]);
         assert_eq!(
             remove_subsumed_naive(vec![empty.clone(), something.clone()]).len(),
             1
@@ -171,28 +194,12 @@ mod tests {
 
     #[test]
     fn naive_and_indexed_agree_on_chains() {
+        let it = interner();
         // a ⊑ b ⊑ c chain plus an incomparable d.
-        let a = tup(
-            vec![
-                Value::Int(1),
-                Value::null_produced(),
-                Value::null_produced(),
-            ],
-            &[(0, 0)],
-        );
-        let b = tup(
-            vec![Value::Int(1), Value::Int(2), Value::null_produced()],
-            &[(1, 0)],
-        );
-        let c = tup(vec![Value::Int(1), Value::Int(2), Value::Int(3)], &[(2, 0)]);
-        let d = tup(
-            vec![
-                Value::Int(9),
-                Value::null_produced(),
-                Value::null_produced(),
-            ],
-            &[(3, 0)],
-        );
+        let a = tup(vec![vid(&it, 1), PRODUCED, PRODUCED], &[(0, 0)]);
+        let b = tup(vec![vid(&it, 1), vid(&it, 2), PRODUCED], &[(1, 0)]);
+        let c = tup(vec![vid(&it, 1), vid(&it, 2), vid(&it, 3)], &[(2, 0)]);
+        let d = tup(vec![vid(&it, 9), PRODUCED, PRODUCED], &[(3, 0)]);
         let input = vec![a, b, c.clone(), d.clone()];
         let naive = remove_subsumed_naive(input.clone());
         let indexed = remove_subsumed_indexed(input);

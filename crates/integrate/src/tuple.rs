@@ -1,19 +1,39 @@
 //! Aligned tuples over the integrated schema, and the core FD relations:
 //! consistency, connection, merge and subsumption.
+//!
+//! Tuples are **dictionary-encoded**: every cell is a `u32` value-id from a
+//! [`ValueInterner`] built once by [`outer_union`] at ingest. The FD
+//! relations are then pure integer compares — no `Value` is cloned or
+//! hashed anywhere in the complementation fixpoint or the subsumption pass.
+//! Ids are resolved back to [`dialite_table::Value`]s only at the result
+//! boundary ([`crate::IntegratedTable::from_tuples`]), so the crate's public
+//! engine APIs stay `Value`-typed.
 
 use std::collections::BTreeSet;
 
 use dialite_align::Alignment;
-use dialite_table::{NullKind, Table, Tid, Value};
+use dialite_table::{Table, Tid, ValueInterner};
 
 /// A tuple over the integrated schema (one slot per integration ID), with
 /// its witness TID set — the `{t1, t7}` provenance of paper Fig. 3.
+///
+/// `values` holds interned value-ids: `ValueInterner::NULL_PRODUCED` (`⊥`),
+/// `ValueInterner::NULL_MISSING` (`±`), or an id ≥
+/// `ValueInterner::FIRST_VALUE_ID` for a concrete value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlignedTuple {
-    /// One value per integration ID.
-    pub values: Vec<Value>,
+    /// One interned value-id per integration ID.
+    pub values: Vec<u32>,
     /// Source tuples merged into this one (sorted set for determinism).
     pub tids: BTreeSet<Tid>,
+}
+
+/// Packed inverted-index key: `(column << 32) | value_id`. One `u64` compare
+/// and hash replaces the seed's `(u32, Value)` key that cloned a `Value`
+/// (often a heap string) on every probe.
+#[inline]
+pub(crate) fn slot_key(col: usize, vid: u32) -> u64 {
+    ((col as u64) << 32) | u64::from(vid)
 }
 
 impl AlignedTuple {
@@ -22,7 +42,7 @@ impl AlignedTuple {
         self.values
             .iter()
             .zip(&other.values)
-            .all(|(a, b)| a.is_null() || b.is_null() || a == b)
+            .all(|(&a, &b)| a == b || ValueInterner::is_null_id(a) || ValueInterner::is_null_id(b))
     }
 
     /// Connection: at least one attribute where both are non-null and equal
@@ -31,7 +51,7 @@ impl AlignedTuple {
         self.values
             .iter()
             .zip(&other.values)
-            .any(|(a, b)| a.join_eq(b))
+            .any(|(&a, &b)| a == b && !ValueInterner::is_null_id(a))
     }
 
     /// Complementable = consistent ∧ connected: the merge condition of
@@ -43,24 +63,20 @@ impl AlignedTuple {
     /// Merge two (complementable) tuples: non-null values win; a *missing*
     /// null dominates a *produced* null so that the output distinguishes
     /// "source said null" (`±`) from "no source had the attribute" (`⊥`),
-    /// as in paper Figs. 2–3.
+    /// as in paper Figs. 2–3. Over value-ids this is a single branch per
+    /// slot: the reserved null ids order produced < missing < values, so
+    /// the two-null case is `max`.
     pub fn merge(&self, other: &AlignedTuple) -> AlignedTuple {
         debug_assert!(self.consistent(other), "merging inconsistent tuples");
         let values = self
             .values
             .iter()
             .zip(&other.values)
-            .map(|(a, b)| match (a.is_null(), b.is_null()) {
-                (false, _) => a.clone(),
-                (true, false) => b.clone(),
-                (true, true) => {
-                    if matches!(a, Value::Null(NullKind::Missing))
-                        || matches!(b, Value::Null(NullKind::Missing))
-                    {
-                        Value::null_missing()
-                    } else {
-                        Value::null_produced()
-                    }
+            .map(|(&a, &b)| {
+                if ValueInterner::is_null_id(a) {
+                    a.max(b)
+                } else {
+                    a
                 }
             })
             .collect();
@@ -75,34 +91,67 @@ impl AlignedTuple {
             .values
             .iter()
             .zip(&self.values)
-            .all(|(o, s)| o.is_null() || o == s)
+            .all(|(&o, &s)| ValueInterner::is_null_id(o) || o == s)
+    }
+
+    /// Content key for deduplication: the value-ids with both null kinds
+    /// collapsed to one id, because content equality treats any null as
+    /// equal to any other null (paper Fig. 8(b)).
+    pub fn content_key(&self) -> Vec<u32> {
+        self.values
+            .iter()
+            .map(|&v| {
+                if ValueInterner::is_null_id(v) {
+                    ValueInterner::NULL_PRODUCED
+                } else {
+                    v
+                }
+            })
+            .collect()
     }
 
     /// Number of non-null attributes.
     pub fn non_null_count(&self) -> usize {
-        self.values.iter().filter(|v| !v.is_null()).count()
+        self.values
+            .iter()
+            .filter(|&&v| !ValueInterner::is_null_id(v))
+            .count()
     }
 
     /// Bitmask of non-null positions (one `u64` word per 64 columns).
     pub fn non_null_mask(&self) -> Vec<u64> {
         let mut mask = vec![0u64; self.values.len().div_ceil(64)];
-        for (i, v) in self.values.iter().enumerate() {
-            if !v.is_null() {
+        for (i, &v) in self.values.iter().enumerate() {
+            if !ValueInterner::is_null_id(v) {
                 mask[i / 64] |= 1 << (i % 64);
             }
         }
         mask
+    }
+
+    /// Resolve the value-ids back to owned [`dialite_table::Value`]s.
+    pub fn resolve(&self, interner: &ValueInterner) -> Vec<dialite_table::Value> {
+        self.values
+            .iter()
+            .map(|&v| interner.resolve(v).clone())
+            .collect()
     }
 }
 
 /// Compute the outer union of an integration set over the aligned schema:
 /// every input row becomes an [`AlignedTuple`] with produced nulls in the
 /// attributes its table does not have. Returns the integrated column names
-/// (integration IDs ordered by first appearance) and the tuples.
+/// (integration IDs ordered by first appearance), the tuples, and the
+/// [`ValueInterner`] their value-ids refer to. Each distinct cell value is
+/// interned exactly once here; the fixpoint never creates new values, so
+/// the interner is immutable downstream.
 ///
 /// # Panics
 /// If `alignment` does not cover exactly the given tables/columns.
-pub fn outer_union(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, Vec<AlignedTuple>) {
+pub fn outer_union(
+    tables: &[&Table],
+    alignment: &Alignment,
+) -> (Vec<String>, Vec<AlignedTuple>, ValueInterner) {
     assert_eq!(
         alignment.assignments().len(),
         tables.len(),
@@ -135,40 +184,47 @@ pub fn outer_union(tables: &[&Table], alignment: &Alignment) -> (Vec<String>, Ve
         .collect();
 
     let width = order.len();
+    let mut interner = ValueInterner::new();
     let mut tuples = Vec::new();
     for (t, table) in tables.iter().enumerate() {
         for (r, row) in table.rows().enumerate() {
-            let mut values = vec![Value::null_produced(); width];
+            let mut values = vec![ValueInterner::NULL_PRODUCED; width];
             for (c, v) in row.iter().enumerate() {
                 let slot = slot_of[alignment.id_of(t, c) as usize];
-                values[slot] = v.clone();
+                values[slot] = interner.intern(v);
             }
             let mut tids = BTreeSet::new();
             tids.insert(Tid::new(t as u32, r as u32));
             tuples.push(AlignedTuple { values, tids });
         }
     }
-    (names, tuples)
+    (names, tuples, interner)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dialite_align::Alignment;
-    use dialite_table::table;
+    use dialite_table::{table, NullKind, Value};
 
-    fn tup(values: Vec<Value>) -> AlignedTuple {
+    fn tup(values: Vec<u32>) -> AlignedTuple {
         AlignedTuple {
             values,
             tids: BTreeSet::new(),
         }
     }
 
+    /// Intern a row of `Value`s for the id-level tests.
+    fn row(interner: &mut ValueInterner, values: &[Value]) -> Vec<u32> {
+        values.iter().map(|v| interner.intern(v)).collect()
+    }
+
     #[test]
     fn consistency_treats_nulls_as_wildcards() {
-        let a = tup(vec![Value::Int(1), Value::null_missing()]);
-        let b = tup(vec![Value::Int(1), Value::Int(2)]);
-        let c = tup(vec![Value::Int(9), Value::Int(2)]);
+        let mut it = ValueInterner::new();
+        let a = tup(row(&mut it, &[Value::Int(1), Value::null_missing()]));
+        let b = tup(row(&mut it, &[Value::Int(1), Value::Int(2)]));
+        let c = tup(row(&mut it, &[Value::Int(9), Value::Int(2)]));
         assert!(a.consistent(&b));
         assert!(b.consistent(&a));
         assert!(!b.consistent(&c));
@@ -176,69 +232,108 @@ mod tests {
 
     #[test]
     fn consistency_detects_conflicts() {
-        let a = tup(vec![Value::Int(1), Value::null_missing()]);
-        let c = tup(vec![Value::Int(9), Value::Int(2)]);
+        let mut it = ValueInterner::new();
+        let a = tup(row(&mut it, &[Value::Int(1), Value::null_missing()]));
+        let c = tup(row(&mut it, &[Value::Int(9), Value::Int(2)]));
         assert!(!a.consistent(&c));
     }
 
     #[test]
     fn connection_requires_shared_non_null_equal() {
-        let a = tup(vec![Value::Int(1), Value::null_missing()]);
-        let b = tup(vec![Value::Int(1), Value::Int(2)]);
-        let c = tup(vec![Value::null_produced(), Value::Int(2)]);
+        let mut it = ValueInterner::new();
+        let a = tup(row(&mut it, &[Value::Int(1), Value::null_missing()]));
+        let b = tup(row(&mut it, &[Value::Int(1), Value::Int(2)]));
+        let c = tup(row(&mut it, &[Value::null_produced(), Value::Int(2)]));
         assert!(a.connected(&b));
         assert!(!a.connected(&c), "nulls never connect");
-        let d = tup(vec![Value::null_missing(), Value::null_missing()]);
+        let d = tup(row(
+            &mut it,
+            &[Value::null_missing(), Value::null_missing()],
+        ));
         assert!(!d.connected(&d), "all-null tuples connect to nothing");
     }
 
     #[test]
     fn merge_prefers_values_then_missing_nulls() {
+        let mut it = ValueInterner::new();
         let a = AlignedTuple {
-            values: vec![Value::Int(1), Value::null_missing(), Value::null_produced()],
+            values: row(
+                &mut it,
+                &[Value::Int(1), Value::null_missing(), Value::null_produced()],
+            ),
             tids: [Tid::new(0, 0)].into_iter().collect(),
         };
         let b = AlignedTuple {
-            values: vec![
-                Value::Int(1),
-                Value::null_produced(),
-                Value::null_produced(),
-            ],
+            values: row(
+                &mut it,
+                &[
+                    Value::Int(1),
+                    Value::null_produced(),
+                    Value::null_produced(),
+                ],
+            ),
             tids: [Tid::new(1, 0)].into_iter().collect(),
         };
         let m = a.merge(&b);
-        assert_eq!(m.values[0], Value::Int(1));
-        assert!(matches!(m.values[1], Value::Null(NullKind::Missing)));
-        assert!(matches!(m.values[2], Value::Null(NullKind::Produced)));
+        assert_eq!(it.resolve(m.values[0]), &Value::Int(1));
+        assert_eq!(m.values[1], ValueInterner::NULL_MISSING);
+        assert_eq!(m.values[2], ValueInterner::NULL_PRODUCED);
         assert_eq!(m.tids.len(), 2);
     }
 
     #[test]
     fn subsumption_examples_from_fig8() {
+        let mut it = ValueInterner::new();
         // f12 = (JnJ, ⊥, USA) subsumes t12-as-aligned = (JnJ, ±, ⊥).
-        let f12 = tup(vec!["JnJ".into(), Value::null_produced(), "USA".into()]);
-        let t12 = tup(vec![
-            "JnJ".into(),
-            Value::null_missing(),
-            Value::null_produced(),
-        ]);
+        let f12 = tup(row(
+            &mut it,
+            &["JnJ".into(), Value::null_produced(), "USA".into()],
+        ));
+        let t12 = tup(row(
+            &mut it,
+            &["JnJ".into(), Value::null_missing(), Value::null_produced()],
+        ));
         assert!(f12.subsumes(&t12));
         assert!(!t12.subsumes(&f12));
         // Every tuple subsumes itself.
         assert!(f12.subsumes(&f12));
         // f13 (J&J,…) does not subsume f12 (JnJ,…).
-        let f13 = tup(vec!["J&J".into(), "FDA".into(), "United States".into()]);
+        let f13 = tup(row(
+            &mut it,
+            &["J&J".into(), "FDA".into(), "United States".into()],
+        ));
         assert!(!f13.subsumes(&f12));
     }
 
     #[test]
+    fn content_key_collapses_null_kinds() {
+        let mut it = ValueInterner::new();
+        let a = tup(row(&mut it, &[Value::Int(1), Value::null_missing()]));
+        let b = tup(row(&mut it, &[Value::Int(1), Value::null_produced()]));
+        assert_ne!(a.values, b.values, "ids keep the null kinds apart");
+        assert_eq!(a.content_key(), b.content_key());
+    }
+
+    #[test]
     fn masks_and_counts() {
-        let t = tup(vec![Value::Int(1), Value::null_missing(), Value::Int(3)]);
+        let mut it = ValueInterner::new();
+        let t = tup(row(
+            &mut it,
+            &[Value::Int(1), Value::null_missing(), Value::Int(3)],
+        ));
         assert_eq!(t.non_null_count(), 2);
         assert_eq!(t.non_null_mask(), vec![0b101]);
-        let wide = tup(vec![Value::Int(1); 65]);
+        let one = it.intern(&Value::Int(1));
+        let wide = tup(vec![one; 65]);
         assert_eq!(wide.non_null_mask().len(), 2);
         assert_eq!(wide.non_null_mask()[1], 1);
+    }
+
+    #[test]
+    fn slot_key_packs_column_and_id() {
+        assert_eq!(slot_key(0, 2), 2);
+        assert_eq!(slot_key(1, 0), 1 << 32);
+        assert_ne!(slot_key(1, 2), slot_key(2, 1));
     }
 
     #[test]
@@ -246,17 +341,19 @@ mod tests {
         let t1 = table! { "T1"; ["country", "city"]; ["Germany", "Berlin"] };
         let t3 = table! { "T3"; ["city", "cases"]; ["Berlin", 1_400_000] };
         let al = Alignment::by_headers(&[&t1, &t3]);
-        let (names, tuples) = outer_union(&[&t1, &t3], &al);
+        let (names, tuples, interner) = outer_union(&[&t1, &t3], &al);
         assert_eq!(names, vec!["country", "city", "cases"]);
         assert_eq!(tuples.len(), 2);
         // T1 row: cases is produced-null.
-        assert!(matches!(
-            tuples[0].values[2],
-            Value::Null(NullKind::Produced)
-        ));
+        assert_eq!(tuples[0].values[2], ValueInterner::NULL_PRODUCED);
         // T3 row: country is produced-null, city set.
-        assert!(tuples[1].values[0].is_null());
-        assert_eq!(tuples[1].values[1], Value::Text("Berlin".into()));
+        assert!(ValueInterner::is_null_id(tuples[1].values[0]));
+        assert_eq!(
+            interner.resolve(tuples[1].values[1]),
+            &Value::Text("Berlin".into())
+        );
+        // "Berlin" appears in both tables but is interned once.
+        assert_eq!(tuples[0].values[1], tuples[1].values[1]);
         assert_eq!(tuples[1].tids.iter().next().copied(), Some(Tid::new(1, 0)));
     }
 
@@ -265,9 +362,10 @@ mod tests {
         let t = dialite_table::Table::from_rows("t", &["a"], vec![vec![Value::null_missing()]])
             .unwrap();
         let al = Alignment::by_headers(&[&t]);
-        let (_, tuples) = outer_union(&[&t], &al);
+        let (_, tuples, interner) = outer_union(&[&t], &al);
+        assert_eq!(tuples[0].values[0], ValueInterner::NULL_MISSING);
         assert!(matches!(
-            tuples[0].values[0],
+            interner.resolve(tuples[0].values[0]),
             Value::Null(NullKind::Missing)
         ));
     }

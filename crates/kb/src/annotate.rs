@@ -99,7 +99,7 @@ impl KnowledgeBase {
             .into_iter()
             .map(|(t, v)| (t, v as f64 / total as f64))
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ColumnAnnotation {
             scores,
             coverage: known as f64 / total as f64,
@@ -144,7 +144,7 @@ impl KnowledgeBase {
             .into_iter()
             .map(|(k, v)| (k, v as f64 / total as f64))
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         PairAnnotation {
             scores,
             coverage: covered as f64 / total as f64,

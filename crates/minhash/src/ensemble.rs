@@ -6,8 +6,14 @@
 //! per-partition Jaccard threshold using the partition's upper size bound,
 //! picks the (near-)optimal `(b, r)` for that threshold among the
 //! materialized `r` values, and probes `b` bands.
+//!
+//! The index is generic over the domain **key type** `K` (default
+//! `String`): callers that identify domains structurally — e.g. the
+//! discovery layer's `(table_idx, col)` pairs — index copyable ids instead
+//! of formatted strings.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 
 use dialite_text::fnv1a64;
 
@@ -30,19 +36,19 @@ struct REntry {
     tables: Vec<HashMap<u64, Vec<u32>>>,
 }
 
-struct Partition {
+struct Partition<K> {
     /// Maximum domain size in this partition (the `u` of the containment →
     /// Jaccard conversion).
     upper: usize,
     lower: usize,
-    keys: Vec<String>,
+    keys: Vec<K>,
     r_entries: Vec<REntry>,
 }
 
-impl Partition {
-    fn insert(&mut self, key: &str, sig: &Signature) {
+impl<K: Clone + Eq + Hash> Partition<K> {
+    fn insert(&mut self, key: K, sig: &Signature) {
         let id = self.keys.len() as u32;
-        self.keys.push(key.to_string());
+        self.keys.push(key);
         for re in &mut self.r_entries {
             for (band, table) in re.tables.iter_mut().enumerate() {
                 let lo = band * re.r;
@@ -52,7 +58,7 @@ impl Partition {
         }
     }
 
-    fn query(&self, sig: &Signature, b: usize, r: usize, hits: &mut HashSet<String>) {
+    fn query(&self, sig: &Signature, b: usize, r: usize, hits: &mut HashSet<K>) {
         let Some(re) = self.r_entries.iter().find(|re| re.r == r) else {
             return;
         };
@@ -66,16 +72,16 @@ impl Partition {
     }
 }
 
-/// Accumulates domains before partitioning.
-pub struct LshEnsembleBuilder {
+/// Accumulates domains before partitioning. `K` is the domain key type.
+pub struct LshEnsembleBuilder<K = String> {
     hasher: MinHasher,
     num_perm: usize,
-    entries: Vec<(String, usize, Signature)>,
+    entries: Vec<(K, usize, Signature)>,
 }
 
-impl LshEnsembleBuilder {
+impl<K: Clone + Eq + Hash + Ord> LshEnsembleBuilder<K> {
     /// Builder with `num_perm` hash functions and a deterministic seed.
-    pub fn new(num_perm: usize, seed: u64) -> LshEnsembleBuilder {
+    pub fn new(num_perm: usize, seed: u64) -> LshEnsembleBuilder<K> {
         LshEnsembleBuilder {
             hasher: MinHasher::new(num_perm, seed),
             num_perm,
@@ -89,17 +95,17 @@ impl LshEnsembleBuilder {
     }
 
     /// Hash and stage a domain under `key`.
-    pub fn insert_tokens<'a, I: IntoIterator<Item = &'a str>>(&mut self, key: &str, tokens: I) {
+    pub fn insert_tokens<'a, I: IntoIterator<Item = &'a str>>(&mut self, key: K, tokens: I) {
         let toks: Vec<&str> = tokens.into_iter().collect();
         let size = toks.len();
         let sig = self.hasher.signature(toks);
-        self.entries.push((key.to_string(), size, sig));
+        self.entries.push((key, size, sig));
     }
 
     /// Stage a pre-computed signature (size = domain cardinality).
-    pub fn insert_signature(&mut self, key: &str, size: usize, sig: Signature) {
+    pub fn insert_signature(&mut self, key: K, size: usize, sig: Signature) {
         assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
-        self.entries.push((key.to_string(), size, sig));
+        self.entries.push((key, size, sig));
     }
 
     /// Number of staged domains.
@@ -113,7 +119,7 @@ impl LshEnsembleBuilder {
     }
 
     /// Partition (equi-depth by size) and build the banding tables.
-    pub fn build(mut self, num_partitions: usize) -> LshEnsemble {
+    pub fn build(mut self, num_partitions: usize) -> LshEnsemble<K> {
         let num_partitions = num_partitions.max(1);
         self.entries
             .sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -122,7 +128,7 @@ impl LshEnsembleBuilder {
             .take_while(|&r| r <= self.num_perm)
             .collect();
 
-        let mut partitions: Vec<Partition> = Vec::new();
+        let mut partitions: Vec<Partition<K>> = Vec::new();
         if n > 0 {
             let per = n.div_ceil(num_partitions);
             for chunk in self.entries.chunks(per) {
@@ -141,7 +147,7 @@ impl LshEnsembleBuilder {
                         .collect(),
                 };
                 for (key, _, sig) in chunk {
-                    p.insert(key, sig);
+                    p.insert(key.clone(), sig);
                 }
                 partitions.push(p);
             }
@@ -156,17 +162,17 @@ impl LshEnsembleBuilder {
 
 /// The built containment index. Query with a signature from the builder's
 /// [`MinHasher`], the query set's cardinality, and a containment threshold.
-pub struct LshEnsemble {
+pub struct LshEnsemble<K = String> {
     num_perm: usize,
     allowed_r: Vec<usize>,
-    partitions: Vec<Partition>,
+    partitions: Vec<Partition<K>>,
 }
 
-impl LshEnsemble {
+impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
     /// Candidate keys whose domains likely contain at least `threshold` of
     /// the query set. Candidates are *probabilistic* — callers verify exact
     /// containment against the real token sets (the discovery layer does).
-    pub fn query(&self, sig: &Signature, query_size: usize, threshold: f64) -> Vec<String> {
+    pub fn query(&self, sig: &Signature, query_size: usize, threshold: f64) -> Vec<K> {
         assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
         let mut hits = HashSet::new();
         for p in &self.partitions {
@@ -174,7 +180,7 @@ impl LshEnsemble {
             let (b, r) = optimal_params_restricted(j, self.num_perm, &self.allowed_r);
             p.query(sig, b, r, &mut hits);
         }
-        let mut out: Vec<String> = hits.into_iter().collect();
+        let mut out: Vec<K> = hits.into_iter().collect();
         out.sort();
         out
     }
@@ -208,21 +214,21 @@ mod tests {
         range.map(|i| format!("{prefix}{i}")).collect()
     }
 
-    fn build_demo() -> (LshEnsemble, MinHasher) {
+    fn build_demo() -> (LshEnsemble<String>, MinHasher) {
         let mut b = LshEnsembleBuilder::new(256, 17);
         // A larger domain fully containing the query universe.
         let big = toks("q", 0..50)
             .into_iter()
             .chain(toks("extra", 0..150))
             .collect::<Vec<_>>();
-        b.insert_tokens("big_superset", big.iter().map(String::as_str));
+        b.insert_tokens("big_superset".to_string(), big.iter().map(String::as_str));
         // A small domain equal to half the query.
         let half = toks("q", 0..25);
-        b.insert_tokens("half", half.iter().map(String::as_str));
+        b.insert_tokens("half".to_string(), half.iter().map(String::as_str));
         // Disjoint noise domains of assorted sizes.
         for i in 0..20 {
             let noise = toks(&format!("n{i}_"), 0..(10 + i * 17));
-            b.insert_tokens(&format!("noise{i}"), noise.iter().map(String::as_str));
+            b.insert_tokens(format!("noise{i}"), noise.iter().map(String::as_str));
         }
         let hasher = b.hasher().clone();
         (b.build(4), hasher)
@@ -239,7 +245,7 @@ mod tests {
         let sig = hasher.signature(q.iter().map(String::as_str));
         let hits = index.query(&sig, q.len(), 0.5);
         assert!(
-            hits.contains(&"big_superset".to_string()),
+            hits.iter().any(|h| h == "big_superset"),
             "containment-1.0 domain must be found: {hits:?}"
         );
         assert!(
@@ -254,9 +260,9 @@ mod tests {
         let q = toks("q", 0..50);
         let sig = hasher.signature(q.iter().map(String::as_str));
         let hits = index.query(&sig, q.len(), 0.3);
-        assert!(hits.contains(&"big_superset".to_string()));
+        assert!(hits.iter().any(|h| h == "big_superset"));
         assert!(
-            hits.contains(&"half".to_string()),
+            hits.iter().any(|h| h == "half"),
             "0.5-containment domain should pass a 0.3 threshold: {hits:?}"
         );
     }
@@ -276,7 +282,7 @@ mod tests {
 
     #[test]
     fn empty_index_queries_cleanly() {
-        let b = LshEnsembleBuilder::new(64, 1);
+        let b = LshEnsembleBuilder::<String>::new(64, 1);
         let hasher = b.hasher().clone();
         let index = b.build(4);
         assert!(index.is_empty());

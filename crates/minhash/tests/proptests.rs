@@ -66,7 +66,7 @@ proptest! {
         let index = b.build(parts);
         let sig = hasher.signature(v.iter().copied());
         let hits = index.query(&sig, items.len(), 0.9);
-        prop_assert!(hits.contains(&"self".to_string()), "hits: {hits:?}");
+        prop_assert!(hits.contains(&"self"), "hits: {hits:?}");
     }
 
     #[test]
@@ -79,7 +79,7 @@ proptest! {
         for (i, d) in domains.iter().enumerate() {
             let key = format!("d{i}");
             keys.insert(key.clone());
-            b.insert_tokens(&key, d.iter().map(String::as_str));
+            b.insert_tokens(key, d.iter().map(String::as_str));
         }
         let hasher = b.hasher().clone();
         let index = b.build(3);

@@ -35,12 +35,36 @@ impl Default for CsvOptions {
     }
 }
 
+/// Terminate the current record, skipping records that are a single empty
+/// field (blank lines). A record whose only field was *quoted* (`""` on a
+/// line of its own) is real data, not a blank line, and is kept.
+fn end_record(
+    records: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    field: &mut String,
+    saw_quote: &mut bool,
+) {
+    record.push(std::mem::take(field));
+    if *saw_quote || !(record.len() == 1 && record[0].is_empty()) {
+        records.push(std::mem::take(record));
+    } else {
+        record.clear();
+    }
+    *saw_quote = false;
+}
+
 /// Parse CSV text into raw string records.
+///
+/// Record terminators are `\n`, `\r\n`, and (classic-Mac style) a lone
+/// `\r`; inside quoted fields all three are preserved verbatim.
 pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<Vec<Vec<String>>, TableError> {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
+    // Whether the current record contained any quoted field, to tell an
+    // explicit `""` row apart from a skippable blank line.
+    let mut saw_quote = false;
     let mut line = 1usize;
     let mut chars = input.chars().peekable();
 
@@ -72,18 +96,22 @@ pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<Vec<Vec<String>>, Tab
                     });
                 }
                 in_quotes = true;
+                saw_quote = true;
             }
             '\r' => {
-                // swallow; \r\n handled by the \n branch
+                // Only swallow a \r that starts a \r\n pair (the \n branch
+                // then ends the record). A lone \r is itself a record
+                // terminator — previously it was dropped unconditionally,
+                // silently corrupting `a\rb` to `ab` and collapsing
+                // \r-terminated files into one record.
+                if chars.peek() != Some(&'\n') {
+                    line += 1;
+                    end_record(&mut records, &mut record, &mut field, &mut saw_quote);
+                }
             }
             '\n' => {
                 line += 1;
-                record.push(std::mem::take(&mut field));
-                if !(record.len() == 1 && record[0].is_empty()) {
-                    records.push(std::mem::take(&mut record));
-                } else {
-                    record.clear();
-                }
+                end_record(&mut records, &mut record, &mut field, &mut saw_quote);
             }
             d if d == opts.delimiter => {
                 record.push(std::mem::take(&mut field));
@@ -97,7 +125,7 @@ pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<Vec<Vec<String>>, Tab
             message: "unterminated quoted field".into(),
         });
     }
-    if !field.is_empty() || !record.is_empty() {
+    if !field.is_empty() || !record.is_empty() || saw_quote {
         record.push(field);
         records.push(record);
     }
@@ -214,6 +242,61 @@ mod tests {
         let recs = parse_csv("a,b\r\n1,2\r\n3,4", &CsvOptions::default()).unwrap();
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn lone_cr_terminates_records_classic_mac_style() {
+        let recs = parse_csv("a,b\r1,2\r3,4\r", &CsvOptions::default()).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], vec!["a", "b"]);
+        assert_eq!(recs[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn bare_cr_in_unquoted_field_is_not_swallowed() {
+        // `a\rb` must not corrupt to one field "ab": the \r ends the record.
+        let recs = parse_csv("a\rb\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs, vec![vec!["a"], vec!["b"]]);
+    }
+
+    #[test]
+    fn quoted_cr_is_preserved() {
+        let recs = parse_csv("a\n\"x\ry\",2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs[1][0], "x\ry");
+        assert_eq!(recs[1][1], "2");
+        // CRLF inside quotes is also literal field content.
+        let recs = parse_csv("a\n\"x\r\ny\"\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs[1][0], "x\r\ny");
+    }
+
+    #[test]
+    fn quoted_empty_field_is_a_record_not_a_blank_line() {
+        // `""` on a line of its own is an explicit empty field; only truly
+        // blank lines are skipped.
+        let recs = parse_csv("a\n\"\"\nx\n", &CsvOptions::default()).unwrap();
+        assert_eq!(recs, vec![vec!["a"], vec![""], vec!["x"]]);
+        // …including at EOF without a trailing newline.
+        let recs = parse_csv("a\n\"\"", &CsvOptions::default()).unwrap();
+        assert_eq!(recs, vec![vec!["a"], vec![""]]);
+    }
+
+    #[test]
+    fn blank_cr_lines_are_skipped() {
+        let recs = parse_csv("a,b\r\r1,2\r\n\r", &CsvOptions::default()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn round_trip_preserves_cr_in_text() {
+        let t = Table::from_rows(
+            "t",
+            &["note"],
+            vec![vec![Value::Text("line1\rline2".into())]],
+        )
+        .unwrap();
+        let back = read_csv_str("t", &table_to_csv(&t), &CsvOptions::default()).unwrap();
+        assert!(t.same_content(&back));
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Dictionary encoding for [`Value`]s.
+//!
+//! The integration hot path (ALITE's complementation fixpoint and
+//! subsumption pass) compares, hashes and indexes the *same* cell values
+//! thousands of times per run. A [`ValueInterner`] assigns each distinct
+//! non-null value a dense `u32` id once at ingest, so everything downstream
+//! — consistency checks, merges, inverted indexes, content dedup — becomes
+//! integer arithmetic with no clones, the classic dictionary-encoding move
+//! of columnar systems.
+//!
+//! Two ids are reserved below [`ValueInterner::FIRST_VALUE_ID`] for the two
+//! null kinds, keeping the `±`/`⊥` provenance distinction of the paper
+//! (Figs. 2–3) representable in id space while letting callers test
+//! null-ness with a single comparison:
+//!
+//! * [`ValueInterner::NULL_PRODUCED`] (`0`) — a produced null (`⊥`);
+//! * [`ValueInterner::NULL_MISSING`] (`1`) — a missing null (`±`).
+//!
+//! The ordering is deliberate: merging two nulls must let a *missing* null
+//! dominate a *produced* one (paper Fig. 3), which over these ids is just
+//! `max`. Value ids are **content ids**: interning respects [`Value`]
+//! equality (all NaNs are one id, `-0.0` is `0.0`), so two ids are equal iff
+//! the values have the same content.
+
+use std::collections::HashMap;
+
+use crate::value::{NullKind, Value};
+
+/// Bidirectional `Value ↔ u32` dictionary. See the module docs.
+///
+/// Each distinct non-null value is held twice (once per direction of the
+/// map) — a deliberate simplicity/memory tradeoff. The dictionary holds
+/// *distinct* values only, so even then it is far smaller than the row
+/// data it encodes; revisit with a shared-allocation scheme if
+/// distinct-heavy lakes ever make it the resident-set driver.
+#[derive(Debug, Clone)]
+pub struct ValueInterner {
+    /// `id → value`; slots 0 and 1 hold the two null kinds.
+    values: Vec<Value>,
+    /// `value → id` for non-null values only (nulls resolve by kind).
+    ids: HashMap<Value, u32>,
+}
+
+impl ValueInterner {
+    /// Id of the produced null (`⊥`).
+    pub const NULL_PRODUCED: u32 = 0;
+    /// Id of the missing null (`±`).
+    pub const NULL_MISSING: u32 = 1;
+    /// First id handed out to a non-null value.
+    pub const FIRST_VALUE_ID: u32 = 2;
+
+    /// An interner holding only the two reserved null ids.
+    pub fn new() -> ValueInterner {
+        ValueInterner {
+            values: vec![Value::null_produced(), Value::null_missing()],
+            ids: HashMap::new(),
+        }
+    }
+
+    /// `true` iff `id` denotes either null kind.
+    #[inline]
+    pub fn is_null_id(id: u32) -> bool {
+        id < Self::FIRST_VALUE_ID
+    }
+
+    /// Intern a value, cloning it only the first time it is seen.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        match v {
+            Value::Null(NullKind::Produced) => Self::NULL_PRODUCED,
+            Value::Null(NullKind::Missing) => Self::NULL_MISSING,
+            _ => match self.ids.get(v) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(self.values.len()).expect("interner id space");
+                    self.ids.insert(v.clone(), id);
+                    self.values.push(v.clone());
+                    id
+                }
+            },
+        }
+    }
+
+    /// Id of an already-interned value, if any. Nulls always resolve.
+    pub fn get(&self, v: &Value) -> Option<u32> {
+        match v {
+            Value::Null(NullKind::Produced) => Some(Self::NULL_PRODUCED),
+            Value::Null(NullKind::Missing) => Some(Self::NULL_MISSING),
+            _ => self.ids.get(v).copied(),
+        }
+    }
+
+    /// The value behind an id.
+    ///
+    /// # Panics
+    /// If `id` was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Number of ids handed out, including the two reserved null ids.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no non-null value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() == Self::FIRST_VALUE_ID as usize
+    }
+}
+
+impl Default for ValueInterner {
+    fn default() -> Self {
+        ValueInterner::new()
+    }
+}
+
+// Merging two nulls is `max(a, b)` in the integrate crate; that is only
+// correct while produced < missing < every value id.
+const _: () = assert!(
+    ValueInterner::NULL_PRODUCED < ValueInterner::NULL_MISSING
+        && ValueInterner::NULL_MISSING < ValueInterner::FIRST_VALUE_ID
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ids_are_reserved_by_kind() {
+        let mut i = ValueInterner::new();
+        assert_eq!(
+            i.intern(&Value::null_produced()),
+            ValueInterner::NULL_PRODUCED
+        );
+        assert_eq!(
+            i.intern(&Value::null_missing()),
+            ValueInterner::NULL_MISSING
+        );
+        assert!(ValueInterner::is_null_id(0));
+        assert!(ValueInterner::is_null_id(1));
+        assert!(!ValueInterner::is_null_id(2));
+        assert!(matches!(
+            i.resolve(ValueInterner::NULL_MISSING),
+            Value::Null(NullKind::Missing)
+        ));
+        assert!(matches!(
+            i.resolve(ValueInterner::NULL_PRODUCED),
+            Value::Null(NullKind::Produced)
+        ));
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_round_trips() {
+        let mut i = ValueInterner::new();
+        let a = i.intern(&Value::Text("Berlin".into()));
+        let b = i.intern(&Value::Text("Berlin".into()));
+        let c = i.intern(&Value::Int(7));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.resolve(a), &Value::Text("Berlin".into()));
+        assert_eq!(i.resolve(c), &Value::Int(7));
+        assert_eq!(i.len(), 4, "two nulls + two values");
+    }
+
+    #[test]
+    fn ids_respect_value_content_equality() {
+        let mut i = ValueInterner::new();
+        // All NaNs share content equality, hence one id; same for -0.0/0.0.
+        assert_eq!(
+            i.intern(&Value::Float(f64::NAN)),
+            i.intern(&Value::Float(-f64::NAN))
+        );
+        assert_eq!(i.intern(&Value::Float(0.0)), i.intern(&Value::Float(-0.0)));
+        // Cross-type values stay distinct.
+        assert_ne!(i.intern(&Value::Int(3)), i.intern(&Value::Float(3.0)));
+        assert_ne!(i.intern(&Value::Text("3".into())), i.intern(&Value::Int(3)));
+    }
+
+    #[test]
+    fn get_resolves_without_inserting() {
+        let mut i = ValueInterner::new();
+        assert_eq!(i.get(&Value::Int(1)), None);
+        assert_eq!(
+            i.get(&Value::null_missing()),
+            Some(ValueInterner::NULL_MISSING)
+        );
+        let id = i.intern(&Value::Int(1));
+        assert_eq!(i.get(&Value::Int(1)), Some(id));
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn empty_tracks_non_null_values_only() {
+        let mut i = ValueInterner::new();
+        assert!(i.is_empty());
+        i.intern(&Value::null_missing());
+        assert!(i.is_empty());
+        i.intern(&Value::Bool(true));
+        assert!(!i.is_empty());
+    }
+}

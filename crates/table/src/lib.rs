@@ -37,6 +37,7 @@
 mod csv;
 mod error;
 pub mod fixtures;
+mod intern;
 mod lake;
 mod schema;
 mod table;
@@ -44,6 +45,7 @@ mod value;
 
 pub use csv::{parse_csv, read_csv_str, table_to_csv, write_csv_path, CsvOptions};
 pub use error::TableError;
+pub use intern::ValueInterner;
 pub use lake::DataLake;
 pub use schema::{ColumnMeta, ColumnType, Schema};
 pub use table::{Table, Tid};

@@ -16,8 +16,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
         // Text that does not itself look like a number/null/bool, so that a
         // round trip preserves the type (CSV cannot distinguish the text
         // "na" from a null — see the csv module docs). Includes
-        // quotes/commas/newlines to exercise the quoting machinery.
-        "[a-zA-Z][a-zA-Z ,\"\n_-]{0,20}[a-zA-Z]"
+        // quotes/commas/newlines/bare CRs to exercise the quoting machinery.
+        "[a-zA-Z][a-zA-Z ,\"\n\r_-]{0,20}[a-zA-Z]"
             .prop_filter("must not spell a null/bool", |s| {
                 !matches!(
                     s.trim().to_ascii_lowercase().as_str(),
@@ -55,6 +55,31 @@ proptest! {
         prop_assert_eq!(recs.len(), 1 + t.row_count());
         for rec in &recs {
             prop_assert_eq!(rec.len(), t.column_count());
+        }
+    }
+
+    #[test]
+    fn csv_line_endings_are_equivalent(t in arb_table()) {
+        // The writer emits \n; re-terminating unquoted record boundaries
+        // with \r\n or lone \r must parse to the same records. (Quoted
+        // fields are left alone — their newlines are content.)
+        let csv = table_to_csv(&t);
+        let reterminate = |sep: &str| {
+            let mut out = String::new();
+            let mut in_quotes = false;
+            for c in csv.chars() {
+                match c {
+                    '"' => { in_quotes = !in_quotes; out.push(c); }
+                    '\n' if !in_quotes => out.push_str(sep),
+                    _ => out.push(c),
+                }
+            }
+            out
+        };
+        let base = parse_csv(&csv, &CsvOptions::default()).unwrap();
+        for sep in ["\r\n", "\r"] {
+            let alt = parse_csv(&reterminate(sep), &CsvOptions::default()).unwrap();
+            prop_assert_eq!(&base, &alt, "separator {:?} diverged", sep);
         }
     }
 

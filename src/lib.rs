@@ -42,6 +42,7 @@ pub use dialite_analyze as analyze;
 pub use dialite_core as pipeline;
 pub use dialite_datagen as datagen;
 pub use dialite_discovery as discovery;
+pub use dialite_integrate as integrate;
 pub use dialite_kb as kb;
 pub use dialite_minhash as minhash;
 pub use dialite_table as table;
