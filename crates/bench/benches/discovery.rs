@@ -1,14 +1,18 @@
 //! Criterion bench behind experiment E7: discovery index build and query
-//! latency.
+//! latency — plus the lake-churn comparison (incremental single-table
+//! maintenance vs full index rebuild) behind the `LakeIndex` subsystem.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dialite_datagen::lake::{LakeSpec, SyntheticLake};
+use dialite_datagen::workloads::ChurnWorkload;
 use dialite_discovery::{
     Discovery, ExactOverlapDiscovery, LshEnsembleConfig, LshEnsembleDiscovery, SantosConfig,
     SantosDiscovery, TableQuery,
 };
+use dialite_table::{DataLake, Table, Value};
 
 fn bench_discovery(c: &mut Criterion) {
     let synth = SyntheticLake::generate(&LakeSpec {
@@ -54,5 +58,85 @@ fn bench_discovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_discovery);
+/// A table of fresh tokens no other lake table shares, so a query over its
+/// keys has exactly one (decisive, containment-1.0) true match — keeping
+/// the incremental-vs-rebuild equality check away from the LSH borderline.
+fn newcomer_table() -> Table {
+    let rows: Vec<Vec<Value>> = (0..24)
+        .map(|i| vec![Value::Text(format!("fresh{i}")), Value::Int(i)])
+        .collect();
+    Table::from_rows("newcomer", &["key", "val"], rows).expect("fixed arity")
+}
+
+/// Single-table churn into a 1k-table lake: incremental `upsert_table` vs
+/// a full `build()` of the final lake. Output equality is asserted here —
+/// the bench refuses to publish numbers for diverging indexes.
+fn bench_churn(c: &mut Criterion) {
+    let trace = ChurnWorkload {
+        initial_tables: 1000,
+        rows_per_table: 24,
+        vocab: 20_000,
+        ops: 0,
+        seed: 41,
+    }
+    .generate();
+    let mut lake = DataLake::from_tables(trace.initial).unwrap();
+    let config = LshEnsembleConfig::default();
+
+    let mut engine = LshEnsembleDiscovery::build(&lake, config.clone());
+    let newcomer = newcomer_table();
+    let slot = lake.add_table(newcomer.clone()).unwrap();
+    let query = TableQuery::with_column(
+        Table::from_rows(
+            "churn_probe",
+            &["key"],
+            (0..24)
+                .map(|i| vec![Value::Text(format!("fresh{i}"))])
+                .collect(),
+        )
+        .unwrap(),
+        0,
+    );
+
+    // Headline numbers + equality gate, measured once outside the
+    // criterion loop so the speedup is printed as a single line.
+    let t0 = Instant::now();
+    engine.upsert_table(slot, &newcomer);
+    let incremental = t0.elapsed();
+    let t1 = Instant::now();
+    let fresh = LshEnsembleDiscovery::build(&lake, config.clone());
+    let rebuild = t1.elapsed();
+    let inc_hits = engine.discover(&query, 8);
+    let fresh_hits = fresh.discover(&query, 8);
+    assert_eq!(
+        inc_hits, fresh_hits,
+        "incremental index diverged from full rebuild"
+    );
+    assert_eq!(inc_hits[0].table, "newcomer");
+    println!(
+        "bench churn/headline: add 1 table into 1k-table lake: incremental {:?} vs rebuild {:?} ({:.1}x)",
+        incremental,
+        rebuild,
+        rebuild.as_secs_f64() / incremental.as_secs_f64().max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    // Query first: `engine` is in its honest post-one-churn state here.
+    // The upsert loop below re-stages the same slot thousands of times,
+    // piling up dead postings no real workload would accumulate between
+    // rebalances — querying after it would publish a pathological number.
+    group.bench_function("query/after-churn", |b| {
+        b.iter(|| engine.discover(std::hint::black_box(&query), 8))
+    });
+    group.bench_function("incremental/upsert-one-of-1k", |b| {
+        b.iter(|| engine.upsert_table(slot, std::hint::black_box(&newcomer)))
+    });
+    group.bench_function("rebuild/full-build-1k", |b| {
+        b.iter(|| LshEnsembleDiscovery::build(std::hint::black_box(&lake), config.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_churn);
 criterion_main!(benches);

@@ -1,17 +1,17 @@
 //! The pipeline runner.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
 use dialite_discovery::{
-    union_integration_set, Discovered, Discovery, LshEnsembleConfig, LshEnsembleDiscovery,
-    SantosConfig, SantosDiscovery, TableQuery,
+    union_integration_set, Discovered, Discovery, LakeIndex, LakeIndexConfig, TableQuery,
 };
 use dialite_integrate::{
     AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
 };
 use dialite_kb::curated::covid_kb;
+use dialite_kb::KnowledgeBase;
 use dialite_table::{DataLake, Table, TableError};
 
 /// Pipeline failures.
@@ -105,9 +105,42 @@ impl PipelineRun {
     }
 }
 
+/// The lazily built, churn-following `LakeIndex` a pipeline keeps warm
+/// across runs, keyed on [`DataLake::version`].
+struct IndexedDiscovery {
+    kb: Arc<KnowledgeBase>,
+    config: LakeIndexConfig,
+    index: Option<LakeIndex>,
+}
+
+impl IndexedDiscovery {
+    /// Make the index reflect the lake's current version: build on first
+    /// use, apply the changelog delta on a version mismatch, no-op when
+    /// already current.
+    fn ensure_current(&mut self, lake: &DataLake) -> &LakeIndex {
+        match &mut self.index {
+            Some(index) => index.sync(lake),
+            None => {
+                self.index = Some(LakeIndex::build(lake, self.kb.clone(), self.config.clone()));
+            }
+        }
+        self.index.as_ref().expect("index just ensured")
+    }
+
+    /// The index, if it already reflects the lake's current version.
+    fn current(&self, lake: &DataLake) -> Option<&LakeIndex> {
+        self.index.as_ref().filter(|ix| ix.is_current(lake))
+    }
+}
+
 /// The DIALITE pipeline. Build with [`Pipeline::builder`], or use
 /// [`Pipeline::demo_default`] for the paper's demo configuration.
 pub struct Pipeline {
+    /// Maintained discovery over the (mutable) lake, if configured.
+    /// `RwLock`, not `Mutex`: the steady state is many concurrent queries
+    /// over an unchanged lake (read guard); the write guard is taken only
+    /// to build or delta-sync after churn.
+    indexed: Option<RwLock<IndexedDiscovery>>,
     discoveries: Vec<Box<dyn Discovery>>,
     matcher: HolisticMatcher,
     integrator: Box<dyn Integrator>,
@@ -117,6 +150,7 @@ pub struct Pipeline {
 
 /// Builder for [`Pipeline`].
 pub struct PipelineBuilder {
+    indexed: Option<IndexedDiscovery>,
     discoveries: Vec<Box<dyn Discovery>>,
     matcher: HolisticMatcher,
     integrator: Box<dyn Integrator>,
@@ -127,6 +161,7 @@ pub struct PipelineBuilder {
 impl Default for PipelineBuilder {
     fn default() -> Self {
         PipelineBuilder {
+            indexed: None,
             discoveries: Vec::new(),
             matcher: HolisticMatcher::default(),
             integrator: Box::new(AliteFd::default()),
@@ -140,6 +175,20 @@ impl PipelineBuilder {
     /// Add a discovery engine (run in order; results unioned).
     pub fn discovery(mut self, d: Box<dyn Discovery>) -> Self {
         self.discoveries.push(d);
+        self
+    }
+
+    /// Use a maintained [`LakeIndex`] (SANTOS + LSH Ensemble) as the
+    /// discovery stage. The index is built lazily on the first
+    /// [`Pipeline::run`] and then *kept* across runs: each run checks
+    /// [`DataLake::version`] and applies only the lake's changelog delta
+    /// instead of rebuilding — the churn-safe path for mutable lakes.
+    pub fn indexed_discovery(mut self, kb: Arc<KnowledgeBase>, config: LakeIndexConfig) -> Self {
+        self.indexed = Some(IndexedDiscovery {
+            kb,
+            config,
+            index: None,
+        });
         self
     }
 
@@ -171,6 +220,7 @@ impl PipelineBuilder {
     /// Finalize.
     pub fn build(self) -> Pipeline {
         Pipeline {
+            indexed: self.indexed.map(RwLock::new),
             discoveries: self.discoveries,
             matcher: self.matcher,
             integrator: self.integrator,
@@ -191,33 +241,48 @@ impl Pipeline {
         self.top_k = k;
     }
 
-    /// The paper's demo configuration over a given lake: SANTOS-style and
-    /// LSH Ensemble discovery backed by the curated COVID KB, KB-assisted
-    /// holistic matching, ALITE FD as the integrator and outer join as the
-    /// comparison alternative.
+    /// The paper's demo configuration over a given lake: a maintained
+    /// [`LakeIndex`] (SANTOS-style + LSH Ensemble discovery, built eagerly
+    /// here and kept in sync with lake churn across runs) backed by the
+    /// curated COVID KB, KB-assisted holistic matching, ALITE FD as the
+    /// integrator and outer join as the comparison alternative.
     pub fn demo_default(lake: &DataLake) -> Pipeline {
         let kb = Arc::new(covid_kb());
-        Pipeline::builder()
-            .discovery(Box::new(SantosDiscovery::build(
-                lake,
-                kb.clone(),
-                SantosConfig::default(),
-            )))
-            .discovery(Box::new(LshEnsembleDiscovery::build(
-                lake,
-                LshEnsembleConfig::default(),
-            )))
+        let pipeline = Pipeline::builder()
+            .indexed_discovery(kb.clone(), LakeIndexConfig::default())
             .matcher(HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb))))
             .integrator(Box::new(AliteFd::default()))
             .alternative(Box::new(OuterJoinIntegrator))
-            .build()
+            .build();
+        if let Some(indexed) = &pipeline.indexed {
+            indexed.write().expect("fresh lock").ensure_current(lake);
+        }
+        pipeline
     }
 
     /// Run the full pipeline: discover an integration set for the query,
     /// align it, integrate it (plus alternatives).
     pub fn run(&self, lake: &DataLake, query: &TableQuery) -> Result<PipelineRun, PipelineError> {
-        // Discover.
-        let mut discovered = Vec::with_capacity(self.discoveries.len());
+        // Discover. The maintained index (if configured) first catches up
+        // with any lake churn since the previous run.
+        let mut discovered = Vec::with_capacity(self.discoveries.len() + 2);
+        if let Some(indexed) = &self.indexed {
+            // Fast path: the index already matches the lake → query under
+            // the shared read guard, so concurrent runs stay parallel.
+            let guard = indexed.read().expect("indexed discovery lock");
+            match guard.current(lake) {
+                Some(index) => discovered.extend(index.discover_all(query, self.top_k)),
+                None => {
+                    drop(guard);
+                    // Slow path after churn: take the write guard, catch
+                    // up (another thread may have done so meanwhile —
+                    // ensure_current then no-ops) and query under it.
+                    let mut guard = indexed.write().expect("indexed discovery lock");
+                    let index = guard.ensure_current(lake);
+                    discovered.extend(index.discover_all(query, self.top_k));
+                }
+            }
+        }
         for engine in &self.discoveries {
             discovered.push((
                 engine.name().to_string(),
@@ -233,7 +298,7 @@ impl Pipeline {
         for name in &names {
             integration_set.push(lake.require(name)?);
         }
-        if integration_set.len() == 1 && !self.discoveries.is_empty() {
+        if integration_set.len() == 1 && (self.indexed.is_some() || !self.discoveries.is_empty()) {
             return Err(PipelineError::EmptyIntegrationSet);
         }
         self.integrate_run(discovered, integration_set)
@@ -412,6 +477,61 @@ mod tests {
         let (t4, t5, t6) = demo::fig7_tables();
         let run = pipeline.integrate_set(vec![t4, t5, t6]).unwrap();
         assert_eq!(run.integrated.table().row_count(), 5, "Fig. 8(a)");
+    }
+
+    #[test]
+    fn pipeline_follows_lake_churn_across_runs() {
+        // One pipeline, one maintained index: mutate the lake between runs
+        // and the discovery stage must reflect the new state without being
+        // rebuilt from scratch.
+        let mut lake = demo::covid_lake();
+        let pipeline = Pipeline::demo_default(&lake);
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+
+        let run1 = pipeline.run(&lake, &query).unwrap();
+        let set1: Vec<&str> = run1.integration_set.iter().map(|t| t.name()).collect();
+        assert!(set1.contains(&"T2") && set1.contains(&"T3"), "{set1:?}");
+
+        // Churn: T2 (the unionable table) is withdrawn.
+        lake.remove("T2").unwrap();
+        let run2 = pipeline.run(&lake, &query).unwrap();
+        let set2: Vec<&str> = run2.integration_set.iter().map(|t| t.name()).collect();
+        assert!(
+            !set2.contains(&"T2"),
+            "withdrawn table discovered: {set2:?}"
+        );
+        assert!(set2.contains(&"T3"), "{set2:?}");
+
+        // Churn: T2 comes back.
+        lake.add(demo::fig2_unionable()).unwrap();
+        let run3 = pipeline.run(&lake, &query).unwrap();
+        let set3: Vec<&str> = run3.integration_set.iter().map(|t| t.name()).collect();
+        assert!(set3.contains(&"T2"), "re-added table missing: {set3:?}");
+        assert!(
+            run3.integrated.table().same_content(&demo::fig3_expected()),
+            "round-trip churn must restore the Fig. 3 output"
+        );
+    }
+
+    #[test]
+    fn indexed_pipeline_with_unrelated_query_errors_like_before() {
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::builder()
+            .indexed_discovery(
+                Arc::new(covid_kb()),
+                dialite_discovery::LakeIndexConfig::default(),
+            )
+            .build();
+        let query = TableQuery::new(table! {
+            "offtopic"; ["isotope"];
+            ["U-235"], ["C-14"],
+        });
+        // Indexed discovery counts as a discovery stage: an empty
+        // integration set is an error, not a silent single-table run.
+        match pipeline.run(&lake, &query) {
+            Err(PipelineError::EmptyIntegrationSet) | Ok(_) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!   joinable with which, the integration class of every column, and a
 //!   synthetic KB typed over the universe domains — enabling
 //!   precision/recall evaluation of discovery (E7) and alignment (E8).
-//! * [`workloads`] — parameterized workloads for the FD scaling bench (E6)
-//!   and the ER-quality experiment (E10).
+//! * [`workloads`] — parameterized workloads for the FD scaling bench (E6),
+//!   the ER-quality experiment (E10) and the lake-churn trace
+//!   ([`workloads::ChurnWorkload`]) behind the incremental-discovery bench
+//!   and oracle tests.
 //! * [`metrics`] — precision/recall@k and pair-based alignment scoring.
 
 pub mod lake;
@@ -25,3 +27,4 @@ pub mod workloads;
 
 pub use lake::{GroundTruth, LakeSpec, SyntheticLake};
 pub use synth::TableSynth;
+pub use workloads::{ChurnOp, ChurnTrace, ChurnWorkload};

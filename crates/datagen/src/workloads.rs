@@ -1,9 +1,10 @@
 //! Parameterized workloads for the benchmark harness.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use dialite_table::{Table, Value};
+use dialite_table::{DataLake, Table, Value};
 
 /// Parameters of the FD scaling workload (experiment E6).
 #[derive(Debug, Clone)]
@@ -168,6 +169,170 @@ impl ErWorkload {
     }
 }
 
+/// Parameters of the lake-churn workload: an initial lake plus a trace of
+/// interleaved add / replace / remove / query operations — the living-lake
+/// regime incremental discovery indexes must survive (the CRUD-bench shape
+/// applied to table discovery).
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    /// Tables in the initial lake.
+    pub initial_tables: usize,
+    /// Distinct key tokens per table (the discovery-relevant column).
+    pub rows_per_table: usize,
+    /// Size of the shared token universe. Each table draws its keys from a
+    /// random contiguous window of the universe, so overlapping windows
+    /// produce the full spectrum of containment relations.
+    pub vocab: usize,
+    /// Number of trace operations after the initial lake.
+    pub ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnWorkload {
+    fn default() -> Self {
+        ChurnWorkload {
+            initial_tables: 16,
+            rows_per_table: 24,
+            vocab: 400,
+            ops: 32,
+            seed: 23,
+        }
+    }
+}
+
+/// One operation of a churn trace.
+#[derive(Debug, Clone)]
+pub enum ChurnOp {
+    /// Register a new table.
+    Add(Table),
+    /// Replace the same-named live table in place.
+    Replace(Table),
+    /// Withdraw a live table by name.
+    Remove(String),
+    /// Run discovery with this table as the query (column 0 is the probe
+    /// column). Its keys are a subset of one live table's keys, so a
+    /// containment-1.0 match always exists at query time.
+    Query(Table),
+}
+
+impl ChurnOp {
+    /// Apply a mutation op to a lake (queries are no-ops). Returns `true`
+    /// when the lake changed.
+    pub fn apply(&self, lake: &mut DataLake) -> bool {
+        match self {
+            ChurnOp::Add(t) => {
+                lake.add_table(t.clone()).expect("trace names are unique");
+                true
+            }
+            ChurnOp::Replace(t) => {
+                lake.replace_table(t.clone());
+                true
+            }
+            ChurnOp::Remove(name) => {
+                lake.remove_table(name).expect("trace removes live tables");
+                true
+            }
+            ChurnOp::Query(_) => false,
+        }
+    }
+}
+
+/// A generated churn trace.
+#[derive(Debug, Clone)]
+pub struct ChurnTrace {
+    /// The initial lake contents.
+    pub initial: Vec<Table>,
+    /// The operation trace (valid when applied in order after `initial`).
+    pub ops: Vec<ChurnOp>,
+}
+
+impl ChurnWorkload {
+    fn table(&self, rng: &mut StdRng, name: &str) -> Table {
+        let vocab = self.vocab.max(2);
+        let rows = self.rows_per_table.clamp(1, vocab);
+        // A contiguous window twice the row count: windows overlap across
+        // tables, yielding containments anywhere in (0, 1].
+        let span = (rows * 2).min(vocab);
+        let start = rng.gen_range(0..=(vocab - span));
+        let mut pool: Vec<usize> = (start..start + span).collect();
+        pool.shuffle(rng);
+        pool.truncate(rows);
+        pool.sort_unstable();
+        let rows: Vec<Vec<Value>> = pool
+            .into_iter()
+            .map(|j| {
+                vec![
+                    Value::Text(format!("v{j}")),
+                    Value::Int(rng.gen_range(0..1_000_i64)),
+                ]
+            })
+            .collect();
+        Table::from_rows(name, &["key", "val"], rows).expect("fixed arity")
+    }
+
+    /// Generate the initial lake and a valid interleaved trace. Same spec
+    /// + seed → identical trace.
+    pub fn generate(&self) -> ChurnTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut next_id = 0usize;
+        let mut fresh_name = || {
+            let n = format!("churn_t{next_id}");
+            next_id += 1;
+            n
+        };
+        let mut alive: Vec<Table> = Vec::with_capacity(self.initial_tables);
+        for _ in 0..self.initial_tables.max(1) {
+            let name = fresh_name();
+            alive.push(self.table(&mut rng, &name));
+        }
+        let initial = alive.clone();
+
+        let mut ops = Vec::with_capacity(self.ops);
+        let mut queries = 0usize;
+        for i in 0..self.ops {
+            // Queries interleave deterministically (every 4th op) so every
+            // trace exercises discovery between mutations.
+            if i % 4 == 3 || alive.is_empty() {
+                let source = alive.choose(&mut rng).cloned().unwrap_or_else(|| {
+                    let name = fresh_name();
+                    self.table(&mut rng, &name)
+                });
+                let keep = rng.gen_range(1..=source.row_count());
+                let mut rows: Vec<Vec<Value>> = source.rows().map(|r| vec![r[0].clone()]).collect();
+                rows.shuffle(&mut rng);
+                rows.truncate(keep);
+                queries += 1;
+                let q = Table::from_rows(&format!("churn_q{queries}"), &["key"], rows)
+                    .expect("fixed arity");
+                ops.push(ChurnOp::Query(q));
+                continue;
+            }
+            match rng.gen_range(0..3) {
+                0 => {
+                    let name = fresh_name();
+                    let t = self.table(&mut rng, &name);
+                    alive.push(t.clone());
+                    ops.push(ChurnOp::Add(t));
+                }
+                1 if alive.len() > 1 => {
+                    let idx = rng.gen_range(0..alive.len());
+                    let name = alive.remove(idx).name().to_string();
+                    ops.push(ChurnOp::Remove(name));
+                }
+                _ => {
+                    let idx = rng.gen_range(0..alive.len());
+                    let name = alive[idx].name().to_string();
+                    let t = self.table(&mut rng, &name);
+                    alive[idx] = t.clone();
+                    ops.push(ChurnOp::Replace(t));
+                }
+            }
+        }
+        ChurnTrace { initial, ops }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +379,54 @@ mod tests {
             a.intersection(&b).count()
         };
         assert!(shared(&dense) > shared(&sparse));
+    }
+
+    #[test]
+    fn churn_trace_is_deterministic_and_valid() {
+        let w = ChurnWorkload::default();
+        let a = w.generate();
+        let b = w.generate();
+        assert_eq!(a.initial.len(), b.initial.len());
+        assert_eq!(a.ops.len(), w.ops);
+        for (x, y) in a.initial.iter().zip(&b.initial) {
+            assert_eq!(x, y);
+        }
+        // Replaying the trace against a lake never panics: adds are fresh
+        // names, removes/replaces hit live tables.
+        let mut lake = DataLake::from_tables(a.initial.clone()).unwrap();
+        let mut mutations = 0;
+        let mut queries = 0;
+        for op in &a.ops {
+            if op.apply(&mut lake) {
+                mutations += 1;
+            } else {
+                queries += 1;
+            }
+        }
+        assert!(mutations > 0 && queries > 0, "trace must interleave");
+        assert!(!lake.is_empty());
+    }
+
+    #[test]
+    fn churn_queries_have_a_live_full_containment_match() {
+        let trace = ChurnWorkload {
+            ops: 40,
+            ..ChurnWorkload::default()
+        }
+        .generate();
+        let mut lake = DataLake::from_tables(trace.initial.clone()).unwrap();
+        for op in &trace.ops {
+            if let ChurnOp::Query(q) = op {
+                let q_keys = q.column_token_set(0);
+                assert!(!q_keys.is_empty());
+                let contained = lake.tables().any(|t| {
+                    let keys = t.column_token_set(0);
+                    q_keys.iter().all(|k| keys.contains(k))
+                });
+                assert!(contained, "query {} has no superset table", q.name());
+            }
+            op.apply(&mut lake);
+        }
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! `LakeIndex`: churn-safe discovery over a mutable [`DataLake`].
+//!
+//! Discovery engines are expensive to build (annotate every table, hash
+//! every column domain) but open-data lakes churn: tables are added,
+//! corrected and withdrawn while query traffic keeps flowing. A
+//! [`LakeIndex`] wraps the SANTOS-style and LSH Ensemble engines behind
+//! one maintenance point: [`LakeIndex::sync`] reads the lake changelog
+//! ([`DataLake::events_since`]) and applies each delta with
+//! `O(changed tables)` work — interning new tokens into the existing
+//! `StringPool`, retiring dead `(table_slot, col)` domain keys, staging
+//! ensemble inserts — falling back to a full rebuild only when the index
+//! is further behind than the bounded changelog reaches (or when handed an
+//! older lineage of the lake).
+//!
+//! Consistency contract, pinned by `tests/incremental_oracle.rs`: after
+//! `sync`, discovery output is equivalent to a fresh build over the lake's
+//! current state — exactly equal for the SANTOS engine and for the LSH
+//! engine's exact-verification semantics; the sketch candidate path
+//! additionally guarantees that domains staged since the last partition
+//! rebalance are exact-scanned, so fresh churn is never a false negative.
+
+use std::sync::Arc;
+
+use dialite_kb::KnowledgeBase;
+use dialite_table::{DataLake, LakeEvent};
+
+use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
+use crate::santos::{SantosConfig, SantosDiscovery};
+use crate::types::{top_k, Discovered, Discovery, TableQuery};
+
+/// Configuration of both wrapped engines.
+#[derive(Debug, Clone, Default)]
+pub struct LakeIndexConfig {
+    /// SANTOS-style semantic union search.
+    pub santos: SantosConfig,
+    /// LSH Ensemble joinable search.
+    pub lshe: LshEnsembleConfig,
+}
+
+/// The maintained discovery index over a mutable lake. Build once, then
+/// [`sync`](LakeIndex::sync) after lake mutations; queries run against the
+/// engines as of the last sync.
+pub struct LakeIndex {
+    kb: Arc<KnowledgeBase>,
+    config: LakeIndexConfig,
+    santos: SantosDiscovery,
+    lshe: LshEnsembleDiscovery,
+    /// Lake version the engines reflect.
+    synced: u64,
+}
+
+impl LakeIndex {
+    /// Build both engines over the lake's current state.
+    pub fn build(lake: &DataLake, kb: Arc<KnowledgeBase>, config: LakeIndexConfig) -> LakeIndex {
+        LakeIndex {
+            santos: SantosDiscovery::build(lake, kb.clone(), config.santos.clone()),
+            lshe: LshEnsembleDiscovery::build(lake, config.lshe.clone()),
+            kb,
+            config,
+            synced: lake.version(),
+        }
+    }
+
+    /// The lake version this index reflects.
+    pub fn version(&self) -> u64 {
+        self.synced
+    }
+
+    /// `true` when the index reflects the lake's current version.
+    pub fn is_current(&self, lake: &DataLake) -> bool {
+        self.synced == lake.version()
+    }
+
+    /// Catch up with the lake. Applies the changelog delta-by-delta when
+    /// possible (`O(changed tables)`); rebuilds from scratch when the lake
+    /// cannot serve the delta — the index trails the bounded changelog, or
+    /// the lake is a *different lineage* (a clone that forked before or
+    /// after the index's sync point; `events_since` detects both because
+    /// version stamps are globally unique to the history that minted them).
+    pub fn sync(&mut self, lake: &DataLake) {
+        if self.is_current(lake) {
+            return;
+        }
+        let Some(events) = lake.events_since(self.synced) else {
+            *self = LakeIndex::build(lake, self.kb.clone(), self.config.clone());
+            return;
+        };
+        for (_, event) in events {
+            let slot = event.slot();
+            match (event, lake.table_at(slot)) {
+                // The slot's *current* content is what matters: later
+                // events for the same slot re-apply it idempotently.
+                (LakeEvent::Added(_) | LakeEvent::Replaced(_), Some(table)) => {
+                    self.santos.upsert_table(slot, table);
+                    self.lshe.upsert_table(slot, table);
+                }
+                _ => {
+                    self.santos.remove_table(slot);
+                    self.lshe.remove_table(slot);
+                }
+            }
+        }
+        self.synced = lake.version();
+    }
+
+    /// Per-engine discovery results, in the pipeline's engine order —
+    /// the same shape `Pipeline` reports for independently built engines.
+    pub fn discover_all(&self, query: &TableQuery, k: usize) -> Vec<(String, Vec<Discovered>)> {
+        vec![
+            (
+                self.santos.name().to_string(),
+                self.santos.discover(query, k),
+            ),
+            (self.lshe.name().to_string(), self.lshe.discover(query, k)),
+        ]
+    }
+
+    /// The wrapped SANTOS-style engine.
+    pub fn santos(&self) -> &SantosDiscovery {
+        &self.santos
+    }
+
+    /// The wrapped LSH Ensemble engine.
+    pub fn lshe(&self) -> &LshEnsembleDiscovery {
+        &self.lshe
+    }
+}
+
+impl Discovery for LakeIndex {
+    fn name(&self) -> &str {
+        "lake-index"
+    }
+
+    /// Union of both engines' results; a table found by both keeps its
+    /// best score.
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for (_, hits) in self.discover_all(query, k) {
+            for d in hits {
+                let e = best.entry(d.table).or_insert(f64::NEG_INFINITY);
+                if d.score > *e {
+                    *e = d.score;
+                }
+            }
+        }
+        top_k(
+            best.into_iter()
+                .map(|(table, score)| Discovered { table, score })
+                .collect(),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_kb::curated::covid_kb;
+    use dialite_table::table;
+
+    fn demo_lake() -> DataLake {
+        DataLake::from_tables([
+            table! {
+                "cases_by_city"; ["city", "rate"];
+                ["berlin", 1], ["barcelona", 2], ["boston", 3], ["madrid", 4],
+            },
+            table! {
+                "noise"; ["animal"];
+                ["cat"], ["dog"],
+            },
+        ])
+        .unwrap()
+    }
+
+    fn query() -> TableQuery {
+        TableQuery::with_column(
+            table! {
+                "Q"; ["City"];
+                ["berlin"], ["barcelona"], ["boston"], ["madrid"],
+            },
+            0,
+        )
+    }
+
+    fn build(lake: &DataLake) -> LakeIndex {
+        LakeIndex::build(lake, Arc::new(covid_kb()), LakeIndexConfig::default())
+    }
+
+    #[test]
+    fn build_reports_both_engines() {
+        let lake = demo_lake();
+        let index = build(&lake);
+        assert!(index.is_current(&lake));
+        let all = index.discover_all(&query(), 5);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "santos");
+        assert_eq!(all[1].0, "lsh-ensemble");
+        assert!(all[1].1.iter().any(|d| d.table == "cases_by_city"));
+    }
+
+    #[test]
+    fn sync_is_a_noop_when_current() {
+        let lake = demo_lake();
+        let mut index = build(&lake);
+        let v = index.version();
+        index.sync(&lake);
+        assert_eq!(index.version(), v);
+    }
+
+    #[test]
+    fn sync_applies_adds_removes_and_replaces() {
+        let mut lake = demo_lake();
+        let mut index = build(&lake);
+
+        lake.add(table! {
+            "more_cities"; ["place"];
+            ["berlin"], ["barcelona"], ["boston"], ["madrid"], ["mumbai"],
+        })
+        .unwrap();
+        lake.remove("cases_by_city").unwrap();
+        lake.upsert(table! { "noise"; ["animal"]; ["emu"] });
+        index.sync(&lake);
+        assert!(index.is_current(&lake));
+
+        let hits = index.discover(&query(), 5);
+        assert!(hits.iter().any(|d| d.table == "more_cities"), "{hits:?}");
+        assert!(
+            hits.iter().all(|d| d.table != "cases_by_city"),
+            "removed table must vanish: {hits:?}"
+        );
+        assert_eq!(index.santos().len(), lake.len());
+    }
+
+    #[test]
+    fn sync_with_a_diverged_newer_clone_rebuilds_not_ghosts() {
+        // Regression: fork the lake, advance the original, build the index
+        // on the original, then diverge the clone past the index's sync
+        // stamp. The clone's changelog does not contain the sync stamp, so
+        // sync must rebuild — not splice the clone's tail events onto the
+        // original's state and leave ghost tables behind.
+        let a = demo_lake();
+        let mut b = a.clone();
+        let mut a = a;
+        a.add(table! {
+            "ghost_cities"; ["place"];
+            ["berlin"], ["barcelona"], ["boston"], ["madrid"],
+        })
+        .unwrap();
+        let mut index = build(&a);
+        // Diverge b so its version overtakes the index's sync point.
+        b.remove("noise").unwrap();
+        b.add(table! { "b_only"; ["x"]; [1] }).unwrap();
+        assert!(b.version() > index.version());
+
+        index.sync(&b);
+        assert!(index.is_current(&b));
+        assert_eq!(index.santos().len(), b.len());
+        let hits = index.discover(&query(), 10);
+        assert!(
+            hits.iter().all(|d| d.table != "ghost_cities"),
+            "table from the other lineage must not survive sync: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn sync_with_an_older_lineage_rebuilds() {
+        let mut lake = demo_lake();
+        let pre_churn = lake.clone();
+        lake.add(table! { "extra"; ["x"]; [1] }).unwrap();
+        let mut index = build(&lake);
+        // Handing the index the pre-churn clone must roll it back.
+        index.sync(&pre_churn);
+        assert!(index.is_current(&pre_churn));
+        assert_eq!(index.santos().len(), pre_churn.len());
+    }
+
+    #[test]
+    fn union_keeps_best_score_per_table() {
+        let lake = demo_lake();
+        let index = build(&lake);
+        let hits = index.discover(&query(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for d in &hits {
+            assert!(seen.insert(d.table.clone()), "duplicate {d:?}");
+        }
+    }
+}

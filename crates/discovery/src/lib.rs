@@ -26,8 +26,16 @@
 //! Results from several engines are merged with [`union_integration_set`],
 //! mirroring the demo's "persist the set of tables found by all techniques
 //! to form an integration set".
+//!
+//! For *mutable* lakes, [`LakeIndex`] wraps the SANTOS-style and LSH
+//! Ensemble engines behind one churn-safe maintenance point: it follows
+//! the lake changelog (`DataLake::events_since`) and applies each
+//! add/replace/remove with `O(changed tables)` work instead of rebuilding,
+//! staying exactly equivalent to a fresh build (see
+//! `tests/incremental_oracle.rs`).
 
 mod custom;
+mod index;
 mod lshe;
 mod overlap;
 mod pool;
@@ -35,6 +43,7 @@ mod santos;
 mod types;
 
 pub use custom::SimilarityDiscovery;
+pub use index::{LakeIndex, LakeIndexConfig};
 pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 pub use overlap::ExactOverlapDiscovery;
 pub use pool::StringPool;

@@ -2,15 +2,24 @@
 //! exact verification of candidates — the discovery backend the demo drives
 //! through `datasketch` (paper §2.1, §3.1).
 //!
-//! Column domains are identified by `(table_idx, col)` pairs and stored as
-//! token-**id** sets over a shared [`StringPool`], so verification probes
-//! `u32` sets instead of re-hashing strings, and table names never need to
-//! be embedded in (collision-prone) composite string keys.
+//! Column domains are identified by `(table slot, col)` pairs — the stable
+//! slot indices of the mutable [`DataLake`] — and stored as token-**id**
+//! sets over a shared [`StringPool`], so verification probes `u32` sets
+//! instead of re-hashing strings, and table names never need to be embedded
+//! in (collision-prone) composite string keys.
+//!
+//! The engine is incrementally maintainable: [`LshEnsembleDiscovery::
+//! upsert_table`] / [`LshEnsembleDiscovery::remove_table`] apply one
+//! table's worth of work (hash its domains, retire its dead domain keys)
+//! instead of rebuilding over the whole lake — `LakeIndex` drives these
+//! from the lake changelog. Staged (not-yet-rebalanced) domains are
+//! exact-scanned at query time, so a freshly added table is discoverable
+//! immediately, never an LSH false negative.
 
 use std::collections::{HashMap, HashSet};
 
 use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher};
-use dialite_table::DataLake;
+use dialite_table::{DataLake, Table};
 
 use crate::pool::StringPool;
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
@@ -32,6 +41,9 @@ pub struct LshEnsembleConfig {
     /// at the threshold and tiny sets sit near it by construction; exact
     /// scanning a handful of tokens is cheaper than a false negative.
     pub exact_fallback_below: usize,
+    /// Fraction of live domains that may be dirty (staged inserts +
+    /// tombstones) before a mutation triggers ensemble re-partitioning.
+    pub rebalance_dirtiness: f64,
 }
 
 impl Default for LshEnsembleConfig {
@@ -42,11 +54,12 @@ impl Default for LshEnsembleConfig {
             threshold: 0.5,
             seed: 0x1517,
             exact_fallback_below: 16,
+            rebalance_dirtiness: 0.25,
         }
     }
 }
 
-/// A column domain's identity in the index: `(table index, column index)`.
+/// A column domain's identity in the index: `(table slot index, column)`.
 type DomainKey = (u32, u32);
 
 /// Joinable-table discovery: find lake tables with a column whose domain
@@ -55,11 +68,16 @@ pub struct LshEnsembleDiscovery {
     config: LshEnsembleConfig,
     hasher: MinHasher,
     ensemble: LshEnsemble<DomainKey>,
-    /// `(table_idx, col)` → interned token-id set, for exact verification.
+    /// `(table slot, col)` → interned token-id set, for exact verification.
     domains: HashMap<DomainKey, HashSet<u32>>,
-    /// Lake table names, indexed by the `table_idx` of a [`DomainKey`].
-    table_names: Vec<String>,
-    /// The token dictionary shared by all indexed domains.
+    /// Lake table names by slot index (live tables only).
+    table_names: HashMap<u32, String>,
+    /// Indexed column indices per slot, so retiring a table touches only
+    /// its own domains.
+    cols_of: HashMap<u32, Vec<u32>>,
+    /// The token dictionary shared by all indexed domains. Tokens of
+    /// removed tables linger (dead dictionary weight, no correctness
+    /// impact); a full rebuild resets it.
     pool: StringPool,
 }
 
@@ -68,29 +86,66 @@ impl LshEnsembleDiscovery {
     pub fn build(lake: &DataLake, config: LshEnsembleConfig) -> LshEnsembleDiscovery {
         let mut builder = LshEnsembleBuilder::new(config.num_perm, config.seed);
         let mut domains = HashMap::new();
-        let mut table_names = Vec::new();
+        let mut table_names = HashMap::new();
+        let mut cols_of: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut pool = StringPool::new();
-        for (t, table) in lake.tables().enumerate() {
-            table_names.push(table.name().to_string());
+        for (t, table) in lake.entries() {
+            table_names.insert(t, table.name().to_string());
             for c in 0..table.column_count() {
                 let tokens = table.column_token_set(c);
                 if tokens.is_empty() {
                     continue;
                 }
-                let key: DomainKey = (t as u32, c as u32);
+                let key: DomainKey = (t, c as u32);
                 builder.insert_tokens(key, tokens.iter().map(String::as_str));
                 domains.insert(key, tokens.iter().map(|tok| pool.intern(tok)).collect());
+                cols_of.entry(t).or_default().push(c as u32);
             }
         }
         let hasher = builder.hasher().clone();
-        let ensemble = builder.build(config.num_partitions);
+        let mut ensemble = builder.build(config.num_partitions);
+        ensemble.set_rebalance_threshold(config.rebalance_dirtiness);
         LshEnsembleDiscovery {
             config,
             hasher,
             ensemble,
             domains,
             table_names,
+            cols_of,
             pool,
+        }
+    }
+
+    /// Index (or re-index) one table under its lake slot. `O(table)`.
+    pub fn upsert_table(&mut self, slot: u32, table: &Table) {
+        self.remove_table(slot);
+        self.table_names.insert(slot, table.name().to_string());
+        for c in 0..table.column_count() {
+            let tokens = table.column_token_set(c);
+            if tokens.is_empty() {
+                continue;
+            }
+            let key: DomainKey = (slot, c as u32);
+            let sig = self.hasher.signature(tokens.iter().map(String::as_str));
+            self.ensemble.insert(key, tokens.len(), sig);
+            self.domains.insert(
+                key,
+                tokens.iter().map(|tok| self.pool.intern(tok)).collect(),
+            );
+            self.cols_of.entry(slot).or_default().push(c as u32);
+        }
+    }
+
+    /// Retire every domain of the table occupying a lake slot.
+    /// `O(columns of that table)`.
+    pub fn remove_table(&mut self, slot: u32) {
+        if self.table_names.remove(&slot).is_none() {
+            return;
+        }
+        for c in self.cols_of.remove(&slot).unwrap_or_default() {
+            let key: DomainKey = (slot, c);
+            self.domains.remove(&key);
+            self.ensemble.remove(&key);
         }
     }
 
@@ -114,14 +169,22 @@ impl Discovery for LshEnsembleDiscovery {
         if q_tokens.is_empty() {
             return Vec::new();
         }
-        let candidates: Vec<DomainKey> = if q_tokens.len() < self.config.exact_fallback_below {
+        let candidates: HashSet<DomainKey> = if q_tokens.len() < self.config.exact_fallback_below {
             // Exact scan: the keys are two copied words each — no cloning
             // of the stored domains or their identities.
             self.domains.keys().copied().collect()
         } else {
             let sig = self.hasher.signature(q_tokens.iter().map(String::as_str));
-            self.ensemble
+            let mut cands: HashSet<DomainKey> = self
+                .ensemble
                 .query(&sig, q_tokens.len(), self.config.threshold)
+                .into_iter()
+                .collect();
+            // Domains staged since the last rebalance sit in best-effort
+            // partitions; scan them exactly so fresh churn is never an LSH
+            // false negative.
+            cands.extend(self.ensemble.staged_keys().copied());
+            cands
         };
 
         // Resolve the query's tokens through the shared pool once; a token
@@ -143,11 +206,13 @@ impl Discovery for LshEnsembleDiscovery {
             if c + 1e-12 < self.config.threshold {
                 continue; // LSH false positive
             }
-            let table = self.table_names[key.0 as usize].as_str();
+            let Some(table) = self.table_names.get(&key.0) else {
+                continue;
+            };
             if table == query.table.name() {
                 continue;
             }
-            let entry = best_per_table.entry(table).or_insert(0.0);
+            let entry = best_per_table.entry(table.as_str()).or_insert(0.0);
             if c > *entry {
                 *entry = c;
             }
@@ -284,5 +349,47 @@ mod tests {
             .unwrap(),
         );
         assert!(engine.discover(&empty_q, 5).is_empty());
+    }
+
+    #[test]
+    fn upserted_table_is_discoverable_immediately() {
+        let mut lake = demo_lake();
+        let mut engine = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+        let fresh = city_table("fresh_cities", &["madrid", "lagos"]);
+        let slot = lake.add_table(fresh.clone()).unwrap();
+        engine.upsert_table(slot, &fresh);
+        let hits = engine.discover(&query(), 5);
+        assert!(
+            hits.iter()
+                .any(|d| d.table == "fresh_cities" && (d.score - 1.0).abs() < 1e-12),
+            "churned-in table must surface at once: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn removed_table_stops_surfacing() {
+        let mut lake = demo_lake();
+        let mut engine = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+        let before = engine.indexed_domains();
+        let (slot, _) = lake.remove_table("cases_by_city").unwrap();
+        engine.remove_table(slot);
+        assert!(engine.indexed_domains() < before);
+        let hits = engine.discover(&query(), 5);
+        assert!(hits.iter().all(|d| d.table != "cases_by_city"), "{hits:?}");
+        // Removing an unindexed slot is a no-op.
+        engine.remove_table(9999);
+    }
+
+    #[test]
+    fn replacing_a_table_reflects_its_new_content() {
+        let mut lake = demo_lake();
+        let mut engine = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+        // "partial" becomes a full superset of the query.
+        let upgraded = city_table("partial", &["madrid"]);
+        let slot = lake.replace_table(upgraded.clone());
+        engine.upsert_table(slot, &upgraded);
+        let hits = engine.discover(&query(), 5);
+        let partial = hits.iter().find(|d| d.table == "partial").unwrap();
+        assert!((partial.score - 1.0).abs() < 1e-12, "{hits:?}");
     }
 }

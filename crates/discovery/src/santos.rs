@@ -19,7 +19,7 @@
 //!    value overlap (Jaccard) between the columns substitutes — the
 //!    laptop-scale stand-in for SANTOS's data-lake-synthesized KB.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use dialite_kb::{Direction, KnowledgeBase, RelationId, TypeId};
@@ -72,35 +72,63 @@ struct TableSemantics {
     pairs: HashMap<(usize, usize), (RelationId, Direction, f64)>,
 }
 
-/// The SANTOS-style discovery engine. Build once per lake, query many times.
+/// The SANTOS-style discovery engine. Build once per lake, then either
+/// query as-is or keep it warm across churn with
+/// [`SantosDiscovery::upsert_table`] / [`SantosDiscovery::remove_table`] —
+/// table annotations are independent of each other, so incremental
+/// maintenance is exactly equivalent to a fresh build.
 pub struct SantosDiscovery {
     kb: Arc<KnowledgeBase>,
     config: SantosConfig,
-    tables: Vec<TableSemantics>,
-    /// Inverted index: type → table indices exhibiting it on some column.
-    by_type: HashMap<TypeId, HashSet<usize>>,
+    /// Per-table semantics, keyed by the lake's stable slot index. A
+    /// `BTreeMap` keeps full-scan candidate fallback deterministic.
+    tables: BTreeMap<u32, TableSemantics>,
+    /// Inverted index: type → table slots exhibiting it on some column.
+    by_type: HashMap<TypeId, HashSet<u32>>,
 }
 
 impl SantosDiscovery {
     /// Annotate and index the whole lake.
     pub fn build(lake: &DataLake, kb: Arc<KnowledgeBase>, config: SantosConfig) -> SantosDiscovery {
-        let mut tables = Vec::with_capacity(lake.len());
-        let mut by_type: HashMap<TypeId, HashSet<usize>> = HashMap::new();
-        for table in lake.tables() {
-            let sem = annotate_table(&kb, table, &config);
-            let idx = tables.len();
-            for col in &sem.columns {
-                for (t, _) in &col.types {
-                    by_type.entry(*t).or_default().insert(idx);
-                }
-            }
-            tables.push(sem);
-        }
-        SantosDiscovery {
+        let mut engine = SantosDiscovery {
             kb,
             config,
-            tables,
-            by_type,
+            tables: BTreeMap::new(),
+            by_type: HashMap::new(),
+        };
+        for (slot, table) in lake.entries() {
+            engine.upsert_table(slot, table);
+        }
+        engine
+    }
+
+    /// Annotate (or re-annotate) one table under its lake slot.
+    /// `O(that table)`.
+    pub fn upsert_table(&mut self, slot: u32, table: &Table) {
+        self.remove_table(slot);
+        let sem = annotate_table(&self.kb, table, &self.config);
+        for col in &sem.columns {
+            for (t, _) in &col.types {
+                self.by_type.entry(*t).or_default().insert(slot);
+            }
+        }
+        self.tables.insert(slot, sem);
+    }
+
+    /// Drop the annotations of the table occupying a lake slot.
+    pub fn remove_table(&mut self, slot: u32) {
+        let Some(sem) = self.tables.remove(&slot) else {
+            return;
+        };
+        for col in &sem.columns {
+            for (t, _) in &col.types {
+                if let Some(set) = self.by_type.get_mut(t) {
+                    set.remove(&slot);
+                    if set.is_empty() {
+                        self.by_type.remove(t);
+                    }
+                }
+            }
         }
     }
 
@@ -241,7 +269,7 @@ impl Discovery for SantosDiscovery {
         // Candidate retrieval: tables sharing any annotated type with the
         // query; when the query has no annotations at all, scan the lake
         // (synthesized signal only).
-        let mut candidates: HashSet<usize> = HashSet::new();
+        let mut candidates: HashSet<u32> = HashSet::new();
         let mut any_types = false;
         for col in &q_sem.columns {
             for (t, _) in &col.types {
@@ -252,12 +280,14 @@ impl Discovery for SantosDiscovery {
             }
         }
         if !any_types {
-            candidates.extend(0..self.tables.len());
+            candidates.extend(self.tables.keys().copied());
         }
 
         let mut scored = Vec::with_capacity(candidates.len());
         for idx in candidates {
-            let cand = &self.tables[idx];
+            let Some(cand) = self.tables.get(&idx) else {
+                continue;
+            };
             if cand.name == query.table.name() {
                 continue; // the query itself, if it lives in the lake
             }
@@ -444,6 +474,43 @@ mod tests {
     fn k_limits_results() {
         let hits = engine().discover(&query(), 1);
         assert!(hits.len() <= 1);
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_fresh_build() {
+        // Apply churn incrementally and rebuild from scratch; annotations
+        // are per-table, so the two must agree exactly (keys + scores).
+        let mut lake = demo_lake();
+        let kb = Arc::new(covid_kb());
+        let mut engine = SantosDiscovery::build(&lake, kb.clone(), SantosConfig::default());
+
+        let newcomer = table! {
+            "covid_eu"; ["country", "city", "rate"];
+            ["Germany", "Berlin", 0.63],
+            ["Spain", "Barcelona", 0.82],
+        };
+        let slot = lake.add_table(newcomer.clone()).unwrap();
+        engine.upsert_table(slot, &newcomer);
+        let (gone, _) = lake.remove_table("vaccines").unwrap();
+        engine.remove_table(gone);
+        let replacement = table! {
+            "numbers"; ["a", "b"];
+            [9, 9],
+        };
+        let slot = lake.replace_table(replacement.clone());
+        engine.upsert_table(slot, &replacement);
+
+        let fresh = SantosDiscovery::build(&lake, kb, SantosConfig::default());
+        assert_eq!(engine.len(), fresh.len());
+        assert_eq!(
+            engine.discover(&query(), 10),
+            fresh.discover(&query(), 10),
+            "incremental index must answer exactly like a rebuild"
+        );
+        assert!(engine
+            .discover(&query(), 10)
+            .iter()
+            .any(|d| d.table == "covid_eu"));
     }
 
     #[test]

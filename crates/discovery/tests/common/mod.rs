@@ -1,0 +1,35 @@
+//! Shared test support: the brute-force containment oracle both the
+//! incremental-equivalence and recall suites compare the engines against.
+//! One copy, so the oracle's semantics (tokenization via
+//! `column_token_set`, self-match exclusion by name, best column per
+//! table) cannot silently diverge between suites.
+
+use std::collections::HashMap;
+
+use dialite_table::{DataLake, Table};
+
+/// Brute-force best containment of `query`'s column 0 per lake table:
+/// `max over columns of |Q ∩ X| / |Q|`, the exact quantity the LSH engine
+/// approximates then verifies.
+pub fn brute_containment(lake: &DataLake, query: &Table) -> HashMap<String, f64> {
+    let q = query.column_token_set(0);
+    let mut best = HashMap::new();
+    if q.is_empty() {
+        return best;
+    }
+    for t in lake.tables() {
+        if t.name() == query.name() {
+            continue;
+        }
+        for c in 0..t.column_count() {
+            let dom = t.column_token_set(c);
+            let overlap = q.iter().filter(|tok| dom.contains(*tok)).count();
+            let score = overlap as f64 / q.len() as f64;
+            let e = best.entry(t.name().to_string()).or_insert(0.0);
+            if score > *e {
+                *e = score;
+            }
+        }
+    }
+    best
+}

@@ -1,0 +1,202 @@
+//! Incremental-vs-rebuild oracle: a `LakeIndex` maintained through a random
+//! churn trace must answer discovery queries exactly like a fresh `build()`
+//! over the lake's final state — including after tombstone-triggered
+//! ensemble rebalances.
+//!
+//! Two regimes are pinned:
+//!
+//! * **Exact-verification semantics** (the main oracle): with the LSH
+//!   sketch bypassed (`exact_fallback_below = usize::MAX`), discovery
+//!   output is a pure function of the maintained domain/annotation state,
+//!   so incremental and rebuilt indexes must agree bit-for-bit on keys
+//!   *and* scores. Any drift in tombstoning, pool interning, slot keying
+//!   or the SANTOS inverted index surfaces here.
+//! * **Sketch-path soundness**: with the real LSH candidate path, reported
+//!   results must still be a subset of the brute-force truth at exact
+//!   scores (candidates are verified), and a *freshly churned-in* table —
+//!   staged since the last rebalance — must never be a false negative for
+//!   a query it fully contains.
+
+use std::sync::Arc;
+
+use dialite_datagen::workloads::{ChurnOp, ChurnWorkload};
+use dialite_discovery::{
+    Discovery, LakeIndex, LakeIndexConfig, LshEnsembleConfig, SantosConfig, TableQuery,
+};
+use dialite_kb::curated::covid_kb;
+use dialite_table::{DataLake, Table};
+use proptest::prelude::*;
+
+mod common;
+use common::brute_containment;
+
+fn exact_config() -> LakeIndexConfig {
+    LakeIndexConfig {
+        santos: SantosConfig::default(),
+        lshe: LshEnsembleConfig {
+            num_perm: 64,
+            num_partitions: 4,
+            // Bypass the sketch: every stored domain is verified exactly,
+            // making discovery output deterministic given the lake state.
+            exact_fallback_below: usize::MAX,
+            // Tiny dirtiness budget → frequent tombstone-triggered
+            // rebalances inside the trace, exercising re-partitioning.
+            rebalance_dirtiness: 0.15,
+            ..LshEnsembleConfig::default()
+        },
+    }
+}
+
+proptest! {
+    /// The main oracle: `sync` after every mutation, and at every query
+    /// point the incrementally maintained index and a fresh build of the
+    /// current lake return identical (engine, table, score) results.
+    #[test]
+    fn incremental_lake_index_equals_fresh_rebuild(seed in any::<u64>(), ops in 12usize..32) {
+        let trace = ChurnWorkload {
+            initial_tables: 8,
+            rows_per_table: 12,
+            vocab: 150,
+            ops,
+            seed,
+        }
+        .generate();
+        let kb = Arc::new(covid_kb());
+        let config = exact_config();
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut index = LakeIndex::build(&lake, kb.clone(), config.clone());
+        let mut compared = 0usize;
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = &op {
+                index.sync(&lake);
+                prop_assert!(index.is_current(&lake));
+                let fresh = LakeIndex::build(&lake, kb.clone(), config.clone());
+                let query = TableQuery::with_column(q.clone(), 0);
+                let got = index.discover_all(&query, 6);
+                let want = fresh.discover_all(&query, 6);
+                prop_assert_eq!(
+                    got,
+                    want,
+                    "incremental index diverged from rebuild at op {}",
+                    compared
+                );
+                compared += 1;
+            } else {
+                op.apply(&mut lake);
+            }
+        }
+        prop_assert!(compared > 0, "trace contained no queries");
+    }
+
+    /// Sketch-path soundness under churn: every reported table carries its
+    /// exact brute-force containment score, nothing below the threshold is
+    /// reported, and a just-added full superset is found immediately.
+    #[test]
+    fn sketch_path_stays_sound_under_churn(seed in any::<u64>(), ops in 8usize..24) {
+        let trace = ChurnWorkload {
+            initial_tables: 8,
+            rows_per_table: 20,
+            vocab: 200,
+            ops,
+            seed,
+        }
+        .generate();
+        let kb = Arc::new(covid_kb());
+        let config = LakeIndexConfig {
+            santos: SantosConfig::default(),
+            lshe: LshEnsembleConfig {
+                num_perm: 64,
+                num_partitions: 4,
+                rebalance_dirtiness: 0.3,
+                ..LshEnsembleConfig::default()
+            },
+        };
+        let threshold = config.lshe.threshold;
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut index = LakeIndex::build(&lake, kb.clone(), config.clone());
+        for op in trace.ops {
+            match &op {
+                ChurnOp::Query(q) => {
+                    index.sync(&lake);
+                    let truth = brute_containment(&lake, q);
+                    let query = TableQuery::with_column(q.clone(), 0);
+                    for hit in index.lshe().discover(&query, usize::MAX) {
+                        let brute = truth.get(&hit.table).copied().unwrap_or(0.0);
+                        prop_assert!(
+                            hit.score >= threshold - 1e-12,
+                            "{} reported below threshold: {}",
+                            hit.table,
+                            hit.score
+                        );
+                        prop_assert!(
+                            hit.score <= brute + 1e-12,
+                            "{} reported {} above its true containment {}",
+                            hit.table,
+                            hit.score,
+                            brute
+                        );
+                    }
+                }
+                ChurnOp::Add(t) => {
+                    op.apply(&mut lake);
+                    index.sync(&lake);
+                    // Churn safety: the new table fully contains a query
+                    // over its own keys; staged domains are exact-scanned,
+                    // so it must surface at containment 1.0 at once.
+                    let probe = Table::from_rows(
+                        "staged_probe",
+                        &["key"],
+                        t.rows().map(|r| vec![r[0].clone()]).collect(),
+                    )
+                    .unwrap();
+                    let hits = index
+                        .lshe()
+                        .discover(&TableQuery::with_column(probe, 0), usize::MAX);
+                    prop_assert!(
+                        hits.iter()
+                            .any(|d| d.table == t.name() && (d.score - 1.0).abs() < 1e-12),
+                        "freshly added {} not discovered: {:?}",
+                        t.name(),
+                        hits
+                    );
+                }
+                _ => {
+                    op.apply(&mut lake);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic spot-check of the rebalance boundary: enough removals to
+/// trip the dirtiness budget repeatedly, then equality with a rebuild.
+#[test]
+fn tombstone_triggered_rebalance_matches_rebuild() {
+    let trace = ChurnWorkload {
+        initial_tables: 12,
+        rows_per_table: 10,
+        vocab: 120,
+        ops: 0,
+        seed: 7,
+    }
+    .generate();
+    let kb = Arc::new(covid_kb());
+    let config = exact_config();
+    let mut lake = DataLake::from_tables(trace.initial.clone()).unwrap();
+    let mut index = LakeIndex::build(&lake, kb.clone(), config.clone());
+
+    // Remove half the lake one table at a time (each sync applies one
+    // tombstone; the 0.15 budget forces several rebalances along the way).
+    let names: Vec<String> = lake.names().map(str::to_string).collect();
+    for name in names.iter().take(6) {
+        lake.remove(name).unwrap();
+        index.sync(&lake);
+    }
+    let fresh = LakeIndex::build(&lake, kb, config);
+    let probe = TableQuery::with_column(trace.initial[7].clone(), 0);
+    assert_eq!(
+        index.discover_all(&probe, 8),
+        fresh.discover_all(&probe, 8),
+        "index after tombstone-triggered rebalances must match a rebuild"
+    );
+}

@@ -1,4 +1,5 @@
-//! The LSH Ensemble containment-search index (Zhu et al., VLDB 2016).
+//! The LSH Ensemble containment-search index (Zhu et al., VLDB 2016),
+//! incrementally maintainable.
 //!
 //! Domains (column value sets) are partitioned by set size (equi-depth).
 //! Each partition materializes banding tables for every power-of-two row
@@ -6,6 +7,19 @@
 //! per-partition Jaccard threshold using the partition's upper size bound,
 //! picks the (near-)optimal `(b, r)` for that threshold among the
 //! materialized `r` values, and probes `b` bands.
+//!
+//! **Mutation.** The built index supports churn without O(lake) rebuilds:
+//! [`LshEnsemble::insert`] stages a new domain into the best-fitting
+//! existing partition (stretching its size bound when needed), and
+//! [`LshEnsemble::remove`] tombstones a key — dead postings stay in the
+//! banding tables but are filtered out of query results. Both operations
+//! are `O(changed domain)`. Because staged inserts and stretched bounds
+//! slowly degrade the equi-depth layout, the index tracks a *dirtiness*
+//! count and re-partitions from its retained `(key, size, signature)`
+//! entries once dirtiness exceeds a configurable fraction of the live
+//! domain count ([`LshEnsemble::set_rebalance_threshold`]). A rebalance
+//! produces exactly the layout a fresh build over the live entries would —
+//! the canonical form the incremental-oracle tests pin.
 //!
 //! The index is generic over the domain **key type** `K` (default
 //! `String`): callers that identify domains structurally — e.g. the
@@ -19,6 +33,10 @@ use dialite_text::fnv1a64;
 
 use crate::hasher::{MinHasher, Signature};
 use crate::params::{containment_to_jaccard, optimal_params_restricted};
+
+/// Default fraction of live domains that may be dirty (staged or
+/// tombstoned) before a mutation triggers re-partitioning.
+pub const DEFAULT_REBALANCE_THRESHOLD: f64 = 0.25;
 
 fn band_hash(r: usize, band_idx: usize, slots: &[u64]) -> u64 {
     let mut bytes = Vec::with_capacity(16 + slots.len() * 8);
@@ -46,6 +64,21 @@ struct Partition<K> {
 }
 
 impl<K: Clone + Eq + Hash> Partition<K> {
+    fn empty(lower: usize, upper: usize, num_perm: usize, rs: &[usize]) -> Partition<K> {
+        Partition {
+            upper,
+            lower,
+            keys: Vec::new(),
+            r_entries: rs
+                .iter()
+                .map(|&r| REntry {
+                    r,
+                    tables: vec![HashMap::new(); num_perm / r],
+                })
+                .collect(),
+        }
+    }
+
     fn insert(&mut self, key: K, sig: &Signature) {
         let id = self.keys.len() as u32;
         self.keys.push(key);
@@ -70,6 +103,33 @@ impl<K: Clone + Eq + Hash> Partition<K> {
             }
         }
     }
+}
+
+/// Equi-depth partitioning over `(key, size, signature)` entries sorted by
+/// `(size, key)` — shared by the builder and by incremental rebalances so
+/// both produce the identical canonical layout.
+fn partition_entries<K: Clone + Eq + Hash>(
+    entries: &[(K, usize, Signature)],
+    num_partitions: usize,
+    num_perm: usize,
+    rs: &[usize],
+) -> Vec<Partition<K>> {
+    let n = entries.len();
+    let mut partitions = Vec::new();
+    if n > 0 {
+        let per = n.div_ceil(num_partitions.max(1));
+        for chunk in entries.chunks(per) {
+            let lower = chunk.first().map(|e| e.1).unwrap_or(0);
+            let upper = chunk.last().map(|e| e.1).unwrap_or(0);
+            let mut p = Partition::empty(lower, upper, num_perm, rs);
+            p.keys.reserve(chunk.len());
+            for (key, _, sig) in chunk {
+                p.insert(key.clone(), sig);
+            }
+            partitions.push(p);
+        }
+    }
+    partitions
 }
 
 /// Accumulates domains before partitioning. `K` is the domain key type.
@@ -123,49 +183,48 @@ impl<K: Clone + Eq + Hash + Ord> LshEnsembleBuilder<K> {
         let num_partitions = num_partitions.max(1);
         self.entries
             .sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-        let n = self.entries.len();
         let rs: Vec<usize> = std::iter::successors(Some(1usize), |r| Some(r * 2))
             .take_while(|&r| r <= self.num_perm)
             .collect();
-
-        let mut partitions: Vec<Partition<K>> = Vec::new();
-        if n > 0 {
-            let per = n.div_ceil(num_partitions);
-            for chunk in self.entries.chunks(per) {
-                let lower = chunk.first().map(|e| e.1).unwrap_or(0);
-                let upper = chunk.last().map(|e| e.1).unwrap_or(0);
-                let mut p = Partition {
-                    upper,
-                    lower,
-                    keys: Vec::with_capacity(chunk.len()),
-                    r_entries: rs
-                        .iter()
-                        .map(|&r| REntry {
-                            r,
-                            tables: vec![HashMap::new(); self.num_perm / r],
-                        })
-                        .collect(),
-                };
-                for (key, _, sig) in chunk {
-                    p.insert(key.clone(), sig);
-                }
-                partitions.push(p);
-            }
-        }
+        let partitions = partition_entries(&self.entries, num_partitions, self.num_perm, &rs);
         LshEnsemble {
             num_perm: self.num_perm,
             allowed_r: rs,
+            num_partitions,
             partitions,
+            entries: self
+                .entries
+                .into_iter()
+                .map(|(k, size, sig)| (k, (size, sig)))
+                .collect(),
+            staged: HashSet::new(),
+            tombstones: HashSet::new(),
+            rebalance_threshold: DEFAULT_REBALANCE_THRESHOLD,
         }
     }
 }
 
 /// The built containment index. Query with a signature from the builder's
 /// [`MinHasher`], the query set's cardinality, and a containment threshold.
+/// Supports incremental [`insert`](LshEnsemble::insert) /
+/// [`remove`](LshEnsemble::remove) — see the module docs.
 pub struct LshEnsemble<K = String> {
     num_perm: usize,
     allowed_r: Vec<usize>,
+    num_partitions: usize,
     partitions: Vec<Partition<K>>,
+    /// Live domains: `key → (size, signature)`. Retained so a rebalance can
+    /// re-partition without the caller replaying anything.
+    entries: HashMap<K, (usize, Signature)>,
+    /// Keys inserted since the last (re)build. Their partition placement is
+    /// best-effort, so recall-critical callers should verify them exactly —
+    /// [`LshEnsemble::staged_keys`] exposes the set.
+    staged: HashSet<K>,
+    /// Keys removed since the last (re)build whose postings still sit in
+    /// the banding tables; filtered out of every query result.
+    tombstones: HashSet<K>,
+    /// Dirtiness fraction that triggers re-partitioning.
+    rebalance_threshold: f64,
 }
 
 impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
@@ -180,9 +239,108 @@ impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
             let (b, r) = optimal_params_restricted(j, self.num_perm, &self.allowed_r);
             p.query(sig, b, r, &mut hits);
         }
+        if !self.tombstones.is_empty() {
+            hits.retain(|k| !self.tombstones.contains(k));
+        }
         let mut out: Vec<K> = hits.into_iter().collect();
         out.sort();
         out
+    }
+
+    /// Insert (or replace) a domain in the live index. The entry lands in
+    /// the best-fitting existing partition — stretching that partition's
+    /// size bounds when the size falls outside every bound — and is marked
+    /// *staged* until the next rebalance. `O(1)` partitions touched.
+    pub fn insert(&mut self, key: K, size: usize, sig: Signature) {
+        assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
+        if self.entries.contains_key(&key) {
+            self.remove(&key);
+        }
+        self.entries.insert(key.clone(), (size, sig.clone()));
+        self.staged.insert(key.clone());
+        // A re-inserted key must not stay suppressed by its own tombstone.
+        // Postings of the *old* version may resurface as candidates until
+        // the next rebalance — recall-safe, callers verify exactly.
+        self.tombstones.remove(&key);
+        if self.partitions.is_empty() {
+            self.rebalance();
+            return;
+        }
+        // First partition whose upper bound admits the size, else the last
+        // partition stretched upward. Stretching `upper` only lowers that
+        // partition's converted Jaccard threshold — recall-safe.
+        let idx = self
+            .partitions
+            .iter()
+            .position(|p| size <= p.upper)
+            .unwrap_or(self.partitions.len() - 1);
+        let p = &mut self.partitions[idx];
+        p.upper = p.upper.max(size);
+        p.lower = p.lower.min(size);
+        p.insert(key, &sig);
+        self.maybe_rebalance();
+    }
+
+    /// Tombstone a domain: it disappears from query results immediately;
+    /// its banding postings are reclaimed at the next rebalance. Returns
+    /// `false` when the key was not live.
+    pub fn remove(&mut self, key: &K) -> bool {
+        if self.entries.remove(key).is_none() {
+            return false;
+        }
+        // Staged keys flip straight to tombstones too: their postings
+        // linger in the banding tables until the next rebalance.
+        self.staged.remove(key);
+        self.tombstones.insert(key.clone());
+        self.maybe_rebalance();
+        true
+    }
+
+    /// Keys inserted since the last rebalance. Their partition placement is
+    /// best-effort; exact-verification layers scan them explicitly so a
+    /// freshly added domain can never be an LSH false negative.
+    pub fn staged_keys(&self) -> impl Iterator<Item = &K> {
+        self.staged.iter()
+    }
+
+    /// Staged inserts + tombstones since the last rebalance.
+    pub fn dirtiness(&self) -> usize {
+        self.staged.len() + self.tombstones.len()
+    }
+
+    /// Set the dirtiness fraction (of live domains) above which a mutation
+    /// triggers re-partitioning. `0.0` rebalances on every mutation;
+    /// `f64::INFINITY` never rebalances automatically.
+    pub fn set_rebalance_threshold(&mut self, fraction: f64) {
+        assert!(fraction >= 0.0, "rebalance threshold must be non-negative");
+        self.rebalance_threshold = fraction;
+    }
+
+    fn maybe_rebalance(&mut self) {
+        let budget = (self.entries.len() as f64 * self.rebalance_threshold).ceil();
+        if self.dirtiness() as f64 > budget {
+            self.rebalance();
+        }
+    }
+
+    /// Re-partition the live entries into the canonical equi-depth layout
+    /// (identical to a fresh build over the same entries), clearing all
+    /// staged/tombstone state. `O(live domains)`.
+    pub fn rebalance(&mut self) {
+        let mut entries: Vec<(K, usize, Signature)> = self
+            .entries
+            .iter()
+            .map(|(k, (size, sig))| (k.clone(), *size, sig.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.partitions = partition_entries(
+            &entries,
+            self.num_partitions,
+            self.num_perm,
+            &self.allowed_r,
+        );
+        self.staged.clear();
+        self.tombstones.clear();
     }
 
     /// Number of partitions actually built.
@@ -195,14 +353,14 @@ impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
         self.partitions.iter().map(|p| (p.lower, p.upper)).collect()
     }
 
-    /// Total number of indexed domains.
+    /// Total number of live (indexed, not tombstoned) domains.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.keys.len()).sum()
+        self.entries.len()
     }
 
-    /// `true` when the index holds no domains.
+    /// `true` when the index holds no live domains.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
     }
 }
 
@@ -315,5 +473,151 @@ mod tests {
     fn mismatched_query_signature_panics() {
         let (index, _) = build_demo();
         index.query(&Signature(vec![0; 32]), 10, 0.5);
+    }
+
+    #[test]
+    fn removed_key_disappears_from_queries_immediately() {
+        let (mut index, hasher) = build_demo();
+        let q = toks("q", 0..50);
+        let sig = hasher.signature(q.iter().map(String::as_str));
+        assert!(index
+            .query(&sig, q.len(), 0.5)
+            .iter()
+            .any(|h| h == "big_superset"));
+        let n = index.len();
+        assert!(index.remove(&"big_superset".to_string()));
+        assert!(!index.remove(&"big_superset".to_string()), "already gone");
+        assert_eq!(index.len(), n - 1);
+        assert!(
+            !index
+                .query(&sig, q.len(), 0.5)
+                .iter()
+                .any(|h| h == "big_superset"),
+            "tombstoned key must not surface"
+        );
+    }
+
+    #[test]
+    fn inserted_key_is_queryable_without_rebuild() {
+        let (mut index, hasher) = build_demo();
+        index.set_rebalance_threshold(f64::INFINITY); // isolate the staged path
+        let fresh = toks("q", 0..50)
+            .into_iter()
+            .chain(toks("new", 0..80))
+            .collect::<Vec<_>>();
+        let sig = hasher.signature(fresh.iter().map(String::as_str));
+        index.insert("fresh_superset".to_string(), fresh.len(), sig);
+        assert!(index.staged_keys().any(|k| k == "fresh_superset"));
+        assert_eq!(index.dirtiness(), 1);
+
+        let q = toks("q", 0..50);
+        let qsig = hasher.signature(q.iter().map(String::as_str));
+        let hits = index.query(&qsig, q.len(), 0.5);
+        assert!(
+            hits.iter().any(|h| h == "fresh_superset"),
+            "staged superset must be found: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn rebalance_restores_canonical_layout_and_clears_dirtiness() {
+        let (mut index, hasher) = build_demo();
+        index.set_rebalance_threshold(f64::INFINITY);
+        // Churn: drop two noise domains, add one new one.
+        index.remove(&"noise0".to_string());
+        index.remove(&"noise1".to_string());
+        let newd = toks("nd", 0..40);
+        index.insert(
+            "newdom".to_string(),
+            newd.len(),
+            hasher.signature(newd.iter().map(String::as_str)),
+        );
+        assert_eq!(index.dirtiness(), 3);
+        index.rebalance();
+        assert_eq!(index.dirtiness(), 0);
+
+        // Canonical form: identical to a fresh build over the same domains.
+        let mut b = LshEnsembleBuilder::new(256, 17);
+        let big = toks("q", 0..50)
+            .into_iter()
+            .chain(toks("extra", 0..150))
+            .collect::<Vec<_>>();
+        b.insert_tokens("big_superset".to_string(), big.iter().map(String::as_str));
+        let half = toks("q", 0..25);
+        b.insert_tokens("half".to_string(), half.iter().map(String::as_str));
+        for i in 2..20 {
+            let noise = toks(&format!("n{i}_"), 0..(10 + i * 17));
+            b.insert_tokens(format!("noise{i}"), noise.iter().map(String::as_str));
+        }
+        b.insert_tokens("newdom".to_string(), newd.iter().map(String::as_str));
+        let fresh = b.build(4);
+        assert_eq!(index.partition_bounds(), fresh.partition_bounds());
+        let q = toks("q", 0..50);
+        let qsig = hasher.signature(q.iter().map(String::as_str));
+        assert_eq!(
+            index.query(&qsig, q.len(), 0.4),
+            fresh.query(&qsig, q.len(), 0.4),
+            "rebalanced index must answer like a fresh build"
+        );
+    }
+
+    #[test]
+    fn dirtiness_threshold_triggers_automatic_rebalance() {
+        let (mut index, hasher) = build_demo();
+        index.set_rebalance_threshold(0.1); // 22 domains → budget ⌈2.2⌉ = 3
+        for i in 0..3 {
+            let d = toks(&format!("auto{i}_"), 0..30);
+            index.insert(
+                format!("auto{i}"),
+                d.len(),
+                hasher.signature(d.iter().map(String::as_str)),
+            );
+        }
+        assert!(
+            index.dirtiness() <= 3,
+            "4th dirty op must have rebalanced, dirtiness {}",
+            index.dirtiness()
+        );
+    }
+
+    #[test]
+    fn replacing_a_key_keeps_one_live_copy() {
+        let (mut index, hasher) = build_demo();
+        index.set_rebalance_threshold(f64::INFINITY);
+        let n = index.len();
+        let d = toks("q", 0..50);
+        index.insert(
+            "half".to_string(),
+            d.len(),
+            hasher.signature(d.iter().map(String::as_str)),
+        );
+        assert_eq!(index.len(), n, "replace keeps the live count");
+        let q = toks("q", 0..50);
+        let qsig = hasher.signature(q.iter().map(String::as_str));
+        let hits = index.query(&qsig, q.len(), 0.9);
+        assert!(
+            hits.iter().filter(|h| *h == "half").count() <= 1,
+            "stale copy must not resurface: {hits:?}"
+        );
+        assert!(
+            hits.iter().any(|h| h == "half"),
+            "the replacement (now a full superset) should be found: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn insert_into_empty_index_bootstraps_a_partition() {
+        let b = LshEnsembleBuilder::<String>::new(64, 5);
+        let hasher = b.hasher().clone();
+        let mut index = b.build(4);
+        let d = toks("x", 0..20);
+        index.insert(
+            "only".to_string(),
+            d.len(),
+            hasher.signature(d.iter().map(String::as_str)),
+        );
+        assert_eq!(index.len(), 1);
+        let qsig = hasher.signature(d.iter().map(String::as_str));
+        assert_eq!(index.query(&qsig, d.len(), 0.5), vec!["only".to_string()]);
     }
 }

@@ -1,19 +1,85 @@
-use std::collections::BTreeMap;
+//! The mutable, versioned data lake.
+//!
+//! Open-data lakes churn: tables are published, corrected and withdrawn
+//! daily, while discovery indexes want to stay warm across queries. The
+//! lake therefore exposes a *versioned mutation API* — every
+//! [`DataLake::add_table`] / [`DataLake::replace_table`] /
+//! [`DataLake::remove_table`] bumps a globally monotone [`DataLake::version`]
+//! stamp and appends a [`LakeEvent`] to a bounded changelog — so index
+//! structures (see `dialite_discovery::LakeIndex`) can catch up with
+//! `O(changed tables)` work via [`DataLake::events_since`] instead of
+//! rebuilding from scratch.
+//!
+//! Tables live in *slots*: a table's slot index (`u32`) is stable for its
+//! whole lifetime, which lets indexes key per-table state structurally
+//! instead of by (reallocating) name strings. Freed slots are reused, and
+//! the changelog's ordering makes reuse unambiguous to consumers.
+
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::csv::{read_csv_str, CsvOptions};
 use crate::error::TableError;
 use crate::table::Table;
 
+/// Source of globally unique, monotone version stamps. Shared by every
+/// lake in the process so that clones which diverge can never reuse each
+/// other's stamps: equal versions imply an identical mutation history.
+static STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Number of changelog entries a lake retains. Consumers further behind
+/// than this get `None` from [`DataLake::events_since`] and must rebuild.
+const MAX_LOG: usize = 4096;
+
+/// One entry of the lake changelog. The slot index identifies *where*
+/// something changed; consumers read the slot's current content (which may
+/// reflect later events too — applying the log in order converges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LakeEvent {
+    /// A table was registered into the slot.
+    Added(u32),
+    /// The table occupying the slot was removed.
+    Removed(u32),
+    /// The table occupying the slot was replaced in place (same name).
+    Replaced(u32),
+}
+
+impl LakeEvent {
+    /// The slot index the event concerns.
+    pub fn slot(&self) -> u32 {
+        match *self {
+            LakeEvent::Added(i) | LakeEvent::Removed(i) | LakeEvent::Replaced(i) => i,
+        }
+    }
+}
+
 /// An in-memory data lake: the table repository `D` that discovery searches
-/// over (paper §2.1).
+/// over (paper §2.1), mutable and versioned.
 ///
-/// Tables are keyed by name and shared via `Arc` so that discovery indexes,
-/// pipelines and benchmarks can hold references without copying data.
+/// Tables are shared via `Arc` so that discovery indexes, pipelines and
+/// benchmarks can hold references without copying data. Name lookup is an
+/// O(1) hash probe through the name→slot map.
 #[derive(Debug, Clone, Default)]
 pub struct DataLake {
-    tables: BTreeMap<String, Arc<Table>>,
+    /// Slot-indexed storage; `None` marks a freed slot awaiting reuse.
+    slots: Vec<Option<Arc<Table>>>,
+    /// O(1) name → slot index.
+    by_name: HashMap<String, u32>,
+    /// Freed slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// Version stamp of the latest mutation (0 for a never-mutated lake).
+    version: u64,
+    /// Bounded changelog of `(version stamp, event)`.
+    log: VecDeque<(u64, LakeEvent)>,
+    /// Stamp of the newest *discarded* log entry; consumers synced before
+    /// this point have a gap and must rebuild.
+    log_floor: u64,
 }
 
 impl DataLake {
@@ -26,30 +92,152 @@ impl DataLake {
     pub fn from_tables(tables: impl IntoIterator<Item = Table>) -> Result<DataLake, TableError> {
         let mut lake = DataLake::new();
         for t in tables {
-            lake.add(t)?;
+            lake.add_table(t)?;
         }
         Ok(lake)
     }
 
-    /// Register a table; fails if a table with the same name exists.
-    pub fn add(&mut self, table: Table) -> Result<(), TableError> {
+    fn record(&mut self, event: LakeEvent) {
+        self.version = next_stamp();
+        if self.log.len() == MAX_LOG {
+            if let Some((stamp, _)) = self.log.pop_front() {
+                self.log_floor = stamp;
+            }
+        }
+        self.log.push_back((self.version, event));
+    }
+
+    fn claim_slot(&mut self, table: Arc<Table>) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(table);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("lake slot space");
+                self.slots.push(Some(table));
+                idx
+            }
+        }
+    }
+
+    /// Register a table, returning its stable slot index; fails if a table
+    /// with the same name exists.
+    pub fn add_table(&mut self, table: Table) -> Result<u32, TableError> {
         let name = table.name().to_string();
-        if self.tables.contains_key(&name) {
+        if self.by_name.contains_key(&name) {
             return Err(TableError::DuplicateTable { table: name });
         }
-        self.tables.insert(name, Arc::new(table));
-        Ok(())
+        let idx = self.claim_slot(Arc::new(table));
+        self.by_name.insert(name, idx);
+        self.record(LakeEvent::Added(idx));
+        Ok(idx)
+    }
+
+    /// Register or replace a table, returning its slot index. A replaced
+    /// table keeps its slot, so indexes see it as an in-place update.
+    pub fn replace_table(&mut self, table: Table) -> u32 {
+        match self.by_name.get(table.name()).copied() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(Arc::new(table));
+                self.record(LakeEvent::Replaced(idx));
+                idx
+            }
+            None => {
+                let name = table.name().to_string();
+                let idx = self.claim_slot(Arc::new(table));
+                self.by_name.insert(name, idx);
+                self.record(LakeEvent::Added(idx));
+                idx
+            }
+        }
+    }
+
+    /// Remove a table by name, returning its slot index and the table.
+    pub fn remove_table(&mut self, name: &str) -> Option<(u32, Arc<Table>)> {
+        let idx = self.by_name.remove(name)?;
+        let table = self.slots[idx as usize]
+            .take()
+            .expect("mapped slot is live");
+        self.free.push(idx);
+        self.record(LakeEvent::Removed(idx));
+        Some((idx, table))
+    }
+
+    /// Register a table; fails if a table with the same name exists.
+    pub fn add(&mut self, table: Table) -> Result<(), TableError> {
+        self.add_table(table).map(|_| ())
     }
 
     /// Register or replace a table.
     pub fn upsert(&mut self, table: Table) {
-        self.tables
-            .insert(table.name().to_string(), Arc::new(table));
+        self.replace_table(table);
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.remove_table(name).map(|(_, t)| t)
+    }
+
+    /// Version stamp of the latest mutation. Stamps are globally unique and
+    /// monotone across all lakes in the process: an index synced at version
+    /// `v` is current iff the lake still reports `v`.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// `true` iff `version` is a state *this lake's own history* produced:
+    /// its current version, a stamp still in (or just truncated off) its
+    /// changelog, or the pristine state while the full log is retained.
+    /// Stamps are globally unique, so a clone that diverged after a fork
+    /// can never pass this check with the other lineage's stamps — the
+    /// guard that keeps [`DataLake::events_since`] from serving another
+    /// lineage a plausible-looking but wrong delta.
+    fn has_version(&self, version: u64) -> bool {
+        if version == self.version || version == self.log_floor {
+            return true;
+        }
+        if version == 0 {
+            // Replaying from scratch is valid while nothing was truncated.
+            return self.log_floor == 0;
+        }
+        // Log stamps are ascending; binary-search for an exact hit.
+        self.log
+            .binary_search_by(|(stamp, _)| stamp.cmp(&version))
+            .is_ok()
+    }
+
+    /// The changelog entries strictly newer than `version`, oldest first.
+    /// Returns `None` when the delta cannot be served: the span has been
+    /// truncated away, or `version` was never a state of this lake (a
+    /// diverged clone's stamp, or a stamp from the future) — consumers
+    /// must rebuild in either case.
+    pub fn events_since(&self, version: u64) -> Option<Vec<(u64, LakeEvent)>> {
+        if !self.has_version(version) {
+            return None;
+        }
+        Some(
+            self.log
+                .iter()
+                .filter(|(stamp, _)| *stamp > version)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Slot index of a table, by name — an O(1) probe.
+    pub fn table_idx(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The table occupying a slot, if any.
+    pub fn table_at(&self, idx: u32) -> Option<&Arc<Table>> {
+        self.slots.get(idx as usize)?.as_ref()
     }
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {
-        self.tables.get(name).cloned()
+        self.table_at(self.table_idx(name)?).cloned()
     }
 
     /// Look up a table or fail with [`TableError::UnknownTable`].
@@ -59,34 +247,42 @@ impl DataLake {
         })
     }
 
-    /// Remove a table, returning it if present.
-    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
-        self.tables.remove(name)
-    }
-
     /// Table names in deterministic (sorted) order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(String::as_str)
+        let mut names: Vec<&str> = self.by_name.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 
     /// All tables in deterministic (name-sorted) order.
     pub fn tables(&self) -> impl Iterator<Item = &Arc<Table>> {
-        self.tables.values()
+        self.entries().map(|(_, t)| t)
+    }
+
+    /// All `(slot index, table)` pairs in deterministic (name-sorted) order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &Arc<Table>)> {
+        let mut entries: Vec<(u32, &Arc<Table>)> = self
+            .by_name
+            .values()
+            .map(|&idx| (idx, self.slots[idx as usize].as_ref().expect("live slot")))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.1.name().cmp(b.1.name()));
+        entries.into_iter()
     }
 
     /// Number of tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.by_name.len()
     }
 
     /// `true` when the lake holds no tables.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.by_name.is_empty()
     }
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(|t| t.row_count()).sum()
+        self.tables().map(|t| t.row_count()).sum()
     }
 
     /// Load every `*.csv` file in a directory as a table named after the
@@ -146,9 +342,29 @@ mod tests {
     fn duplicate_add_fails_but_upsert_replaces() {
         let mut lake = DataLake::new();
         lake.add(table! { "a"; ["x"]; [1] }).unwrap();
-        assert!(lake.add(table! { "a"; ["x"]; [2] }).is_err());
+        assert!(matches!(
+            lake.add(table! { "a"; ["x"]; [2] }),
+            Err(TableError::DuplicateTable { .. })
+        ));
         lake.upsert(table! { "a"; ["x"]; [2], [3] });
         assert_eq!(lake.get("a").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_reports_table_and_leaves_lake_unchanged() {
+        let mut lake = DataLake::new();
+        let idx = lake.add_table(table! { "dup"; ["x"]; [1] }).unwrap();
+        let err = lake.add_table(table! { "dup"; ["y"]; [9] }).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::DuplicateTable {
+                table: "dup".into()
+            }
+        );
+        // The original survives untouched, under the same slot.
+        assert_eq!(lake.table_idx("dup"), Some(idx));
+        assert_eq!(lake.get("dup").unwrap().column_index("x"), Some(0));
+        assert_eq!(lake.len(), 1);
     }
 
     #[test]
@@ -176,6 +392,127 @@ mod tests {
         lake.add(table! { "b"; ["x"]; [3] }).unwrap();
         assert_eq!(lake.total_rows(), 3);
         assert!(!lake.is_empty());
+    }
+
+    #[test]
+    fn version_is_monotone_and_bumped_by_every_mutation() {
+        let mut lake = DataLake::new();
+        assert_eq!(lake.version(), 0);
+        lake.add(table! { "a"; ["x"]; [1] }).unwrap();
+        let v1 = lake.version();
+        assert!(v1 > 0);
+        lake.upsert(table! { "a"; ["x"]; [2] });
+        let v2 = lake.version();
+        assert!(v2 > v1);
+        lake.remove("a").unwrap();
+        assert!(lake.version() > v2);
+        // Reads do not bump the version.
+        let v = lake.version();
+        let _ = lake.get("a");
+        let _: Vec<_> = lake.names().collect();
+        assert_eq!(lake.version(), v);
+    }
+
+    #[test]
+    fn versions_are_unique_across_lakes() {
+        let mut a = DataLake::new();
+        let mut b = DataLake::new();
+        a.add(table! { "t"; ["x"]; [1] }).unwrap();
+        b.add(table! { "t"; ["x"]; [1] }).unwrap();
+        assert_ne!(a.version(), b.version());
+    }
+
+    #[test]
+    fn slots_are_stable_and_reused_after_removal() {
+        let mut lake = DataLake::new();
+        let a = lake.add_table(table! { "a"; ["x"]; [1] }).unwrap();
+        let b = lake.add_table(table! { "b"; ["x"]; [1] }).unwrap();
+        assert_ne!(a, b);
+        // Replacing keeps the slot.
+        assert_eq!(lake.replace_table(table! { "a"; ["x"]; [2] }), a);
+        // Removing frees the slot; the next add reuses it.
+        let (removed_idx, t) = lake.remove_table("a").unwrap();
+        assert_eq!(removed_idx, a);
+        assert_eq!(t.name(), "a");
+        assert!(lake.table_at(a).is_none());
+        let c = lake.add_table(table! { "c"; ["x"]; [3] }).unwrap();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(lake.table_at(c).unwrap().name(), "c");
+        assert_eq!(lake.table_idx("c"), Some(c));
+    }
+
+    #[test]
+    fn events_since_replays_the_churn() {
+        let mut lake = DataLake::new();
+        let v0 = lake.version();
+        let a = lake.add_table(table! { "a"; ["x"]; [1] }).unwrap();
+        let b = lake.add_table(table! { "b"; ["x"]; [1] }).unwrap();
+        let mid = lake.version();
+        lake.replace_table(table! { "b"; ["x"]; [2] });
+        lake.remove_table("a").unwrap();
+        let events: Vec<LakeEvent> = lake
+            .events_since(v0)
+            .unwrap()
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                LakeEvent::Added(a),
+                LakeEvent::Added(b),
+                LakeEvent::Replaced(b),
+                LakeEvent::Removed(a),
+            ]
+        );
+        // A consumer synced mid-way only sees the tail.
+        let tail = lake.events_since(mid).unwrap();
+        assert_eq!(tail.len(), 2);
+        // A fully synced consumer sees nothing.
+        assert!(lake.events_since(lake.version()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn events_since_rejects_stamps_from_another_lineage() {
+        let mut a = DataLake::new();
+        a.add(table! { "t"; ["x"]; [1] }).unwrap();
+        let fork = a.version();
+        let mut b = a.clone();
+        a.upsert(table! { "t"; ["x"]; [2] }); // a-only stamp
+        b.upsert(table! { "t"; ["x"]; [3] }); // b-only stamp
+                                              // Each lineage serves its own history…
+        assert!(a.events_since(fork).is_some());
+        assert!(b.events_since(fork).is_some());
+        assert!(a.events_since(a.version()).unwrap().is_empty());
+        // …but refuses the other's post-fork stamp, in both directions,
+        // regardless of which stamp is numerically newer.
+        assert!(b.events_since(a.version()).is_none());
+        assert!(a.events_since(b.version()).is_none());
+        // Replaying from scratch stays valid while nothing was truncated.
+        assert_eq!(b.events_since(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn event_log_truncation_reports_a_gap() {
+        let mut lake = DataLake::new();
+        let v0 = lake.version();
+        lake.add(table! { "t"; ["x"]; [1] }).unwrap();
+        let v1 = lake.version();
+        for i in 0..MAX_LOG {
+            lake.upsert(table! { "t"; ["x"]; [i as i64] });
+        }
+        // v1's successor events still fit exactly; v0 has fallen off.
+        assert!(lake.events_since(v0).is_none(), "truncated span");
+        assert_eq!(lake.events_since(v1).unwrap().len(), MAX_LOG);
+    }
+
+    #[test]
+    fn entries_pair_sorted_names_with_slots() {
+        let mut lake = DataLake::new();
+        let z = lake.add_table(table! { "z"; ["x"]; [1] }).unwrap();
+        let a = lake.add_table(table! { "a"; ["x"]; [1] }).unwrap();
+        let got: Vec<(u32, &str)> = lake.entries().map(|(i, t)| (i, t.name())).collect();
+        assert_eq!(got, vec![(a, "a"), (z, "z")]);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   an implicit tuple identifier ([`Tid`]) used for provenance through
 //!   integration (the `{t1, t7}` sets of Figure 3).
 //! * A [`DataLake`] is a named collection of tables — the repository `D` that
-//!   discovery searches over.
+//!   discovery searches over. It is *mutable and versioned*: every
+//!   `add_table` / `replace_table` / `remove_table` bumps a monotone
+//!   [`DataLake::version`] stamp and appends a [`LakeEvent`] to a bounded
+//!   changelog, so discovery indexes can follow churn incrementally.
 //!
 //! ```
 //! use dialite_table::{Table, Value};
@@ -46,7 +49,7 @@ mod value;
 pub use csv::{parse_csv, read_csv_str, table_to_csv, write_csv_path, CsvOptions};
 pub use error::TableError;
 pub use intern::ValueInterner;
-pub use lake::DataLake;
+pub use lake::{DataLake, LakeEvent};
 pub use schema::{ColumnMeta, ColumnType, Schema};
 pub use table::{Table, Tid};
 pub use value::{NullKind, Value};

@@ -1,7 +1,9 @@
 //! Property-based tests for the table substrate: CSV round-trips, value
 //! ordering laws and canonical-form invariants.
 
-use dialite_table::{parse_csv, read_csv_str, table_to_csv, CsvOptions, Table, Value};
+use dialite_table::{
+    parse_csv, read_csv_str, table_to_csv, CsvOptions, NullKind, Table, Value, ValueInterner,
+};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -133,5 +135,75 @@ proptest! {
     #[test]
     fn parse_str_never_panics(s in "\\PC*") {
         let _ = Value::parse_str(&s);
+    }
+
+    // ---- ValueInterner laws (direct coverage; previously only exercised
+    // transitively through the integrate crate). -------------------------
+
+    #[test]
+    fn interner_round_trips_and_is_idempotent(vs in prop::collection::vec(arb_value(), 0..40)) {
+        let mut interner = ValueInterner::new();
+        let ids: Vec<u32> = vs.iter().map(|v| interner.intern(v)).collect();
+        // Round trip: every id resolves back to a content-equal value.
+        for (v, id) in vs.iter().zip(&ids) {
+            prop_assert_eq!(interner.resolve(*id), v);
+            // `get` agrees without inserting.
+            prop_assert_eq!(interner.get(v), Some(*id));
+        }
+        // Idempotent: re-interning yields the identical ids and grows nothing.
+        let n = interner.len();
+        let again: Vec<u32> = vs.iter().map(|v| interner.intern(v)).collect();
+        prop_assert_eq!(&ids, &again);
+        prop_assert_eq!(interner.len(), n);
+    }
+
+    #[test]
+    fn interner_ids_respect_content_equality(vs in prop::collection::vec(arb_value(), 0..40)) {
+        let mut interner = ValueInterner::new();
+        let ids: Vec<u32> = vs.iter().map(|v| interner.intern(v)).collect();
+        for (a, ia) in vs.iter().zip(&ids) {
+            for (b, ib) in vs.iter().zip(&ids) {
+                // Content equality — except the two null kinds, which are
+                // *equal as content* but deliberately keep distinct
+                // reserved ids to preserve the ±/⊥ provenance distinction.
+                let want = if a.is_null() && b.is_null() {
+                    matches!(
+                        (a, b),
+                        (Value::Null(NullKind::Missing), Value::Null(NullKind::Missing))
+                            | (Value::Null(NullKind::Produced), Value::Null(NullKind::Produced))
+                    )
+                } else {
+                    a == b
+                };
+                prop_assert_eq!(*ia == *ib, want, "id equality must mirror {:?} vs {:?}", a, b);
+            }
+        }
+        // Ids are dense: reserved nulls first, then first-seen order.
+        let mut seen: Vec<u32> = ids.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(
+            interner.len(),
+            ValueInterner::FIRST_VALUE_ID as usize
+                + seen.iter().filter(|&&id| !ValueInterner::is_null_id(id)).count()
+        );
+    }
+
+    #[test]
+    fn interner_reserves_null_ids_by_kind(vs in prop::collection::vec(arb_value(), 0..40)) {
+        let mut interner = ValueInterner::new();
+        for v in &vs {
+            let id = interner.intern(v);
+            match v {
+                Value::Null(NullKind::Produced) => {
+                    prop_assert_eq!(id, ValueInterner::NULL_PRODUCED)
+                }
+                Value::Null(NullKind::Missing) => {
+                    prop_assert_eq!(id, ValueInterner::NULL_MISSING)
+                }
+                _ => prop_assert!(id >= ValueInterner::FIRST_VALUE_ID),
+            }
+            prop_assert_eq!(ValueInterner::is_null_id(id), v.is_null());
+        }
     }
 }
