@@ -1,16 +1,18 @@
 //! Criterion bench behind experiment E7: discovery index build and query
 //! latency — plus the lake-churn comparison (incremental single-table
-//! maintenance vs full index rebuild) behind the `LakeIndex` subsystem.
+//! maintenance vs full index rebuild) behind the `LakeIndex` subsystem,
+//! and the `topk` group racing the budgeted `TopKPlanner` against the
+//! probe-all query path on a skewed 1k-table lake.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dialite_datagen::lake::{LakeSpec, SyntheticLake};
-use dialite_datagen::workloads::ChurnWorkload;
+use dialite_datagen::workloads::{ChurnWorkload, TopKWorkload};
 use dialite_discovery::{
-    Discovery, ExactOverlapDiscovery, LshEnsembleConfig, LshEnsembleDiscovery, SantosConfig,
-    SantosDiscovery, TableQuery,
+    Discovery, ExactOverlapDiscovery, LshEnsembleConfig, LshEnsembleDiscovery, QueryBudget,
+    SantosConfig, SantosDiscovery, TableQuery, TopKPlanner,
 };
 use dialite_table::{DataLake, Table, Value};
 
@@ -138,5 +140,107 @@ fn bench_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_discovery, bench_churn);
+/// The budgeted top-k planner vs the PR 3 probe-all query path, on the
+/// skewed 1k-table workload where scheduling actually matters: a few hub
+/// tables contain the queries, a long tail of small tables fills low-bound
+/// partitions the planner proves irrelevant without probing. Output
+/// equality (planner == probe-all at unlimited budget) is asserted for
+/// every query before any number is published.
+fn bench_topk(c: &mut Criterion) {
+    let trace = TopKWorkload {
+        tables: 1000,
+        hub_tables: 4,
+        hub_rows: 256,
+        tail_rows: 12,
+        vocab: 40_000,
+        queries: 16,
+        query_rows: 128,
+        seed: 47,
+    }
+    .generate();
+    let lake = DataLake::from_tables(trace.tables).unwrap();
+    let engine = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+    let queries: Vec<TableQuery> = trace
+        .queries
+        .into_iter()
+        .map(|q| TableQuery::with_column(q, 0))
+        .collect();
+    let budget = QueryBudget::unlimited();
+    let planner = TopKPlanner::new();
+
+    // Equality gate (also warms the signature cache for every query).
+    for q in &queries {
+        assert_eq!(
+            planner.discover_top_k(&engine, q, 10, &budget),
+            engine.discover(q, 10),
+            "planner diverged from probe-all on {}",
+            q.table.name()
+        );
+    }
+
+    // Headline: mean per-query latency over the whole query set, probe-all
+    // vs the warm-cache planner, measured once outside the criterion loop.
+    const REPS: usize = 30;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(engine.discover(std::hint::black_box(q), 10));
+        }
+    }
+    let probe_all = t0.elapsed() / (REPS * queries.len()) as u32;
+    let t1 = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(planner.discover_top_k(
+                &engine,
+                std::hint::black_box(q),
+                10,
+                &budget,
+            ));
+        }
+    }
+    let planned = t1.elapsed() / (REPS * queries.len()) as u32;
+    println!(
+        "bench topk/headline: skewed 1k-table query: probe-all {:?} vs planner (warm cache) {:?} ({:.1}x)",
+        probe_all,
+        planned,
+        probe_all.as_secs_f64() / planned.as_secs_f64().max(1e-12),
+    );
+
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(10);
+    group.bench_function("probe-all/skewed-1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            engine.discover(std::hint::black_box(&queries[i]), 10)
+        })
+    });
+    group.bench_function("planner/warm-cache", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            planner.discover_top_k(&engine, std::hint::black_box(&queries[i]), 10, &budget)
+        })
+    });
+    group.bench_function("planner/cold-cache", |b| {
+        let cold = TopKPlanner::with_cache_capacity(0);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            cold.discover_top_k(&engine, std::hint::black_box(&queries[i]), 10, &budget)
+        })
+    });
+    group.bench_function("planner/budget-2-partitions", |b| {
+        let capped = QueryBudget::unlimited().with_max_partitions(2);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            planner.discover_top_k(&engine, std::hint::black_box(&queries[i]), 10, &capped)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_churn, bench_topk);
 criterion_main!(benches);

@@ -5,7 +5,8 @@ use std::sync::{Arc, RwLock};
 
 use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
 use dialite_discovery::{
-    union_integration_set, Discovered, Discovery, LakeIndex, LakeIndexConfig, TableQuery,
+    union_integration_set, Discovered, Discovery, LakeIndex, LakeIndexConfig, QueryBudget,
+    TableQuery,
 };
 use dialite_integrate::{
     AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
@@ -260,6 +261,67 @@ impl Pipeline {
         pipeline
     }
 
+    /// Budgeted top-k joinable discovery — the interactive hot path, run
+    /// *without* the align/integrate stages.
+    ///
+    /// Routes through the maintained [`LakeIndex`]'s `TopKPlanner`: the
+    /// query-column signature is served from a small LRU on repeat
+    /// queries, LSH partitions are probed best-bound-first with early
+    /// termination, and candidates are verified on exact token posting
+    /// lists. `budget` caps per-query work ([`QueryBudget::unlimited`]
+    /// reproduces the probe-all results exactly). Like [`Pipeline::run`],
+    /// the index first catches up with any lake churn.
+    ///
+    /// Plain discovery engines added via [`PipelineBuilder::discovery`]
+    /// are merged in too (best score per table wins, as in
+    /// [`Pipeline::run`]); the budget does not apply to them — they are
+    /// not plannable — so a pipeline without indexed discovery degrades
+    /// to an unbudgeted engine union.
+    ///
+    /// ```
+    /// use dialite_core::{demo, Pipeline};
+    /// use dialite_discovery::{QueryBudget, TableQuery};
+    ///
+    /// let lake = demo::covid_lake();
+    /// let pipeline = Pipeline::demo_default(&lake);
+    /// let query = TableQuery::with_column(demo::fig2_query(), 1); // City
+    /// let hits = pipeline.discover_top_k(&lake, &query, 3, &QueryBudget::unlimited());
+    /// assert_eq!(hits[0].table, "T3"); // joins on City
+    /// ```
+    pub fn discover_top_k(
+        &self,
+        lake: &DataLake,
+        query: &TableQuery,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Vec<Discovered> {
+        let mut merged: Vec<Discovered> = Vec::new();
+        if let Some(indexed) = &self.indexed {
+            let guard = indexed.read().expect("indexed discovery lock");
+            match guard.current(lake) {
+                Some(index) => merged.extend(index.discover_top_k(query, k, budget)),
+                None => {
+                    drop(guard);
+                    let mut guard = indexed.write().expect("indexed discovery lock");
+                    merged.extend(guard.ensure_current(lake).discover_top_k(query, k, budget));
+                }
+            }
+        }
+        for engine in &self.discoveries {
+            merged.extend(engine.discover(query, k));
+        }
+        // NaN-safe best-score union: degenerate engine scores propagate
+        // as-is (ranked last) instead of becoming fabricated `-inf`s.
+        let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        dialite_discovery::merge_best_scores(&mut best, merged);
+        dialite_discovery::top_k_discovered(
+            best.into_iter()
+                .map(|(table, score)| Discovered { table, score })
+                .collect(),
+            k,
+        )
+    }
+
     /// Run the full pipeline: discover an integration set for the query,
     /// align it, integrate it (plus alternatives).
     pub fn run(&self, lake: &DataLake, query: &TableQuery) -> Result<PipelineRun, PipelineError> {
@@ -477,6 +539,48 @@ mod tests {
         let (t4, t5, t6) = demo::fig7_tables();
         let run = pipeline.integrate_set(vec![t4, t5, t6]).unwrap();
         assert_eq!(run.integrated.table().row_count(), 5, "Fig. 8(a)");
+    }
+
+    #[test]
+    fn discover_top_k_merges_plain_engines_with_the_index() {
+        // A hybrid pipeline (indexed discovery + a plain engine): tables
+        // only the plain engine can see must still surface from
+        // discover_top_k, exactly as they do from run().
+        let lake = demo::covid_lake();
+        let always_gdp =
+            SimilarityDiscovery::new(
+                "gdp-fan",
+                &lake,
+                |_, t| {
+                    if t.name() == "gdp" {
+                        42.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
+        let pipeline = Pipeline::builder()
+            .indexed_discovery(
+                Arc::new(covid_kb()),
+                dialite_discovery::LakeIndexConfig::default(),
+            )
+            .discovery(Box::new(always_gdp))
+            .build();
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        let hits = pipeline.discover_top_k(
+            &lake,
+            &query,
+            10,
+            &dialite_discovery::QueryBudget::unlimited(),
+        );
+        assert!(
+            hits.iter().any(|d| d.table == "gdp" && d.score == 42.0),
+            "plain-engine result must not be dropped: {hits:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.table == "T3"),
+            "indexed joinable result must still be there: {hits:?}"
+        );
     }
 
     #[test]

@@ -333,6 +333,128 @@ impl ChurnWorkload {
     }
 }
 
+/// Parameters of the skewed top-k discovery workload: a lake whose
+/// column-domain sizes follow a power law — a few huge "hub" tables whose
+/// domains contain whole query universes, and a long tail of small tables
+/// whose domains can never reach the containment threshold for a
+/// realistically sized query.
+///
+/// This is the regime open-data lakes actually exhibit (a handful of
+/// master registries, thousands of small extracts) and the one where
+/// budget-aware partition scheduling pays: equi-depth size partitioning
+/// puts the long tail into partitions whose upper size bound caps their
+/// best possible containment below the threshold, so a top-k planner can
+/// prove them irrelevant without probing, while a probe-all scan pays for
+/// every partition and verifies every near-miss candidate.
+#[derive(Debug, Clone)]
+pub struct TopKWorkload {
+    /// Total lake tables. Table of rank `r` holds
+    /// `max(tail_rows, hub_rows / (r + 1))` distinct keys — a `1/x` decay
+    /// from a few hubs down to the flat tail.
+    pub tables: usize,
+    /// Number of leading ranks that count as hubs; queries are drawn as
+    /// subsets of a hub's keys, so every query has a containment-1.0 hub.
+    pub hub_tables: usize,
+    /// Distinct keys of the largest (rank-0) table.
+    pub hub_rows: usize,
+    /// Distinct keys of every tail table (the decay floor).
+    pub tail_rows: usize,
+    /// Size of the shared token universe. Every table draws its keys from
+    /// a random contiguous window, so tail tables overlap hubs enough to
+    /// surface as near-miss candidates without ever passing verification.
+    pub vocab: usize,
+    /// Number of query tables to generate.
+    pub queries: usize,
+    /// Distinct keys per query table.
+    pub query_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TopKWorkload {
+    fn default() -> Self {
+        TopKWorkload {
+            tables: 200,
+            hub_tables: 4,
+            hub_rows: 192,
+            tail_rows: 8,
+            vocab: 4_000,
+            queries: 8,
+            query_rows: 96,
+            seed: 29,
+        }
+    }
+}
+
+/// A generated skewed lake plus its query tables.
+#[derive(Debug, Clone)]
+pub struct TopKTrace {
+    /// The lake tables, rank order (sizes descending).
+    pub tables: Vec<Table>,
+    /// Query tables (single `key` column); query `i` is a subset of hub
+    /// `i % hub_tables`'s keys.
+    pub queries: Vec<Table>,
+}
+
+impl TopKWorkload {
+    fn size_of(&self, rank: usize) -> usize {
+        (self.hub_rows / (rank + 1)).max(self.tail_rows.max(1))
+    }
+
+    /// Generate the lake and queries. Same spec + seed → identical output.
+    /// Degenerate specs are clamped rather than panicking: at least one
+    /// table always exists, and at least the rank-0 table counts as a hub
+    /// so every requested query has a source.
+    pub fn generate(&self) -> TopKTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let vocab = self.vocab.max(2 * self.hub_rows.max(2));
+        let tables_n = self.tables.max(1);
+        let hubs = self.hub_tables.clamp(1, tables_n);
+        let mut tables = Vec::with_capacity(tables_n);
+        let mut hub_keys: Vec<Vec<usize>> = Vec::with_capacity(hubs);
+        for rank in 0..tables_n {
+            let size = self.size_of(rank).min(vocab);
+            let span = (size * 2).min(vocab);
+            let start = rng.gen_range(0..=(vocab - span));
+            let mut pool: Vec<usize> = (start..start + span).collect();
+            pool.shuffle(&mut rng);
+            pool.truncate(size);
+            pool.sort_unstable();
+            if rank < hubs {
+                hub_keys.push(pool.clone());
+            }
+            let rows: Vec<Vec<Value>> = pool
+                .into_iter()
+                .map(|j| {
+                    vec![
+                        Value::Text(format!("v{j}")),
+                        Value::Int(rng.gen_range(0..1_000_i64)),
+                    ]
+                })
+                .collect();
+            tables.push(
+                Table::from_rows(&format!("topk_t{rank}"), &["key", "val"], rows)
+                    .expect("fixed arity"),
+            );
+        }
+        let mut queries = Vec::with_capacity(self.queries);
+        for qi in 0..self.queries {
+            let hub = &hub_keys[qi % hub_keys.len()];
+            let mut keys = hub.clone();
+            keys.shuffle(&mut rng);
+            keys.truncate(self.query_rows.clamp(1, hub.len()));
+            let rows: Vec<Vec<Value>> = keys
+                .into_iter()
+                .map(|j| vec![Value::Text(format!("v{j}"))])
+                .collect();
+            queries.push(
+                Table::from_rows(&format!("topk_q{qi}"), &["key"], rows).expect("fixed arity"),
+            );
+        }
+        TopKTrace { tables, queries }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +549,75 @@ mod tests {
             }
             op.apply(&mut lake);
         }
+    }
+
+    #[test]
+    fn topk_workload_is_skewed_and_every_query_has_a_hub() {
+        let w = TopKWorkload::default();
+        let trace = w.generate();
+        assert_eq!(trace.tables.len(), w.tables);
+        assert_eq!(trace.queries.len(), w.queries);
+        // Deterministic.
+        let again = w.generate();
+        assert_eq!(trace.tables, again.tables);
+        assert_eq!(trace.queries, again.queries);
+        // Power-law skew: sizes descend, and the overwhelming majority of
+        // tables sit at the tail floor — below half the query size, so
+        // they can never pass a 0.5 containment threshold.
+        let sizes: Vec<usize> = trace.tables.iter().map(|t| t.row_count()).collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[0] >= pair[1], "sizes must descend: {pair:?}");
+        }
+        let sub_threshold = sizes
+            .iter()
+            .filter(|&&s| (s as f64) < 0.5 * w.query_rows as f64)
+            .count();
+        assert!(
+            sub_threshold * 10 >= w.tables * 9,
+            "at least 90% of tables must be provably below threshold, got {sub_threshold}/{}",
+            w.tables
+        );
+        // Every query is fully contained in its source hub.
+        for (qi, q) in trace.queries.iter().enumerate() {
+            let hub = &trace.tables[qi % w.hub_tables];
+            let hub_keys = hub.column_token_set(0);
+            let q_keys = q.column_token_set(0);
+            assert!(!q_keys.is_empty());
+            assert!(
+                q_keys.iter().all(|k| hub_keys.contains(k)),
+                "query {qi} must be a subset of {}",
+                hub.name()
+            );
+        }
+    }
+
+    #[test]
+    fn topk_workload_degenerate_specs_are_clamped_not_panics() {
+        // hub_tables: 0 used to index an empty hub vec once queries > 0.
+        let trace = TopKWorkload {
+            hub_tables: 0,
+            tables: 3,
+            queries: 2,
+            ..TopKWorkload::default()
+        }
+        .generate();
+        assert_eq!(trace.tables.len(), 3);
+        assert_eq!(trace.queries.len(), 2);
+        // Rank 0 serves as the implicit hub: queries stay contained.
+        let hub_keys = trace.tables[0].column_token_set(0);
+        for q in &trace.queries {
+            assert!(q.column_token_set(0).iter().all(|k| hub_keys.contains(k)));
+        }
+        // Zero tables also survives.
+        let tiny = TopKWorkload {
+            tables: 0,
+            hub_tables: 0,
+            queries: 1,
+            ..TopKWorkload::default()
+        }
+        .generate();
+        assert_eq!(tiny.tables.len(), 1);
+        assert_eq!(tiny.queries.len(), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use dialite_table::{DataLake, LakeEvent};
 
 use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 use crate::santos::{SantosConfig, SantosDiscovery};
+use crate::topk::{QueryBudget, TopKPlanner};
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of both wrapped engines.
@@ -40,11 +41,34 @@ pub struct LakeIndexConfig {
 /// The maintained discovery index over a mutable lake. Build once, then
 /// [`sync`](LakeIndex::sync) after lake mutations; queries run against the
 /// engines as of the last sync.
+///
+/// ```
+/// use std::sync::Arc;
+/// use dialite_discovery::{Discovery, LakeIndex, LakeIndexConfig, TableQuery};
+/// use dialite_kb::curated::covid_kb;
+/// use dialite_table::fixtures;
+///
+/// let mut lake = fixtures::covid_lake();
+/// let mut index = LakeIndex::build(&lake, Arc::new(covid_kb()), LakeIndexConfig::default());
+///
+/// // The lake churns; one sync applies just the delta.
+/// lake.remove("animals").unwrap();
+/// index.sync(&lake);
+/// assert!(index.is_current(&lake));
+///
+/// let query = TableQuery::with_column(fixtures::fig2_query(), 1); // City
+/// let hits = index.discover(&query, 5);
+/// assert!(hits.iter().any(|d| d.table == "T3"));
+/// ```
 pub struct LakeIndex {
     kb: Arc<KnowledgeBase>,
     config: LakeIndexConfig,
     santos: SantosDiscovery,
     lshe: LshEnsembleDiscovery,
+    /// Budget-aware top-k planning over the LSH engine; holds the query
+    /// signature cache, which stays warm across syncs and even rebuilds
+    /// (cache entries are content-addressed, not version-addressed).
+    planner: TopKPlanner,
     /// Lake version the engines reflect.
     synced: u64,
 }
@@ -55,6 +79,7 @@ impl LakeIndex {
         LakeIndex {
             santos: SantosDiscovery::build(lake, kb.clone(), config.santos.clone()),
             lshe: LshEnsembleDiscovery::build(lake, config.lshe.clone()),
+            planner: TopKPlanner::new(),
             kb,
             config,
             synced: lake.version(),
@@ -82,7 +107,12 @@ impl LakeIndex {
             return;
         }
         let Some(events) = lake.events_since(self.synced) else {
+            // Full rebuild — but carry the planner across: its cached
+            // signatures are keyed on content + hash-family identity, so
+            // they stay valid for the rebuilt engine (same config).
+            let planner = std::mem::take(&mut self.planner);
             *self = LakeIndex::build(lake, self.kb.clone(), self.config.clone());
+            self.planner = planner;
             return;
         };
         for (_, event) in events {
@@ -115,6 +145,39 @@ impl LakeIndex {
         ]
     }
 
+    /// Budgeted top-k joinable search over the LSH engine, planned by the
+    /// index's [`TopKPlanner`]: cached query signatures, best-bound-first
+    /// partition probing with early termination, posting-list
+    /// verification. With an unlimited budget the results equal the
+    /// probe-all `lshe().discover(query, k)` exactly.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use dialite_discovery::{LakeIndex, LakeIndexConfig, QueryBudget, TableQuery};
+    /// use dialite_kb::curated::covid_kb;
+    /// use dialite_table::fixtures;
+    ///
+    /// let lake = fixtures::covid_lake();
+    /// let index = LakeIndex::build(&lake, Arc::new(covid_kb()), LakeIndexConfig::default());
+    /// let query = TableQuery::with_column(fixtures::fig2_query(), 1); // City
+    /// let hits = index.discover_top_k(&query, 3, &QueryBudget::unlimited());
+    /// assert_eq!(hits[0].table, "T3"); // joins on City at containment 2/3
+    /// ```
+    pub fn discover_top_k(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Vec<Discovered> {
+        self.planner.discover_top_k(&self.lshe, query, k, budget)
+    }
+
+    /// The planner (and its signature cache) behind
+    /// [`LakeIndex::discover_top_k`].
+    pub fn planner(&self) -> &TopKPlanner {
+        &self.planner
+    }
+
     /// The wrapped SANTOS-style engine.
     pub fn santos(&self) -> &SantosDiscovery {
         &self.santos
@@ -132,16 +195,12 @@ impl Discovery for LakeIndex {
     }
 
     /// Union of both engines' results; a table found by both keeps its
-    /// best score.
+    /// best score (NaN-safe: a degenerate score propagates rather than
+    /// being replaced by an invented one).
     fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
         let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
         for (_, hits) in self.discover_all(query, k) {
-            for d in hits {
-                let e = best.entry(d.table).or_insert(f64::NEG_INFINITY);
-                if d.score > *e {
-                    *e = d.score;
-                }
-            }
+            crate::types::merge_best_scores(&mut best, hits);
         }
         top_k(
             best.into_iter()

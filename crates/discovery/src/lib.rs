@@ -33,6 +33,15 @@
 //! add/replace/remove with `O(changed tables)` work instead of rebuilding,
 //! staying exactly equivalent to a fresh build (see
 //! `tests/incremental_oracle.rs`).
+//!
+//! The discovery hot path is served by [`TopKPlanner`], the budgeted top-k
+//! query engine over the LSH index: cached query-column signatures, a
+//! best-bound-first partition schedule with provable early termination,
+//! and exact token posting lists for verification and small-query
+//! answering. [`LakeIndex::discover_top_k`] exposes it, and with an
+//! unlimited [`QueryBudget`] it returns exactly the probe-all results.
+
+#![deny(missing_docs)]
 
 mod custom;
 mod index;
@@ -40,12 +49,16 @@ mod lshe;
 mod overlap;
 mod pool;
 mod santos;
+mod topk;
 mod types;
 
 pub use custom::SimilarityDiscovery;
 pub use index::{LakeIndex, LakeIndexConfig};
 pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 pub use overlap::ExactOverlapDiscovery;
-pub use pool::StringPool;
+pub use pool::{StringPool, POOL_ID_DROPPED};
 pub use santos::{SantosConfig, SantosDiscovery};
-pub use types::{union_integration_set, Discovered, Discovery, TableQuery};
+pub use topk::{QueryBudget, TopKPlanner, TopKStats, DEFAULT_SIGNATURE_CACHE};
+pub use types::{
+    merge_best_scores, top_k_discovered, union_integration_set, Discovered, Discovery, TableQuery,
+};

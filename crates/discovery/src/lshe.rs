@@ -8,20 +8,30 @@
 //! instead of re-hashing strings, and table names never need to be embedded
 //! in (collision-prone) composite string keys.
 //!
+//! Alongside the sketch index the engine maintains **exact token posting
+//! lists** (token id → the `(slot, col)` domains containing it). They
+//! answer small queries exactly without touching the sketch path (a
+//! JOSIE-style merge over the query's postings), and they are what the
+//! budget-aware [`TopKPlanner`](crate::TopKPlanner) uses to verify
+//! candidates.
+//!
 //! The engine is incrementally maintainable: [`LshEnsembleDiscovery::
 //! upsert_table`] / [`LshEnsembleDiscovery::remove_table`] apply one
-//! table's worth of work (hash its domains, retire its dead domain keys)
-//! instead of rebuilding over the whole lake — `LakeIndex` drives these
-//! from the lake changelog. Staged (not-yet-rebalanced) domains are
+//! table's worth of work (hash its domains, retire its dead domain keys and
+//! postings) instead of rebuilding over the whole lake — `LakeIndex` drives
+//! these from the lake changelog. Staged (not-yet-rebalanced) domains are
 //! exact-scanned at query time, so a freshly added table is discoverable
-//! immediately, never an LSH false negative.
+//! immediately, never an LSH false negative. Removed tables' tokens are
+//! reclaimed by generation-based pool compaction (see
+//! [`LshEnsembleDiscovery::pool_generation`]) once the retired token weight
+//! overtakes the live weight, so long-churn memory stays bounded.
 
 use std::collections::{HashMap, HashSet};
 
 use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher};
 use dialite_table::{DataLake, Table};
 
-use crate::pool::StringPool;
+use crate::pool::{StringPool, POOL_ID_DROPPED};
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of the joinable search.
@@ -38,12 +48,16 @@ pub struct LshEnsembleConfig {
     pub seed: u64,
     /// Queries with fewer distinct tokens than this bypass the sketch index
     /// and scan the stored domains exactly. MinHash banding has ~50% recall
-    /// at the threshold and tiny sets sit near it by construction; exact
-    /// scanning a handful of tokens is cheaper than a false negative.
+    /// at the threshold and tiny sets sit near it by construction; an exact
+    /// posting-list merge over a handful of tokens is cheaper than a false
+    /// negative.
     pub exact_fallback_below: usize,
     /// Fraction of live domains that may be dirty (staged inserts +
     /// tombstones) before a mutation triggers ensemble re-partitioning.
     pub rebalance_dirtiness: f64,
+    /// Floor on the retired-token weight before a mutation may trigger
+    /// pool compaction; keeps tiny lakes from compacting on every remove.
+    pub pool_compact_min: usize,
 }
 
 impl Default for LshEnsembleConfig {
@@ -55,40 +69,54 @@ impl Default for LshEnsembleConfig {
             seed: 0x1517,
             exact_fallback_below: 16,
             rebalance_dirtiness: 0.25,
+            pool_compact_min: 1024,
         }
     }
 }
 
 /// A column domain's identity in the index: `(table slot index, column)`.
-type DomainKey = (u32, u32);
+pub(crate) type DomainKey = (u32, u32);
 
 /// Joinable-table discovery: find lake tables with a column whose domain
 /// contains (most of) the query column's domain.
 pub struct LshEnsembleDiscovery {
-    config: LshEnsembleConfig,
-    hasher: MinHasher,
-    ensemble: LshEnsemble<DomainKey>,
+    pub(crate) config: LshEnsembleConfig,
+    pub(crate) hasher: MinHasher,
+    pub(crate) ensemble: LshEnsemble<DomainKey>,
     /// `(table slot, col)` → interned token-id set, for exact verification.
-    domains: HashMap<DomainKey, HashSet<u32>>,
+    pub(crate) domains: HashMap<DomainKey, HashSet<u32>>,
     /// Lake table names by slot index (live tables only).
-    table_names: HashMap<u32, String>,
+    pub(crate) table_names: HashMap<u32, String>,
     /// Indexed column indices per slot, so retiring a table touches only
     /// its own domains.
     cols_of: HashMap<u32, Vec<u32>>,
-    /// The token dictionary shared by all indexed domains. Tokens of
-    /// removed tables linger (dead dictionary weight, no correctness
-    /// impact); a full rebuild resets it.
-    pool: StringPool,
+    /// The token dictionary shared by all indexed domains. Compacted once
+    /// retired weight overtakes live weight (generation-based), so removed
+    /// tables' tokens do not accumulate forever.
+    pub(crate) pool: StringPool,
+    /// Exact inverted index: token id → the domains containing the token.
+    /// Maintained through every upsert/remove, in lockstep with `domains`.
+    pub(crate) postings: HashMap<u32, Vec<DomainKey>>,
+    /// Σ |domain| over live domains (token occurrences, with multiplicity
+    /// across domains).
+    live_weight: usize,
+    /// Token occurrences retired since the last compaction / full build.
+    retired_weight: usize,
+    /// Bumped on every pool compaction; lets callers observe that ids from
+    /// an older generation are no longer meaningful.
+    pool_generation: u64,
 }
 
 impl LshEnsembleDiscovery {
     /// Index every column of every lake table.
     pub fn build(lake: &DataLake, config: LshEnsembleConfig) -> LshEnsembleDiscovery {
         let mut builder = LshEnsembleBuilder::new(config.num_perm, config.seed);
-        let mut domains = HashMap::new();
+        let mut domains: HashMap<DomainKey, HashSet<u32>> = HashMap::new();
         let mut table_names = HashMap::new();
         let mut cols_of: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut pool = StringPool::new();
+        let mut postings: HashMap<u32, Vec<DomainKey>> = HashMap::new();
+        let mut live_weight = 0usize;
         for (t, table) in lake.entries() {
             table_names.insert(t, table.name().to_string());
             for c in 0..table.column_count() {
@@ -98,7 +126,12 @@ impl LshEnsembleDiscovery {
                 }
                 let key: DomainKey = (t, c as u32);
                 builder.insert_tokens(key, tokens.iter().map(String::as_str));
-                domains.insert(key, tokens.iter().map(|tok| pool.intern(tok)).collect());
+                let ids: HashSet<u32> = tokens.iter().map(|tok| pool.intern(tok)).collect();
+                for &id in &ids {
+                    postings.entry(id).or_default().push(key);
+                }
+                live_weight += ids.len();
+                domains.insert(key, ids);
                 cols_of.entry(t).or_default().push(c as u32);
             }
         }
@@ -113,6 +146,10 @@ impl LshEnsembleDiscovery {
             table_names,
             cols_of,
             pool,
+            postings,
+            live_weight,
+            retired_weight: 0,
+            pool_generation: 0,
         }
     }
 
@@ -128,30 +165,215 @@ impl LshEnsembleDiscovery {
             let key: DomainKey = (slot, c as u32);
             let sig = self.hasher.signature(tokens.iter().map(String::as_str));
             self.ensemble.insert(key, tokens.len(), sig);
-            self.domains.insert(
-                key,
-                tokens.iter().map(|tok| self.pool.intern(tok)).collect(),
-            );
+            let ids: HashSet<u32> = tokens.iter().map(|tok| self.pool.intern(tok)).collect();
+            for &id in &ids {
+                self.postings.entry(id).or_default().push(key);
+            }
+            self.live_weight += ids.len();
+            self.domains.insert(key, ids);
             self.cols_of.entry(slot).or_default().push(c as u32);
         }
+        self.maybe_compact_pool();
     }
 
     /// Retire every domain of the table occupying a lake slot.
-    /// `O(columns of that table)`.
+    /// `O(columns of that table + their postings)`.
     pub fn remove_table(&mut self, slot: u32) {
         if self.table_names.remove(&slot).is_none() {
             return;
         }
         for c in self.cols_of.remove(&slot).unwrap_or_default() {
             let key: DomainKey = (slot, c);
-            self.domains.remove(&key);
+            if let Some(ids) = self.domains.remove(&key) {
+                for id in &ids {
+                    if let Some(list) = self.postings.get_mut(id) {
+                        if let Some(pos) = list.iter().position(|k| k == &key) {
+                            list.swap_remove(pos);
+                        }
+                        if list.is_empty() {
+                            self.postings.remove(id);
+                        }
+                    }
+                }
+                self.live_weight -= ids.len();
+                self.retired_weight += ids.len();
+            }
             self.ensemble.remove(&key);
         }
+        self.maybe_compact_pool();
     }
 
     /// Number of indexed column domains.
     pub fn indexed_domains(&self) -> usize {
         self.domains.len()
+    }
+
+    /// Number of distinct tokens currently interned (live + not-yet-
+    /// compacted dead weight).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `(distinct tokens with postings, total posting entries)` — the
+    /// latter always equals the summed live domain sizes, an invariant the
+    /// incremental oracle pins under churn.
+    pub fn posting_stats(&self) -> (usize, usize) {
+        (
+            self.postings.len(),
+            self.postings.values().map(Vec::len).sum(),
+        )
+    }
+
+    /// How many times the token pool has been compacted. Compactions remap
+    /// every stored token id, so the count doubles as a cheap "ids from an
+    /// earlier epoch are invalid" witness in tests.
+    pub fn pool_generation(&self) -> u64 {
+        self.pool_generation
+    }
+
+    /// Compact once dead dictionary weight overtakes live weight (and the
+    /// configured floor). The floor keeps small or rarely-churning lakes
+    /// from paying the O(pool) rewrite for negligible savings; the
+    /// overtake rule bounds the pool at roughly twice the live token
+    /// weight regardless of how long churn runs (pinned by
+    /// `tests/pool_props.rs`).
+    fn maybe_compact_pool(&mut self) {
+        if self.retired_weight > self.live_weight.max(self.config.pool_compact_min) {
+            self.compact_pool();
+        }
+    }
+
+    /// Drop every token no live domain references, re-densify ids, and
+    /// rewrite all domain sets and posting lists through the remap.
+    /// `O(live tokens + pool)`.
+    fn compact_pool(&mut self) {
+        let live: HashSet<u32> = self.domains.values().flatten().copied().collect();
+        let remap = self.pool.compact(&live);
+        for ids in self.domains.values_mut() {
+            *ids = ids
+                .iter()
+                .map(|&id| remap[id as usize])
+                .inspect(|&id| debug_assert_ne!(id, POOL_ID_DROPPED, "live id dropped"))
+                .collect();
+        }
+        self.postings = std::mem::take(&mut self.postings)
+            .into_iter()
+            .map(|(id, list)| (remap[id as usize], list))
+            .collect();
+        self.retired_weight = 0;
+        self.pool_generation += 1;
+    }
+
+    /// Resolve the query's tokens through the shared pool. Tokens the pool
+    /// has never seen occur in no domain and drop out (the containment
+    /// denominator stays the full query size).
+    pub(crate) fn query_token_ids(&self, q_tokens: &HashSet<String>) -> Vec<u32> {
+        q_tokens.iter().filter_map(|t| self.pool.get(t)).collect()
+    }
+
+    /// The exact (sketch-free) answer for small queries: a posting-list
+    /// merge for any positive threshold, a full-domain scan in the
+    /// degenerate non-positive case (where zero-overlap domains — which
+    /// postings cannot see — still pass the threshold). Returns the
+    /// per-table best map plus the number of domains individually
+    /// verified (0 for the merge, which needs no per-domain probes).
+    ///
+    /// Both the probe-all `discover` and the `TopKPlanner` call this one
+    /// helper, so the planner's exact-parity contract cannot drift.
+    pub(crate) fn exact_discover<'a>(
+        &'a self,
+        q_ids: &[u32],
+        q_len: usize,
+        exclude_table: &str,
+    ) -> (HashMap<&'a str, f64>, usize) {
+        if self.config.threshold > 0.0 {
+            (self.exact_best_per_table(q_ids, q_len, exclude_table), 0)
+        } else {
+            let mut best = HashMap::new();
+            let verified = self.verify_candidates(
+                self.domains.keys().copied(),
+                q_ids,
+                q_len,
+                exclude_table,
+                &mut best,
+            );
+            (best, verified)
+        }
+    }
+
+    /// Exact per-table best containment via a posting-list merge: one pass
+    /// over the query tokens' postings accumulates `|Q ∩ X|` for every
+    /// domain sharing at least one token. Equivalent to brute force for any
+    /// positive threshold (a zero-overlap domain can never reach it).
+    pub(crate) fn exact_best_per_table(
+        &self,
+        q_ids: &[u32],
+        q_len: usize,
+        exclude_table: &str,
+    ) -> HashMap<&str, f64> {
+        let mut overlap: HashMap<DomainKey, usize> = HashMap::new();
+        for id in q_ids {
+            if let Some(list) = self.postings.get(id) {
+                for key in list {
+                    *overlap.entry(*key).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut best: HashMap<&str, f64> = HashMap::new();
+        for (key, hits) in overlap {
+            let c = hits as f64 / q_len as f64;
+            if c + 1e-12 < self.config.threshold {
+                continue;
+            }
+            let Some(table) = self.table_names.get(&key.0) else {
+                continue;
+            };
+            if table == exclude_table {
+                continue;
+            }
+            let entry = best.entry(table.as_str()).or_insert(0.0);
+            if c > *entry {
+                *entry = c;
+            }
+        }
+        best
+    }
+
+    /// Verify candidate domains exactly against their stored token-id sets,
+    /// folding each verified containment into the per-table best map.
+    /// Containment is `|Q ∩ X| / |Q|` over interned ids; scores below the
+    /// configured threshold (LSH false positives) are dropped.
+    pub(crate) fn verify_candidates<'a, I: IntoIterator<Item = DomainKey>>(
+        &'a self,
+        candidates: I,
+        q_ids: &[u32],
+        q_len: usize,
+        exclude_table: &str,
+        best: &mut HashMap<&'a str, f64>,
+    ) -> usize {
+        let mut verified = 0usize;
+        for key in candidates {
+            let Some(domain) = self.domains.get(&key) else {
+                continue;
+            };
+            verified += 1;
+            let hits = q_ids.iter().filter(|id| domain.contains(id)).count();
+            let c = hits as f64 / q_len as f64;
+            if c + 1e-12 < self.config.threshold {
+                continue; // LSH false positive
+            }
+            let Some(table) = self.table_names.get(&key.0) else {
+                continue;
+            };
+            if table == exclude_table {
+                continue;
+            }
+            let entry = best.entry(table.as_str()).or_insert(0.0);
+            if c > *entry {
+                *entry = c;
+            }
+        }
+        verified
     }
 }
 
@@ -169,10 +391,13 @@ impl Discovery for LshEnsembleDiscovery {
         if q_tokens.is_empty() {
             return Vec::new();
         }
-        let candidates: HashSet<DomainKey> = if q_tokens.len() < self.config.exact_fallback_below {
-            // Exact scan: the keys are two copied words each — no cloning
-            // of the stored domains or their identities.
-            self.domains.keys().copied().collect()
+        let q_ids = self.query_token_ids(&q_tokens);
+
+        let best_per_table: HashMap<&str, f64> = if q_tokens.len()
+            < self.config.exact_fallback_below
+        {
+            self.exact_discover(&q_ids, q_tokens.len(), query.table.name())
+                .0
         } else {
             let sig = self.hasher.signature(q_tokens.iter().map(String::as_str));
             let mut cands: HashSet<DomainKey> = self
@@ -184,39 +409,11 @@ impl Discovery for LshEnsembleDiscovery {
             // partitions; scan them exactly so fresh churn is never an LSH
             // false negative.
             cands.extend(self.ensemble.staged_keys().copied());
-            cands
+            let mut best = HashMap::new();
+            self.verify_candidates(cands, &q_ids, q_tokens.len(), query.table.name(), &mut best);
+            best
         };
 
-        // Resolve the query's tokens through the shared pool once; a token
-        // the pool has never seen occurs in no domain.
-        let q_ids: Vec<Option<u32>> = q_tokens.iter().map(|t| self.pool.get(t)).collect();
-
-        // Exact verification + per-table aggregation (best column wins).
-        let mut best_per_table: HashMap<&str, f64> = HashMap::new();
-        for key in candidates {
-            let Some(domain) = self.domains.get(&key) else {
-                continue;
-            };
-            // Containment |Q ∩ X| / |Q| over interned token ids.
-            let overlap = q_ids
-                .iter()
-                .filter(|id| id.is_some_and(|id| domain.contains(&id)))
-                .count();
-            let c = overlap as f64 / q_tokens.len() as f64;
-            if c + 1e-12 < self.config.threshold {
-                continue; // LSH false positive
-            }
-            let Some(table) = self.table_names.get(&key.0) else {
-                continue;
-            };
-            if table == query.table.name() {
-                continue;
-            }
-            let entry = best_per_table.entry(table.as_str()).or_insert(0.0);
-            if c > *entry {
-                *entry = c;
-            }
-        }
         let scored = best_per_table
             .into_iter()
             .map(|(t, s)| Discovered {
@@ -391,5 +588,92 @@ mod tests {
         let hits = engine.discover(&query(), 5);
         let partial = hits.iter().find(|d| d.table == "partial").unwrap();
         assert!((partial.score - 1.0).abs() < 1e-12, "{hits:?}");
+    }
+
+    #[test]
+    fn postings_track_live_domain_weight() {
+        let lake = demo_lake();
+        let mut engine = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+        let weight = |e: &LshEnsembleDiscovery| -> usize {
+            e.domains.values().map(HashSet::len).sum::<usize>()
+        };
+        let (_, total) = engine.posting_stats();
+        assert_eq!(total, weight(&engine));
+
+        // Churn keeps the invariant.
+        let slot = 0; // cases_by_city sits in some slot; remove by probing
+        let slot = engine
+            .table_names
+            .iter()
+            .find(|(_, n)| n.as_str() == "cases_by_city")
+            .map(|(s, _)| *s)
+            .unwrap_or(slot);
+        engine.remove_table(slot);
+        let (_, total) = engine.posting_stats();
+        assert_eq!(total, weight(&engine));
+    }
+
+    #[test]
+    fn pool_compaction_reclaims_removed_tables_tokens() {
+        let config = LshEnsembleConfig {
+            pool_compact_min: 0, // compact as soon as dead > live weight
+            ..LshEnsembleConfig::default()
+        };
+        let mut lake = DataLake::new();
+        // One small long-lived table, plus a big one that gets withdrawn.
+        let keeper = table! { "keeper"; ["k"]; ["stay1"], ["stay2"] };
+        let big_rows: Vec<Vec<dialite_table::Value>> = (0..200)
+            .map(|i| vec![dialite_table::Value::Text(format!("dead{i}"))])
+            .collect();
+        let big = Table::from_rows("big", &["k"], big_rows).unwrap();
+        let k_slot = lake.add_table(keeper.clone()).unwrap();
+        let b_slot = lake.add_table(big.clone()).unwrap();
+        let mut engine = LshEnsembleDiscovery::build(&lake, config);
+        assert!(engine.pool_len() >= 202);
+        assert_eq!(engine.pool_generation(), 0);
+
+        lake.remove_table("big").unwrap();
+        engine.remove_table(b_slot);
+        assert_eq!(
+            engine.pool_generation(),
+            1,
+            "200 dead vs 2 live tokens must trigger compaction"
+        );
+        assert_eq!(engine.pool_len(), 2, "only the keeper's tokens survive");
+
+        // Post-compaction queries still verify correctly over remapped ids.
+        let q = TableQuery::with_column(table! { "q"; ["k"]; ["stay1"], ["stay2"] }, 0);
+        let hits = engine.discover(&q, 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].table, "keeper");
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        let _ = k_slot;
+    }
+
+    #[test]
+    fn small_query_posting_path_matches_full_scan() {
+        // The exact fallback is a posting merge; forcing the legacy
+        // scan-everything shape via verify_candidates must agree.
+        let lake = demo_lake();
+        let engine = LshEnsembleDiscovery::build(
+            &lake,
+            LshEnsembleConfig {
+                threshold: 0.3,
+                ..LshEnsembleConfig::default()
+            },
+        );
+        let q = query();
+        let q_tokens = q.table.column_token_set(0);
+        let q_ids = engine.query_token_ids(&q_tokens);
+        let merged = engine.exact_best_per_table(&q_ids, q_tokens.len(), q.table.name());
+        let mut scanned = HashMap::new();
+        engine.verify_candidates(
+            engine.domains.keys().copied(),
+            &q_ids,
+            q_tokens.len(),
+            q.table.name(),
+            &mut scanned,
+        );
+        assert_eq!(merged, scanned);
     }
 }

@@ -5,14 +5,28 @@
 //! candidate) pair; interning tokens once at index-build time turns the
 //! exact-containment verification into `u32` set probes — the same
 //! dictionary-encoding move the integrate crate applies to cell values.
+//!
+//! Under lake churn the pool would grow without bound: tokens of removed
+//! tables stay interned (dead dictionary weight). [`StringPool::compact`]
+//! supports the discovery layer's generation-based compaction — keep only
+//! the ids a caller proves live, reassign dense ids, and hand back the
+//! old→new remap so callers can rewrite their stored id sets.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Interns strings to dense `u32` ids. Ids are assigned in first-seen order.
 #[derive(Debug, Clone, Default)]
 pub struct StringPool {
     ids: HashMap<String, u32>,
+    /// Reverse map, `id as usize → string`; always the same length as
+    /// `ids`. Needed so compaction can re-intern survivors without the
+    /// caller retaining any strings.
+    strings: Vec<String>,
 }
+
+/// Sentinel in the remap returned by [`StringPool::compact`]: the old id
+/// was dropped (its token was dead).
+pub const POOL_ID_DROPPED: u32 = u32::MAX;
 
 impl StringPool {
     /// An empty pool.
@@ -27,6 +41,7 @@ impl StringPool {
             None => {
                 let id = u32::try_from(self.ids.len()).expect("pool id space");
                 self.ids.insert(s.to_string(), id);
+                self.strings.push(s.to_string());
                 id
             }
         }
@@ -38,6 +53,11 @@ impl StringPool {
         self.ids.get(s).copied()
     }
 
+    /// The string behind an id, if the id was ever assigned.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
     /// Number of distinct strings interned.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -46,6 +66,28 @@ impl StringPool {
     /// `true` when nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Drop every id not in `live` and reassign the survivors dense ids
+    /// (ascending old-id order, so relative order is stable). Returns the
+    /// old→new remap, indexed by old id; dropped ids map to
+    /// [`POOL_ID_DROPPED`]. Callers must rewrite every stored id through
+    /// the remap — ids from before the compaction are otherwise dangling.
+    pub fn compact(&mut self, live: &HashSet<u32>) -> Vec<u32> {
+        let mut remap = vec![POOL_ID_DROPPED; self.strings.len()];
+        let mut strings = Vec::with_capacity(live.len());
+        let mut ids = HashMap::with_capacity(live.len());
+        for (old, s) in std::mem::take(&mut self.strings).into_iter().enumerate() {
+            if live.contains(&(old as u32)) {
+                let new = strings.len() as u32;
+                remap[old] = new;
+                ids.insert(s.clone(), new);
+                strings.push(s);
+            }
+        }
+        self.ids = ids;
+        self.strings = strings;
+        remap
     }
 }
 
@@ -70,5 +112,49 @@ mod tests {
         assert!(p.is_empty());
         let id = p.intern("x");
         assert_eq!(p.get("x"), Some(id));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut p = StringPool::new();
+        let a = p.intern("alpha");
+        let b = p.intern("beta");
+        assert_eq!(p.resolve(a), Some("alpha"));
+        assert_eq!(p.resolve(b), Some("beta"));
+        assert_eq!(p.resolve(99), None);
+    }
+
+    #[test]
+    fn compact_drops_dead_ids_and_remaps_survivors() {
+        let mut p = StringPool::new();
+        let a = p.intern("keep_a");
+        let dead = p.intern("drop_me");
+        let b = p.intern("keep_b");
+        let live: HashSet<u32> = [a, b].into_iter().collect();
+        let remap = p.compact(&live);
+        assert_eq!(p.len(), 2);
+        assert_eq!(remap[dead as usize], POOL_ID_DROPPED);
+        let (na, nb) = (remap[a as usize], remap[b as usize]);
+        assert_ne!(na, POOL_ID_DROPPED);
+        assert_ne!(nb, POOL_ID_DROPPED);
+        // Survivors keep their relative order, ids re-densify from 0.
+        assert_eq!((na, nb), (0, 1));
+        assert_eq!(p.resolve(na), Some("keep_a"));
+        assert_eq!(p.resolve(nb), Some("keep_b"));
+        assert_eq!(p.get("drop_me"), None);
+        // Re-interning a dropped token assigns a fresh dense id.
+        assert_eq!(p.intern("drop_me"), 2);
+    }
+
+    #[test]
+    fn compact_with_everything_live_is_identity() {
+        let mut p = StringPool::new();
+        let ids: Vec<u32> = ["x", "y", "z"].iter().map(|s| p.intern(s)).collect();
+        let live: HashSet<u32> = ids.iter().copied().collect();
+        let remap = p.compact(&live);
+        for id in ids {
+            assert_eq!(remap[id as usize], id);
+        }
+        assert_eq!(p.len(), 3);
     }
 }

@@ -82,6 +82,39 @@ pub(crate) fn top_k(mut candidates: Vec<Discovered>, k: usize) -> Vec<Discovered
     candidates
 }
 
+/// Sort discovered candidates by descending score (NaN-safe, ties broken
+/// by table name for determinism) and truncate to `k` — the shared
+/// ranking every engine applies before returning. Public so downstream
+/// layers merging several engines' results rank identically.
+pub fn top_k_discovered(candidates: Vec<Discovered>, k: usize) -> Vec<Discovered> {
+    top_k(candidates, k)
+}
+
+/// Fold discovery hits into a per-table best-score map without inventing
+/// scores: a table's first hit stores its score verbatim (NaN included,
+/// so degenerate engine output propagates instead of being replaced by a
+/// fabricated `-inf`), and a later hit displaces it only when genuinely
+/// better under the same NaN-last total order [`top_k_discovered`] ranks
+/// with. Shared by every layer that unions several engines' results.
+pub fn merge_best_scores(
+    best: &mut std::collections::HashMap<String, f64>,
+    hits: impl IntoIterator<Item = Discovered>,
+) {
+    use std::collections::hash_map::Entry;
+    for d in hits {
+        match best.entry(d.table) {
+            Entry::Vacant(v) => {
+                v.insert(d.score);
+            }
+            Entry::Occupied(mut o) => {
+                if score_cmp(d.score, *o.get()) == std::cmp::Ordering::Greater {
+                    o.insert(d.score);
+                }
+            }
+        }
+    }
+}
+
 /// Union the results of several discovery runs into one integration set
 /// (table names, deduplicated, in first-seen score order) — the demo
 /// persists "the set of tables found by all techniques".
@@ -165,6 +198,27 @@ mod tests {
         let rerun = top_k(mk(), 10);
         let again: Vec<&str> = rerun.iter().map(|d| d.table.as_str()).collect();
         assert_eq!(order, again);
+    }
+
+    #[test]
+    fn merge_best_scores_propagates_nan_and_prefers_real_scores() {
+        let hit = |s: f64| {
+            vec![Discovered {
+                table: "t".into(),
+                score: s,
+            }]
+        };
+        let mut best = std::collections::HashMap::new();
+        merge_best_scores(&mut best, hit(f64::NAN));
+        assert!(best["t"].is_nan(), "NaN must propagate, not become -inf");
+        merge_best_scores(&mut best, hit(0.2));
+        assert_eq!(best["t"], 0.2, "a real score beats NaN");
+        merge_best_scores(&mut best, hit(f64::NAN));
+        assert_eq!(best["t"], 0.2, "NaN must not displace a real score");
+        merge_best_scores(&mut best, hit(0.9));
+        assert_eq!(best["t"], 0.9, "higher real score wins");
+        merge_best_scores(&mut best, hit(0.5));
+        assert_eq!(best["t"], 0.9, "lower real score loses");
     }
 
     #[test]

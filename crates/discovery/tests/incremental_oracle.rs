@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use dialite_datagen::workloads::{ChurnOp, ChurnWorkload};
 use dialite_discovery::{
-    Discovery, LakeIndex, LakeIndexConfig, LshEnsembleConfig, SantosConfig, TableQuery,
+    Discovery, LakeIndex, LakeIndexConfig, LshEnsembleConfig, QueryBudget, SantosConfig, TableQuery,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_table::{DataLake, Table};
@@ -83,6 +83,84 @@ proptest! {
                 compared += 1;
             } else {
                 op.apply(&mut lake);
+            }
+        }
+        prop_assert!(compared > 0, "trace contained no queries");
+    }
+
+    /// Top-k planner + posting-list + signature-cache oracle under churn:
+    /// an incrementally maintained `LakeIndex` (planner cache staying warm
+    /// across syncs, pool compaction forced on) answers `discover_top_k`
+    /// exactly like a freshly built index AND exactly like the probe-all
+    /// path, repeat queries hit the cache without changing results, and
+    /// the posting lists stay in lockstep with the live domains.
+    #[test]
+    fn planner_postings_and_cache_survive_churn(seed in any::<u64>(), ops in 12usize..32) {
+        let trace = ChurnWorkload {
+            initial_tables: 8,
+            rows_per_table: 14,
+            vocab: 160,
+            ops,
+            seed,
+        }
+        .generate();
+        let kb = Arc::new(covid_kb());
+        let config = LakeIndexConfig {
+            santos: SantosConfig::default(),
+            lshe: LshEnsembleConfig {
+                num_perm: 64,
+                num_partitions: 4,
+                rebalance_dirtiness: 0.2,
+                // Compact on every overtake, so churn traces exercise the
+                // id-remap path (domains, postings, verification) often.
+                pool_compact_min: 0,
+                ..LshEnsembleConfig::default()
+            },
+        };
+        let budget = QueryBudget::unlimited();
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut index = LakeIndex::build(&lake, kb.clone(), config.clone());
+        let mut compared = 0usize;
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = &op {
+                index.sync(&lake);
+                let fresh = LakeIndex::build(&lake, kb.clone(), config.clone());
+                let query = TableQuery::with_column(q.clone(), 0);
+                let got = index.discover_top_k(&query, 6, &budget);
+                prop_assert_eq!(
+                    &got,
+                    &fresh.discover_top_k(&query, 6, &budget),
+                    "incremental planner diverged from fresh build at query {}",
+                    compared
+                );
+                prop_assert_eq!(
+                    &got,
+                    &index.lshe().discover(&query, 6),
+                    "planner diverged from probe-all at query {}",
+                    compared
+                );
+                // Repeat query: served from the signature cache (or the
+                // exact path), identical results.
+                prop_assert_eq!(
+                    &got,
+                    &index.discover_top_k(&query, 6, &budget),
+                    "cached repeat diverged at query {}",
+                    compared
+                );
+                // Postings mirror the live domains exactly, dead weight
+                // included (fresh build has none by construction).
+                prop_assert_eq!(
+                    index.lshe().posting_stats(),
+                    fresh.lshe().posting_stats(),
+                    "posting lists diverged from rebuild at query {}",
+                    compared
+                );
+                compared += 1;
+            } else {
+                op.apply(&mut lake);
+                // Sync per mutation: maximal churn stress on postings,
+                // compaction and the planner cache.
+                index.sync(&lake);
             }
         }
         prop_assert!(compared > 0, "trace contained no queries");

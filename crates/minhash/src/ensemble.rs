@@ -227,6 +227,27 @@ pub struct LshEnsemble<K = String> {
     rebalance_threshold: f64,
 }
 
+/// One partition's entry in a query's probe schedule: which partition to
+/// probe and the best containment score any of its domains could possibly
+/// achieve against a query of the planning size.
+///
+/// Produced by [`LshEnsemble::probe_plan`]; consumed by budget-aware
+/// schedulers (the discovery layer's `TopKPlanner`) that probe partitions
+/// best-bound-first and stop early once the running top-k verified score
+/// provably beats every unprobed partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionProbe {
+    /// Index of the partition, for [`LshEnsemble::query_partition`].
+    pub partition: usize,
+    /// The partition's upper domain-size bound (its `u`).
+    pub upper: usize,
+    /// Upper bound on the containment `|Q ∩ X| / |Q|` of any domain `X`
+    /// stored in this partition: `min(1, upper / query_size)`. Exact-
+    /// verification scores can never exceed it, which is what makes
+    /// early termination sound.
+    pub max_containment: f64,
+}
+
 impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
     /// Candidate keys whose domains likely contain at least `threshold` of
     /// the query set. Candidates are *probabilistic* — callers verify exact
@@ -234,10 +255,8 @@ impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
     pub fn query(&self, sig: &Signature, query_size: usize, threshold: f64) -> Vec<K> {
         assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
         let mut hits = HashSet::new();
-        for p in &self.partitions {
-            let j = containment_to_jaccard(threshold, query_size, p.upper);
-            let (b, r) = optimal_params_restricted(j, self.num_perm, &self.allowed_r);
-            p.query(sig, b, r, &mut hits);
+        for idx in 0..self.partitions.len() {
+            self.probe_partition_into(idx, sig, query_size, threshold, &mut hits);
         }
         if !self.tombstones.is_empty() {
             hits.retain(|k| !self.tombstones.contains(k));
@@ -245,6 +264,77 @@ impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
         let mut out: Vec<K> = hits.into_iter().collect();
         out.sort();
         out
+    }
+
+    /// The query-time probe schedule for a query of `query_size` distinct
+    /// tokens: every partition with its containment upper bound, ordered
+    /// best-bound-first (ties broken by partition index, so the schedule is
+    /// deterministic).
+    ///
+    /// Probing in this order lets a top-k scheduler stop as soon as its
+    /// k-th best *verified* score is provably unbeatable by any unprobed
+    /// partition — the candidate-cap lever that turns a probe-all scan into
+    /// a budgeted search. Probing all scheduled partitions (and filtering
+    /// tombstones) is exactly equivalent to [`LshEnsemble::query`].
+    pub fn probe_plan(&self, query_size: usize) -> Vec<PartitionProbe> {
+        let q = query_size.max(1) as f64;
+        let mut plan: Vec<PartitionProbe> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(partition, p)| PartitionProbe {
+                partition,
+                upper: p.upper,
+                max_containment: (p.upper as f64 / q).min(1.0),
+            })
+            .collect();
+        plan.sort_by(|a, b| {
+            b.max_containment
+                .total_cmp(&a.max_containment)
+                .then(a.partition.cmp(&b.partition))
+        });
+        plan
+    }
+
+    /// Probe a single partition (by [`PartitionProbe::partition`] index)
+    /// and return its candidate keys, tombstone-filtered and sorted for
+    /// determinism. The `(b, r)` banding parameters are chosen exactly as
+    /// [`LshEnsemble::query`] chooses them for this partition, so the union
+    /// of all partitions' candidates equals the probe-all result.
+    pub fn query_partition(
+        &self,
+        partition: usize,
+        sig: &Signature,
+        query_size: usize,
+        threshold: f64,
+    ) -> Vec<K> {
+        assert_eq!(sig.len(), self.num_perm, "signature length mismatch");
+        let mut hits = HashSet::new();
+        self.probe_partition_into(partition, sig, query_size, threshold, &mut hits);
+        if !self.tombstones.is_empty() {
+            hits.retain(|k| !self.tombstones.contains(k));
+        }
+        let mut out: Vec<K> = hits.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Shared per-partition probe: threshold → per-partition Jaccard via
+    /// the partition's upper bound, then the optimal materialized `(b, r)`.
+    fn probe_partition_into(
+        &self,
+        partition: usize,
+        sig: &Signature,
+        query_size: usize,
+        threshold: f64,
+        hits: &mut HashSet<K>,
+    ) {
+        let Some(p) = self.partitions.get(partition) else {
+            return;
+        };
+        let j = containment_to_jaccard(threshold, query_size, p.upper);
+        let (b, r) = optimal_params_restricted(j, self.num_perm, &self.allowed_r);
+        p.query(sig, b, r, hits);
     }
 
     /// Insert (or replace) a domain in the live index. The entry lands in
@@ -603,6 +693,66 @@ mod tests {
             hits.iter().any(|h| h == "half"),
             "the replacement (now a full superset) should be found: {hits:?}"
         );
+    }
+
+    #[test]
+    fn probe_plan_covers_every_partition_best_bound_first() {
+        let (index, _) = build_demo();
+        let plan = index.probe_plan(50);
+        assert_eq!(plan.len(), index.partition_count());
+        // Every partition appears exactly once.
+        let mut seen: Vec<usize> = plan.iter().map(|p| p.partition).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..index.partition_count()).collect::<Vec<_>>());
+        // Bounds are descending and consistent with min(1, upper/q).
+        for w in plan.windows(2) {
+            assert!(w[0].max_containment >= w[1].max_containment, "{plan:?}");
+        }
+        for p in &plan {
+            let expect = (p.upper as f64 / 50.0).min(1.0);
+            assert!((p.max_containment - expect).abs() < 1e-12, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn partitionwise_probing_equals_probe_all_query() {
+        let (mut index, hasher) = build_demo();
+        index.set_rebalance_threshold(f64::INFINITY);
+        // Add churn so tombstone filtering is exercised on both paths.
+        index.remove(&"noise3".to_string());
+        let fresh = toks("q", 0..50)
+            .into_iter()
+            .chain(toks("fp", 0..90))
+            .collect::<Vec<_>>();
+        index.insert(
+            "churned".to_string(),
+            fresh.len(),
+            hasher.signature(fresh.iter().map(String::as_str)),
+        );
+        let q = toks("q", 0..50);
+        let sig = hasher.signature(q.iter().map(String::as_str));
+        for threshold in [0.3, 0.5, 0.8] {
+            let mut union: Vec<String> = index
+                .probe_plan(q.len())
+                .iter()
+                .flat_map(|p| index.query_partition(p.partition, &sig, q.len(), threshold))
+                .collect();
+            union.sort();
+            union.dedup();
+            assert_eq!(
+                union,
+                index.query(&sig, q.len(), threshold),
+                "partitionwise union diverged at threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_partition_out_of_range_is_empty() {
+        let (index, hasher) = build_demo();
+        let q = toks("q", 0..10);
+        let sig = hasher.signature(q.iter().map(String::as_str));
+        assert!(index.query_partition(999, &sig, q.len(), 0.5).is_empty());
     }
 
     #[test]

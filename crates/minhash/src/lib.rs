@@ -20,12 +20,14 @@
 //!   and false-negative probability integrals — the same construction as the
 //!   paper's optimal-parameter tuning.
 
+#![deny(missing_docs)]
+
 mod ensemble;
 mod hasher;
 mod lsh;
 mod params;
 
-pub use ensemble::{LshEnsemble, LshEnsembleBuilder};
+pub use ensemble::{LshEnsemble, LshEnsembleBuilder, PartitionProbe, DEFAULT_REBALANCE_THRESHOLD};
 pub use hasher::{MinHasher, Signature};
 pub use lsh::LshIndex;
 pub use params::{containment_to_jaccard, optimal_params, optimal_params_restricted};

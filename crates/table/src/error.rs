@@ -1,3 +1,5 @@
+//! Error type shared by the table substrate.
+
 use std::fmt;
 
 /// Errors produced by the table substrate.
@@ -5,24 +7,58 @@ use std::fmt;
 pub enum TableError {
     /// A row had a different arity than the table schema.
     ArityMismatch {
+        /// Table being constructed or mutated.
         table: String,
+        /// The schema's column count.
         expected: usize,
+        /// The offending row's cell count.
         got: usize,
     },
     /// A column name was referenced that the schema does not contain.
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        /// Table that was probed.
+        table: String,
+        /// The unresolved column name.
+        column: String,
+    },
     /// Two columns in one schema share a name.
-    DuplicateColumn { table: String, column: String },
+    DuplicateColumn {
+        /// Table whose schema is ill-formed.
+        table: String,
+        /// The repeated column name.
+        column: String,
+    },
     /// A table name was referenced that the lake does not contain.
-    UnknownTable { table: String },
+    UnknownTable {
+        /// The unresolved table name.
+        table: String,
+    },
     /// A table with this name is already registered in the lake.
-    DuplicateTable { table: String },
+    DuplicateTable {
+        /// The clashing table name.
+        table: String,
+    },
     /// Malformed CSV input.
-    Csv { line: usize, message: String },
+    Csv {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
     /// An I/O failure while reading or writing table files.
-    Io { path: String, message: String },
+    Io {
+        /// Path of the file or directory involved.
+        path: String,
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
     /// A row index out of bounds.
-    RowOutOfBounds { table: String, row: usize },
+    RowOutOfBounds {
+        /// Table that was indexed.
+        table: String,
+        /// The out-of-range row index.
+        row: usize,
+    },
 }
 
 impl fmt::Display for TableError {

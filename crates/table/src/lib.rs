@@ -37,6 +37,8 @@
 //! assert_eq!(t.column_index("city"), Some(1));
 //! ```
 
+#![deny(missing_docs)]
+
 mod csv;
 mod error;
 pub mod fixtures;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Verify that relative markdown links in the top-level docs resolve to
+# real files/directories. External (scheme-prefixed) links and pure
+# in-page anchors are skipped. Exits non-zero listing every broken link.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=(README.md ARCHITECTURE.md ROADMAP.md vendor/README.md)
+status=0
+
+for file in "${files[@]}"; do
+    [ -f "$file" ] || { echo "missing doc file: $file"; status=1; continue; }
+    dir=$(dirname "$file")
+    # Extract inline markdown link targets: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;  # external
+            '#'*) continue ;;                          # in-page anchor
+        esac
+        # Strip a trailing in-page anchor from relative links.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$file: broken relative link -> $target"
+            status=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "all relative doc links resolve"
+fi
+exit "$status"
