@@ -41,6 +41,14 @@ fn main() {
         pearson_columns(out, rate, death).unwrap()
     );
 
+    section("Discovery telemetry");
+    let telemetry = pipeline
+        .telemetry()
+        .expect("demo pipeline maintains an index");
+    println!("{}", telemetry.summary());
+    assert_eq!(telemetry.topk.queries, 1, "one budgeted run recorded");
+    assert_eq!(telemetry.santos.queries, 1);
+
     section("Verification");
     let ok = out.same_content(&demo::fig3_expected());
     println!(

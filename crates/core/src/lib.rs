@@ -30,5 +30,8 @@ pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineRun};
 // Re-export the stage traits so downstream users need only this crate.
 pub use dialite_align::{Alignment, HolisticMatcher};
 pub use dialite_analyze::{EntityResolver, GroupBy};
-pub use dialite_discovery::{Discovered, Discovery, QueryBudget, TableQuery, TopKPlanner};
+pub use dialite_discovery::{
+    Discovered, Discovery, DiscoveryBudget, DiscoveryTelemetry, QueryBudget, TableQuery,
+    TopKPlanner,
+};
 pub use dialite_integrate::{IntegratedTable, Integrator};

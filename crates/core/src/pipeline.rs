@@ -5,8 +5,8 @@ use std::sync::{Arc, RwLock};
 
 use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
 use dialite_discovery::{
-    union_integration_set, Discovered, Discovery, LakeIndex, LakeIndexConfig, QueryBudget,
-    TableQuery,
+    top_k_discovered, union_integration_set, Discovered, Discovery, DiscoveryBudget,
+    DiscoveryTelemetry, LakeIndex, LakeIndexConfig, QueryBudget, TableQuery,
 };
 use dialite_integrate::{
     AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
@@ -57,7 +57,16 @@ impl From<TableError> for PipelineError {
 /// "interact with the system after each step so that they can validate the
 /// intermediate results" (§2.4), so every intermediate is kept.
 pub struct PipelineRun {
-    /// Per-engine discovery results.
+    /// Per-engine discovery results, under the pipeline's **one ordering
+    /// rule**: engines appear in registration order (indexed engines
+    /// first — `santos`, then `lsh-ensemble` — followed by plain engines
+    /// in builder order), and every engine's hit list is ranked by
+    /// [`top_k_discovered`] (descending score, NaN last, ties broken by
+    /// table name) and truncated to the pipeline's `top_k`. Merged views
+    /// ([`Pipeline::discover_top_k`]) fold the per-engine lists they span
+    /// (the planned joinable leg plus the plain engines) through a
+    /// best-score union (NaN propagates, never fabricated) and re-rank
+    /// with the same rule, so the two orderings can never drift apart.
     pub discovered: Vec<(String, Vec<Discovered>)>,
     /// The integration set: the query table first, then discovered tables.
     pub integration_set: Vec<Arc<Table>>,
@@ -147,6 +156,7 @@ pub struct Pipeline {
     integrator: Box<dyn Integrator>,
     alternatives: Vec<Box<dyn Integrator>>,
     top_k: usize,
+    budget: DiscoveryBudget,
 }
 
 /// Builder for [`Pipeline`].
@@ -157,6 +167,7 @@ pub struct PipelineBuilder {
     integrator: Box<dyn Integrator>,
     alternatives: Vec<Box<dyn Integrator>>,
     top_k: usize,
+    budget: DiscoveryBudget,
 }
 
 impl Default for PipelineBuilder {
@@ -168,6 +179,7 @@ impl Default for PipelineBuilder {
             integrator: Box::new(AliteFd::default()),
             alternatives: Vec::new(),
             top_k: 5,
+            budget: DiscoveryBudget::default(),
         }
     }
 }
@@ -218,6 +230,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Work limits of the indexed discovery stage: the joinable leg's
+    /// per-query [`QueryBudget`] and the SANTOS candidate cap. The default
+    /// is generous but finite; [`DiscoveryBudget::unlimited`] reproduces
+    /// the legacy probe-all stage exactly. Plain engines added via
+    /// [`PipelineBuilder::discovery`] are not plannable and ignore the
+    /// budget.
+    pub fn discovery_budget(mut self, budget: DiscoveryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Finalize.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -227,6 +250,7 @@ impl PipelineBuilder {
             integrator: self.integrator,
             alternatives: self.alternatives,
             top_k: self.top_k,
+            budget: self.budget,
         }
     }
 }
@@ -240,6 +264,57 @@ impl Pipeline {
     /// Adjust the per-engine result count after construction.
     pub fn set_top_k(&mut self, k: usize) {
         self.top_k = k;
+    }
+
+    /// Adjust the discovery-stage budget after construction.
+    pub fn set_discovery_budget(&mut self, budget: DiscoveryBudget) {
+        self.budget = budget;
+    }
+
+    /// The discovery-stage budget [`Pipeline::run`] applies.
+    pub fn discovery_budget(&self) -> DiscoveryBudget {
+        self.budget
+    }
+
+    /// A snapshot of the rolling [`DiscoveryTelemetry`] the maintained
+    /// index has accumulated across budgeted discovery calls — cache hit
+    /// rate, partitions pruned, verification counts, budget-exhaustion
+    /// rate and per-engine latency buckets. `None` when the pipeline has
+    /// no indexed discovery or the index has not been built yet (no run
+    /// has touched it).
+    ///
+    /// ```
+    /// use dialite_core::{demo, Pipeline};
+    /// use dialite_discovery::TableQuery;
+    ///
+    /// let lake = demo::covid_lake();
+    /// let pipeline = Pipeline::demo_default(&lake);
+    /// let query = TableQuery::with_column(demo::fig2_query(), 1);
+    /// pipeline.run(&lake, &query).unwrap();
+    ///
+    /// let telemetry = pipeline.telemetry().expect("indexed pipeline");
+    /// assert_eq!(telemetry.topk.queries, 1);
+    /// assert_eq!(telemetry.santos.queries, 1);
+    /// println!("{}", telemetry.summary());
+    /// ```
+    pub fn telemetry(&self) -> Option<DiscoveryTelemetry> {
+        let guard = self
+            .indexed
+            .as_ref()?
+            .read()
+            .expect("indexed discovery lock");
+        guard.index.as_ref().map(LakeIndex::telemetry)
+    }
+
+    /// Zero the maintained index's telemetry window (no-op when no index
+    /// exists yet).
+    pub fn reset_telemetry(&self) {
+        if let Some(indexed) = &self.indexed {
+            let guard = indexed.read().expect("indexed discovery lock");
+            if let Some(index) = guard.index.as_ref() {
+                index.reset_telemetry();
+            }
+        }
     }
 
     /// The paper's demo configuration over a given lake: a maintained
@@ -308,13 +383,18 @@ impl Pipeline {
             }
         }
         for engine in &self.discoveries {
-            merged.extend(engine.discover(query, k));
+            // The same sanitation `run` applies: rank + truncate each
+            // engine's list before merging, so a table only a plain
+            // engine's k+1-th slot would surface cannot appear here while
+            // being absent from `run`'s integration set (the one-ordering
+            // rule on [`PipelineRun::discovered`]).
+            merged.extend(top_k_discovered(engine.discover(query, k), k));
         }
         // NaN-safe best-score union: degenerate engine scores propagate
         // as-is (ranked last) instead of becoming fabricated `-inf`s.
         let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
         dialite_discovery::merge_best_scores(&mut best, merged);
-        dialite_discovery::top_k_discovered(
+        top_k_discovered(
             best.into_iter()
                 .map(|(table, score)| Discovered { table, score })
                 .collect(),
@@ -322,18 +402,27 @@ impl Pipeline {
         )
     }
 
-    /// Run the full pipeline: discover an integration set for the query,
-    /// align it, integrate it (plus alternatives).
-    pub fn run(&self, lake: &DataLake, query: &TableQuery) -> Result<PipelineRun, PipelineError> {
-        // Discover. The maintained index (if configured) first catches up
-        // with any lake churn since the previous run.
+    /// The discovery stage exactly as [`Pipeline::run`] executes it: the
+    /// maintained index (caught up with lake churn, queried under the
+    /// configured [`DiscoveryBudget`] through the planner and the capped
+    /// SANTOS retrieval) followed by the plain engines, every hit list
+    /// under the one ordering rule of [`PipelineRun::discovered`].
+    /// Exposed so benchmarks and oracle tests can race the stage without
+    /// paying for alignment and integration.
+    pub fn discover_stage(
+        &self,
+        lake: &DataLake,
+        query: &TableQuery,
+    ) -> Vec<(String, Vec<Discovered>)> {
         let mut discovered = Vec::with_capacity(self.discoveries.len() + 2);
         if let Some(indexed) = &self.indexed {
             // Fast path: the index already matches the lake → query under
             // the shared read guard, so concurrent runs stay parallel.
             let guard = indexed.read().expect("indexed discovery lock");
             match guard.current(lake) {
-                Some(index) => discovered.extend(index.discover_all(query, self.top_k)),
+                Some(index) => {
+                    discovered.extend(index.discover_all_budgeted(query, self.top_k, &self.budget))
+                }
                 None => {
                     drop(guard);
                     // Slow path after churn: take the write guard, catch
@@ -341,16 +430,30 @@ impl Pipeline {
                     // ensure_current then no-ops) and query under it.
                     let mut guard = indexed.write().expect("indexed discovery lock");
                     let index = guard.ensure_current(lake);
-                    discovered.extend(index.discover_all(query, self.top_k));
+                    discovered.extend(index.discover_all_budgeted(query, self.top_k, &self.budget));
                 }
             }
         }
         for engine in &self.discoveries {
+            // Plain engines are trusted for *scores*, not for shape: the
+            // ordering rule re-ranks (NaN-last, name tie-breaks) and
+            // truncates, so a misbehaving engine cannot leak an unsorted
+            // or over-long list into the report or the integration set.
             discovered.push((
                 engine.name().to_string(),
-                engine.discover(query, self.top_k),
+                top_k_discovered(engine.discover(query, self.top_k), self.top_k),
             ));
         }
+        discovered
+    }
+
+    /// Run the full pipeline: discover an integration set for the query,
+    /// align it, integrate it (plus alternatives).
+    pub fn run(&self, lake: &DataLake, query: &TableQuery) -> Result<PipelineRun, PipelineError> {
+        // Discover. The maintained index (if configured) first catches up
+        // with any lake churn since the previous run; its joinable leg is
+        // planner-routed and its SANTOS leg capped per `self.budget`.
+        let discovered = self.discover_stage(lake, query);
         let results: Vec<Vec<Discovered>> =
             discovered.iter().map(|(_, hits)| hits.clone()).collect();
         let names = union_integration_set(&results);
@@ -636,6 +739,162 @@ mod tests {
             Err(PipelineError::EmptyIntegrationSet) | Ok(_) => {}
             Err(other) => panic!("unexpected error: {other}"),
         }
+    }
+
+    /// A deliberately misbehaving plain engine: ignores `k`, returns an
+    /// unsorted list with a NaN score — the shape the one-ordering rule
+    /// must sanitize identically in `run` and `discover_top_k`.
+    struct MessyEngine;
+
+    impl Discovery for MessyEngine {
+        fn name(&self) -> &str {
+            "messy"
+        }
+
+        fn discover(&self, _query: &TableQuery, _k: usize) -> Vec<Discovered> {
+            vec![
+                Discovered {
+                    table: "animals".into(),
+                    score: f64::NAN,
+                },
+                Discovered {
+                    table: "gdp".into(),
+                    score: 0.1,
+                },
+                Discovered {
+                    table: "T3".into(),
+                    score: 0.9,
+                },
+                Discovered {
+                    table: "T2".into(),
+                    score: 0.05,
+                },
+            ]
+        }
+    }
+
+    fn hybrid_messy_pipeline(k: usize) -> Pipeline {
+        Pipeline::builder()
+            .indexed_discovery(
+                Arc::new(covid_kb()),
+                dialite_discovery::LakeIndexConfig::default(),
+            )
+            .discovery(Box::new(MessyEngine))
+            .top_k(k)
+            .build()
+    }
+
+    #[test]
+    fn hybrid_pipeline_orderings_follow_one_rule() {
+        // Regression for the run-vs-discover_top_k ordering drift: both
+        // paths must rank and truncate a plain engine's raw output with
+        // the same NaN-last, name-tie-broken rule before using it.
+        let lake = demo::covid_lake();
+        let pipeline = hybrid_messy_pipeline(2);
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+
+        let run = pipeline.run(&lake, &query).unwrap();
+        // Engine registration order: indexed legs first, then plain.
+        let engines: Vec<&str> = run.discovered.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(engines, vec!["santos", "lsh-ensemble", "messy"]);
+        // The messy list is re-ranked and truncated to top_k: the NaN and
+        // the over-long tail are gone, scores descend.
+        let messy = &run.discovered[2].1;
+        assert_eq!(
+            messy,
+            &vec![
+                Discovered {
+                    table: "T3".into(),
+                    score: 0.9
+                },
+                Discovered {
+                    table: "gdp".into(),
+                    score: 0.1
+                },
+            ]
+        );
+        // The engine's k+1-th slot (T2 at 0.05) must not leak into the
+        // integration set through the raw list either.
+        let set: Vec<&str> = run.integration_set.iter().map(|t| t.name()).collect();
+        assert!(!set.contains(&"animals"), "NaN row leaked: {set:?}");
+
+        // discover_top_k applies the identical sanitation: at k=2 the
+        // messy tail cannot surface a table `run` would not.
+        let hits = pipeline.discover_top_k(&lake, &query, 2, &QueryBudget::unlimited());
+        assert_eq!(hits.len(), 2);
+        assert!(
+            hits.iter().all(|d| d.table != "T2" && d.table != "animals"),
+            "sanitized tail leaked into the merged view: {hits:?}"
+        );
+        // Determinism: repeat calls agree exactly.
+        assert_eq!(
+            hits,
+            pipeline.discover_top_k(&lake, &query, 2, &QueryBudget::unlimited())
+        );
+    }
+
+    #[test]
+    fn hybrid_merge_propagates_nan_without_outranking_real_scores() {
+        let lake = demo::covid_lake();
+        let pipeline = hybrid_messy_pipeline(10);
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        let hits = pipeline.discover_top_k(&lake, &query, 10, &QueryBudget::unlimited());
+        let animals = hits.iter().find(|d| d.table == "animals");
+        match animals {
+            Some(d) => {
+                assert!(d.score.is_nan(), "NaN must propagate verbatim: {d:?}");
+                assert_eq!(
+                    hits.last().unwrap().table,
+                    "animals",
+                    "NaN ranks below every real score: {hits:?}"
+                );
+            }
+            None => panic!("NaN-scored table dropped instead of propagated: {hits:?}"),
+        }
+    }
+
+    #[test]
+    fn default_budget_equals_unlimited_on_the_demo_lake() {
+        // The default budget is generous: on a small lake it must not
+        // change a single byte of the discovery stage.
+        let lake = demo::covid_lake();
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        let defaulted = Pipeline::demo_default(&lake);
+        assert_eq!(defaulted.discovery_budget(), DiscoveryBudget::default());
+        let mut unlimited = Pipeline::demo_default(&lake);
+        unlimited.set_discovery_budget(DiscoveryBudget::unlimited());
+        assert_eq!(
+            defaulted.discover_stage(&lake, &query),
+            unlimited.discover_stage(&lake, &query),
+        );
+    }
+
+    #[test]
+    fn telemetry_accumulates_across_runs_and_resets() {
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::demo_default(&lake);
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        assert_eq!(
+            pipeline.telemetry().expect("index built eagerly"),
+            DiscoveryTelemetry::default(),
+            "no queries recorded yet"
+        );
+
+        pipeline.run(&lake, &query).unwrap();
+        pipeline.run(&lake, &query).unwrap();
+        pipeline.discover_top_k(&lake, &query, 3, &QueryBudget::unlimited());
+        let t = pipeline.telemetry().unwrap();
+        assert_eq!(t.topk.queries, 3, "2 runs + 1 interactive top-k");
+        assert_eq!(t.santos.queries, 2, "santos leg runs only in run()");
+        assert_eq!(t.joinable_latency.samples, 3);
+
+        pipeline.reset_telemetry();
+        assert_eq!(pipeline.telemetry().unwrap(), DiscoveryTelemetry::default());
+
+        // A pipeline without indexed discovery has nothing to report.
+        let plain = Pipeline::builder().build();
+        assert!(plain.telemetry().is_none());
+        plain.reset_telemetry(); // and resetting it is a no-op, not a panic
     }
 
     #[test]

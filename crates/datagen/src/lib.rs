@@ -27,4 +27,4 @@ pub mod workloads;
 
 pub use lake::{GroundTruth, LakeSpec, SyntheticLake};
 pub use synth::TableSynth;
-pub use workloads::{ChurnOp, ChurnTrace, ChurnWorkload};
+pub use workloads::{ChurnOp, ChurnTrace, ChurnWorkload, SantosTrace, SantosWorkload};

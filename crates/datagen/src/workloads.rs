@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use dialite_kb::{KbBuilder, KnowledgeBase};
 use dialite_table::{DataLake, Table, Value};
 
 /// Parameters of the FD scaling workload (experiment E6).
@@ -455,6 +456,180 @@ impl TopKWorkload {
     }
 }
 
+/// Parameters of the **type-dense SANTOS workload**: a lake whose column
+/// values are drawn from a small roster of semantic types, so the SANTOS
+/// type inverted index is *dense* — every type's posting list spans a
+/// large fraction of the lake, and a typed query retrieves most tables as
+/// candidates. This is the regime where unbounded type-index retrieval
+/// degenerates into a full scan (the motivation for the candidate cap):
+/// open-data lakes reuse the same handful of entity vocabularies
+/// (places, agencies, dates) across hundreds of thousands of tables.
+///
+/// Each table draws an (unordered) tuple of `cols_per_table` distinct
+/// types and fills each column from that type's entity pool, diluted by a
+/// per-table unknown-token noise rate in `[0, max_noise]` — so annotation
+/// confidences (and therefore candidate scores) vary continuously and
+/// bound-ranked retrieval has a real ordering to exploit. Queries copy a
+/// random lake table's type tuple with clean (noise-free) columns, so
+/// every query has full-tuple strong matches, a band of partial-overlap
+/// candidates, and a long tail of single-type near-misses.
+#[derive(Debug, Clone)]
+pub struct SantosWorkload {
+    /// Lake tables.
+    pub tables: usize,
+    /// Distinct semantic types in the synthesized KB. Density rises as
+    /// this shrinks relative to `tables * cols_per_table`.
+    pub types: usize,
+    /// Entity tokens per type pool.
+    pub entities_per_type: usize,
+    /// Typed columns per table (and per query).
+    pub cols_per_table: usize,
+    /// Rows per table.
+    pub rows_per_table: usize,
+    /// Upper bound of the per-table unknown-token rate. Keep it below
+    /// ~0.5 so every column stays confidently annotated.
+    pub max_noise: f64,
+    /// Query tables to generate.
+    pub queries: usize,
+    /// Rows per query table.
+    pub query_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SantosWorkload {
+    fn default() -> Self {
+        SantosWorkload {
+            tables: 800,
+            types: 8,
+            entities_per_type: 64,
+            cols_per_table: 3,
+            rows_per_table: 16,
+            max_noise: 0.3,
+            queries: 6,
+            query_rows: 12,
+            seed: 31,
+        }
+    }
+}
+
+/// A generated type-dense lake, its synthesized KB, and typed queries.
+#[derive(Debug, Clone)]
+pub struct SantosTrace {
+    /// The lake tables.
+    pub tables: Vec<Table>,
+    /// Query tables (typed columns, intent column 0); query `i` reuses the
+    /// type tuple of lake table `i * tables / queries`.
+    pub queries: Vec<Table>,
+    /// The KB typing every entity pool (one leaf type per entity).
+    pub kb: KnowledgeBase,
+}
+
+impl SantosWorkload {
+    fn entity(&self, ty: usize, i: usize) -> String {
+        format!("ent{ty}x{i}")
+    }
+
+    /// Draw one typed column: `rows` tokens from the type's pool, with
+    /// `noise` of them replaced by KB-unknown junk.
+    fn column(
+        &self,
+        rng: &mut StdRng,
+        ty: usize,
+        rows: usize,
+        noise: f64,
+        junk_tag: &str,
+    ) -> Vec<Value> {
+        let pool = self.entities_per_type.max(1);
+        (0..rows)
+            .map(|i| {
+                if rng.gen_bool(noise) {
+                    Value::Text(format!("junk_{junk_tag}_{i}"))
+                } else {
+                    Value::Text(self.entity(ty, rng.gen_range(0..pool)))
+                }
+            })
+            .collect()
+    }
+
+    fn typed_table(
+        &self,
+        rng: &mut StdRng,
+        name: &str,
+        tuple: &[usize],
+        rows: usize,
+        noise: f64,
+    ) -> Table {
+        let cols: Vec<String> = (0..tuple.len()).map(|c| format!("c{c}")).collect();
+        let columns: Vec<Vec<Value>> = tuple
+            .iter()
+            .enumerate()
+            .map(|(c, &ty)| self.column(rng, ty, rows, noise, &format!("{name}_{c}")))
+            .collect();
+        let row_data: Vec<Vec<Value>> = (0..rows)
+            .map(|r| columns.iter().map(|col| col[r].clone()).collect())
+            .collect();
+        Table::from_rows(name, &cols, row_data).expect("fixed arity")
+    }
+
+    /// Generate the KB, lake and queries. Same spec + seed → identical
+    /// output. Degenerate specs are clamped (at least one table, one type,
+    /// one column) rather than panicking.
+    pub fn generate(&self) -> SantosTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let types = self.types.max(1);
+        let cols = self.cols_per_table.clamp(1, types);
+        let tables_n = self.tables.max(1);
+
+        let mut kb = KbBuilder::new();
+        for ty in 0..types {
+            kb.add_type(&format!("stype{ty}"), None);
+        }
+        for ty in 0..types {
+            for i in 0..self.entities_per_type.max(1) {
+                kb.add_entity(&self.entity(ty, i), &[&format!("stype{ty}")]);
+            }
+        }
+        let kb = kb.build();
+
+        let mut all_types: Vec<usize> = (0..types).collect();
+        let mut tables = Vec::with_capacity(tables_n);
+        let mut tuples: Vec<Vec<usize>> = Vec::with_capacity(tables_n);
+        for r in 0..tables_n {
+            all_types.shuffle(&mut rng);
+            let tuple: Vec<usize> = all_types[..cols].to_vec();
+            let noise = rng.gen_range(0.0..=self.max_noise.clamp(0.0, 0.45));
+            tables.push(self.typed_table(
+                &mut rng,
+                &format!("santos_t{r}"),
+                &tuple,
+                self.rows_per_table.max(1),
+                noise,
+            ));
+            tuples.push(tuple);
+        }
+
+        let mut queries = Vec::with_capacity(self.queries);
+        for qi in 0..self.queries {
+            // Spread query tuples across the lake deterministically so
+            // every query has exact-tuple matches to recall.
+            let source = (qi * tables_n / self.queries.max(1)) % tables_n;
+            queries.push(self.typed_table(
+                &mut rng,
+                &format!("santos_q{qi}"),
+                &tuples[source],
+                self.query_rows.max(1),
+                0.0,
+            ));
+        }
+        SantosTrace {
+            tables,
+            queries,
+            kb,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +793,75 @@ mod tests {
         .generate();
         assert_eq!(tiny.tables.len(), 1);
         assert_eq!(tiny.queries.len(), 1);
+    }
+
+    #[test]
+    fn santos_workload_is_deterministic_and_type_dense() {
+        let w = SantosWorkload {
+            tables: 60,
+            queries: 4,
+            ..SantosWorkload::default()
+        };
+        let a = w.generate();
+        let b = w.generate();
+        assert_eq!(a.tables, b.tables);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.tables.len(), 60);
+        assert_eq!(a.queries.len(), 4);
+
+        // Type density: every type pool must back many tables' columns —
+        // with 8 types over 60 × 3 columns each type covers ~20 tables,
+        // so a typed query retrieves a large candidate fraction.
+        for ty in 0..w.types {
+            let marker = format!("ent{ty}x");
+            let covered = a
+                .tables
+                .iter()
+                .filter(|t| {
+                    (0..t.column_count()).any(|c| {
+                        t.column_token_set(c)
+                            .iter()
+                            .any(|tok| tok.starts_with(&marker))
+                    })
+                })
+                .count();
+            assert!(
+                covered * w.types >= a.tables.len(),
+                "type {ty} covers only {covered}/{} tables",
+                a.tables.len()
+            );
+        }
+
+        // Every query column is dominated by KB-known entities (clean
+        // queries), so annotation confidence is high and the type path —
+        // not the full-scan fallback — is exercised.
+        for q in &a.queries {
+            for c in 0..q.column_count() {
+                let tokens = q.column_token_set(c);
+                assert!(!tokens.is_empty());
+                assert!(
+                    tokens.iter().all(|tok| a.kb.knows(tok)),
+                    "query column {c} of {} holds unknown tokens",
+                    q.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn santos_workload_degenerate_specs_are_clamped() {
+        let trace = SantosWorkload {
+            tables: 0,
+            types: 0,
+            cols_per_table: 5,
+            queries: 1,
+            ..SantosWorkload::default()
+        }
+        .generate();
+        assert_eq!(trace.tables.len(), 1);
+        assert_eq!(trace.queries.len(), 1);
+        // cols clamp to the (clamped) type count.
+        assert_eq!(trace.tables[0].column_count(), 1);
     }
 
     #[test]

@@ -19,14 +19,16 @@
 //! additionally guarantees that domains staged since the last partition
 //! rebalance are exact-scanned, so fresh churn is never a false negative.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use dialite_kb::KnowledgeBase;
 use dialite_table::{DataLake, LakeEvent};
 
 use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 use crate::santos::{SantosConfig, SantosDiscovery};
-use crate::topk::{QueryBudget, TopKPlanner};
+use crate::telemetry::DiscoveryTelemetry;
+use crate::topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats};
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of both wrapped engines.
@@ -69,6 +71,10 @@ pub struct LakeIndex {
     /// signature cache, which stays warm across syncs and even rebuilds
     /// (cache entries are content-addressed, not version-addressed).
     planner: TopKPlanner,
+    /// Rolling aggregate of what budgeted queries actually did. `Mutex`
+    /// because queries run under `&self` (possibly from many threads);
+    /// the critical section is a handful of counter adds.
+    telemetry: Mutex<DiscoveryTelemetry>,
     /// Lake version the engines reflect.
     synced: u64,
 }
@@ -80,6 +86,7 @@ impl LakeIndex {
             santos: SantosDiscovery::build(lake, kb.clone(), config.santos.clone()),
             lshe: LshEnsembleDiscovery::build(lake, config.lshe.clone()),
             planner: TopKPlanner::new(),
+            telemetry: Mutex::new(DiscoveryTelemetry::default()),
             kb,
             config,
             synced: lake.version(),
@@ -107,12 +114,16 @@ impl LakeIndex {
             return;
         }
         let Some(events) = lake.events_since(self.synced) else {
-            // Full rebuild — but carry the planner across: its cached
+            // Full rebuild — but carry the planner across (its cached
             // signatures are keyed on content + hash-family identity, so
-            // they stay valid for the rebuilt engine (same config).
+            // they stay valid for the rebuilt engine — same config) and
+            // the telemetry window (a rebuild is maintenance, not a
+            // reason to lose the observation history).
             let planner = std::mem::take(&mut self.planner);
+            let telemetry = std::mem::take(self.telemetry.get_mut().expect("telemetry lock"));
             *self = LakeIndex::build(lake, self.kb.clone(), self.config.clone());
             self.planner = planner;
+            *self.telemetry.get_mut().expect("telemetry lock") = telemetry;
             return;
         };
         for (_, event) in events {
@@ -135,6 +146,12 @@ impl LakeIndex {
 
     /// Per-engine discovery results, in the pipeline's engine order —
     /// the same shape `Pipeline` reports for independently built engines.
+    ///
+    /// This is the legacy **probe-all** stage: no planner, no caps, no
+    /// telemetry. It survives as the equivalence oracle the budgeted path
+    /// is pinned against (`crates/core/tests/pipeline_oracle.rs`);
+    /// production callers go through
+    /// [`LakeIndex::discover_all_budgeted`].
     pub fn discover_all(&self, query: &TableQuery, k: usize) -> Vec<(String, Vec<Discovered>)> {
         vec![
             (
@@ -143,6 +160,52 @@ impl LakeIndex {
             ),
             (self.lshe.name().to_string(), self.lshe.discover(query, k)),
         ]
+    }
+
+    /// The budgeted discovery stage: the SANTOS leg under the budget's
+    /// candidate cap, the joinable leg through the [`TopKPlanner`] under
+    /// the budget's [`QueryBudget`] — same per-engine shape and order as
+    /// [`LakeIndex::discover_all`], and byte-identical output to it under
+    /// [`DiscoveryBudget::unlimited`]. Every call folds its per-query
+    /// stats and latency into the index's [`DiscoveryTelemetry`].
+    pub fn discover_all_budgeted(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &DiscoveryBudget,
+    ) -> Vec<(String, Vec<Discovered>)> {
+        let santos_t0 = Instant::now();
+        let (santos_hits, santos_stats) =
+            self.santos
+                .discover_capped(query, k, budget.santos_candidates);
+        let santos_elapsed = santos_t0.elapsed();
+        let join_t0 = Instant::now();
+        let (join_hits, join_stats) =
+            self.planner
+                .discover_top_k_with_stats(&self.lshe, query, k, &budget.joinable);
+        let join_elapsed = join_t0.elapsed();
+        {
+            let mut telemetry = self.telemetry.lock().expect("telemetry lock");
+            telemetry.record_santos(&santos_stats, santos_elapsed);
+            telemetry.record_topk(&join_stats, join_elapsed);
+        }
+        vec![
+            (self.santos.name().to_string(), santos_hits),
+            (self.lshe.name().to_string(), join_hits),
+        ]
+    }
+
+    /// A snapshot of the rolling [`DiscoveryTelemetry`] this index has
+    /// accumulated across budgeted queries (it survives syncs and even
+    /// full rebuilds). Pair with [`LakeIndex::reset_telemetry`] for
+    /// non-overlapping scrape windows.
+    pub fn telemetry(&self) -> DiscoveryTelemetry {
+        self.telemetry.lock().expect("telemetry lock").clone()
+    }
+
+    /// Zero the rolling telemetry window.
+    pub fn reset_telemetry(&self) {
+        self.telemetry.lock().expect("telemetry lock").reset();
     }
 
     /// Budgeted top-k joinable search over the LSH engine, planned by the
@@ -169,7 +232,27 @@ impl LakeIndex {
         k: usize,
         budget: &QueryBudget,
     ) -> Vec<Discovered> {
-        self.planner.discover_top_k(&self.lshe, query, k, budget)
+        self.discover_top_k_with_stats(query, k, budget).0
+    }
+
+    /// [`LakeIndex::discover_top_k`] plus the per-query [`TopKStats`].
+    /// Like every budgeted entry point, the stats (and the measured
+    /// latency) are also folded into the index's rolling telemetry.
+    pub fn discover_top_k_with_stats(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> (Vec<Discovered>, TopKStats) {
+        let t0 = Instant::now();
+        let (hits, stats) = self
+            .planner
+            .discover_top_k_with_stats(&self.lshe, query, k, budget);
+        self.telemetry
+            .lock()
+            .expect("telemetry lock")
+            .record_topk(&stats, t0.elapsed());
+        (hits, stats)
     }
 
     /// The planner (and its signature cache) behind

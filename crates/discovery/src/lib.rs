@@ -40,6 +40,14 @@
 //! and exact token posting lists for verification and small-query
 //! answering. [`LakeIndex::discover_top_k`] exposes it, and with an
 //! unlimited [`QueryBudget`] it returns exactly the probe-all results.
+//!
+//! The whole discovery *stage* is budgeted through [`DiscoveryBudget`]:
+//! [`LakeIndex::discover_all_budgeted`] routes the joinable leg through
+//! the planner and the SANTOS leg through its capped, bound-ranked
+//! candidate retrieval ([`SantosDiscovery::discover_capped`]), and every
+//! budgeted query folds its stats into the index's rolling
+//! [`DiscoveryTelemetry`] (cache hit rate, partitions pruned,
+//! verifications, budget-exhaustion rate, per-engine latency buckets).
 
 #![deny(missing_docs)]
 
@@ -49,6 +57,7 @@ mod lshe;
 mod overlap;
 mod pool;
 mod santos;
+mod telemetry;
 mod topk;
 mod types;
 
@@ -57,8 +66,11 @@ pub use index::{LakeIndex, LakeIndexConfig};
 pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 pub use overlap::ExactOverlapDiscovery;
 pub use pool::{StringPool, POOL_ID_DROPPED};
-pub use santos::{SantosConfig, SantosDiscovery};
-pub use topk::{QueryBudget, TopKPlanner, TopKStats, DEFAULT_SIGNATURE_CACHE};
+pub use santos::{SantosConfig, SantosDiscovery, SantosStats};
+pub use telemetry::{
+    DiscoveryTelemetry, LatencyHistogram, SantosCounters, TopKCounters, LATENCY_BUCKET_BOUNDS_US,
+};
+pub use topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats, DEFAULT_SIGNATURE_CACHE};
 pub use types::{
     merge_best_scores, top_k_discovered, union_integration_set, Discovered, Discovery, TableQuery,
 };

@@ -70,6 +70,31 @@ struct TableSemantics {
     /// `(col_a, col_b) → (relation, direction, confidence)` for the top
     /// relationship of each ordered pair (a < b).
     pairs: HashMap<(usize, usize), (RelationId, Direction, f64)>,
+    /// `true` when any column carries no annotation above the confidence
+    /// floor. Such a column scores through the synthesized value-overlap
+    /// signal against *typed* query columns too, so the capped-retrieval
+    /// upper bound must keep the `synth_weight` ceiling open for it.
+    has_untyped_column: bool,
+}
+
+/// What one capped SANTOS query actually did — the observability half of
+/// the candidate-cap contract, returned by
+/// [`SantosDiscovery::discover_capped`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SantosStats {
+    /// Candidate tables surfaced by the type inverted index (or by the
+    /// typeless full scan).
+    pub candidates_retrieved: usize,
+    /// Candidates actually run through the full graph-matching score.
+    pub candidates_scored: usize,
+    /// Candidates skipped because the k-th best verified score provably
+    /// beats their type-overlap upper bound.
+    pub bound_pruned: usize,
+    /// Retrieval stopped at the candidate cap (results are best-effort).
+    pub cap_hit: bool,
+    /// The query carried no usable annotations, so retrieval fell back to
+    /// the uncapped full scan (synthesized signal only).
+    pub full_scan: bool,
 }
 
 /// The SANTOS-style discovery engine. Build once per lake, then either
@@ -230,10 +255,12 @@ fn annotate_table(kb: &KnowledgeBase, table: &Table, config: &SantosConfig) -> T
             }
         }
     }
+    let has_untyped_column = columns.iter().any(|c| c.types.is_empty());
     TableSemantics {
         name: table.name().to_string(),
         columns,
         pairs,
+        has_untyped_column,
     }
 }
 
@@ -258,52 +285,219 @@ impl Discovery for SantosDiscovery {
     }
 
     fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        self.discover_capped(query, k, usize::MAX).0
+    }
+}
+
+/// The k-th best kept score once at least `k` candidates kept; `None`
+/// before that (no pruning is provable yet).
+fn kth_best(kept: &[f64], k: usize) -> Option<f64> {
+    (kept.len() >= k).then(|| kept[k - 1])
+}
+
+/// Insert a score into a descending top-k window (kept sorted, length
+/// capped at `k`).
+fn push_topk(kept: &mut Vec<f64>, score: f64, k: usize) {
+    let pos = kept.partition_point(|s| score_cmp(*s, score) == std::cmp::Ordering::Greater);
+    kept.insert(pos, score);
+    kept.truncate(k);
+}
+
+impl SantosDiscovery {
+    /// [`Discovery::discover`] with a **candidate cap**: under any finite
+    /// `cap`, type-inverted-index candidates are ranked by a cheap
+    /// per-table *type-overlap upper bound* on the full graph-matching
+    /// score and scored best-bound-first; retrieval stops once `cap`
+    /// candidates are scored, or earlier when the k-th best kept score
+    /// provably (strictly) beats every remaining bound. Any finite
+    /// `cap >= lake size` therefore equals the exhaustive output exactly —
+    /// tables the bound prunes can never enter the top-k, and score ties
+    /// are still scored so name tie-breaking is preserved — pinned against
+    /// the exhaustive oracle by `tests/santos_cap_recall.rs`.
+    ///
+    /// `cap == usize::MAX` is the **exhaustive oracle path**: every
+    /// retrieved candidate is scored with no ranking or pruning, exactly
+    /// the pre-cap engine (and what [`Discovery::discover`] runs) — the
+    /// baseline the capped path's equality and recall are measured
+    /// against.
+    ///
+    /// Queries with no usable annotations keep the full-scan fallback
+    /// (synthesized signal only): there is no type signal to rank or bound
+    /// by, so tiny/typeless lakes stay exact and uncapped.
+    pub fn discover_capped(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        cap: usize,
+    ) -> (Vec<Discovered>, SantosStats) {
+        let mut stats = SantosStats::default();
         let q_sem = annotate_table(&self.kb, &query.table, &self.config);
+        if q_sem.columns.is_empty() || k == 0 {
+            return (Vec::new(), stats);
+        }
         let intent = query
             .effective_column()
             .min(q_sem.columns.len().saturating_sub(1));
-        if q_sem.columns.is_empty() {
-            return Vec::new();
+
+        let qcols = q_sem.columns.len();
+        let any_types = q_sem.columns.iter().any(|c| !c.types.is_empty());
+        if !any_types {
+            // Typeless full scan: nothing to rank or bound by; stays
+            // uncapped so degenerate lakes keep today's exact behavior.
+            stats.full_scan = true;
+            stats.candidates_retrieved = self.tables.len();
+            let mut scored = Vec::with_capacity(self.tables.len());
+            for cand in self.tables.values() {
+                if cand.name == query.table.name() {
+                    continue; // the query itself, if it lives in the lake
+                }
+                stats.candidates_scored += 1;
+                let score = self.score_candidate(&q_sem, intent, cand);
+                if score >= self.config.min_score && score > 0.0 {
+                    scored.push(Discovered {
+                        table: cand.name.clone(),
+                        score,
+                    });
+                }
+            }
+            return (top_k(scored, k), stats);
         }
 
-        // Candidate retrieval: tables sharing any annotated type with the
-        // query; when the query has no annotations at all, scan the lake
-        // (synthesized signal only).
-        let mut candidates: HashSet<u32> = HashSet::new();
-        let mut any_types = false;
-        for col in &q_sem.columns {
-            for (t, _) in &col.types {
-                any_types = true;
+        if cap == usize::MAX {
+            // Exhaustive oracle path: retrieve candidate slots only (no
+            // per-candidate bound rows — the trait `discover` path stays
+            // allocation-light) and score every one of them, exactly the
+            // pre-cap engine. Iteration order is irrelevant to the output
+            // (top_k sorts fully).
+            let mut candidates: HashSet<u32> = HashSet::new();
+            for col in &q_sem.columns {
+                for (t, _) in &col.types {
+                    if let Some(set) = self.by_type.get(t) {
+                        candidates.extend(set.iter().copied());
+                    }
+                }
+            }
+            stats.candidates_retrieved = candidates.len();
+            let mut scored = Vec::with_capacity(candidates.len());
+            for slot in candidates {
+                let Some(cand) = self.tables.get(&slot) else {
+                    continue;
+                };
+                if cand.name == query.table.name() {
+                    continue; // the query itself, if it lives in the lake
+                }
+                stats.candidates_scored += 1;
+                let score = self.score_candidate(&q_sem, intent, cand);
+                if score >= self.config.min_score && score > 0.0 {
+                    scored.push(Discovered {
+                        table: cand.name.clone(),
+                        score,
+                    });
+                }
+            }
+            return (top_k(scored, k), stats);
+        }
+
+        // Finite cap: retrieval remembers per (query column, candidate)
+        // the best confidence of a shared type — the raw material of the
+        // bound.
+        let mut type_bounds: HashMap<u32, Vec<f64>> = HashMap::new();
+        for (j, col) in q_sem.columns.iter().enumerate() {
+            for (t, qconf) in &col.types {
                 if let Some(set) = self.by_type.get(t) {
-                    candidates.extend(set.iter().copied());
+                    for &slot in set {
+                        let per_col = type_bounds.entry(slot).or_insert_with(|| vec![0.0; qcols]);
+                        if *qconf > per_col[j] {
+                            per_col[j] = *qconf;
+                        }
+                    }
                 }
             }
         }
-        if !any_types {
-            candidates.extend(self.tables.keys().copied());
-        }
 
-        let mut scored = Vec::with_capacity(candidates.len());
-        for idx in candidates {
-            let Some(cand) = self.tables.get(&idx) else {
+        // Upper-bound each candidate's achievable score. Per query column
+        // `j` the best candidate-column similarity is at most the best
+        // shared-type confidence; the synthesized fallback (≤ synth_weight)
+        // stays reachable when the query column is untyped or the
+        // candidate has an untyped column. Edge agreement is at most the
+        // query's own pair confidence. Mirrors `score_candidate`'s
+        // normalization exactly, so `bound >= score` always holds.
+        let synth = self.config.synth_weight.max(0.0);
+        let edge_w = self.config.edge_weight.max(0.0);
+        let node_w = (1.0 - self.config.edge_weight).max(0.0);
+        let edge_conf: Vec<f64> = (0..qcols)
+            .map(|j| {
+                if j == intent {
+                    return 0.0;
+                }
+                pair_rel(&q_sem, intent, j)
+                    .map(|(_, _, c)| c)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let mut ranked: Vec<(u32, f64)> = type_bounds
+            .into_iter()
+            .filter_map(|(slot, per_col)| {
+                let cand = self.tables.get(&slot)?;
+                let ub = |j: usize| {
+                    if q_sem.columns[j].types.is_empty() || cand.has_untyped_column {
+                        per_col[j].max(synth)
+                    } else {
+                        per_col[j]
+                    }
+                };
+                let bound = if qcols == 1 {
+                    ub(intent)
+                } else {
+                    let rest: f64 = (0..qcols)
+                        .filter(|&j| j != intent)
+                        .map(|j| node_w * ub(j) + edge_w * edge_conf[j])
+                        .sum();
+                    (ub(intent) + rest) / qcols as f64
+                };
+                Some((slot, bound))
+            })
+            .collect();
+        // Best bound first; slot index breaks ties so the scored prefix is
+        // deterministic even when the cap cuts inside a tie group.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        stats.candidates_retrieved = ranked.len();
+
+        let mut scored: Vec<Discovered> = Vec::new();
+        let mut kept: Vec<f64> = Vec::new();
+        for (pos, &(slot, bound)) in ranked.iter().enumerate() {
+            // Optimality bound: strictly `>` so bound ties with the k-th
+            // score are still scored and tie-breaks match the uncapped
+            // output exactly.
+            if let Some(kth) = kth_best(&kept, k) {
+                if kth > bound {
+                    stats.bound_pruned = ranked.len() - pos;
+                    break;
+                }
+            }
+            if stats.candidates_scored >= cap {
+                stats.cap_hit = true;
+                break;
+            }
+            let Some(cand) = self.tables.get(&slot) else {
                 continue;
             };
             if cand.name == query.table.name() {
                 continue; // the query itself, if it lives in the lake
             }
+            stats.candidates_scored += 1;
             let score = self.score_candidate(&q_sem, intent, cand);
             if score >= self.config.min_score && score > 0.0 {
+                push_topk(&mut kept, score, k);
                 scored.push(Discovered {
                     table: cand.name.clone(),
                     score,
                 });
             }
         }
-        top_k(scored, k)
+        (top_k(scored, k), stats)
     }
-}
 
-impl SantosDiscovery {
     fn score_candidate(&self, q: &TableSemantics, intent: usize, cand: &TableSemantics) -> f64 {
         let qcols = q.columns.len();
         if qcols == 0 || cand.columns.is_empty() {
@@ -511,6 +705,58 @@ mod tests {
             .discover(&query(), 10)
             .iter()
             .any(|d| d.table == "covid_eu"));
+    }
+
+    #[test]
+    fn finite_cap_covering_the_lake_equals_exhaustive() {
+        // The bound-soundness smoke test: a finite cap larger than the
+        // lake engages the ranked/pruned path, and its output must equal
+        // the exhaustive oracle exactly (order and tie-breaks included).
+        let engine = engine();
+        for k in [1, 2, 10] {
+            let (exhaustive, ex_stats) = engine.discover_capped(&query(), k, usize::MAX);
+            let (capped, stats) = engine.discover_capped(&query(), k, 1000);
+            assert_eq!(capped, exhaustive, "k={k}");
+            assert!(!stats.cap_hit);
+            assert!(!stats.full_scan);
+            assert_eq!(stats.candidates_retrieved, ex_stats.candidates_retrieved);
+            assert!(stats.candidates_scored <= ex_stats.candidates_scored);
+        }
+    }
+
+    #[test]
+    fn cap_limits_scored_candidates_and_reports_it() {
+        let engine = engine();
+        let (hits, stats) = engine.discover_capped(&query(), 5, 1);
+        assert!(stats.candidates_scored <= 1, "{stats:?}");
+        assert!(
+            stats.cap_hit || stats.candidates_retrieved <= 1,
+            "{stats:?}"
+        );
+        // Whatever survived is still genuinely scored (no invented hits).
+        let (exhaustive, _) = engine.discover_capped(&query(), 5, usize::MAX);
+        for hit in &hits {
+            assert!(
+                exhaustive.contains(hit),
+                "capped hit {hit:?} not in exhaustive output {exhaustive:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn typeless_queries_full_scan_regardless_of_cap() {
+        // No KB coverage → the full-scan fallback stays uncapped (there is
+        // no type signal to rank by), mirroring the uncapped engine.
+        let a = table! { "parts"; ["part"]; ["bolt-17"], ["nut-4"], ["washer-9"] };
+        let b = table! { "other"; ["x"]; ["gear-1"], ["gear-2"] };
+        let lake = DataLake::from_tables([a, b]).unwrap();
+        let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let q = TableQuery::new(table! { "Q"; ["p"]; ["bolt-17"], ["nut-4"] });
+        let (hits, stats) = engine.discover_capped(&q, 2, 1);
+        assert!(stats.full_scan, "{stats:?}");
+        assert!(!stats.cap_hit);
+        assert_eq!(stats.candidates_scored, 2, "full scan ignores the cap");
+        assert_eq!(hits, engine.discover(&q, 2));
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Rolling discovery telemetry — the observability half of the budgeted
+//! pipeline.
+//!
+//! `TopKPlanner` returns per-query [`TopKStats`](crate::TopKStats) and the
+//! capped SANTOS engine returns per-query [`SantosStats`](crate::SantosStats),
+//! but one query's numbers are weather, not climate: production tuning
+//! needs the *rates* — how often the signature cache hits, how many
+//! partitions the planner proves irrelevant, how often a budget cap (not
+//! the optimality bound) ends a search. [`DiscoveryTelemetry`] is that
+//! aggregate: counter blocks per engine leg plus coarse per-engine latency
+//! histograms, owned by `LakeIndex` (every budgeted query folds its stats
+//! in) and surfaced through `Pipeline::telemetry()`.
+//!
+//! Telemetry is *mergeable* and *resettable*: shards serving the same lake
+//! can [`DiscoveryTelemetry::merge`] their windows into a fleet view, and a
+//! scrape-and-reset loop gets non-overlapping windows from
+//! [`DiscoveryTelemetry::reset`]. Counter blocks are plain `PartialEq`
+//! data, so tests can pin them in lockstep against independently
+//! accumulated [`TopKStats`](crate::TopKStats).
+
+use std::time::Duration;
+
+use crate::santos::SantosStats;
+use crate::topk::TopKStats;
+
+/// Upper bounds (exclusive, in microseconds) of the latency buckets; the
+/// last bucket is unbounded. Decade-spaced: interactive discovery spans
+/// ~10µs (cached exact-path hits) to ~100ms (probe-all over a cold lake).
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// A fixed-bucket latency histogram (decade buckets over microseconds)
+/// plus exact totals, so both tail shape and mean survive aggregation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per bucket: `buckets[i]` counts samples below
+    /// [`LATENCY_BUCKET_BOUNDS_US`]`[i]` (and at or above the previous
+    /// bound); the final slot counts everything slower.
+    pub buckets: [u64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+    /// Total recorded samples.
+    pub samples: u64,
+    /// Sum of all recorded latencies, in microseconds.
+    pub total_micros: u64,
+}
+
+impl LatencyHistogram {
+    /// Fold one measured latency in.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let slot = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us < bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        self.buckets[slot] += 1;
+        self.samples += 1;
+        self.total_micros = self.total_micros.saturating_add(us);
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_micros(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.samples as f64
+        }
+    }
+
+    /// Add another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            *mine += theirs;
+        }
+        self.samples += other.samples;
+        self.total_micros = self.total_micros.saturating_add(other.total_micros);
+    }
+
+    /// One-line bucket rendering, e.g. `<10us:3 <100us:12 ... >=1s:0`.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::with_capacity(self.buckets.len());
+        let label = |us: u64| -> String {
+            if us >= 1_000_000 {
+                format!("{}s", us / 1_000_000)
+            } else if us >= 1_000 {
+                format!("{}ms", us / 1_000)
+            } else {
+                format!("{us}us")
+            }
+        };
+        for (i, count) in self.buckets.iter().enumerate() {
+            match LATENCY_BUCKET_BOUNDS_US.get(i) {
+                Some(&bound) => parts.push(format!("<{}:{count}", label(bound))),
+                None => parts.push(format!(
+                    ">={}:{count}",
+                    label(*LATENCY_BUCKET_BOUNDS_US.last().expect("non-empty"))
+                )),
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+/// Aggregated counters of the planned joinable leg — the rolling sum of
+/// every [`TopKStats`](crate::TopKStats) folded in. Plain data with
+/// `PartialEq`, so lockstep tests can compare against an independently
+/// accumulated sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopKCounters {
+    /// Planned queries recorded.
+    pub queries: u64,
+    /// Queries whose column signature came from the LRU cache.
+    pub cache_hits: u64,
+    /// Queries that hashed a fresh signature (sketch path, cache miss).
+    pub cache_misses: u64,
+    /// Queries answered exactly by the posting merge (no sketch work).
+    pub exact_path: u64,
+    /// LSH partitions actually probed, summed.
+    pub partitions_probed: u64,
+    /// LSH partitions proven irrelevant (threshold/optimality/budget),
+    /// summed.
+    pub partitions_pruned: u64,
+    /// Candidate domains verified against stored token-id sets, summed.
+    pub candidates_verified: u64,
+    /// Queries ended by the provable optimality bound.
+    pub terminated_early: u64,
+    /// Queries cut short by a budget cap (best-effort results).
+    pub budget_exhausted: u64,
+}
+
+impl TopKCounters {
+    /// Fold one query's stats in.
+    pub fn record(&mut self, stats: &TopKStats) {
+        self.queries += 1;
+        if stats.cache_hit {
+            self.cache_hits += 1;
+        } else if !stats.exact_path {
+            self.cache_misses += 1;
+        }
+        if stats.exact_path {
+            self.exact_path += 1;
+        }
+        self.partitions_probed += stats.partitions_probed as u64;
+        self.partitions_pruned += stats.partitions_pruned as u64;
+        self.candidates_verified += stats.candidates_verified as u64;
+        if stats.terminated_early {
+            self.terminated_early += 1;
+        }
+        if stats.budget_exhausted {
+            self.budget_exhausted += 1;
+        }
+    }
+
+    /// Add another window's counters into this one.
+    pub fn merge(&mut self, other: &TopKCounters) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.exact_path += other.exact_path;
+        self.partitions_probed += other.partitions_probed;
+        self.partitions_pruned += other.partitions_pruned;
+        self.candidates_verified += other.candidates_verified;
+        self.terminated_early += other.terminated_early;
+        self.budget_exhausted += other.budget_exhausted;
+    }
+
+    /// Signature-cache hit rate over sketch-path queries (0 when none ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let sketch = self.cache_hits + self.cache_misses;
+        if sketch == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / sketch as f64
+        }
+    }
+
+    /// Fraction of queries a budget cap cut short (0 when none ran).
+    pub fn budget_exhaustion_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.budget_exhausted as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Aggregated counters of the capped SANTOS leg — the rolling sum of every
+/// [`SantosStats`](crate::SantosStats) folded in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SantosCounters {
+    /// Capped-retrieval queries recorded.
+    pub queries: u64,
+    /// Candidate tables surfaced by the type inverted index (or the full
+    /// scan), summed.
+    pub candidates_retrieved: u64,
+    /// Candidates actually scored, summed.
+    pub candidates_scored: u64,
+    /// Candidates skipped because the k-th score provably beat their
+    /// type-overlap upper bound, summed.
+    pub bound_pruned: u64,
+    /// Queries whose retrieval stopped at the candidate cap.
+    pub cap_hits: u64,
+    /// Queries that fell back to the typeless full scan (never capped).
+    pub full_scans: u64,
+}
+
+impl SantosCounters {
+    /// Fold one query's stats in.
+    pub fn record(&mut self, stats: &SantosStats) {
+        self.queries += 1;
+        self.candidates_retrieved += stats.candidates_retrieved as u64;
+        self.candidates_scored += stats.candidates_scored as u64;
+        self.bound_pruned += stats.bound_pruned as u64;
+        if stats.cap_hit {
+            self.cap_hits += 1;
+        }
+        if stats.full_scan {
+            self.full_scans += 1;
+        }
+    }
+
+    /// Add another window's counters into this one.
+    pub fn merge(&mut self, other: &SantosCounters) {
+        self.queries += other.queries;
+        self.candidates_retrieved += other.candidates_retrieved;
+        self.candidates_scored += other.candidates_scored;
+        self.bound_pruned += other.bound_pruned;
+        self.cap_hits += other.cap_hits;
+        self.full_scans += other.full_scans;
+    }
+}
+
+/// The rolling aggregate of what the budgeted discovery stage actually did:
+/// per-leg counters plus per-engine latency histograms. `LakeIndex` owns
+/// one and folds every budgeted query in; `Pipeline::telemetry()` hands out
+/// snapshots.
+///
+/// ```
+/// use std::time::Duration;
+/// use dialite_discovery::{DiscoveryTelemetry, TopKStats};
+///
+/// let mut window_a = DiscoveryTelemetry::default();
+/// window_a.record_topk(
+///     &TopKStats { cache_hit: true, partitions_probed: 2, ..TopKStats::default() },
+///     Duration::from_micros(120),
+/// );
+/// let mut window_b = DiscoveryTelemetry::default();
+/// window_b.record_topk(&TopKStats::default(), Duration::from_micros(80));
+///
+/// // Windows merge into a fleet view; reset opens a fresh window.
+/// window_a.merge(&window_b);
+/// assert_eq!(window_a.topk.queries, 2);
+/// assert_eq!(window_a.topk.partitions_probed, 2);
+/// window_a.reset();
+/// assert_eq!(window_a.topk.queries, 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiscoveryTelemetry {
+    /// Planned joinable-leg counters.
+    pub topk: TopKCounters,
+    /// Capped SANTOS-leg counters.
+    pub santos: SantosCounters,
+    /// Joinable-leg query latency.
+    pub joinable_latency: LatencyHistogram,
+    /// SANTOS-leg query latency.
+    pub santos_latency: LatencyHistogram,
+}
+
+impl DiscoveryTelemetry {
+    /// Fold one planned joinable query in.
+    pub fn record_topk(&mut self, stats: &TopKStats, latency: Duration) {
+        self.topk.record(stats);
+        self.joinable_latency.record(latency);
+    }
+
+    /// Fold one capped SANTOS query in.
+    pub fn record_santos(&mut self, stats: &SantosStats, latency: Duration) {
+        self.santos.record(stats);
+        self.santos_latency.record(latency);
+    }
+
+    /// Add another telemetry window into this one (counters sum, latency
+    /// histograms concatenate). Merging is commutative up to counter
+    /// arithmetic, so shard order does not matter.
+    pub fn merge(&mut self, other: &DiscoveryTelemetry) {
+        self.topk.merge(&other.topk);
+        self.santos.merge(&other.santos);
+        self.joinable_latency.merge(&other.joinable_latency);
+        self.santos_latency.merge(&other.santos_latency);
+    }
+
+    /// Zero every counter and histogram — the start of a fresh window.
+    pub fn reset(&mut self) {
+        *self = DiscoveryTelemetry::default();
+    }
+
+    /// A compact human-readable report, the form the CLI and
+    /// `exp_pipeline` print.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "joinable: {} queries ({} exact-path), cache hit rate {:.2}, \
+             partitions {} probed / {} pruned, {} verified, \
+             {} early-terminated, budget exhaustion rate {:.2}\n",
+            self.topk.queries,
+            self.topk.exact_path,
+            self.topk.cache_hit_rate(),
+            self.topk.partitions_probed,
+            self.topk.partitions_pruned,
+            self.topk.candidates_verified,
+            self.topk.terminated_early,
+            self.topk.budget_exhaustion_rate(),
+        ));
+        out.push_str(&format!(
+            "  latency: {} (mean {:.0}us)\n",
+            self.joinable_latency.render(),
+            self.joinable_latency.mean_micros(),
+        ));
+        out.push_str(&format!(
+            "santos: {} queries ({} full-scan), candidates {} retrieved / \
+             {} scored / {} bound-pruned, {} cap-hits\n",
+            self.santos.queries,
+            self.santos.full_scans,
+            self.santos.candidates_retrieved,
+            self.santos.candidates_scored,
+            self.santos.bound_pruned,
+            self.santos.cap_hits,
+        ));
+        out.push_str(&format!(
+            "  latency: {} (mean {:.0}us)",
+            self.santos_latency.render(),
+            self.santos_latency.mean_micros(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topk_stats(probed: usize, verified: usize) -> TopKStats {
+        TopKStats {
+            cache_hit: false,
+            exact_path: false,
+            partitions_probed: probed,
+            partitions_pruned: 1,
+            candidates_verified: verified,
+            terminated_early: probed > 1,
+            budget_exhausted: false,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_decade_and_tracks_mean() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(3)); // <10us
+        h.record(Duration::from_micros(50)); // <100us
+        h.record(Duration::from_micros(999)); // <1ms
+        h.record(Duration::from_millis(5)); // <10ms
+        h.record(Duration::from_secs(2)); // >=1s
+        assert_eq!(h.buckets, [1, 1, 1, 1, 0, 0, 1]);
+        assert_eq!(h.samples, 5);
+        let mean = h.mean_micros();
+        assert!((mean - (3 + 50 + 999 + 5_000 + 2_000_000) as f64 / 5.0).abs() < 1e-9);
+        assert!(h.render().contains("<10us:1"));
+        assert!(h.render().contains(">=1s:1"));
+    }
+
+    #[test]
+    fn record_classifies_cache_and_exact_paths() {
+        let mut t = DiscoveryTelemetry::default();
+        t.record_topk(
+            &TopKStats {
+                cache_hit: true,
+                ..TopKStats::default()
+            },
+            Duration::from_micros(1),
+        );
+        t.record_topk(&TopKStats::default(), Duration::from_micros(1));
+        t.record_topk(
+            &TopKStats {
+                exact_path: true,
+                ..TopKStats::default()
+            },
+            Duration::from_micros(1),
+        );
+        assert_eq!(t.topk.queries, 3);
+        assert_eq!(t.topk.cache_hits, 1);
+        assert_eq!(t.topk.cache_misses, 1);
+        assert_eq!(t.topk.exact_path, 1);
+        // Exact-path queries do no sketch work, so they stay out of the
+        // cache hit rate denominator.
+        assert!((t.topk.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = DiscoveryTelemetry::default();
+        a.record_topk(&topk_stats(3, 7), Duration::from_micros(30));
+        a.record_santos(
+            &SantosStats {
+                candidates_retrieved: 10,
+                candidates_scored: 4,
+                bound_pruned: 6,
+                cap_hit: true,
+                full_scan: false,
+            },
+            Duration::from_micros(500),
+        );
+        let mut b = DiscoveryTelemetry::default();
+        b.record_topk(&topk_stats(1, 2), Duration::from_micros(70));
+
+        let mut merged_ab = a.clone();
+        merged_ab.merge(&b);
+        let mut merged_ba = b.clone();
+        merged_ba.merge(&a);
+        assert_eq!(merged_ab, merged_ba, "merge must be commutative");
+
+        assert_eq!(merged_ab.topk.queries, 2);
+        assert_eq!(merged_ab.topk.partitions_probed, 4);
+        assert_eq!(merged_ab.topk.candidates_verified, 9);
+        assert_eq!(merged_ab.topk.terminated_early, 1);
+        assert_eq!(merged_ab.santos.candidates_retrieved, 10);
+        assert_eq!(merged_ab.santos.cap_hits, 1);
+        assert_eq!(merged_ab.joinable_latency.samples, 2);
+        assert_eq!(merged_ab.joinable_latency.total_micros, 100);
+    }
+
+    #[test]
+    fn reset_opens_a_fresh_window() {
+        let mut t = DiscoveryTelemetry::default();
+        t.record_topk(&topk_stats(2, 5), Duration::from_micros(10));
+        t.record_santos(&SantosStats::default(), Duration::from_micros(10));
+        assert_ne!(t, DiscoveryTelemetry::default());
+        t.reset();
+        assert_eq!(t, DiscoveryTelemetry::default());
+    }
+
+    #[test]
+    fn rates_are_zero_on_empty_windows_not_nan() {
+        let t = DiscoveryTelemetry::default();
+        assert_eq!(t.topk.cache_hit_rate(), 0.0);
+        assert_eq!(t.topk.budget_exhaustion_rate(), 0.0);
+        assert_eq!(t.joinable_latency.mean_micros(), 0.0);
+        assert!(!t.summary().is_empty());
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_fields() {
+        let mut t = DiscoveryTelemetry::default();
+        t.record_topk(&topk_stats(2, 5), Duration::from_micros(10));
+        let s = t.summary();
+        for needle in ["cache hit rate", "pruned", "budget exhaustion", "santos"] {
+            assert!(s.contains(needle), "summary missing {needle}:\n{s}");
+        }
+    }
+}

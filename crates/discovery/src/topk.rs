@@ -89,6 +89,85 @@ impl QueryBudget {
     }
 }
 
+/// Work limits of the whole discovery *stage* — the budget `Pipeline::run`
+/// hands to `LakeIndex::discover_all_budgeted`, covering both engine legs:
+/// the planned joinable search (a per-query [`QueryBudget`]) and the capped
+/// SANTOS retrieval (a candidate cap).
+///
+/// The default is *generous but finite*: interactive latency stays bounded
+/// on type-dense or partition-heavy lakes, while small lakes never hit a
+/// cap and behave exactly like the unbudgeted stage.
+/// [`DiscoveryBudget::unlimited`] reproduces the legacy probe-all stage
+/// byte-for-byte (order and tie-breaks included) — pinned by
+/// `crates/core/tests/pipeline_oracle.rs`.
+///
+/// ```
+/// use dialite_discovery::{DiscoveryBudget, QueryBudget};
+///
+/// // The default is finite on both legs...
+/// let budget = DiscoveryBudget::default();
+/// assert!(budget.santos_candidates < usize::MAX);
+/// assert!(budget.joinable.max_partitions < usize::MAX);
+///
+/// // ...while `unlimited()` is the exact legacy probe-all stage.
+/// let exact = DiscoveryBudget::unlimited();
+/// assert_eq!(exact.joinable, QueryBudget::unlimited());
+/// assert_eq!(exact.santos_candidates, usize::MAX);
+///
+/// // Budgets compose builder-style.
+/// let tight = DiscoveryBudget::default()
+///     .with_santos_candidates(32)
+///     .with_joinable(QueryBudget::unlimited().with_max_partitions(2));
+/// assert_eq!(tight.santos_candidates, 32);
+/// assert_eq!(tight.joinable.max_partitions, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscoveryBudget {
+    /// Per-query work limits of the planned joinable leg.
+    pub joinable: QueryBudget,
+    /// Maximum candidate tables the SANTOS leg scores per query (the
+    /// typeless full-scan fallback is never capped; see
+    /// [`SantosDiscovery::discover_capped`](crate::SantosDiscovery::discover_capped)).
+    pub santos_candidates: usize,
+}
+
+impl Default for DiscoveryBudget {
+    /// Generous finite caps: 64 partitions / 4096 verifications on the
+    /// joinable leg, 128 scored SANTOS candidates.
+    fn default() -> Self {
+        DiscoveryBudget {
+            joinable: QueryBudget {
+                max_partitions: 64,
+                max_verifications: 4096,
+            },
+            santos_candidates: 128,
+        }
+    }
+}
+
+impl DiscoveryBudget {
+    /// No caps anywhere: the stage output equals the legacy probe-all
+    /// discovery exactly.
+    pub fn unlimited() -> DiscoveryBudget {
+        DiscoveryBudget {
+            joinable: QueryBudget::unlimited(),
+            santos_candidates: usize::MAX,
+        }
+    }
+
+    /// Replace the joinable-leg query budget.
+    pub fn with_joinable(mut self, budget: QueryBudget) -> DiscoveryBudget {
+        self.joinable = budget;
+        self
+    }
+
+    /// Replace the SANTOS candidate cap.
+    pub fn with_santos_candidates(mut self, cap: usize) -> DiscoveryBudget {
+        self.santos_candidates = cap;
+        self
+    }
+}
+
 /// What one planned query actually did — the observability half of the
 /// budget contract, returned by [`TopKPlanner::discover_top_k_with_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -18,10 +18,12 @@
 //!   a query it fully contains.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use dialite_datagen::workloads::{ChurnOp, ChurnWorkload};
 use dialite_discovery::{
-    Discovery, LakeIndex, LakeIndexConfig, LshEnsembleConfig, QueryBudget, SantosConfig, TableQuery,
+    Discovery, DiscoveryBudget, DiscoveryTelemetry, LakeIndex, LakeIndexConfig, LshEnsembleConfig,
+    QueryBudget, SantosConfig, TableQuery,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_table::{DataLake, Table};
@@ -164,6 +166,103 @@ proptest! {
             }
         }
         prop_assert!(compared > 0, "trace contained no queries");
+    }
+
+    /// Telemetry lockstep under churn: the index's rolling
+    /// `DiscoveryTelemetry` counters must equal an independently
+    /// accumulated sum of the per-query `TopKStats` / `SantosStats` the
+    /// same calls returned — across syncs, forced `StringPool`
+    /// compactions, and even a full rebuild (which must carry the window
+    /// over, not zero it). Latency histograms are checked for sample
+    /// counts only (durations are wall-clock).
+    #[test]
+    fn telemetry_stays_in_lockstep_with_per_query_stats(seed in any::<u64>(), ops in 12usize..28) {
+        let trace = ChurnWorkload {
+            initial_tables: 8,
+            rows_per_table: 14,
+            vocab: 160,
+            ops,
+            seed,
+        }
+        .generate();
+        let kb = Arc::new(covid_kb());
+        let config = LakeIndexConfig {
+            santos: SantosConfig::default(),
+            lshe: LshEnsembleConfig {
+                num_perm: 64,
+                num_partitions: 4,
+                rebalance_dirtiness: 0.2,
+                // Compact on every overtake: the id-remap path must not
+                // disturb (or double-count) telemetry.
+                pool_compact_min: 0,
+                ..LshEnsembleConfig::default()
+            },
+        };
+        let budget = QueryBudget::unlimited().with_max_verifications(6);
+        let stage_budget = DiscoveryBudget::default();
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut index = LakeIndex::build(&lake, kb.clone(), config.clone());
+        let mut expected = DiscoveryTelemetry::default();
+        let mut compared = 0usize;
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = &op {
+                index.sync(&lake);
+                let query = TableQuery::with_column(q.clone(), 0);
+                // Interactive joinable queries record the topk leg only...
+                let (_, stats) = index.discover_top_k_with_stats(&query, 6, &budget);
+                expected.record_topk(&stats, Duration::ZERO);
+                // ...while the budgeted stage records both legs; its
+                // returned lists must be consistent with independently
+                // capped engine calls whose stats we fold by hand.
+                let staged = index.discover_all_budgeted(&query, 6, &stage_budget);
+                let (santos_hits, santos_stats) =
+                    index.santos().discover_capped(&query, 6, stage_budget.santos_candidates);
+                prop_assert_eq!(&staged[0].1, &santos_hits);
+                expected.record_santos(&santos_stats, Duration::ZERO);
+                let (join_hits, join_stats) = index.discover_top_k_with_stats(
+                    &query,
+                    6,
+                    &stage_budget.joinable,
+                );
+                prop_assert_eq!(&staged[1].1, &join_hits);
+                // The by-hand stage replay recorded one extra topk query
+                // into the index; mirror both it and the stage's own.
+                expected.record_topk(&join_stats, Duration::ZERO);
+                expected.record_topk(&join_stats, Duration::ZERO);
+
+                let got = index.telemetry();
+                prop_assert_eq!(got.topk, expected.topk, "topk counters diverged");
+                prop_assert_eq!(got.santos, expected.santos, "santos counters diverged");
+                prop_assert_eq!(
+                    got.joinable_latency.samples,
+                    expected.joinable_latency.samples
+                );
+                prop_assert_eq!(got.santos_latency.samples, expected.santos_latency.samples);
+                compared += 1;
+            } else {
+                op.apply(&mut lake);
+                index.sync(&lake);
+            }
+        }
+        prop_assert!(compared > 0, "trace contained no queries");
+
+        // A full rebuild (handing the index an older lineage of the lake)
+        // keeps the telemetry window instead of zeroing it.
+        let pre_churn = lake.clone();
+        let probe = Table::from_rows(
+            "telemetry_rebuild_probe",
+            &["key"],
+            vec![vec!["probe_tok".into()]],
+        )
+        .unwrap();
+        lake.add_table(probe).unwrap();
+        index.sync(&lake);
+        index.sync(&pre_churn); // pre-fork version → changelog miss → rebuild
+        prop_assert!(index.is_current(&pre_churn));
+        prop_assert_eq!(index.telemetry().topk, expected.topk);
+        prop_assert_eq!(index.telemetry().santos, expected.santos);
+        index.reset_telemetry();
+        prop_assert_eq!(index.telemetry(), DiscoveryTelemetry::default());
     }
 
     /// Sketch-path soundness under churn: every reported table carries its

@@ -47,4 +47,9 @@ fn main() {
     let r2 = pearson_columns(out, col("Total Cases"), rate).unwrap();
     println!("corr(vaccination, death rate) = {r1:.2}   (paper: 0.16)");
     println!("corr(cases, vaccination)      = {r2:.2}   (paper: 0.9)");
+
+    // What the budgeted discovery stage actually did (cache hit rate,
+    // partitions pruned, SANTOS candidates scored, latency buckets).
+    let telemetry = pipeline.telemetry().expect("indexed pipeline");
+    println!("\nDiscovery telemetry:\n{}", telemetry.summary());
 }

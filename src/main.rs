@@ -93,7 +93,17 @@ fn cmd_demo() -> Result<(), String> {
     println!("Query table:\n{}", query.table);
     let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
     println!("{}", run.report());
+    print_telemetry(&pipeline);
     Ok(())
+}
+
+/// Print the budgeted discovery stage's rolling telemetry, if the
+/// pipeline maintains an index (the demo and discover commands do).
+fn print_telemetry(pipeline: &Pipeline) {
+    if let Some(telemetry) = pipeline.telemetry() {
+        println!("\n== Discovery telemetry ==");
+        println!("{}", telemetry.summary());
+    }
 }
 
 fn cmd_discover(args: &[String]) -> Result<(), String> {
@@ -117,6 +127,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     pipeline.set_top_k(k);
     let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
     println!("{}", run.report());
+    print_telemetry(&pipeline);
     Ok(())
 }
 
