@@ -6,6 +6,8 @@
 
 use std::time::Instant;
 
+pub mod load;
+
 /// Run a closure, returning its result and the elapsed milliseconds.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();

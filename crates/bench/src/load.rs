@@ -1,0 +1,285 @@
+//! Concurrent load driver for the discovery serving layer — the
+//! crud-bench-shaped half of `exp_serving`.
+//!
+//! [`run_load`] replays a [`ServingTrace`] against a shared
+//! [`DiscoveryService`] from N client threads draining one atomic cursor
+//! (so the trace is consumed exactly once, in cursor order, with arbitrary
+//! completion interleavings), after a single-threaded query-only warmup
+//! that fills the planner's signature cache. It reports sustained qps and
+//! tail latency from the service's own
+//! [`ServingTelemetry`](dialite_discovery::ServingTelemetry).
+//!
+//! With [`LoadConfig::verify`] on, the run doubles as a linearization
+//! check: every mutation appends its op index to a log *inside* the
+//! [`DiscoveryService::mutate`] closure — i.e. under the service's write
+//! lock — so log order *is* the serialization order; every response
+//! carries the lake version it was served against. Afterwards a
+//! single-threaded replay walks the log, rebuilding each intermediate lake
+//! state, and asserts every concurrent response byte-identical to
+//! [`dialite_discovery::LakeIndex::discover_all_budgeted`] at its stamped
+//! version. Run verification with the exact (sketch-free) index config and
+//! an unlimited budget — the regime where discovery output is a pure
+//! function of lake state (see `crates/discovery/tests/serving_oracle.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dialite_discovery::{
+    DiscoveryBudget, DiscoveryService, LakeIndex, LakeIndexConfig, LatencyPercentiles,
+    ServingError, TableQuery,
+};
+use dialite_kb::KnowledgeBase;
+use dialite_table::DataLake;
+
+use dialite_datagen::workloads::{ServingOp, ServingTrace};
+
+/// Parameters of one [`run_load`] execution.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Single-threaded warmup queries (round-robin over the pool) before
+    /// the measured window; telemetry is reset afterwards.
+    pub warmup_queries: usize,
+    /// Per-engine result count per query.
+    pub k: usize,
+    /// Per-request budget.
+    pub budget: DiscoveryBudget,
+    /// Run the post-hoc linearization check (see module docs). Only
+    /// meaningful with an exact index config + unlimited budget.
+    pub verify: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            warmup_queries: 64,
+            k: 10,
+            budget: DiscoveryBudget::default(),
+            verify: false,
+        }
+    }
+}
+
+/// What one [`run_load`] execution measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Client threads driven.
+    pub clients: usize,
+    /// Queries answered in the measured window.
+    pub queries: u64,
+    /// Mutations applied in the measured window.
+    pub mutations: u64,
+    /// Queries rejected with [`ServingError::Busy`].
+    pub busy: u64,
+    /// Measured-window wall time in seconds.
+    pub wall_secs: f64,
+    /// Sustained answered queries per second.
+    pub qps: f64,
+    /// Query-latency export (p50/p90/p99/p999 + mean) from the service's
+    /// sharded histogram.
+    pub latency: LatencyPercentiles,
+    /// Responses proven byte-identical to their single-threaded
+    /// linearization (`None` when [`LoadConfig::verify`] was off).
+    pub verified: Option<usize>,
+}
+
+impl LoadReport {
+    /// One row of the experiment table:
+    /// `clients qps p50 p90 p99 p999 busy`.
+    pub fn row(&self) -> Vec<String> {
+        let us = |v: Option<f64>| match v {
+            Some(us) => format!("{:.0}us", us),
+            None => "-".into(),
+        };
+        vec![
+            self.clients.to_string(),
+            format!("{:.0}", self.qps),
+            us(self.latency.p50_us),
+            us(self.latency.p90_us),
+            us(self.latency.p99_us),
+            us(self.latency.p999_us),
+            self.busy.to_string(),
+        ]
+    }
+}
+
+/// One answered query, as the verifier needs it: which pool table, the
+/// stamped version, and the full response payload.
+struct Answered {
+    pool_idx: usize,
+    version: u64,
+    results: Vec<(String, Vec<dialite_discovery::Discovered>)>,
+}
+
+/// Drive `trace` through `service` from [`LoadConfig::clients`] threads
+/// and report sustained throughput + tail latency (see module docs).
+///
+/// # Panics
+///
+/// With [`LoadConfig::verify`] on, panics if any concurrent response
+/// diverges from its single-threaded linearization — that is the point.
+pub fn run_load(
+    service: &DiscoveryService,
+    trace: &ServingTrace,
+    config: &LoadConfig,
+) -> LoadReport {
+    let queries: Vec<TableQuery> = trace
+        .pool
+        .iter()
+        .map(|t| TableQuery::with_column(t.clone(), 0))
+        .collect();
+    assert!(!queries.is_empty(), "serving trace has an empty query pool");
+
+    // Warmup: query-only, single-threaded, then drop the numbers.
+    for i in 0..config.warmup_queries {
+        let _ = service.query(&queries[i % queries.len()], config.k, &config.budget);
+    }
+    service.reset_telemetry();
+
+    // Measured window: N clients drain one cursor.
+    let cursor = AtomicUsize::new(0);
+    let mutation_log: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let answered: Mutex<Vec<Answered>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.clients.max(1) {
+            scope.spawn(|| {
+                let mut local_answers: Vec<Answered> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(op) = trace.ops.get(i) else { break };
+                    match op {
+                        ServingOp::Query(p) => {
+                            match service.query(&queries[*p], config.k, &config.budget) {
+                                Ok(response) => {
+                                    if config.verify {
+                                        local_answers.push(Answered {
+                                            pool_idx: *p,
+                                            version: response.version,
+                                            results: response.results,
+                                        });
+                                    }
+                                }
+                                Err(ServingError::Busy) => {}
+                            }
+                        }
+                        ServingOp::Mutate(_) => {
+                            service.mutate(|lake| {
+                                op.apply_tolerant(lake);
+                                if config.verify {
+                                    // Under the service write lock: log
+                                    // order == serialization order.
+                                    mutation_log.lock().unwrap().push(i);
+                                }
+                            });
+                        }
+                    }
+                }
+                if config.verify {
+                    answered.lock().unwrap().append(&mut local_answers);
+                }
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let telemetry = service.telemetry();
+    let verified = config.verify.then(|| {
+        verify_linearization(
+            service,
+            trace,
+            &queries,
+            config,
+            mutation_log.into_inner().unwrap(),
+            answered.into_inner().unwrap(),
+        )
+    });
+    LoadReport {
+        clients: config.clients.max(1),
+        queries: telemetry.served,
+        mutations: telemetry.mutations,
+        busy: telemetry.rejected,
+        wall_secs,
+        qps: telemetry.served as f64 / wall_secs.max(1e-9),
+        latency: telemetry.query_latency.percentiles(),
+        verified,
+    }
+}
+
+/// Single-threaded replay: walk the serialized mutation log, and at every
+/// intermediate state answer the queries stamped with that state's
+/// version; assert byte-identity. Returns the number of responses checked.
+fn verify_linearization(
+    service: &DiscoveryService,
+    trace: &ServingTrace,
+    queries: &[TableQuery],
+    config: &LoadConfig,
+    mutation_log: Vec<usize>,
+    mut answered: Vec<Answered>,
+) -> usize {
+    // The replay lake mints its own (different) global version stamps, so
+    // service versions cannot be compared to replay versions directly.
+    // What can be relied on: (a) all responses stamped with one version
+    // were served from one lake state; (b) service versions are monotone
+    // in mutation-log order, so sorting responses by stamped version puts
+    // them in state order; (c) replaying the log in order reproduces the
+    // exact state sequence. The walk below advances the replay through
+    // the log until each version-group of responses matches, and never
+    // rewinds — if a response matches no serialized state, the service
+    // linearization is broken and the walk panics.
+    answered.sort_by_key(|a| a.version);
+    let (kb, index_config) = service.with_state(|_, index| (index.kb(), index.config().clone()));
+    let mut replay = DataLake::new();
+    for t in &trace.initial {
+        replay.upsert(t.clone());
+    }
+    let mut index = LakeIndex::build(&replay, kb, index_config);
+
+    let matches = |index: &LakeIndex, a: &Answered| {
+        index.discover_all_budgeted(&queries[a.pool_idx], config.k, &config.budget) == a.results
+    };
+    let mut checked = 0usize;
+    let mut remaining = answered.as_slice();
+    let mut log_pos = 0usize;
+    while !remaining.is_empty() {
+        let version = remaining[0].version;
+        let group_len = remaining
+            .iter()
+            .take_while(|a| a.version == version)
+            .count();
+        let (group, rest) = remaining.split_at(group_len);
+        while !group.iter().all(|a| matches(&index, a)) {
+            assert!(
+                log_pos < mutation_log.len(),
+                "linearization violated: {} response(s) stamped v{version} match no \
+                 serialized lake state",
+                group.len(),
+            );
+            trace.ops[mutation_log[log_pos]].apply_tolerant(&mut replay);
+            index.sync(&replay);
+            log_pos += 1;
+        }
+        checked += group.len();
+        remaining = rest;
+    }
+    checked
+}
+
+/// Convenience for `exp_serving` and tests: build a service over the
+/// trace's initial lake with the given config.
+pub fn service_over(
+    trace: &ServingTrace,
+    kb: Arc<KnowledgeBase>,
+    index_config: LakeIndexConfig,
+    serving: dialite_discovery::ServingConfig,
+) -> DiscoveryService {
+    let mut lake = DataLake::new();
+    for t in &trace.initial {
+        lake.add(t.clone())
+            .expect("initial tables have unique names");
+    }
+    DiscoveryService::new(lake, kb, index_config, serving)
+}

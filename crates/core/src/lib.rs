@@ -31,7 +31,7 @@ pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineRun};
 pub use dialite_align::{Alignment, HolisticMatcher};
 pub use dialite_analyze::{EntityResolver, GroupBy};
 pub use dialite_discovery::{
-    Discovered, Discovery, DiscoveryBudget, DiscoveryTelemetry, QueryBudget, TableQuery,
-    TopKPlanner,
+    Discovered, Discovery, DiscoveryBudget, DiscoveryService, DiscoveryTelemetry, QueryBudget,
+    ServingConfig, ServingError, ServingResponse, ServingTelemetry, TableQuery, TopKPlanner,
 };
 pub use dialite_integrate::{IntegratedTable, Integrator};

@@ -6,7 +6,8 @@ use std::sync::{Arc, RwLock};
 use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
 use dialite_discovery::{
     top_k_discovered, union_integration_set, Discovered, Discovery, DiscoveryBudget,
-    DiscoveryTelemetry, LakeIndex, LakeIndexConfig, QueryBudget, TableQuery,
+    DiscoveryService, DiscoveryTelemetry, LakeIndex, LakeIndexConfig, QueryBudget, ServingConfig,
+    TableQuery,
 };
 use dialite_integrate::{
     AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
@@ -317,6 +318,47 @@ impl Pipeline {
         }
     }
 
+    /// Promote the pipeline's discovery stage to a standalone
+    /// [`DiscoveryService`] — the concurrent serving layer: the service
+    /// takes ownership of `lake`, indexes it with the pipeline's KB and
+    /// index configuration, and serves version-stamped budgeted queries
+    /// from many threads behind bounded admission
+    /// (`max_in_flight`; see [`ServingConfig`]). The pipeline's own
+    /// `top_k` and discovery budget become the service defaults.
+    ///
+    /// Returns `None` when the pipeline has no indexed discovery
+    /// configured ([`PipelineBuilder::indexed_discovery`]) — plain
+    /// engines are not churn-safe and cannot be served.
+    ///
+    /// ```
+    /// use dialite_core::{demo, Pipeline};
+    /// use dialite_discovery::TableQuery;
+    ///
+    /// let lake = demo::covid_lake();
+    /// let pipeline = Pipeline::demo_default(&lake);
+    /// let service = pipeline.serve(lake, 64).expect("indexed pipeline");
+    /// let query = TableQuery::with_column(demo::fig2_query(), 1);
+    /// let response = service.query_default(&query).expect("capacity");
+    /// assert!(!response.results.is_empty());
+    /// ```
+    pub fn serve(&self, lake: DataLake, max_in_flight: usize) -> Option<DiscoveryService> {
+        let guard = self
+            .indexed
+            .as_ref()?
+            .read()
+            .expect("indexed discovery lock");
+        let serving = ServingConfig::default()
+            .with_max_in_flight(max_in_flight)
+            .with_budget(self.budget)
+            .with_k(self.top_k);
+        Some(DiscoveryService::new(
+            lake,
+            guard.kb.clone(),
+            guard.config.clone(),
+            serving,
+        ))
+    }
+
     /// The paper's demo configuration over a given lake: a maintained
     /// [`LakeIndex`] (SANTOS-style + LSH Ensemble discovery, built eagerly
     /// here and kept in sync with lake churn across runs) backed by the
@@ -517,6 +559,39 @@ mod tests {
         let pipeline = Pipeline::demo_default(&lake);
         let query = TableQuery::with_column(demo::fig2_query(), 1);
         pipeline.run(&lake, &query).unwrap()
+    }
+
+    #[test]
+    fn serve_promotes_indexed_discovery_to_a_service() {
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::demo_default(&lake);
+        let service = pipeline.serve(lake, 16).expect("indexed pipeline serves");
+        assert_eq!(service.config().max_in_flight, 16);
+        assert_eq!(service.config().k, pipeline.top_k);
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        let response = service.query_default(&query).unwrap();
+        assert_eq!(response.version, service.version());
+        assert!(response
+            .results
+            .iter()
+            .any(|(_, hits)| hits.iter().any(|d| d.table == "T3")));
+        // Churn through the service stays self-contained: the service owns
+        // its lake copy and keeps serving the new state.
+        let v = service.mutate(|lake| {
+            lake.remove("T2");
+        });
+        assert!(v > response.version);
+        assert!(service.query_default(&query).unwrap().version == v);
+
+        // A pipeline without indexed discovery cannot serve.
+        let plain = Pipeline::builder()
+            .discovery(Box::new(SimilarityDiscovery::new(
+                "noop",
+                &demo::covid_lake(),
+                |_: &Table, _: &Table| 0.0,
+            )))
+            .build();
+        assert!(plain.serve(demo::covid_lake(), 16).is_none());
     }
 
     #[test]

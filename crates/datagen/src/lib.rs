@@ -27,4 +27,7 @@ pub mod workloads;
 
 pub use lake::{GroundTruth, LakeSpec, SyntheticLake};
 pub use synth::TableSynth;
-pub use workloads::{ChurnOp, ChurnTrace, ChurnWorkload, SantosTrace, SantosWorkload};
+pub use workloads::{
+    ChurnOp, ChurnTrace, ChurnWorkload, SantosTrace, SantosWorkload, ServingOp, ServingTrace,
+    ServingWorkload,
+};

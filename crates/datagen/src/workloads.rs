@@ -630,6 +630,221 @@ impl SantosWorkload {
     }
 }
 
+/// Parameters of the **serving workload**: a mixed read/churn request
+/// trace over a skewed ([`TopKWorkload`]-shaped) lake, the input of the
+/// concurrent load harness (`dialite-bench::load`).
+///
+/// Reads draw from a fixed pool of distinct query tables under a zipfian
+/// rank distribution — a few hot queries dominate, a long tail trickles —
+/// which is how discovery traffic over open-data portals actually skews
+/// (a handful of popular datasets absorb most lookups). Writes are churn
+/// mutations shaped like [`ChurnWorkload`]'s: adds of fresh tables,
+/// replaces and removes of live ones. The read share is exact
+/// (`round(ops * read_ratio)` queries), with kinds shuffled through the
+/// trace so every prefix mixes both.
+#[derive(Debug, Clone)]
+pub struct ServingWorkload {
+    /// Lake shape: total tables (skewed sizes, see [`TopKWorkload`]).
+    pub tables: usize,
+    /// Lake shape: leading hub tables queries are drawn from.
+    pub hub_tables: usize,
+    /// Lake shape: distinct keys of the rank-0 hub.
+    pub hub_rows: usize,
+    /// Lake shape: distinct keys of every tail table.
+    pub tail_rows: usize,
+    /// Lake shape: shared token universe size.
+    pub vocab: usize,
+    /// Distinct query tables in the request pool.
+    pub query_pool: usize,
+    /// Distinct keys per query table.
+    pub query_rows: usize,
+    /// Total request-trace operations (queries + mutations).
+    pub ops: usize,
+    /// Fraction of ops that are queries, in `[0, 1]`. The trace holds
+    /// exactly `round(ops * read_ratio)` queries.
+    pub read_ratio: f64,
+    /// Zipf exponent of the query-rank distribution; `0.0` is uniform,
+    /// `~1.0` is classic web-traffic skew.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServingWorkload {
+    fn default() -> Self {
+        ServingWorkload {
+            tables: 200,
+            hub_tables: 4,
+            hub_rows: 192,
+            tail_rows: 8,
+            vocab: 4_000,
+            query_pool: 32,
+            query_rows: 64,
+            ops: 512,
+            read_ratio: 0.9,
+            zipf_s: 1.0,
+            seed: 31,
+        }
+    }
+}
+
+/// One request of a serving trace.
+#[derive(Debug, Clone)]
+pub enum ServingOp {
+    /// Run discovery with query-pool table of this index (column 0 is the
+    /// probe column).
+    Query(usize),
+    /// Apply a lake mutation. Under concurrent replay use
+    /// [`ServingOp::apply_tolerant`], not [`ChurnOp::apply`]: threads
+    /// drain the trace through a shared cursor, so mutations can land in
+    /// an order where a strict apply would panic on a name conflict.
+    Mutate(ChurnOp),
+}
+
+impl ServingOp {
+    /// Apply a mutation to a lake, tolerating any interleaving: adds and
+    /// replaces become upserts, removes of absent tables are no-ops.
+    /// Queries are no-ops. Returns `true` when the lake changed.
+    pub fn apply_tolerant(&self, lake: &mut DataLake) -> bool {
+        match self {
+            ServingOp::Query(_) => false,
+            ServingOp::Mutate(ChurnOp::Query(_)) => false,
+            ServingOp::Mutate(ChurnOp::Add(t)) | ServingOp::Mutate(ChurnOp::Replace(t)) => {
+                lake.upsert(t.clone());
+                true
+            }
+            ServingOp::Mutate(ChurnOp::Remove(name)) => lake.remove(name).is_some(),
+        }
+    }
+}
+
+/// A generated serving trace.
+#[derive(Debug, Clone)]
+pub struct ServingTrace {
+    /// The initial lake contents (skewed sizes, rank order).
+    pub initial: Vec<Table>,
+    /// The query-table pool; [`ServingOp::Query`] indexes into it.
+    pub pool: Vec<Table>,
+    /// The request trace. Mutations are valid when applied in order, and
+    /// safe under any interleaving via [`ServingOp::apply_tolerant`].
+    pub ops: Vec<ServingOp>,
+}
+
+impl ServingTrace {
+    /// Number of query ops in the trace.
+    pub fn query_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ServingOp::Query(_)))
+            .count()
+    }
+}
+
+/// Sample from a zipfian rank distribution via precomputed cumulative
+/// weights `w(r) = 1 / (r + 1)^s` and a binary search per draw.
+struct ZipfRanks {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfRanks {
+    fn new(n: usize, s: f64) -> ZipfRanks {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0f64;
+        for r in 0..n.max(1) {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfRanks { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen::<f64>() * total;
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+impl ServingWorkload {
+    /// Generate the initial lake, the query pool and the request trace.
+    /// Same spec + seed → identical output.
+    pub fn generate(&self) -> ServingTrace {
+        // The lake and query pool reuse the skewed top-k generator so
+        // serving numbers stay comparable to the single-caller top-k
+        // trajectory (BENCH_topk.json).
+        let base = TopKWorkload {
+            tables: self.tables,
+            hub_tables: self.hub_tables,
+            hub_rows: self.hub_rows,
+            tail_rows: self.tail_rows,
+            vocab: self.vocab,
+            queries: self.query_pool.max(1),
+            query_rows: self.query_rows,
+            seed: self.seed,
+        }
+        .generate();
+
+        // Distinct stream from the lake generator's so trace shape and
+        // lake shape vary independently of each other under one seed.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5e59_11a6_0dd5_ee1d);
+        let zipf = ZipfRanks::new(base.queries.len(), self.zipf_s.max(0.0));
+
+        // Exact read share: fix the kind of every slot, then shuffle.
+        let ops_n = self.ops;
+        let reads = ((ops_n as f64) * self.read_ratio.clamp(0.0, 1.0)).round() as usize;
+        let reads = reads.min(ops_n);
+        let mut kinds: Vec<bool> = Vec::with_capacity(ops_n);
+        kinds.extend(std::iter::repeat_n(true, reads));
+        kinds.extend(std::iter::repeat_n(false, ops_n - reads));
+        kinds.shuffle(&mut rng);
+
+        // Mutations follow ChurnWorkload's alive-set logic so an in-order
+        // replay is strictly valid (the linearization oracle relies on
+        // that) while names stay distinct from the initial lake's.
+        let churn = ChurnWorkload {
+            rows_per_table: self.tail_rows.max(8),
+            vocab: self.vocab,
+            ..ChurnWorkload::default()
+        };
+        let mut alive: Vec<Table> = base.tables.clone();
+        let mut next_id = 0usize;
+        let mut ops = Vec::with_capacity(ops_n);
+        for is_read in kinds {
+            if is_read {
+                ops.push(ServingOp::Query(zipf.sample(&mut rng)));
+                continue;
+            }
+            match rng.gen_range(0..3) {
+                0 => {
+                    let name = format!("serve_t{next_id}");
+                    next_id += 1;
+                    let t = churn.table(&mut rng, &name);
+                    alive.push(t.clone());
+                    ops.push(ServingOp::Mutate(ChurnOp::Add(t)));
+                }
+                1 if alive.len() > 1 => {
+                    let idx = rng.gen_range(0..alive.len());
+                    let name = alive.remove(idx).name().to_string();
+                    ops.push(ServingOp::Mutate(ChurnOp::Remove(name)));
+                }
+                _ => {
+                    let idx = rng.gen_range(0..alive.len());
+                    let name = alive[idx].name().to_string();
+                    let t = churn.table(&mut rng, &name);
+                    alive[idx] = t.clone();
+                    ops.push(ServingOp::Mutate(ChurnOp::Replace(t)));
+                }
+            }
+        }
+        ServingTrace {
+            initial: base.tables,
+            pool: base.queries,
+            ops,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -862,6 +1077,104 @@ mod tests {
         assert_eq!(trace.queries.len(), 1);
         // cols clamp to the (clamped) type count.
         assert_eq!(trace.tables[0].column_count(), 1);
+    }
+
+    #[test]
+    fn serving_trace_is_deterministic_with_exact_read_share() {
+        let spec = ServingWorkload {
+            tables: 40,
+            query_pool: 8,
+            ops: 200,
+            read_ratio: 0.8,
+            ..ServingWorkload::default()
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.initial.len(), 40);
+        assert_eq!(a.pool.len(), 8);
+        assert_eq!(a.ops.len(), 200);
+        assert_eq!(a.query_count(), 160, "read share is exact, not expected");
+        assert_eq!(a.query_count(), b.query_count());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            match (x, y) {
+                (ServingOp::Query(i), ServingOp::Query(j)) => assert_eq!(i, j),
+                (ServingOp::Mutate(_), ServingOp::Mutate(_)) => {}
+                _ => panic!("traces diverge"),
+            }
+        }
+    }
+
+    #[test]
+    fn serving_trace_mutations_replay_in_order_and_tolerantly() {
+        let trace = ServingWorkload {
+            tables: 24,
+            ops: 120,
+            read_ratio: 0.5,
+            ..ServingWorkload::default()
+        }
+        .generate();
+        // Strict in-order replay is valid (ChurnOp::apply panics if not).
+        let mut lake = DataLake::new();
+        for t in &trace.initial {
+            lake.add(t.clone()).unwrap();
+        }
+        for op in &trace.ops {
+            if let ServingOp::Mutate(m) = op {
+                m.apply(&mut lake);
+            }
+        }
+        // Tolerant replay of mutations in *reverse* order must not panic.
+        let mut lake = DataLake::new();
+        for t in &trace.initial {
+            lake.add(t.clone()).unwrap();
+        }
+        for op in trace.ops.iter().rev() {
+            op.apply_tolerant(&mut lake);
+        }
+        // Query ops always index into the pool.
+        for op in &trace.ops {
+            if let ServingOp::Query(i) = op {
+                assert!(*i < trace.pool.len());
+            }
+        }
+    }
+
+    #[test]
+    fn serving_zipf_skews_queries_toward_low_ranks() {
+        let trace = ServingWorkload {
+            query_pool: 16,
+            ops: 1_000,
+            read_ratio: 1.0,
+            zipf_s: 1.2,
+            ..ServingWorkload::default()
+        }
+        .generate();
+        let mut counts = vec![0usize; 16];
+        for op in &trace.ops {
+            if let ServingOp::Query(i) = op {
+                counts[*i] += 1;
+            }
+        }
+        let head: usize = counts[..4].iter().sum();
+        assert!(head > 500, "zipf(1.2) head should dominate: {counts:?}");
+        assert!(counts[0] > counts[8], "rank 0 beats mid-tail: {counts:?}");
+        // Uniform (s = 0) spreads out.
+        let uniform = ServingWorkload {
+            query_pool: 16,
+            ops: 1_000,
+            read_ratio: 1.0,
+            zipf_s: 0.0,
+            ..ServingWorkload::default()
+        }
+        .generate();
+        let mut ucounts = vec![0usize; 16];
+        for op in &uniform.ops {
+            if let ServingOp::Query(i) = op {
+                ucounts[*i] += 1;
+            }
+        }
+        let uhead: usize = ucounts[..4].iter().sum();
+        assert!(uhead < 400, "uniform head should not dominate: {ucounts:?}");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! additionally guarantees that domains staged since the last partition
 //! rebalance are exact-scanned, so fresh churn is never a false negative.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use dialite_kb::KnowledgeBase;
@@ -27,7 +27,7 @@ use dialite_table::{DataLake, LakeEvent};
 
 use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 use crate::santos::{SantosConfig, SantosDiscovery};
-use crate::telemetry::DiscoveryTelemetry;
+use crate::telemetry::{DiscoveryTelemetry, ShardedTelemetry};
 use crate::topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats};
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
@@ -71,10 +71,12 @@ pub struct LakeIndex {
     /// signature cache, which stays warm across syncs and even rebuilds
     /// (cache entries are content-addressed, not version-addressed).
     planner: TopKPlanner,
-    /// Rolling aggregate of what budgeted queries actually did. `Mutex`
-    /// because queries run under `&self` (possibly from many threads);
-    /// the critical section is a handful of counter adds.
-    telemetry: Mutex<DiscoveryTelemetry>,
+    /// Rolling aggregate of what budgeted queries actually did. Sharded:
+    /// queries run under `&self` from many serving threads at once, and a
+    /// single `Mutex` here was the one point every concurrent query
+    /// serialized on — each thread now records into its own shard and
+    /// [`LakeIndex::telemetry`] merges on demand.
+    telemetry: ShardedTelemetry,
     /// Lake version the engines reflect.
     synced: u64,
 }
@@ -86,7 +88,7 @@ impl LakeIndex {
             santos: SantosDiscovery::build(lake, kb.clone(), config.santos.clone()),
             lshe: LshEnsembleDiscovery::build(lake, config.lshe.clone()),
             planner: TopKPlanner::new(),
-            telemetry: Mutex::new(DiscoveryTelemetry::default()),
+            telemetry: ShardedTelemetry::default(),
             kb,
             config,
             synced: lake.version(),
@@ -96,6 +98,17 @@ impl LakeIndex {
     /// The lake version this index reflects.
     pub fn version(&self) -> u64 {
         self.synced
+    }
+
+    /// The knowledge base the SANTOS engine annotates with — what a
+    /// verifier needs to rebuild an equivalent index from scratch.
+    pub fn kb(&self) -> Arc<KnowledgeBase> {
+        Arc::clone(&self.kb)
+    }
+
+    /// The configuration both engines were built with.
+    pub fn config(&self) -> &LakeIndexConfig {
+        &self.config
     }
 
     /// `true` when the index reflects the lake's current version.
@@ -120,10 +133,10 @@ impl LakeIndex {
             // the telemetry window (a rebuild is maintenance, not a
             // reason to lose the observation history).
             let planner = std::mem::take(&mut self.planner);
-            let telemetry = std::mem::take(self.telemetry.get_mut().expect("telemetry lock"));
+            let telemetry = self.telemetry.snapshot();
             *self = LakeIndex::build(lake, self.kb.clone(), self.config.clone());
             self.planner = planner;
-            *self.telemetry.get_mut().expect("telemetry lock") = telemetry;
+            self.telemetry.restore(telemetry);
             return;
         };
         for (_, event) in events {
@@ -184,11 +197,8 @@ impl LakeIndex {
             self.planner
                 .discover_top_k_with_stats(&self.lshe, query, k, &budget.joinable);
         let join_elapsed = join_t0.elapsed();
-        {
-            let mut telemetry = self.telemetry.lock().expect("telemetry lock");
-            telemetry.record_santos(&santos_stats, santos_elapsed);
-            telemetry.record_topk(&join_stats, join_elapsed);
-        }
+        self.telemetry.record_santos(&santos_stats, santos_elapsed);
+        self.telemetry.record_topk(&join_stats, join_elapsed);
         vec![
             (self.santos.name().to_string(), santos_hits),
             (self.lshe.name().to_string(), join_hits),
@@ -200,12 +210,12 @@ impl LakeIndex {
     /// full rebuilds). Pair with [`LakeIndex::reset_telemetry`] for
     /// non-overlapping scrape windows.
     pub fn telemetry(&self) -> DiscoveryTelemetry {
-        self.telemetry.lock().expect("telemetry lock").clone()
+        self.telemetry.snapshot()
     }
 
     /// Zero the rolling telemetry window.
     pub fn reset_telemetry(&self) {
-        self.telemetry.lock().expect("telemetry lock").reset();
+        self.telemetry.reset();
     }
 
     /// Budgeted top-k joinable search over the LSH engine, planned by the
@@ -248,10 +258,7 @@ impl LakeIndex {
         let (hits, stats) = self
             .planner
             .discover_top_k_with_stats(&self.lshe, query, k, budget);
-        self.telemetry
-            .lock()
-            .expect("telemetry lock")
-            .record_topk(&stats, t0.elapsed());
+        self.telemetry.record_topk(&stats, t0.elapsed());
         (hits, stats)
     }
 

@@ -57,6 +57,7 @@ mod lshe;
 mod overlap;
 mod pool;
 mod santos;
+mod serving;
 mod telemetry;
 mod topk;
 mod types;
@@ -67,8 +68,12 @@ pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 pub use overlap::ExactOverlapDiscovery;
 pub use pool::{StringPool, POOL_ID_DROPPED};
 pub use santos::{SantosConfig, SantosDiscovery, SantosStats};
+pub use serving::{
+    DiscoveryService, ServingConfig, ServingError, ServingResponse, ServingTelemetry,
+};
 pub use telemetry::{
-    DiscoveryTelemetry, LatencyHistogram, SantosCounters, TopKCounters, LATENCY_BUCKET_BOUNDS_US,
+    DiscoveryTelemetry, LatencyHistogram, LatencyPercentiles, SantosCounters, TopKCounters,
+    LATENCY_BUCKET_BOUNDS_US,
 };
 pub use topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats, DEFAULT_SIGNATURE_CACHE};
 pub use types::{

@@ -1,0 +1,502 @@
+//! Discovery-as-a-service: the concurrent serving layer over a shared
+//! [`LakeIndex`].
+//!
+//! The rest of this crate is a one-caller library: a [`LakeIndex`] answers
+//! queries under `&self`, but nothing owns the lake, serializes churn
+//! against reads, bounds how many requests run at once, or measures tail
+//! latency under load. [`DiscoveryService`] is that missing layer:
+//!
+//! * **One `RwLock` around lake + index.** Queries run under the shared
+//!   read guard (many at once); mutations take the write guard, apply the
+//!   lake change and [`LakeIndex::sync`] the index before any reader can
+//!   observe the new version. A reader therefore always sees an index that
+//!   is current for the lake state it reads — responses are stamped with
+//!   that version, which is what makes the linearization oracle
+//!   (`tests/serving_oracle.rs`) checkable: every concurrent response must
+//!   be byte-identical to a single-threaded
+//!   [`LakeIndex::discover_all_budgeted`] against the stamped version.
+//! * **Admission control.** A bounded in-flight permit counter rejects
+//!   over-capacity queries immediately with [`ServingError::Busy`] —
+//!   never a block, never a partial result — so saturated serving degrades
+//!   by shedding load instead of by unbounded queueing.
+//! * **Per-request budgets.** Every query carries its own
+//!   [`DiscoveryBudget`], so one expensive caller cannot starve the rest
+//!   by monopolizing engine work inside the read guard.
+//! * **[`ServingTelemetry`].** Request counts, `Busy` rejections and
+//!   query/churn latency histograms with exact percentile export
+//!   ([`LatencyHistogram::percentile`]), accumulated per-thread (sharded)
+//!   and merged on snapshot, so the hot path never serializes on a
+//!   telemetry lock.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use dialite_kb::KnowledgeBase;
+use dialite_table::DataLake;
+
+use crate::index::{LakeIndex, LakeIndexConfig};
+use crate::telemetry::{telemetry_shard, LatencyHistogram, TELEMETRY_SHARDS};
+use crate::topk::DiscoveryBudget;
+use crate::types::{Discovered, TableQuery};
+
+/// Configuration of a [`DiscoveryService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Maximum queries in flight at once; the `max_in_flight + 1`-th
+    /// concurrent query is rejected with [`ServingError::Busy`]. The
+    /// default is generous — small deployments never reject — while still
+    /// bounding worst-case memory and lock-queue depth.
+    pub max_in_flight: usize,
+    /// Default per-request budget for [`DiscoveryService::query_default`].
+    pub budget: DiscoveryBudget,
+    /// Default per-engine result count for
+    /// [`DiscoveryService::query_default`].
+    pub k: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            max_in_flight: 1024,
+            budget: DiscoveryBudget::default(),
+            k: 5,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Replace the in-flight admission capacity.
+    pub fn with_max_in_flight(mut self, n: usize) -> ServingConfig {
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Replace the default per-request budget.
+    pub fn with_budget(mut self, budget: DiscoveryBudget) -> ServingConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the default per-engine result count.
+    pub fn with_k(mut self, k: usize) -> ServingConfig {
+        self.k = k;
+        self
+    }
+}
+
+/// Why a serving request was not answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingError {
+    /// Admission control rejected the request: `max_in_flight` queries
+    /// were already running. The request did no engine work and holds no
+    /// partial result — retry is safe.
+    Busy,
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::Busy => write!(f, "service busy: in-flight request limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// One answered discovery request: the per-engine results plus the lake
+/// version they were computed against. The version stamp is the
+/// serving-layer consistency contract — the results are exactly what a
+/// single-threaded [`LakeIndex::discover_all_budgeted`] returns against
+/// the lake state that version names (pinned by
+/// `tests/serving_oracle.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingResponse {
+    /// The lake version the query was served against.
+    pub version: u64,
+    /// Per-engine hit lists, in the same shape and order as
+    /// [`LakeIndex::discover_all_budgeted`].
+    pub results: Vec<(String, Vec<Discovered>)>,
+}
+
+/// One window of serving-layer observations: request outcomes plus
+/// query/churn latency histograms ([`LatencyHistogram`], so tail
+/// percentiles export via [`LatencyHistogram::percentiles`]). Mergeable
+/// like [`DiscoveryTelemetry`](crate::DiscoveryTelemetry): per-thread
+/// shards (or per-replica windows) [`merge`](ServingTelemetry::merge)
+/// into one view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingTelemetry {
+    /// Queries answered.
+    pub served: u64,
+    /// Queries rejected with [`ServingError::Busy`].
+    pub rejected: u64,
+    /// Mutations applied (each one lake change + index sync).
+    pub mutations: u64,
+    /// End-to-end query latency (admission to response, read-guard wait
+    /// included — this is what a caller experiences).
+    pub query_latency: LatencyHistogram,
+    /// End-to-end mutation latency (write-guard wait + apply + sync).
+    pub churn_latency: LatencyHistogram,
+}
+
+impl ServingTelemetry {
+    /// Add another window into this one.
+    pub fn merge(&mut self, other: &ServingTelemetry) {
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.mutations += other.mutations;
+        self.query_latency.merge(&other.query_latency);
+        self.churn_latency.merge(&other.churn_latency);
+    }
+
+    /// Zero the window.
+    pub fn reset(&mut self) {
+        *self = ServingTelemetry::default();
+    }
+
+    /// Compact human-readable report: outcomes plus query tail latency.
+    pub fn summary(&self) -> String {
+        format!(
+            "served {} / rejected {} / mutations {}\n  query latency: {}\n  churn latency: {}",
+            self.served,
+            self.rejected,
+            self.mutations,
+            self.query_latency.percentiles().render(),
+            self.churn_latency.percentiles().render(),
+        )
+    }
+}
+
+/// Lake + index under one lock: the invariant is that between mutations
+/// the index is always current for the lake (`mutate` syncs before
+/// releasing the write guard).
+struct ServiceState {
+    lake: DataLake,
+    index: LakeIndex,
+}
+
+/// Decrements the in-flight counter on drop, so a panicking query cannot
+/// leak its permit.
+struct AdmissionPermit<'a>(&'a AtomicUsize);
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The concurrent discovery service — a shared, churn-following
+/// [`LakeIndex`] behind admission control, serving version-stamped
+/// budgeted queries from many threads at once.
+///
+/// ```
+/// use std::sync::Arc;
+/// use dialite_discovery::{
+///     DiscoveryBudget, DiscoveryService, LakeIndexConfig, ServingConfig, TableQuery,
+/// };
+/// use dialite_kb::curated::covid_kb;
+/// use dialite_table::fixtures;
+///
+/// let service = DiscoveryService::new(
+///     fixtures::covid_lake(),
+///     Arc::new(covid_kb()),
+///     LakeIndexConfig::default(),
+///     ServingConfig::default(),
+/// );
+///
+/// let query = TableQuery::with_column(fixtures::fig2_query(), 1); // City
+/// let response = service
+///     .query(&query, 3, &DiscoveryBudget::default())
+///     .expect("capacity available");
+/// assert_eq!(response.version, service.version());
+/// assert!(response.results.iter().any(|(_, hits)| {
+///     hits.iter().any(|d| d.table == "T3")
+/// }));
+///
+/// // Churn is serialized against reads; the version stamp advances.
+/// let v = service.mutate(|lake| lake.remove("animals"));
+/// assert!(v > response.version);
+/// assert_eq!(service.telemetry().served, 1);
+/// ```
+pub struct DiscoveryService {
+    state: RwLock<ServiceState>,
+    config: ServingConfig,
+    in_flight: AtomicUsize,
+    /// Per-thread telemetry shards — the hot path locks only the calling
+    /// thread's shard; snapshots merge.
+    telemetry: [Mutex<ServingTelemetry>; TELEMETRY_SHARDS],
+}
+
+impl DiscoveryService {
+    /// Build the service: index the lake eagerly and take ownership of it.
+    pub fn new(
+        lake: DataLake,
+        kb: Arc<KnowledgeBase>,
+        index_config: LakeIndexConfig,
+        config: ServingConfig,
+    ) -> DiscoveryService {
+        let index = LakeIndex::build(&lake, kb, index_config);
+        DiscoveryService {
+            state: RwLock::new(ServiceState { lake, index }),
+            config,
+            in_flight: AtomicUsize::new(0),
+            telemetry: std::array::from_fn(|_| Mutex::new(ServingTelemetry::default())),
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// The lake version the service currently serves.
+    pub fn version(&self) -> u64 {
+        self.state.read().expect("service lock").index.version()
+    }
+
+    /// Number of tables currently in the served lake.
+    pub fn len(&self) -> usize {
+        self.state.read().expect("service lock").lake.len()
+    }
+
+    /// `true` when the served lake holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Try to take an in-flight permit; `None` means over capacity.
+    fn try_admit(&self) -> Option<AdmissionPermit<'_>> {
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.config.max_in_flight {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(AdmissionPermit(&self.in_flight)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The calling thread's telemetry shard.
+    fn shard(&self) -> &Mutex<ServingTelemetry> {
+        &self.telemetry[telemetry_shard()]
+    }
+
+    /// Answer one discovery request under an explicit per-request budget.
+    ///
+    /// Admission control runs first: over capacity, the request is
+    /// rejected with [`ServingError::Busy`] without taking the state lock
+    /// or doing any engine work. Admitted requests run
+    /// [`LakeIndex::discover_all_budgeted`] under the shared read guard
+    /// and return results stamped with the lake version they saw.
+    pub fn query(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &DiscoveryBudget,
+    ) -> Result<ServingResponse, ServingError> {
+        let Some(_permit) = self.try_admit() else {
+            self.shard().lock().expect("serving telemetry").rejected += 1;
+            return Err(ServingError::Busy);
+        };
+        let t0 = Instant::now();
+        let guard = self.state.read().expect("service lock");
+        let results = guard.index.discover_all_budgeted(query, k, budget);
+        let version = guard.index.version();
+        drop(guard);
+        let elapsed = t0.elapsed();
+        let mut shard = self.shard().lock().expect("serving telemetry");
+        shard.served += 1;
+        shard.query_latency.record(elapsed);
+        Ok(ServingResponse { version, results })
+    }
+
+    /// [`DiscoveryService::query`] with the configured default `k` and
+    /// budget.
+    pub fn query_default(&self, query: &TableQuery) -> Result<ServingResponse, ServingError> {
+        self.query(query, self.config.k, &self.config.budget.clone())
+    }
+
+    /// Apply one lake mutation and sync the index before any reader can
+    /// observe the new version; returns the post-mutation lake version.
+    /// Mutations serialize on the write guard (they are maintenance, not
+    /// traffic) and are not admission-controlled.
+    ///
+    /// The closure runs under the write guard — keep it to lake calls
+    /// (`add_table` / `replace_table` / `remove_table` / `upsert`);
+    /// everything it changes becomes visible to queries atomically with
+    /// the index sync.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut DataLake) -> R) -> u64 {
+        let t0 = Instant::now();
+        let mut guard = self.state.write().expect("service lock");
+        let _ = f(&mut guard.lake);
+        let state = &mut *guard;
+        state.index.sync(&state.lake);
+        let version = state.index.version();
+        drop(guard);
+        let elapsed = t0.elapsed();
+        let mut shard = self.shard().lock().expect("serving telemetry");
+        shard.mutations += 1;
+        shard.churn_latency.record(elapsed);
+        version
+    }
+
+    /// Run a closure under the shared read guard — the escape hatch for
+    /// callers that need a consistent view of lake and index together
+    /// (e.g. the load harness validating a response against the exact
+    /// version it was served from).
+    pub fn with_state<R>(&self, f: impl FnOnce(&DataLake, &LakeIndex) -> R) -> R {
+        let guard = self.state.read().expect("service lock");
+        f(&guard.lake, &guard.index)
+    }
+
+    /// Merged snapshot of the serving telemetry across all thread shards.
+    /// The inner discovery telemetry (planner counters etc.) is separate:
+    /// [`DiscoveryService::discovery_telemetry`].
+    pub fn telemetry(&self) -> ServingTelemetry {
+        let mut out = ServingTelemetry::default();
+        for shard in &self.telemetry {
+            out.merge(&shard.lock().expect("serving telemetry"));
+        }
+        out
+    }
+
+    /// Zero the serving telemetry window (all shards).
+    pub fn reset_telemetry(&self) {
+        for shard in &self.telemetry {
+            shard.lock().expect("serving telemetry").reset();
+        }
+    }
+
+    /// Snapshot of the wrapped index's rolling
+    /// [`DiscoveryTelemetry`](crate::DiscoveryTelemetry).
+    pub fn discovery_telemetry(&self) -> crate::DiscoveryTelemetry {
+        self.state.read().expect("service lock").index.telemetry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_kb::curated::covid_kb;
+    use dialite_table::{fixtures, table};
+    use std::time::Duration;
+
+    fn service_with(config: ServingConfig) -> DiscoveryService {
+        DiscoveryService::new(
+            fixtures::covid_lake(),
+            Arc::new(covid_kb()),
+            LakeIndexConfig::default(),
+            config,
+        )
+    }
+
+    fn city_query() -> TableQuery {
+        TableQuery::with_column(fixtures::fig2_query(), 1)
+    }
+
+    #[test]
+    fn responses_are_version_stamped_and_match_direct_index_calls() {
+        let service = service_with(ServingConfig::default());
+        let response = service.query_default(&city_query()).unwrap();
+        assert_eq!(response.version, service.version());
+        let direct = service.with_state(|_, index| {
+            index.discover_all_budgeted(&city_query(), 5, &DiscoveryBudget::default())
+        });
+        assert_eq!(response.results, direct);
+    }
+
+    #[test]
+    fn mutations_advance_the_version_and_queries_see_them() {
+        let service = service_with(ServingConfig::default());
+        let before = service.query_default(&city_query()).unwrap();
+        let v = service.mutate(|lake| {
+            lake.upsert(table! {
+                "fresh_cities"; ["place"];
+                ["berlin"], ["barcelona"], ["boston"], ["madrid"], ["toronto"],
+            });
+        });
+        assert!(v > before.version);
+        let after = service.query_default(&city_query()).unwrap();
+        assert_eq!(after.version, v);
+        assert!(
+            after
+                .results
+                .iter()
+                .any(|(_, hits)| hits.iter().any(|d| d.table == "fresh_cities")),
+            "churned-in table must be served immediately: {:?}",
+            after.results
+        );
+    }
+
+    #[test]
+    fn zero_capacity_rejects_with_busy_and_counts_it() {
+        let service = service_with(ServingConfig::default().with_max_in_flight(0));
+        assert_eq!(
+            service.query_default(&city_query()),
+            Err(ServingError::Busy)
+        );
+        let t = service.telemetry();
+        assert_eq!(t.served, 0);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(t.query_latency.samples, 0, "rejections record no latency");
+        assert!(ServingError::Busy.to_string().contains("busy"));
+    }
+
+    #[test]
+    fn telemetry_counts_and_latency_accumulate_and_reset() {
+        let service = service_with(ServingConfig::default());
+        service.query_default(&city_query()).unwrap();
+        service.query_default(&city_query()).unwrap();
+        service.mutate(|lake| lake.remove("animals"));
+        let t = service.telemetry();
+        assert_eq!(t.served, 2);
+        assert_eq!(t.mutations, 1);
+        assert_eq!(t.query_latency.samples, 2);
+        assert_eq!(t.churn_latency.samples, 1);
+        assert!(t.query_latency.percentile(0.5).is_some());
+        assert!(t.summary().contains("served 2"));
+        service.reset_telemetry();
+        assert_eq!(service.telemetry(), ServingTelemetry::default());
+        // The inner discovery telemetry is its own window.
+        assert_eq!(service.discovery_telemetry().topk.queries, 2);
+    }
+
+    #[test]
+    fn serving_telemetry_merge_is_commutative() {
+        let mut a = ServingTelemetry {
+            served: 3,
+            rejected: 1,
+            mutations: 2,
+            ..ServingTelemetry::default()
+        };
+        a.query_latency.record(Duration::from_micros(40));
+        let mut b = ServingTelemetry::default();
+        b.query_latency.record(Duration::from_micros(4_000));
+        b.served = 1;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.served, 4);
+        assert_eq!(ab.query_latency.samples, 2);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_the_served_lake() {
+        let service = service_with(ServingConfig::default());
+        let n = service.len();
+        assert!(n > 0 && !service.is_empty());
+        service.mutate(|lake| lake.remove("animals"));
+        assert_eq!(service.len(), n - 1);
+    }
+}

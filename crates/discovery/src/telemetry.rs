@@ -18,6 +18,8 @@
 //! data, so tests can pin them in lockstep against independently
 //! accumulated [`TopKStats`](crate::TopKStats).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::santos::SantosStats;
@@ -73,6 +75,67 @@ impl LatencyHistogram {
         self.total_micros = self.total_micros.saturating_add(other.total_micros);
     }
 
+    /// The `q`-quantile of the recorded samples in microseconds
+    /// (`q` in `[0, 1]`), linearly interpolated *within* the decade bucket
+    /// holding the quantile rank. `None` when no samples were recorded or
+    /// `q` is out of range — never `0` or `NaN`, so an empty window cannot
+    /// masquerade as a fast one.
+    ///
+    /// The bucket holding the rank is exact; the position inside it is
+    /// interpolated, so the absolute error is bounded by one bucket width.
+    /// The final unbounded bucket reports its lower bound (a conservative
+    /// under-estimate for extreme tails).
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.samples == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // 1-based rank of the sample the quantile lands on (nearest-rank).
+        let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                let lo = if i == 0 {
+                    0
+                } else {
+                    LATENCY_BUCKET_BOUNDS_US[i - 1]
+                };
+                return Some(match LATENCY_BUCKET_BOUNDS_US.get(i) {
+                    Some(&hi) => {
+                        // Midpoint-rank interpolation: treat the rank-th
+                        // sample as sitting at the middle of its 1/count
+                        // slice so exports stay strictly inside the
+                        // half-open bucket `[lo, hi)`.
+                        let frac = ((rank - seen) as f64 - 0.5) / count as f64;
+                        lo as f64 + (hi - lo) as f64 * frac
+                    }
+                    None => lo as f64,
+                });
+            }
+            seen += count;
+        }
+        None
+    }
+
+    /// The standard serving-tail snapshot: p50/p90/p99/p999 (see
+    /// [`LatencyHistogram::percentile`]) plus mean and sample count. The
+    /// histogram itself is the merge-compatible form — shard snapshots
+    /// [`merge`](LatencyHistogram::merge) first, *then* export percentiles
+    /// (percentiles of merged windows are not sums of per-window
+    /// percentiles).
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            samples: self.samples,
+            mean_us: self.mean_micros(),
+            p50_us: self.percentile(0.50),
+            p90_us: self.percentile(0.90),
+            p99_us: self.percentile(0.99),
+            p999_us: self.percentile(0.999),
+        }
+    }
+
     /// One-line bucket rendering, e.g. `<10us:3 <100us:12 ... >=1s:0`.
     pub fn render(&self) -> String {
         let mut parts = Vec::with_capacity(self.buckets.len());
@@ -95,6 +158,130 @@ impl LatencyHistogram {
             }
         }
         parts.join(" ")
+    }
+}
+
+/// Exported tail-latency summary of one [`LatencyHistogram`] window —
+/// what a serving dashboard or `BENCH_serving.json` row holds. All
+/// percentile fields are `None` on an empty window (never `0` / `NaN`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Samples the window holds.
+    pub samples: u64,
+    /// Mean latency in microseconds (0 with no samples).
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: Option<f64>,
+    /// 90th percentile, microseconds.
+    pub p90_us: Option<f64>,
+    /// 99th percentile, microseconds.
+    pub p99_us: Option<f64>,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: Option<f64>,
+}
+
+impl LatencyPercentiles {
+    /// Compact one-line rendering, e.g.
+    /// `p50 0.9ms p90 1.2ms p99 4.1ms p999 9.8ms (mean 1.1ms, n=1280)`;
+    /// `-` stands for an empty window's `None`.
+    pub fn render(&self) -> String {
+        let fmt = |p: Option<f64>| -> String {
+            match p {
+                Some(us) if us >= 1_000.0 => format!("{:.1}ms", us / 1_000.0),
+                Some(us) => format!("{us:.0}us"),
+                None => "-".to_string(),
+            }
+        };
+        format!(
+            "p50 {} p90 {} p99 {} p999 {} (mean {}, n={})",
+            fmt(self.p50_us),
+            fmt(self.p90_us),
+            fmt(self.p99_us),
+            fmt(self.p999_us),
+            fmt(if self.samples == 0 {
+                None
+            } else {
+                Some(self.mean_us)
+            }),
+            self.samples,
+        )
+    }
+}
+
+/// Number of independent telemetry shards. A small power of two comfortably
+/// above the concurrent-client counts the serving bench drives (32), so
+/// threads rarely contend on the same shard lock.
+pub(crate) const TELEMETRY_SHARDS: usize = 16;
+
+/// The shard a thread's telemetry lands in: assigned once per thread from a
+/// process-wide counter, so each of the first [`TELEMETRY_SHARDS`] threads
+/// gets a private shard and later threads wrap around.
+pub(crate) fn telemetry_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % TELEMETRY_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// Sharded [`DiscoveryTelemetry`] accumulator — the hot-path fix for the
+/// single telemetry `Mutex` every budgeted query used to serialize on.
+/// Each thread records into its own shard (a handful of counter adds under
+/// an uncontended lock); [`ShardedTelemetry::snapshot`] merges the shards
+/// into one window on demand. Counter sums and histogram merges are
+/// order-independent, so a snapshot equals the single-`Mutex` window
+/// exactly — pinned by the concurrent lockstep test in
+/// `tests/incremental_oracle.rs`.
+#[derive(Debug, Default)]
+pub(crate) struct ShardedTelemetry {
+    shards: [Mutex<DiscoveryTelemetry>; TELEMETRY_SHARDS],
+}
+
+impl ShardedTelemetry {
+    fn shard(&self) -> &Mutex<DiscoveryTelemetry> {
+        &self.shards[telemetry_shard()]
+    }
+
+    /// Fold one planned joinable query into the calling thread's shard.
+    pub(crate) fn record_topk(&self, stats: &TopKStats, latency: Duration) {
+        self.shard()
+            .lock()
+            .expect("telemetry shard")
+            .record_topk(stats, latency);
+    }
+
+    /// Fold one capped SANTOS query into the calling thread's shard.
+    pub(crate) fn record_santos(&self, stats: &SantosStats, latency: Duration) {
+        self.shard()
+            .lock()
+            .expect("telemetry shard")
+            .record_santos(stats, latency);
+    }
+
+    /// Merge every shard into one window.
+    pub(crate) fn snapshot(&self) -> DiscoveryTelemetry {
+        let mut out = DiscoveryTelemetry::default();
+        for shard in &self.shards {
+            out.merge(&shard.lock().expect("telemetry shard"));
+        }
+        out
+    }
+
+    /// Zero every shard.
+    pub(crate) fn reset(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("telemetry shard").reset();
+        }
+    }
+
+    /// Replace the whole window (used when a rebuild carries telemetry
+    /// across): everything lands in shard 0; snapshots are merge-order
+    /// independent, so placement does not matter.
+    pub(crate) fn restore(&mut self, window: DiscoveryTelemetry) {
+        for shard in &mut self.shards {
+            shard.get_mut().expect("telemetry shard").reset();
+        }
+        *self.shards[0].get_mut().expect("telemetry shard") = window;
     }
 }
 
@@ -441,6 +628,143 @@ mod tests {
         assert_eq!(t.topk.budget_exhaustion_rate(), 0.0);
         assert_eq!(t.joinable_latency.mean_micros(), 0.0);
         assert!(!t.summary().is_empty());
+    }
+
+    /// The decade bucket that holds a sample — the resolution bound the
+    /// percentile tests assert within.
+    fn bucket_bounds(us: u64) -> (f64, f64) {
+        let slot = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us < b)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        let lo = if slot == 0 {
+            0.0
+        } else {
+            LATENCY_BUCKET_BOUNDS_US[slot - 1] as f64
+        };
+        let hi = LATENCY_BUCKET_BOUNDS_US
+            .get(slot)
+            .map(|&b| b as f64)
+            .unwrap_or(f64::INFINITY);
+        (lo, hi)
+    }
+
+    #[test]
+    fn percentiles_of_known_samples_land_in_the_right_bucket() {
+        // 1000 samples: 500 at ~50us, 400 at ~500us, 90 at ~5ms, 9 at
+        // ~50ms, 1 at ~500ms → true p50=50us, p90=500us, p99=5ms,
+        // p999=50ms. Each export must land within the decade bucket of the
+        // true value (one-bucket error bound).
+        let mut h = LatencyHistogram::default();
+        let spec: &[(u64, usize)] = &[
+            (50, 500),
+            (500, 400),
+            (5_000, 90),
+            (50_000, 9),
+            (500_000, 1),
+        ];
+        for &(us, n) in spec {
+            for _ in 0..n {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.samples, 1000);
+        for (q, true_us) in [(0.50, 50u64), (0.90, 500), (0.99, 5_000), (0.999, 50_000)] {
+            let got = h.percentile(q).unwrap();
+            let (lo, hi) = bucket_bounds(true_us);
+            assert!(
+                got >= lo && got < hi,
+                "p{q}: got {got}us, want within [{lo}, {hi}) around {true_us}us"
+            );
+        }
+        // The snapshot form agrees with the direct calls.
+        let p = h.percentiles();
+        assert_eq!(p.p50_us, h.percentile(0.50));
+        assert_eq!(p.p999_us, h.percentile(0.999));
+        assert_eq!(p.samples, 1000);
+        assert!(p.render().contains("n=1000"));
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        // All 10 samples in the [100us, 1ms) bucket: ranks interpolate
+        // linearly across the bucket, so p50 sits mid-bucket, well below
+        // p99 — the export is not just the bucket edge.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..10 {
+            h.record(Duration::from_micros(300));
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(
+            (100.0..1_000.0).contains(&p50) && (100.0..1_000.0).contains(&p99),
+            "both within the bucket: p50={p50} p99={p99}"
+        );
+        assert!(p50 < p99, "ranks must order within the bucket");
+    }
+
+    #[test]
+    fn percentile_merge_of_shards_equals_concatenated_samples() {
+        // Split one sample stream across 3 "shard" histograms; merging the
+        // shard snapshots must reproduce the concatenated histogram (and
+        // therefore identical percentile exports).
+        let samples: Vec<u64> = (0..300).map(|i| (i * 37) % 20_000 + 3).collect();
+        let mut whole = LatencyHistogram::default();
+        let mut shards = vec![LatencyHistogram::default(); 3];
+        for (i, &us) in samples.iter().enumerate() {
+            whole.record(Duration::from_micros(us));
+            shards[i % 3].record(Duration::from_micros(us));
+        }
+        let mut merged = LatencyHistogram::default();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged, whole, "merge must equal the concatenated stream");
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_exports_none_not_zero_or_nan() {
+        let h = LatencyHistogram::default();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), None, "q={q}");
+        }
+        let p = h.percentiles();
+        assert_eq!(p.p50_us, None);
+        assert_eq!(p.p999_us, None);
+        assert_eq!(p.samples, 0);
+        assert!(p.render().contains('-'), "{}", p.render());
+        // Out-of-range quantiles are None even on non-empty windows.
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(5));
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.5), None);
+        assert!(h.percentile(1.0).is_some());
+    }
+
+    #[test]
+    fn unbounded_tail_bucket_reports_its_lower_bound() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_secs(30));
+        assert_eq!(h.percentile(0.5), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn sharded_snapshot_equals_serial_window() {
+        let sharded = ShardedTelemetry::default();
+        let mut serial = DiscoveryTelemetry::default();
+        for i in 0..20 {
+            let stats = topk_stats(i % 3, i % 5);
+            sharded.record_topk(&stats, Duration::from_micros(i as u64));
+            serial.record_topk(&stats, Duration::from_micros(i as u64));
+        }
+        sharded.record_santos(&SantosStats::default(), Duration::from_micros(7));
+        serial.record_santos(&SantosStats::default(), Duration::from_micros(7));
+        assert_eq!(sharded.snapshot(), serial);
+        sharded.reset();
+        assert_eq!(sharded.snapshot(), DiscoveryTelemetry::default());
     }
 
     #[test]

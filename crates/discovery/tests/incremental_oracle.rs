@@ -345,6 +345,94 @@ proptest! {
     }
 }
 
+/// The concurrent case of `telemetry_stays_in_lockstep_with_per_query_stats`:
+/// the index's sharded telemetry under N threads must equal the sum of the
+/// per-request stats those same calls returned — no lost updates, no
+/// double counts, regardless of which shard each thread landed on.
+/// (Latency histograms are checked for sample counts; durations are
+/// wall-clock.)
+#[test]
+fn telemetry_lockstep_holds_under_concurrent_queries() {
+    let trace = ChurnWorkload {
+        initial_tables: 10,
+        rows_per_table: 14,
+        vocab: 160,
+        ops: 24,
+        seed: 83,
+    }
+    .generate();
+    let kb = Arc::new(covid_kb());
+    let mut lake = DataLake::from_tables(trace.initial).unwrap();
+    // Apply the whole trace up front: this test is about concurrent
+    // *recording*, so the lake stays fixed while threads query.
+    for op in trace.ops {
+        op.apply(&mut lake);
+    }
+    let queries: Vec<TableQuery> = lake
+        .tables()
+        .take(4)
+        .map(|t| TableQuery::with_column(t.as_ref().clone(), 0))
+        .collect();
+    let index = LakeIndex::build(&lake, kb, exact_config());
+    let budget = QueryBudget::unlimited().with_max_verifications(6);
+    let stage_budget = DiscoveryBudget::default();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 12;
+    let per_thread_expected: Vec<DiscoveryTelemetry> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let index = &index;
+                let queries = &queries;
+                let budget = &budget;
+                let stage_budget = &stage_budget;
+                scope.spawn(move || {
+                    let mut expected = DiscoveryTelemetry::default();
+                    for i in 0..PER_THREAD {
+                        let q = &queries[(t + i) % queries.len()];
+                        let (_, stats) = index.discover_top_k_with_stats(q, 6, budget);
+                        expected.record_topk(&stats, Duration::ZERO);
+                        // The budgeted stage records both legs; fold the
+                        // equivalent per-leg stats by hand (deterministic
+                        // given the fixed lake + exact config).
+                        let _ = index.discover_all_budgeted(q, 6, stage_budget);
+                        let (_, santos_stats) =
+                            index
+                                .santos()
+                                .discover_capped(q, 6, stage_budget.santos_candidates);
+                        expected.record_santos(&santos_stats, Duration::ZERO);
+                        let (_, join_stats) =
+                            index.discover_top_k_with_stats(q, 6, &stage_budget.joinable);
+                        expected.record_topk(&join_stats, Duration::ZERO);
+                        expected.record_topk(&join_stats, Duration::ZERO);
+                    }
+                    expected
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut expected = DiscoveryTelemetry::default();
+    for e in &per_thread_expected {
+        expected.merge(e);
+    }
+    let got = index.telemetry();
+    assert_eq!(
+        got.topk, expected.topk,
+        "topk counters diverged under threads"
+    );
+    assert_eq!(
+        got.santos, expected.santos,
+        "santos counters diverged under threads"
+    );
+    assert_eq!(
+        got.joinable_latency.samples,
+        expected.joinable_latency.samples
+    );
+    assert_eq!(got.santos_latency.samples, expected.santos_latency.samples);
+}
+
 /// Deterministic spot-check of the rebalance boundary: enough removals to
 /// trip the dirtiness budget repeatedly, then equality with a rebuild.
 #[test]

@@ -5,6 +5,7 @@
 //! ```text
 //! dialite demo
 //! dialite discover  --lake DIR --query Q.csv [--column N] [--k K]
+//! dialite serve     --lake DIR --query Q.csv [--column N] [--clients N] [--requests M]
 //! dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
 //! dialite analyze   --table T.csv --corr colA,colB
 //! dialite generate  --prompt "covid cases" [--rows N] [--cols N]
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dialite demo
   dialite discover  --lake DIR --query FILE.csv [--column N] [--k K]
+  dialite serve     --lake DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M]
   dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
   dialite analyze   --table FILE.csv [--corr colA,colB] [--summary]
   dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]";
@@ -78,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("demo") => cmd_demo(),
         Some("discover") => cmd_discover(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("integrate") => cmd_integrate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
@@ -128,6 +131,69 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
     println!("{}", run.report());
     print_telemetry(&pipeline);
+    Ok(())
+}
+
+/// Serve the query from N concurrent clients against a `DiscoveryService`
+/// over the lake — the CLI face of discovery-as-a-service: admission
+/// control, version-stamped responses and a tail-latency report.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
+    let table = load_table(flag(args, "--query").ok_or("--query FILE is required")?)?;
+    let k: usize = flag(args, "--k")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "--k must be a number")?;
+    let clients: usize = flag(args, "--clients")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "--clients must be a number")?;
+    let requests: usize = flag(args, "--requests")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "--requests must be a number")?;
+    let query = match flag(args, "--column") {
+        Some(c) => {
+            let col: usize = c.parse().map_err(|_| "--column must be a number")?;
+            if col >= table.column_count() {
+                return Err(format!("--column {col} out of range"));
+            }
+            TableQuery::with_column(table, col)
+        }
+        None => TableQuery::new(table),
+    };
+    let mut pipeline = Pipeline::demo_default(&lake);
+    pipeline.set_top_k(k);
+    let service = pipeline
+        .serve(lake, 1024)
+        .expect("demo pipeline maintains an index");
+
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| loop {
+                let i = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                let _ = service.query_default(&query);
+            });
+        }
+    });
+
+    let response = service
+        .query_default(&query)
+        .map_err(|e| format!("serving failed: {e}"))?;
+    println!("Results (lake version {}):", response.version);
+    for (engine, hits) in &response.results {
+        println!("  [{engine}]");
+        for d in hits {
+            println!("    {:<24} score {:.3}", d.table, d.score);
+        }
+    }
+    let t = service.telemetry();
+    println!("\n== Serving telemetry ({clients} clients, {requests} requests) ==");
+    println!("{}", t.summary());
     Ok(())
 }
 
