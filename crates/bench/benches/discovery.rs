@@ -7,17 +7,21 @@
 //! probe-all stage, and the `santos_cap` group racing capped bound-ranked
 //! SANTOS retrieval against exhaustive scoring on a type-dense lake.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dialite_bench::record;
 use dialite_core::Pipeline;
 use dialite_datagen::lake::{LakeSpec, SyntheticLake};
-use dialite_datagen::workloads::{ChurnWorkload, SantosWorkload, TopKWorkload};
+use dialite_datagen::workloads::{
+    ChurnWorkload, SantosWorkload, StreamedLakeWorkload, TopKWorkload,
+};
 use dialite_discovery::{
     Discovery, DiscoveryBudget, ExactOverlapDiscovery, LakeIndex, LakeIndexConfig,
     LshEnsembleConfig, LshEnsembleDiscovery, QueryBudget, SantosConfig, SantosDiscovery,
-    TableQuery, TopKPlanner,
+    ShardedLakeIndex, TableQuery, TopKPlanner,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_table::{DataLake, Table, Value};
@@ -431,12 +435,172 @@ fn bench_santos_cap(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded fan-out vs the single index on a 100k-table streamed lake.
+/// Output equality (sharded == single-shard, byte-for-byte, unlimited
+/// budget, sketch-free config) is asserted for every query and every shard
+/// count before any number is published. The headline metric is the
+/// *per-shard work drop*: the streamed queries are KB-typeless, so the
+/// SANTOS leg full-scans, and each shard scores exactly its slot stripe —
+/// max per-shard `candidates_scored` must fall near-linearly in N. Wall
+/// clock is recorded, not asserted: the bench host may have a single CPU
+/// (`host_cpus` lands in `BENCH_topk.json`), and fan-out cannot beat the
+/// single index without real cores.
+fn bench_sharded(c: &mut Criterion) {
+    let tables = std::env::var("DIALITE_SHARDED_TABLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let spec = StreamedLakeWorkload {
+        tables,
+        ..StreamedLakeWorkload::default()
+    };
+    let t0 = Instant::now();
+    let lake = spec.lake();
+    let streamed = t0.elapsed();
+    let queries: Vec<TableQuery> = spec
+        .queries()
+        .into_iter()
+        .map(|q| TableQuery::with_column(q, 0))
+        .collect();
+    let kb = Arc::new(covid_kb());
+    // Sketch-free: the LSH sketch path is not guaranteed identical across
+    // shardings, so the equality gate (like the shard oracle tests) pins
+    // the exact posting-list path. num_perm is irrelevant on that path —
+    // keep it minimal so the 100k-table builds stay cheap.
+    let config = LakeIndexConfig {
+        santos: SantosConfig::default(),
+        lshe: LshEnsembleConfig {
+            num_perm: 16,
+            num_partitions: 4,
+            exact_fallback_below: usize::MAX,
+            ..LshEnsembleConfig::default()
+        },
+    };
+    let budget = DiscoveryBudget::unlimited();
+
+    let t1 = Instant::now();
+    let single = ShardedLakeIndex::build(&lake, kb.clone(), config.clone(), 1);
+    let build_single = t1.elapsed();
+    single.reset_telemetry();
+    let t2 = Instant::now();
+    let baseline: Vec<_> = queries
+        .iter()
+        .map(|q| single.discover_all_budgeted(q, 10, &budget))
+        .collect();
+    let query_single = t2.elapsed() / queries.len() as u32;
+    let single_window = single.telemetry();
+    let single_scored = single_window.santos.candidates_scored;
+    let single_verified = single_window.topk.candidates_verified;
+    assert!(
+        single_window.santos.full_scans as usize >= queries.len(),
+        "streamed tokens must be KB-typeless so the scored-work metric is the stripe size"
+    );
+    println!(
+        "bench sharded/headline: {} tables streamed in {streamed:?}; single-shard build \
+         {build_single:?}, query {query_single:?}, santos scored {single_scored}, joinable \
+         verified {single_verified}",
+        lake.len()
+    );
+
+    let mut points = Vec::new();
+    for shards in [2usize, 4, 8] {
+        let t = Instant::now();
+        let sharded = ShardedLakeIndex::build(&lake, kb.clone(), config.clone(), shards);
+        let build = t.elapsed();
+        sharded.reset_telemetry();
+        let t = Instant::now();
+        for (q, want) in queries.iter().zip(&baseline) {
+            assert_eq!(
+                &sharded.discover_all_budgeted(q, 10, &budget),
+                want,
+                "{shards}-shard fan-out diverged from the single index on {}",
+                q.table.name()
+            );
+        }
+        let query = t.elapsed() / queries.len() as u32;
+        let per_shard = sharded.telemetry_per_shard();
+        let max_scored = per_shard
+            .iter()
+            .map(|w| w.santos.candidates_scored)
+            .max()
+            .unwrap_or(0);
+        let max_verified = per_shard
+            .iter()
+            .map(|w| w.topk.candidates_verified)
+            .max()
+            .unwrap_or(0);
+        // Slot stripes partition the lake exactly, so the full-scanning
+        // SANTOS leg drops perfectly linearly; 10% slack absorbs stripe
+        // rounding on non-dividing table counts.
+        assert!(
+            max_scored <= single_scored / shards as u64 + single_scored / 10,
+            "per-shard santos work did not drop near-linearly at {shards} shards: \
+             max {max_scored} vs single {single_scored}"
+        );
+        let merged = sharded.telemetry();
+        assert_eq!(
+            merged.santos.candidates_scored,
+            per_shard
+                .iter()
+                .map(|w| w.santos.candidates_scored)
+                .sum::<u64>(),
+            "merged telemetry out of lockstep with per-shard sums"
+        );
+        println!(
+            "bench sharded/{shards}-shards: build {build:?}, query {query:?}, max per-shard \
+             scored {max_scored} ({:.2}x drop), max per-shard verified {max_verified} \
+             ({:.2}x drop)",
+            single_scored as f64 / max_scored.max(1) as f64,
+            single_verified as f64 / max_verified.max(1) as f64,
+        );
+        points.push(format!(
+            "{{ \"shards\": {shards}, \"build_ms\": {:.1}, \"query_us\": {:.1}, \
+             \"max_shard_scored\": {max_scored}, \"max_shard_verified\": {max_verified} }}",
+            build.as_secs_f64() * 1e3,
+            query.as_secs_f64() * 1e6,
+        ));
+    }
+    let point = format!(
+        "{{ \"pr\": 7, \"group\": \"sharded\", \"tables\": {}, \"queries\": {}, \
+         \"host_cpus\": {}, \"single\": {{ \"build_ms\": {:.1}, \"query_us\": {:.1}, \
+         \"scored\": {single_scored}, \"verified\": {single_verified} }}, \"fanout\": [ {} ] }}",
+        lake.len(),
+        queries.len(),
+        record::host_cpus(),
+        build_single.as_secs_f64() * 1e3,
+        query_single.as_secs_f64() * 1e6,
+        points.join(", "),
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_topk.json");
+    record::append_point(&path, "topk", &point).expect("append BENCH_topk.json");
+
+    let four = ShardedLakeIndex::build(&lake, kb, config, 4);
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(10);
+    group.bench_function("query/1-shard-100k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            single.discover_all_budgeted(std::hint::black_box(&queries[i]), 10, &budget)
+        })
+    });
+    group.bench_function("query/4-shards-100k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            four.discover_all_budgeted(std::hint::black_box(&queries[i]), 10, &budget)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_discovery,
     bench_churn,
     bench_topk,
     bench_pipeline_stage,
-    bench_santos_cap
+    bench_santos_cap,
+    bench_sharded
 );
 criterion_main!(benches);

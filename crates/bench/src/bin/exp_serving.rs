@@ -12,12 +12,16 @@
 //! enabled (every concurrent response byte-identical to a single-threaded
 //! replay at its stamped version) and asserts zero `Busy` rejections at
 //! the default generous admission capacity — the CI gate. The full run
-//! measures the three client counts and rewrites `BENCH_serving.json`.
+//! measures the three client counts and *appends* one point per client
+//! count to the `BENCH_serving.json` trajectory
+//! ([`dialite_bench::record`]) — history accumulates, it is never
+//! overwritten.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use dialite_bench::load::{run_load, service_over, LoadConfig, LoadReport};
-use dialite_bench::{row, section};
+use dialite_bench::{record, row, section};
 use dialite_datagen::workloads::ServingWorkload;
 use dialite_discovery::{
     DiscoveryBudget, LakeIndexConfig, LshEnsembleConfig, SantosConfig, ServingConfig,
@@ -155,15 +159,19 @@ fn full() -> Vec<LoadReport> {
     reports
 }
 
-fn write_bench_json(reports: &[LoadReport]) {
+/// Append one `{bench, host_cpus, points[]}` point per client count —
+/// the trajectory keeps every historical run.
+fn append_bench_json(reports: &[LoadReport]) {
     let us = |v: Option<f64>| match v {
         Some(us) => format!("{us:.1}"),
         None => "null".into(),
     };
-    let mut rows = Vec::new();
+    // The bin's cwd is the invoker's; anchor on the crate manifest so the
+    // trajectory always lands at the repo root.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
     for r in reports {
-        rows.push(format!(
-            "    {{ \"clients\": {}, \"qps\": {:.1}, \"queries\": {}, \"mutations\": {}, \
+        let point = format!(
+            "{{ \"clients\": {}, \"qps\": {:.1}, \"queries\": {}, \"mutations\": {}, \
              \"busy\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
              \"mean_us\": {:.1} }}",
             r.clients,
@@ -176,25 +184,14 @@ fn write_bench_json(reports: &[LoadReport]) {
             us(r.latency.p99_us),
             us(r.latency.p999_us),
             r.latency.mean_us,
-        ));
+        );
+        record::append_point(&path, "serving", &point).expect("append BENCH_serving.json");
     }
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let json = format!(
-        "{{\n  \"experiment\": \"serving\",\n  \"command\": \"cargo run --release --bin \
-         exp_serving -p dialite-bench\",\n  \"workload\": \"1k-table skewed lake, 4096-op trace, \
-         90:10 read:write, zipf(1.0) over a 32-query pool, default budget, k=10\",\n  \
-         \"host_cpus\": {host_cpus},\n  \
-         \"notes\": \"qps = answered queries / measured wall clock; percentiles from the decade \
-         histogram (exact bucket, interpolated within); busy = admission rejections (gated to 0 \
-         at the default capacity); on a single-core host qps cannot scale with clients — the \
-         trajectory then measures queueing fairness (no starvation, bounded busy), not \
-         parallel speedup\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+    println!(
+        "\nappended {} point(s) to {}",
+        reports.len(),
+        path.display()
     );
-    std::fs::write("BENCH_serving.json", json).expect("write BENCH_serving.json");
-    println!("\nwrote BENCH_serving.json");
 }
 
 fn main() {
@@ -203,5 +200,5 @@ fn main() {
         return;
     }
     let reports = full();
-    write_bench_json(&reports);
+    append_bench_json(&reports);
 }

@@ -7,6 +7,7 @@
 use std::time::Instant;
 
 pub mod load;
+pub mod record;
 
 /// Run a closure, returning its result and the elapsed milliseconds.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {

@@ -20,6 +20,10 @@
 //! version. Run verification with the exact (sketch-free) index config and
 //! an unlimited budget — the regime where discovery output is a pure
 //! function of lake state (see `crates/discovery/tests/serving_oracle.rs`).
+//! The replay is always a *single* `LakeIndex`, whatever the service's
+//! shard count: under the exact config sharded fan-out output is
+//! byte-identical to the single index (`tests/shard_oracle.rs`), so the
+//! same replay doubles as a cross-shard equivalence check.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -231,7 +235,7 @@ fn verify_linearization(
     // rewinds — if a response matches no serialized state, the service
     // linearization is broken and the walk panics.
     answered.sort_by_key(|a| a.version);
-    let (kb, index_config) = service.with_state(|_, index| (index.kb(), index.config().clone()));
+    let (kb, index_config) = service.with_state(|_, index| (index.kb(), index.config()));
     let mut replay = DataLake::new();
     for t in &trace.initial {
         replay.upsert(t.clone());

@@ -1,0 +1,197 @@
+//! Append-only recorder for the repo's `BENCH_*.json` trajectory files.
+//!
+//! Every bench trajectory uses one unified shape:
+//!
+//! ```json
+//! {
+//!   "bench": "topk",
+//!   "host_cpus": 1,
+//!   "points": [ { ... }, { ... } ]
+//! }
+//! ```
+//!
+//! `points` is append-only history: each `exp_*` binary or criterion
+//! bench run *adds* its rows ([`append_point`]) instead of rewriting the
+//! file, so older numbers stay visible in the trajectory and a regression
+//! cannot silently erase its own baseline. Extra top-level keys
+//! (`command`, `notes`, ...) are preserved verbatim; the one structural
+//! requirement is that `"points"` is the **last** top-level key, so its
+//! closing `]` is the last `]` in the file. There is no serde in this
+//! offline workspace — the splice is plain string surgery, like every
+//! other JSON producer here.
+
+use std::io;
+use std::path::Path;
+
+/// The host's logical CPU count, as recorded in fresh trajectory files —
+/// wall-clock numbers are only comparable within one `host_cpus` regime
+/// (a 1-CPU bench host cannot show parallel fan-out speedups).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Append one JSON object to the `points` array of the trajectory file at
+/// `path`. A missing file — or one without a `points` array — is created
+/// fresh in the unified `{bench, host_cpus, points}` shape. `point_json`
+/// must be a self-contained JSON object (its internal layout is the
+/// caller's; multi-line objects are re-indented to the array level).
+pub fn append_point(path: &Path, bench: &str, point_json: &str) -> io::Result<()> {
+    let point = indent_point(point_json);
+    let next = match std::fs::read_to_string(path) {
+        Ok(text) => splice(&text, &point).unwrap_or_else(|| fresh(bench, &point)),
+        Err(_) => fresh(bench, &point),
+    };
+    std::fs::write(path, next)
+}
+
+/// Indent every line of a point object to the `points`-array level.
+fn indent_point(point_json: &str) -> String {
+    point_json
+        .trim()
+        .lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Splice an (already indented) point before the closing `]` of the
+/// `points` array. `None` when the text has no such array — the caller
+/// then rewrites the file fresh.
+fn splice(text: &str, point: &str) -> Option<String> {
+    let key = text.find("\"points\"")?;
+    let close = text.rfind(']')?;
+    if close < key {
+        return None;
+    }
+    let head = text[..close].trim_end();
+    let sep = if head.ends_with('[') { "\n" } else { ",\n" };
+    let rest = &text[close + 1..];
+    Some(format!("{head}{sep}{point}\n  ]{rest}"))
+}
+
+/// A fresh trajectory file holding one point.
+fn fresh(bench: &str, point: &str) -> String {
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"host_cpus\": {},\n  \"points\": [\n{point}\n  ]\n}}\n",
+        host_cpus()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("dialite_record_{}_{name}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn balanced(json: &str) {
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",]") && !json.contains(",\n  ]"), "{json}");
+        assert!(!json.contains(",}"), "{json}");
+    }
+
+    #[test]
+    fn first_append_creates_the_unified_shape() {
+        let path = scratch("fresh");
+        append_point(&path, "demo", "{ \"x\": 1 }").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"demo\""), "{text}");
+        assert!(text.contains("\"host_cpus\":"), "{text}");
+        assert!(text.contains("\"points\": ["), "{text}");
+        assert!(text.contains("{ \"x\": 1 }"), "{text}");
+        balanced(&text);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appends_accumulate_instead_of_overwriting() {
+        let path = scratch("appends");
+        append_point(&path, "demo", "{ \"run\": 1 }").unwrap();
+        append_point(&path, "demo", "{ \"run\": 2 }").unwrap();
+        append_point(&path, "demo", "{ \"run\": 3 }").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for i in 1..=3 {
+            assert!(text.contains(&format!("{{ \"run\": {i} }}")), "{text}");
+        }
+        // Points are comma-separated, in append order.
+        assert!(
+            text.find("\"run\": 1").unwrap() < text.find("\"run\": 2").unwrap()
+                && text.find("\"run\": 2").unwrap() < text.find("\"run\": 3").unwrap(),
+            "{text}"
+        );
+        assert_eq!(text.matches("\"bench\"").count(), 1, "{text}");
+        balanced(&text);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn splice_preserves_extra_top_level_keys_and_existing_points() {
+        let path = scratch("extra");
+        std::fs::write(
+            &path,
+            "{\n  \"bench\": \"topk\",\n  \"host_cpus\": 1,\n  \"notes\": \"kept verbatim\",\n  \
+             \"points\": [\n    { \"pr\": 4 }\n  ]\n}\n",
+        )
+        .unwrap();
+        append_point(&path, "topk", "{ \"pr\": 7 }").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"notes\": \"kept verbatim\""), "{text}");
+        assert!(text.contains("{ \"pr\": 4 },"), "{text}");
+        assert!(text.contains("{ \"pr\": 7 }"), "{text}");
+        balanced(&text);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn splice_into_an_empty_points_array_adds_no_comma() {
+        let path = scratch("empty");
+        std::fs::write(
+            &path,
+            "{\n  \"bench\": \"x\",\n  \"host_cpus\": 1,\n  \"points\": []\n}\n",
+        )
+        .unwrap();
+        append_point(&path, "x", "{ \"a\": true }").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("{ \"a\": true }"), "{text}");
+        balanced(&text);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shapeless_file_is_rewritten_fresh() {
+        let path = scratch("shapeless");
+        std::fs::write(&path, "not json at all").unwrap();
+        append_point(&path, "demo", "{ \"ok\": 1 }").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"demo\""), "{text}");
+        assert!(!text.contains("not json"), "{text}");
+        balanced(&text);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multiline_points_are_indented_to_the_array_level() {
+        let path = scratch("multiline");
+        append_point(&path, "demo", "{\n  \"a\": 1,\n  \"b\": 2\n}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("    {\n      \"a\": 1,"), "{text}");
+        balanced(&text);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -6,8 +6,8 @@ use std::sync::{Arc, RwLock};
 use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
 use dialite_discovery::{
     top_k_discovered, union_integration_set, Discovered, Discovery, DiscoveryBudget,
-    DiscoveryService, DiscoveryTelemetry, LakeIndex, LakeIndexConfig, QueryBudget, ServingConfig,
-    TableQuery,
+    DiscoveryService, DiscoveryTelemetry, LakeIndexConfig, QueryBudget, ServingConfig,
+    ShardedLakeIndex, TableQuery,
 };
 use dialite_integrate::{
     AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
@@ -116,30 +116,40 @@ impl PipelineRun {
     }
 }
 
-/// The lazily built, churn-following `LakeIndex` a pipeline keeps warm
-/// across runs, keyed on [`DataLake::version`].
+/// The lazily built, churn-following [`ShardedLakeIndex`] a pipeline keeps
+/// warm across runs, keyed on [`DataLake::version`]. With the default
+/// single shard the execution layer is a byte-for-byte passthrough over
+/// one `LakeIndex` (no threads, no budget splits, no re-rank); with
+/// [`PipelineBuilder::shards`]` > 1` the lake is striped across shards and
+/// queries fan out in parallel.
 struct IndexedDiscovery {
     kb: Arc<KnowledgeBase>,
     config: LakeIndexConfig,
-    index: Option<LakeIndex>,
+    shards: usize,
+    index: Option<ShardedLakeIndex>,
 }
 
 impl IndexedDiscovery {
     /// Make the index reflect the lake's current version: build on first
-    /// use, apply the changelog delta on a version mismatch, no-op when
-    /// already current.
-    fn ensure_current(&mut self, lake: &DataLake) -> &LakeIndex {
-        match &mut self.index {
+    /// use, apply the changelog delta on a version mismatch (each shard
+    /// replays only its own stripe's events), no-op when already current.
+    fn ensure_current(&mut self, lake: &DataLake) -> &ShardedLakeIndex {
+        match &self.index {
             Some(index) => index.sync(lake),
             None => {
-                self.index = Some(LakeIndex::build(lake, self.kb.clone(), self.config.clone()));
+                self.index = Some(ShardedLakeIndex::build(
+                    lake,
+                    self.kb.clone(),
+                    self.config.clone(),
+                    self.shards,
+                ));
             }
         }
         self.index.as_ref().expect("index just ensured")
     }
 
     /// The index, if it already reflects the lake's current version.
-    fn current(&self, lake: &DataLake) -> Option<&LakeIndex> {
+    fn current(&self, lake: &DataLake) -> Option<&ShardedLakeIndex> {
         self.index.as_ref().filter(|ix| ix.is_current(lake))
     }
 }
@@ -169,6 +179,7 @@ pub struct PipelineBuilder {
     alternatives: Vec<Box<dyn Integrator>>,
     top_k: usize,
     budget: DiscoveryBudget,
+    shards: usize,
 }
 
 impl Default for PipelineBuilder {
@@ -181,6 +192,7 @@ impl Default for PipelineBuilder {
             alternatives: Vec::new(),
             top_k: 5,
             budget: DiscoveryBudget::default(),
+            shards: 1,
         }
     }
 }
@@ -192,17 +204,34 @@ impl PipelineBuilder {
         self
     }
 
-    /// Use a maintained [`LakeIndex`] (SANTOS + LSH Ensemble) as the
-    /// discovery stage. The index is built lazily on the first
-    /// [`Pipeline::run`] and then *kept* across runs: each run checks
-    /// [`DataLake::version`] and applies only the lake's changelog delta
-    /// instead of rebuilding — the churn-safe path for mutable lakes.
+    /// Use a maintained index (SANTOS + LSH Ensemble behind a
+    /// [`ShardedLakeIndex`]) as the discovery stage. The index is built
+    /// lazily on the first [`Pipeline::run`] and then *kept* across runs:
+    /// each run checks [`DataLake::version`] and applies only the lake's
+    /// changelog delta instead of rebuilding — the churn-safe path for
+    /// mutable lakes. [`PipelineBuilder::shards`] sets how many stripes
+    /// the lake is partitioned into (default 1: the classic single
+    /// `LakeIndex`, byte-for-byte).
     pub fn indexed_discovery(mut self, kb: Arc<KnowledgeBase>, config: LakeIndexConfig) -> Self {
         self.indexed = Some(IndexedDiscovery {
             kb,
             config,
+            shards: 1,
             index: None,
         });
+        self
+    }
+
+    /// Number of index shards the maintained discovery stage stripes the
+    /// lake across (clamped to at least 1; default 1). Queries fan out
+    /// across shards on scoped threads with per-shard
+    /// [`QueryBudget::split`] slices and merge under the pipeline's one
+    /// ordering rule; `shards(1)` is byte-for-byte the unsharded index.
+    /// Only meaningful together with
+    /// [`PipelineBuilder::indexed_discovery`]; plain engines are never
+    /// sharded.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 
@@ -244,8 +273,12 @@ impl PipelineBuilder {
 
     /// Finalize.
     pub fn build(self) -> Pipeline {
+        let shards = self.shards;
         Pipeline {
-            indexed: self.indexed.map(RwLock::new),
+            indexed: self.indexed.map(|mut ix| {
+                ix.shards = shards;
+                RwLock::new(ix)
+            }),
             discoveries: self.discoveries,
             matcher: self.matcher,
             integrator: self.integrator,
@@ -304,7 +337,31 @@ impl Pipeline {
             .as_ref()?
             .read()
             .expect("indexed discovery lock");
-        guard.index.as_ref().map(LakeIndex::telemetry)
+        guard.index.as_ref().map(ShardedLakeIndex::telemetry)
+    }
+
+    /// The merged telemetry window as one JSON object
+    /// ([`DiscoveryTelemetry::to_json`]): per-leg counters plus per-engine
+    /// latency percentiles, with empty-window percentiles exported as
+    /// `null`. Shard windows are merged *before* export (per-shard JSON
+    /// rows would not be mergeable). `None` exactly when
+    /// [`Pipeline::telemetry`] is `None`.
+    ///
+    /// ```
+    /// use dialite_core::{demo, Pipeline};
+    /// use dialite_discovery::TableQuery;
+    ///
+    /// let lake = demo::covid_lake();
+    /// let pipeline = Pipeline::demo_default(&lake);
+    /// let query = TableQuery::with_column(demo::fig2_query(), 1);
+    /// pipeline.run(&lake, &query).unwrap();
+    ///
+    /// let json = pipeline.telemetry_json().expect("indexed pipeline");
+    /// assert!(json.contains("\"topk\":{\"queries\":1"));
+    /// assert!(json.contains("\"joinable_latency\""));
+    /// ```
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.telemetry().map(|t| t.to_json())
     }
 
     /// Zero the maintained index's telemetry window (no-op when no index
@@ -320,11 +377,14 @@ impl Pipeline {
 
     /// Promote the pipeline's discovery stage to a standalone
     /// [`DiscoveryService`] — the concurrent serving layer: the service
-    /// takes ownership of `lake`, indexes it with the pipeline's KB and
-    /// index configuration, and serves version-stamped budgeted queries
-    /// from many threads behind bounded admission
+    /// takes ownership of `lake`, indexes it with the pipeline's KB,
+    /// index configuration and shard count
+    /// ([`PipelineBuilder::shards`]), and serves version-stamped budgeted
+    /// queries from many threads behind bounded admission
     /// (`max_in_flight`; see [`ServingConfig`]). The pipeline's own
-    /// `top_k` and discovery budget become the service defaults.
+    /// `top_k` and discovery budget become the service defaults; with
+    /// more than one shard, writers lock one shard at a time while
+    /// queries fan out over consistent snapshots.
     ///
     /// Returns `None` when the pipeline has no indexed discovery
     /// configured ([`PipelineBuilder::indexed_discovery`]) — plain
@@ -351,23 +411,33 @@ impl Pipeline {
             .with_max_in_flight(max_in_flight)
             .with_budget(self.budget)
             .with_k(self.top_k);
-        Some(DiscoveryService::new(
+        Some(DiscoveryService::with_shards(
             lake,
             guard.kb.clone(),
             guard.config.clone(),
             serving,
+            guard.shards,
         ))
     }
 
     /// The paper's demo configuration over a given lake: a maintained
-    /// [`LakeIndex`] (SANTOS-style + LSH Ensemble discovery, built eagerly
+    /// index (SANTOS-style + LSH Ensemble discovery, built eagerly
     /// here and kept in sync with lake churn across runs) backed by the
     /// curated COVID KB, KB-assisted holistic matching, ALITE FD as the
     /// integrator and outer join as the comparison alternative.
     pub fn demo_default(lake: &DataLake) -> Pipeline {
+        Pipeline::demo_sharded(lake, 1)
+    }
+
+    /// [`Pipeline::demo_default`] with the maintained index striped across
+    /// `shards` index shards ([`PipelineBuilder::shards`]; clamped to at
+    /// least 1) — what the CLI's `--shards` flag builds. `shards == 1` is
+    /// exactly [`Pipeline::demo_default`].
+    pub fn demo_sharded(lake: &DataLake, shards: usize) -> Pipeline {
         let kb = Arc::new(covid_kb());
         let pipeline = Pipeline::builder()
             .indexed_discovery(kb.clone(), LakeIndexConfig::default())
+            .shards(shards)
             .matcher(HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb))))
             .integrator(Box::new(AliteFd::default()))
             .alternative(Box::new(OuterJoinIntegrator))
@@ -381,7 +451,8 @@ impl Pipeline {
     /// Budgeted top-k joinable discovery — the interactive hot path, run
     /// *without* the align/integrate stages.
     ///
-    /// Routes through the maintained [`LakeIndex`]'s `TopKPlanner`: the
+    /// Routes through the maintained index's `TopKPlanner` (fanned out
+    /// per shard when [`PipelineBuilder::shards`]` > 1`): the
     /// query-column signature is served from a small LRU on repeat
     /// queries, LSH partitions are probed best-bound-first with early
     /// termination, and candidates are verified on exact token posting
@@ -970,6 +1041,91 @@ mod tests {
         let plain = Pipeline::builder().build();
         assert!(plain.telemetry().is_none());
         plain.reset_telemetry(); // and resetting it is a no-op, not a panic
+    }
+
+    /// The sketch-free index config of the oracle suites: discovery
+    /// output becomes a pure function of lake state, so single-shard and
+    /// sharded pipelines can be compared byte-for-byte (the sketch path is
+    /// only *statistically* stable across shardings — per-shard ensembles
+    /// partition their own domains).
+    fn exact_index_config() -> LakeIndexConfig {
+        LakeIndexConfig {
+            santos: dialite_discovery::SantosConfig::default(),
+            lshe: dialite_discovery::LshEnsembleConfig {
+                num_perm: 64,
+                num_partitions: 4,
+                exact_fallback_below: usize::MAX,
+                ..dialite_discovery::LshEnsembleConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_is_byte_identical_to_single_shard() {
+        let mut lake = demo::covid_lake();
+        let single = Pipeline::builder()
+            .indexed_discovery(Arc::new(covid_kb()), exact_index_config())
+            .build();
+        let sharded = Pipeline::builder()
+            .indexed_discovery(Arc::new(covid_kb()), exact_index_config())
+            .shards(3)
+            .build();
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        assert_eq!(
+            single.discover_stage(&lake, &query),
+            sharded.discover_stage(&lake, &query),
+            "fan-out + merge must reproduce the single index exactly"
+        );
+
+        // Churn between runs: each shard replays only its own stripe of
+        // the changelog, and the outputs stay in lockstep.
+        lake.remove("T2").unwrap();
+        assert_eq!(
+            single.discover_stage(&lake, &query),
+            sharded.discover_stage(&lake, &query),
+        );
+        assert_eq!(
+            single.discover_top_k(&lake, &query, 4, &QueryBudget::unlimited()),
+            sharded.discover_top_k(&lake, &query, 4, &QueryBudget::unlimited()),
+        );
+
+        // serve() carries the shard count into the service.
+        let service = sharded.serve(lake, 16).expect("indexed pipeline");
+        assert_eq!(service.shard_count(), 3);
+        let response = service.query_default(&query).unwrap();
+        assert!(response
+            .results
+            .iter()
+            .any(|(_, hits)| hits.iter().any(|d| d.table == "T3")));
+    }
+
+    #[test]
+    fn shards_zero_clamps_to_one() {
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::builder()
+            .indexed_discovery(Arc::new(covid_kb()), exact_index_config())
+            .shards(0)
+            .build();
+        let service = pipeline.serve(lake, 16).expect("indexed pipeline");
+        assert_eq!(service.shard_count(), 1);
+    }
+
+    #[test]
+    fn telemetry_json_exports_the_merged_window() {
+        let lake = demo::covid_lake();
+        let pipeline = Pipeline::demo_default(&lake);
+        let fresh = pipeline.telemetry_json().expect("index built eagerly");
+        assert!(fresh.contains("\"queries\":0"), "{fresh}");
+
+        let query = TableQuery::with_column(demo::fig2_query(), 1);
+        pipeline.run(&lake, &query).unwrap();
+        let json = pipeline.telemetry_json().unwrap();
+        assert!(json.contains("\"topk\":{\"queries\":1"), "{json}");
+        assert!(json.contains("\"santos\":{\"queries\":1"), "{json}");
+        assert!(json.contains("\"joinable_latency\""), "{json}");
+
+        // No indexed discovery → nothing to export.
+        assert!(Pipeline::builder().build().telemetry_json().is_none());
     }
 
     #[test]

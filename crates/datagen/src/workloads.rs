@@ -845,6 +845,114 @@ impl ServingWorkload {
     }
 }
 
+/// Parameters of the sharded-index scale workload: a lake *streamed*
+/// table-by-table — table `i` is a pure function of the spec and
+/// `seed + i` ([`StreamedLakeWorkload::table`]), so a 100k-table lake is
+/// generated with O(1) generator state, any slot stripe can be
+/// re-generated independently, and two processes streaming the same spec
+/// agree byte-for-byte without ever holding a shared `Vec<Table>`.
+///
+/// Tables are tiny (a `key` token column drawn from a contiguous vocab
+/// window, plus an integer `val` column): the workload measures index
+/// *fan-out* — how per-shard scored/verified work scales with shard
+/// count — not per-table cost. Key tokens are synthetic (`w<j>`),
+/// unknown to any curated KB, so the SANTOS leg takes its typeless full
+/// scan and scores exactly the tables its shard owns: the cleanest
+/// near-linear work signal a sharded bench can gate on.
+#[derive(Debug, Clone)]
+pub struct StreamedLakeWorkload {
+    /// Total tables streamed into the lake.
+    pub tables: usize,
+    /// Distinct key tokens per table.
+    pub rows_per_table: usize,
+    /// Shared token universe. Each table draws its keys from a random
+    /// contiguous window, so overlapping windows yield the full spectrum
+    /// of containment relations (as in [`ChurnWorkload`]).
+    pub vocab: usize,
+    /// Query tables, drawn as key-subsets of evenly spaced lake tables so
+    /// every query has a containment-1.0 match somewhere in the lake.
+    pub queries: usize,
+    /// Distinct keys per query table.
+    pub query_rows: usize,
+    /// Base RNG seed; table `i` derives its own stream from `seed`
+    /// and `i`, the query set from `seed` alone.
+    pub seed: u64,
+}
+
+impl Default for StreamedLakeWorkload {
+    fn default() -> Self {
+        StreamedLakeWorkload {
+            tables: 100_000,
+            rows_per_table: 4,
+            vocab: 50_000,
+            queries: 8,
+            query_rows: 16,
+            seed: 71,
+        }
+    }
+}
+
+impl StreamedLakeWorkload {
+    /// The `i`-th lake table (`streamed_t<i>`), generated from its own
+    /// seeded stream: same spec + same `i` → identical table, regardless
+    /// of which other tables were ever materialized.
+    pub fn table(&self, i: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1 + i as u64));
+        let vocab = self.vocab.max(2);
+        let rows = self.rows_per_table.clamp(1, vocab);
+        let span = (rows * 2).min(vocab);
+        let start = rng.gen_range(0..=(vocab - span));
+        let mut pool: Vec<usize> = (start..start + span).collect();
+        pool.shuffle(&mut rng);
+        pool.truncate(rows);
+        pool.sort_unstable();
+        let rows: Vec<Vec<Value>> = pool
+            .into_iter()
+            .map(|j| {
+                vec![
+                    Value::Text(format!("w{j}")),
+                    Value::Int(rng.gen_range(0..1_000_i64)),
+                ]
+            })
+            .collect();
+        Table::from_rows(&format!("streamed_t{i}"), &["key", "val"], rows).expect("fixed arity")
+    }
+
+    /// Stream every lake table in slot order, one at a time.
+    pub fn stream(&self) -> impl Iterator<Item = Table> + '_ {
+        (0..self.tables).map(|i| self.table(i))
+    }
+
+    /// Stream the whole workload into a fresh [`DataLake`] (slot `i`
+    /// holds [`StreamedLakeWorkload::table`]`(i)`).
+    pub fn lake(&self) -> DataLake {
+        let mut lake = DataLake::new();
+        for t in self.stream() {
+            lake.add_table(t).expect("streamed names are unique");
+        }
+        lake
+    }
+
+    /// The query set: query `q` keeps a random `query_rows`-subset of the
+    /// keys of an evenly spaced lake table, so a containment-1.0 match
+    /// always exists and queries spread across every slot stripe.
+    pub fn queries(&self) -> Vec<Table> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let stride = (self.tables / self.queries.max(1)).max(1);
+        let mut out = Vec::with_capacity(self.queries);
+        for q in 0..self.queries {
+            let source = self.table((q * stride) % self.tables.max(1));
+            let mut rows: Vec<Vec<Value>> = source.rows().map(|r| vec![r[0].clone()]).collect();
+            rows.shuffle(&mut rng);
+            rows.truncate(self.query_rows.max(1));
+            out.push(
+                Table::from_rows(&format!("streamed_q{q}"), &["key"], rows).expect("fixed arity"),
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1230,5 +1338,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streamed_table_is_a_pure_function_of_spec_and_index() {
+        let spec = StreamedLakeWorkload {
+            tables: 64,
+            ..StreamedLakeWorkload::default()
+        };
+        // Re-generating any table in isolation matches the stream.
+        let streamed: Vec<Table> = spec.stream().collect();
+        for i in [0usize, 7, 63] {
+            assert_eq!(spec.table(i), streamed[i]);
+        }
+        assert_eq!(spec.table(7), spec.table(7));
+        assert_ne!(
+            spec.table(7),
+            spec.table(8),
+            "indices seed distinct streams"
+        );
+        assert_eq!(streamed.len(), 64);
+    }
+
+    #[test]
+    fn streamed_lake_slots_follow_stream_order() {
+        let spec = StreamedLakeWorkload {
+            tables: 20,
+            rows_per_table: 3,
+            vocab: 200,
+            queries: 4,
+            query_rows: 2,
+            seed: 9,
+        };
+        let lake = spec.lake();
+        assert_eq!(lake.len(), 20);
+        for (i, t) in spec.stream().enumerate() {
+            assert_eq!(
+                lake.get(t.name()).expect("streamed table is live").as_ref(),
+                &t,
+                "slot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_queries_are_subsets_of_their_source_tables() {
+        let spec = StreamedLakeWorkload {
+            tables: 40,
+            rows_per_table: 6,
+            vocab: 300,
+            queries: 4,
+            query_rows: 3,
+            seed: 5,
+        };
+        let queries = spec.queries();
+        assert_eq!(queries.len(), 4);
+        let stride = 40 / 4;
+        for (q, query) in queries.iter().enumerate() {
+            let source = spec.table(q * stride);
+            let keys: std::collections::HashSet<String> = source
+                .rows()
+                .filter_map(|r| r[0].as_text().map(str::to_string))
+                .collect();
+            assert!(query.row_count() >= 1 && query.row_count() <= 3);
+            for row in query.rows() {
+                let k = row[0].as_text().expect("text key");
+                assert!(keys.contains(k), "query key {k} not in source table");
+            }
+        }
+        assert_eq!(queries, spec.queries(), "query set is deterministic");
     }
 }

@@ -27,6 +27,7 @@ use dialite_table::{DataLake, LakeEvent};
 
 use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
 use crate::santos::{SantosConfig, SantosDiscovery};
+use crate::shard::ShardScope;
 use crate::telemetry::{DiscoveryTelemetry, ShardedTelemetry};
 use crate::topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats};
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
@@ -77,6 +78,11 @@ pub struct LakeIndex {
     /// serialized on — each thread now records into its own shard and
     /// [`LakeIndex::telemetry`] merges on demand.
     telemetry: ShardedTelemetry,
+    /// The slot stripe this index owns (all slots for a standalone index;
+    /// one stripe when the index is a shard of a
+    /// [`ShardedLakeIndex`](crate::ShardedLakeIndex)). Both the build and
+    /// every changelog replay are filtered through it.
+    scope: ShardScope,
     /// Lake version the engines reflect.
     synced: u64,
 }
@@ -84,15 +90,37 @@ pub struct LakeIndex {
 impl LakeIndex {
     /// Build both engines over the lake's current state.
     pub fn build(lake: &DataLake, kb: Arc<KnowledgeBase>, config: LakeIndexConfig) -> LakeIndex {
+        LakeIndex::build_scoped(lake, kb, config, ShardScope::all())
+    }
+
+    /// Build both engines over one shard's stripe of the lake. The index
+    /// behaves exactly like [`LakeIndex::build`] over a lake containing
+    /// only the admitted slots: [`sync`](LakeIndex::sync) replays the
+    /// changelog filtered to the stripe (and a forced rebuild re-applies
+    /// the same scope), so the incremental contract carries over per
+    /// shard. [`ShardScope::all`] reproduces the unscoped build.
+    pub fn build_scoped(
+        lake: &DataLake,
+        kb: Arc<KnowledgeBase>,
+        config: LakeIndexConfig,
+        scope: ShardScope,
+    ) -> LakeIndex {
         LakeIndex {
-            santos: SantosDiscovery::build(lake, kb.clone(), config.santos.clone()),
-            lshe: LshEnsembleDiscovery::build(lake, config.lshe.clone()),
+            santos: SantosDiscovery::build_scoped(lake, kb.clone(), config.santos.clone(), scope),
+            lshe: LshEnsembleDiscovery::build_scoped(lake, config.lshe.clone(), scope),
             planner: TopKPlanner::new(),
             telemetry: ShardedTelemetry::default(),
             kb,
             config,
+            scope,
             synced: lake.version(),
         }
+    }
+
+    /// The slot stripe this index covers ([`ShardScope::all`] unless it
+    /// was built as a shard via [`LakeIndex::build_scoped`]).
+    pub fn scope(&self) -> ShardScope {
+        self.scope
     }
 
     /// The lake version this index reflects.
@@ -134,13 +162,18 @@ impl LakeIndex {
             // reason to lose the observation history).
             let planner = std::mem::take(&mut self.planner);
             let telemetry = self.telemetry.snapshot();
-            *self = LakeIndex::build(lake, self.kb.clone(), self.config.clone());
+            *self = LakeIndex::build_scoped(lake, self.kb.clone(), self.config.clone(), self.scope);
             self.planner = planner;
             self.telemetry.restore(telemetry);
             return;
         };
         for (_, event) in events {
             let slot = event.slot();
+            // Slots outside this index's stripe belong to other shards;
+            // their events are not ours to apply.
+            if !self.scope.admits(slot) {
+                continue;
+            }
             match (event, lake.table_at(slot)) {
                 // The slot's *current* content is what matters: later
                 // events for the same slot re-apply it idempotently.

@@ -48,6 +48,14 @@
 //! budgeted query folds its stats into the index's rolling
 //! [`DiscoveryTelemetry`] (cache hit rate, partitions pruned,
 //! verifications, budget-exhaustion rate, per-engine latency buckets).
+//!
+//! At lake scale the index itself shards: [`ShardedLakeIndex`] stripes
+//! the slot space across N scoped [`LakeIndex`] shards (routing in
+//! [`ShardRouter`]), fans queries out on scoped threads with per-shard
+//! [`QueryBudget::split`] budget slices, re-ranks per-shard top-k with
+//! [`top_k_discovered`] and merges per-shard telemetry with
+//! [`DiscoveryTelemetry::merge`] — `shards == 1` stays byte-for-byte the
+//! single index (see `tests/shard_oracle.rs`).
 
 #![deny(missing_docs)]
 
@@ -58,6 +66,7 @@ mod overlap;
 mod pool;
 mod santos;
 mod serving;
+mod shard;
 mod telemetry;
 mod topk;
 mod types;
@@ -71,9 +80,10 @@ pub use santos::{SantosConfig, SantosDiscovery, SantosStats};
 pub use serving::{
     DiscoveryService, ServingConfig, ServingError, ServingResponse, ServingTelemetry,
 };
+pub use shard::{ShardRouter, ShardScope, ShardedLakeIndex};
 pub use telemetry::{
-    DiscoveryTelemetry, LatencyHistogram, LatencyPercentiles, SantosCounters, TopKCounters,
-    LATENCY_BUCKET_BOUNDS_US,
+    DiscoveryTelemetry, LatencyHistogram, LatencyPercentiles, SantosCounters, ShardedTelemetry,
+    TopKCounters, LATENCY_BUCKET_BOUNDS_US,
 };
 pub use topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats, DEFAULT_SIGNATURE_CACHE};
 pub use types::{

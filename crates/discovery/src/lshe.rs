@@ -32,6 +32,7 @@ use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher};
 use dialite_table::{DataLake, Table};
 
 use crate::pool::{StringPool, POOL_ID_DROPPED};
+use crate::shard::ShardScope;
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of the joinable search.
@@ -110,6 +111,20 @@ pub struct LshEnsembleDiscovery {
 impl LshEnsembleDiscovery {
     /// Index every column of every lake table.
     pub fn build(lake: &DataLake, config: LshEnsembleConfig) -> LshEnsembleDiscovery {
+        LshEnsembleDiscovery::build_scoped(lake, config, ShardScope::all())
+    }
+
+    /// Index one shard's stripe of the lake (the slots `scope`
+    /// [`admits`](ShardScope::admits)): the shard's `StringPool`, posting
+    /// lists and equi-depth ensemble partitions are computed over the
+    /// stripe alone, exactly as [`LshEnsembleDiscovery::build`] computes
+    /// them over the whole lake. [`ShardScope::all`] reproduces the
+    /// unscoped build.
+    pub fn build_scoped(
+        lake: &DataLake,
+        config: LshEnsembleConfig,
+        scope: ShardScope,
+    ) -> LshEnsembleDiscovery {
         let mut builder = LshEnsembleBuilder::new(config.num_perm, config.seed);
         let mut domains: HashMap<DomainKey, HashSet<u32>> = HashMap::new();
         let mut table_names = HashMap::new();
@@ -117,7 +132,7 @@ impl LshEnsembleDiscovery {
         let mut pool = StringPool::new();
         let mut postings: HashMap<u32, Vec<DomainKey>> = HashMap::new();
         let mut live_weight = 0usize;
-        for (t, table) in lake.entries() {
+        for (t, table) in lake.entries_routed(scope.shard(), scope.of()) {
             table_names.insert(t, table.name().to_string());
             for c in 0..table.column_count() {
                 let tokens = table.column_token_set(c);
@@ -287,7 +302,7 @@ impl LshEnsembleDiscovery {
         exclude_table: &str,
     ) -> (HashMap<&'a str, f64>, usize) {
         if self.config.threshold > 0.0 {
-            (self.exact_best_per_table(q_ids, q_len, exclude_table), 0)
+            self.exact_best_per_table(q_ids, q_len, exclude_table)
         } else {
             let mut best = HashMap::new();
             let verified = self.verify_candidates(
@@ -304,13 +319,15 @@ impl LshEnsembleDiscovery {
     /// Exact per-table best containment via a posting-list merge: one pass
     /// over the query tokens' postings accumulates `|Q ∩ X|` for every
     /// domain sharing at least one token. Equivalent to brute force for any
-    /// positive threshold (a zero-overlap domain can never reach it).
+    /// positive threshold (a zero-overlap domain can never reach it). The
+    /// second return is the number of domains the merge scored — the exact
+    /// path's work counter, reported as `candidates_verified`.
     pub(crate) fn exact_best_per_table(
         &self,
         q_ids: &[u32],
         q_len: usize,
         exclude_table: &str,
-    ) -> HashMap<&str, f64> {
+    ) -> (HashMap<&str, f64>, usize) {
         let mut overlap: HashMap<DomainKey, usize> = HashMap::new();
         for id in q_ids {
             if let Some(list) = self.postings.get(id) {
@@ -319,6 +336,7 @@ impl LshEnsembleDiscovery {
                 }
             }
         }
+        let scored = overlap.len();
         let mut best: HashMap<&str, f64> = HashMap::new();
         for (key, hits) in overlap {
             let c = hits as f64 / q_len as f64;
@@ -336,7 +354,7 @@ impl LshEnsembleDiscovery {
                 *entry = c;
             }
         }
-        best
+        (best, scored)
     }
 
     /// Verify candidate domains exactly against their stored token-id sets,
@@ -665,7 +683,8 @@ mod tests {
         let q = query();
         let q_tokens = q.table.column_token_set(0);
         let q_ids = engine.query_token_ids(&q_tokens);
-        let merged = engine.exact_best_per_table(&q_ids, q_tokens.len(), q.table.name());
+        let (merged, scored) = engine.exact_best_per_table(&q_ids, q_tokens.len(), q.table.name());
+        assert!(scored >= merged.len(), "scored counts every merged domain");
         let mut scanned = HashMap::new();
         engine.verify_candidates(
             engine.domains.keys().copied(),

@@ -26,6 +26,7 @@ use dialite_kb::{Direction, KnowledgeBase, RelationId, TypeId};
 use dialite_table::{DataLake, Table};
 use dialite_text::jaccard;
 
+use crate::shard::ShardScope;
 use crate::types::{score_cmp, top_k, Discovered, Discovery, TableQuery};
 
 /// Configuration of the SANTOS-style engine.
@@ -115,13 +116,26 @@ pub struct SantosDiscovery {
 impl SantosDiscovery {
     /// Annotate and index the whole lake.
     pub fn build(lake: &DataLake, kb: Arc<KnowledgeBase>, config: SantosConfig) -> SantosDiscovery {
+        SantosDiscovery::build_scoped(lake, kb, config, ShardScope::all())
+    }
+
+    /// Annotate and index one shard's stripe of the lake (the slots
+    /// `scope` [`admits`](ShardScope::admits)). Annotations are per-table,
+    /// so a scoped build is exactly a full build restricted to the stripe;
+    /// [`ShardScope::all`] reproduces [`SantosDiscovery::build`].
+    pub fn build_scoped(
+        lake: &DataLake,
+        kb: Arc<KnowledgeBase>,
+        config: SantosConfig,
+        scope: ShardScope,
+    ) -> SantosDiscovery {
         let mut engine = SantosDiscovery {
             kb,
             config,
             tables: BTreeMap::new(),
             by_type: HashMap::new(),
         };
-        for (slot, table) in lake.entries() {
+        for (slot, table) in lake.entries_routed(scope.shard(), scope.of()) {
             engine.upsert_table(slot, table);
         }
         engine

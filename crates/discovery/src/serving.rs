@@ -1,27 +1,32 @@
 //! Discovery-as-a-service: the concurrent serving layer over a shared
-//! [`LakeIndex`].
+//! [`ShardedLakeIndex`].
 //!
-//! The rest of this crate is a one-caller library: a [`LakeIndex`] answers
+//! The rest of this crate is a one-caller library: an index answers
 //! queries under `&self`, but nothing owns the lake, serializes churn
 //! against reads, bounds how many requests run at once, or measures tail
 //! latency under load. [`DiscoveryService`] is that missing layer:
 //!
-//! * **One `RwLock` around lake + index.** Queries run under the shared
-//!   read guard (many at once); mutations take the write guard, apply the
-//!   lake change and [`LakeIndex::sync`] the index before any reader can
-//!   observe the new version. A reader therefore always sees an index that
-//!   is current for the lake state it reads — responses are stamped with
-//!   that version, which is what makes the linearization oracle
-//!   (`tests/serving_oracle.rs`) checkable: every concurrent response must
-//!   be byte-identical to a single-threaded
-//!   [`LakeIndex::discover_all_budgeted`] against the stamped version.
+//! * **Lake lock + sharded index.** The service owns the lake behind its
+//!   own `RwLock` and serves a [`ShardedLakeIndex`] beside it. Queries
+//!   never touch the lake lock at all — they fan out across the index
+//!   shards under per-shard read guards, with the version-stamped
+//!   consistent-snapshot fan-out keeping every response attributable to
+//!   exactly one lake state. Mutations take the lake write guard, apply
+//!   the change and [`sync`](ShardedLakeIndex::sync) the shards before
+//!   releasing it — write-locking **one shard at a time**, so concurrent
+//!   queries keep flowing on every other shard. Responses are stamped
+//!   with the version of the snapshot they saw, which is what makes the
+//!   linearization oracle (`tests/serving_oracle.rs`) checkable: every
+//!   concurrent response must be byte-identical to a single-threaded
+//!   [`LakeIndex::discover_all_budgeted`](crate::LakeIndex::discover_all_budgeted)
+//!   against the stamped version.
 //! * **Admission control.** A bounded in-flight permit counter rejects
 //!   over-capacity queries immediately with [`ServingError::Busy`] —
 //!   never a block, never a partial result — so saturated serving degrades
 //!   by shedding load instead of by unbounded queueing.
 //! * **Per-request budgets.** Every query carries its own
 //!   [`DiscoveryBudget`], so one expensive caller cannot starve the rest
-//!   by monopolizing engine work inside the read guard.
+//!   by monopolizing engine work inside the shard read guards.
 //! * **[`ServingTelemetry`].** Request counts, `Busy` rejections and
 //!   query/churn latency histograms with exact percentile export
 //!   ([`LatencyHistogram::percentile`]), accumulated per-thread (sharded)
@@ -36,7 +41,8 @@ use std::time::Instant;
 use dialite_kb::KnowledgeBase;
 use dialite_table::DataLake;
 
-use crate::index::{LakeIndex, LakeIndexConfig};
+use crate::index::LakeIndexConfig;
+use crate::shard::ShardedLakeIndex;
 use crate::telemetry::{telemetry_shard, LatencyHistogram, TELEMETRY_SHARDS};
 use crate::topk::DiscoveryBudget;
 use crate::types::{Discovered, TableQuery};
@@ -108,15 +114,16 @@ impl std::error::Error for ServingError {}
 /// One answered discovery request: the per-engine results plus the lake
 /// version they were computed against. The version stamp is the
 /// serving-layer consistency contract — the results are exactly what a
-/// single-threaded [`LakeIndex::discover_all_budgeted`] returns against
-/// the lake state that version names (pinned by
+/// single-threaded
+/// [`LakeIndex::discover_all_budgeted`](crate::LakeIndex::discover_all_budgeted)
+/// returns against the lake state that version names (pinned by
 /// `tests/serving_oracle.rs`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingResponse {
     /// The lake version the query was served against.
     pub version: u64,
     /// Per-engine hit lists, in the same shape and order as
-    /// [`LakeIndex::discover_all_budgeted`].
+    /// [`ShardedLakeIndex::discover_all_budgeted`].
     pub results: Vec<(String, Vec<Discovered>)>,
 }
 
@@ -169,14 +176,6 @@ impl ServingTelemetry {
     }
 }
 
-/// Lake + index under one lock: the invariant is that between mutations
-/// the index is always current for the lake (`mutate` syncs before
-/// releasing the write guard).
-struct ServiceState {
-    lake: DataLake,
-    index: LakeIndex,
-}
-
 /// Decrements the in-flight counter on drop, so a panicking query cannot
 /// leak its permit.
 struct AdmissionPermit<'a>(&'a AtomicUsize);
@@ -188,8 +187,11 @@ impl Drop for AdmissionPermit<'_> {
 }
 
 /// The concurrent discovery service — a shared, churn-following
-/// [`LakeIndex`] behind admission control, serving version-stamped
-/// budgeted queries from many threads at once.
+/// [`ShardedLakeIndex`] behind admission control, serving version-stamped
+/// budgeted queries from many threads at once. [`DiscoveryService::new`]
+/// serves a single shard (the plain [`LakeIndex`](crate::LakeIndex),
+/// byte-for-byte); [`DiscoveryService::with_shards`] stripes the lake
+/// across N shards so writers only write-lock one shard at a time.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -221,7 +223,14 @@ impl Drop for AdmissionPermit<'_> {
 /// assert_eq!(service.telemetry().served, 1);
 /// ```
 pub struct DiscoveryService {
-    state: RwLock<ServiceState>,
+    /// The served lake. Mutations hold the write guard across the lake
+    /// change *and* the index sync, so the index is never behind a state
+    /// a reader of this lock can observe; queries never take it at all.
+    lake: RwLock<DataLake>,
+    /// The sharded execution layer queries fan out over. Its own
+    /// consistent-snapshot protocol (per-shard version stamps) replaces
+    /// the old single state lock on the query path.
+    index: ShardedLakeIndex,
     config: ServingConfig,
     in_flight: AtomicUsize,
     /// Per-thread telemetry shards — the hot path locks only the calling
@@ -230,16 +239,32 @@ pub struct DiscoveryService {
 }
 
 impl DiscoveryService {
-    /// Build the service: index the lake eagerly and take ownership of it.
+    /// Build the service: index the lake eagerly and take ownership of
+    /// it. One storage shard — byte-for-byte the single-`LakeIndex`
+    /// service; use [`DiscoveryService::with_shards`] to stripe.
     pub fn new(
         lake: DataLake,
         kb: Arc<KnowledgeBase>,
         index_config: LakeIndexConfig,
         config: ServingConfig,
     ) -> DiscoveryService {
-        let index = LakeIndex::build(&lake, kb, index_config);
+        DiscoveryService::with_shards(lake, kb, index_config, config, 1)
+    }
+
+    /// [`DiscoveryService::new`] with the lake striped across `shards`
+    /// index shards (0 is clamped to 1): queries fan out in parallel, and
+    /// mutations write-lock one shard at a time instead of the world.
+    pub fn with_shards(
+        lake: DataLake,
+        kb: Arc<KnowledgeBase>,
+        index_config: LakeIndexConfig,
+        config: ServingConfig,
+        shards: usize,
+    ) -> DiscoveryService {
+        let index = ShardedLakeIndex::build(&lake, kb, index_config, shards);
         DiscoveryService {
-            state: RwLock::new(ServiceState { lake, index }),
+            lake: RwLock::new(lake),
+            index,
             config,
             in_flight: AtomicUsize::new(0),
             telemetry: std::array::from_fn(|_| Mutex::new(ServingTelemetry::default())),
@@ -251,14 +276,19 @@ impl DiscoveryService {
         &self.config
     }
 
+    /// Number of storage shards the served index stripes the lake across.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
     /// The lake version the service currently serves.
     pub fn version(&self) -> u64 {
-        self.state.read().expect("service lock").index.version()
+        self.index.version()
     }
 
     /// Number of tables currently in the served lake.
     pub fn len(&self) -> usize {
-        self.state.read().expect("service lock").lake.len()
+        self.lake.read().expect("lake lock").len()
     }
 
     /// `true` when the served lake holds no tables.
@@ -293,10 +323,11 @@ impl DiscoveryService {
     /// Answer one discovery request under an explicit per-request budget.
     ///
     /// Admission control runs first: over capacity, the request is
-    /// rejected with [`ServingError::Busy`] without taking the state lock
-    /// or doing any engine work. Admitted requests run
-    /// [`LakeIndex::discover_all_budgeted`] under the shared read guard
-    /// and return results stamped with the lake version they saw.
+    /// rejected with [`ServingError::Busy`] without touching any index
+    /// shard or doing any engine work. Admitted requests fan out through
+    /// [`ShardedLakeIndex::discover_all_budgeted_versioned`] — never
+    /// taking the lake lock — and return results stamped with the version
+    /// of the consistent shard snapshot they saw.
     pub fn query(
         &self,
         query: &TableQuery,
@@ -308,10 +339,7 @@ impl DiscoveryService {
             return Err(ServingError::Busy);
         };
         let t0 = Instant::now();
-        let guard = self.state.read().expect("service lock");
-        let results = guard.index.discover_all_budgeted(query, k, budget);
-        let version = guard.index.version();
-        drop(guard);
+        let (version, results) = self.index.discover_all_budgeted_versioned(query, k, budget);
         let elapsed = t0.elapsed();
         let mut shard = self.shard().lock().expect("serving telemetry");
         shard.served += 1;
@@ -325,22 +353,24 @@ impl DiscoveryService {
         self.query(query, self.config.k, &self.config.budget.clone())
     }
 
-    /// Apply one lake mutation and sync the index before any reader can
-    /// observe the new version; returns the post-mutation lake version.
-    /// Mutations serialize on the write guard (they are maintenance, not
-    /// traffic) and are not admission-controlled.
+    /// Apply one lake mutation and sync every index shard before
+    /// releasing the lake write guard; returns the post-mutation lake
+    /// version. Mutations serialize on the lake write guard (they are
+    /// maintenance, not traffic) and are not admission-controlled. The
+    /// shard sync write-locks one shard at a time, so concurrent queries
+    /// keep flowing on every shard not currently being updated — their
+    /// consistent-snapshot fan-out keeps mid-sync states unobservable.
     ///
     /// The closure runs under the write guard — keep it to lake calls
     /// (`add_table` / `replace_table` / `remove_table` / `upsert`);
     /// everything it changes becomes visible to queries atomically with
-    /// the index sync.
+    /// the per-shard index sync.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut DataLake) -> R) -> u64 {
         let t0 = Instant::now();
-        let mut guard = self.state.write().expect("service lock");
-        let _ = f(&mut guard.lake);
-        let state = &mut *guard;
-        state.index.sync(&state.lake);
-        let version = state.index.version();
+        let mut guard = self.lake.write().expect("lake lock");
+        let _ = f(&mut guard);
+        self.index.sync(&guard);
+        let version = guard.version();
         drop(guard);
         let elapsed = t0.elapsed();
         let mut shard = self.shard().lock().expect("serving telemetry");
@@ -349,13 +379,14 @@ impl DiscoveryService {
         version
     }
 
-    /// Run a closure under the shared read guard — the escape hatch for
-    /// callers that need a consistent view of lake and index together
-    /// (e.g. the load harness validating a response against the exact
-    /// version it was served from).
-    pub fn with_state<R>(&self, f: impl FnOnce(&DataLake, &LakeIndex) -> R) -> R {
-        let guard = self.state.read().expect("service lock");
-        f(&guard.lake, &guard.index)
+    /// Run a closure over a consistent view of lake and index together —
+    /// the escape hatch for callers like the load harness validating a
+    /// response against the exact version it was served from. Holding the
+    /// lake read guard blocks [`DiscoveryService::mutate`] (and with it
+    /// every shard sync), so the index cannot advance under `f`.
+    pub fn with_state<R>(&self, f: impl FnOnce(&DataLake, &ShardedLakeIndex) -> R) -> R {
+        let guard = self.lake.read().expect("lake lock");
+        f(&guard, &self.index)
     }
 
     /// Merged snapshot of the serving telemetry across all thread shards.
@@ -376,10 +407,11 @@ impl DiscoveryService {
         }
     }
 
-    /// Snapshot of the wrapped index's rolling
-    /// [`DiscoveryTelemetry`](crate::DiscoveryTelemetry).
+    /// Merged snapshot of the wrapped index's rolling
+    /// [`DiscoveryTelemetry`](crate::DiscoveryTelemetry) across all
+    /// storage shards.
     pub fn discovery_telemetry(&self) -> crate::DiscoveryTelemetry {
-        self.state.read().expect("service lock").index.telemetry()
+        self.index.telemetry()
     }
 }
 

@@ -1,0 +1,553 @@
+//! Sharded discovery: the storage/execution split over the [`LakeIndex`].
+//!
+//! One `LakeIndex` is a single-core monolith — one `StringPool`, one
+//! SANTOS inverted index, one LSH ensemble, and (for writers) one
+//! exclusive critical section per sync. At open-data-lake scale the
+//! storage must be partitioned. This module splits the stack in two:
+//!
+//! * **Storage shards.** A [`ShardRouter`] stripes the lake's stable slot
+//!   space across N shards; each shard is a full [`LakeIndex`] scoped to
+//!   its stripe (its own engines, pool, postings, planner cache and
+//!   telemetry window), maintained through the same incremental
+//!   [`sync`](LakeIndex::sync) contract — replaying only the changelog
+//!   events its stripe admits.
+//! * **Execution layer.** A [`ShardedLakeIndex`] fans each query out
+//!   across the shards on std scoped threads, hands every shard an even
+//!   [`QueryBudget::split`] slice of the caller's budget, re-ranks the
+//!   concatenated per-shard top-k with the one ordering rule
+//!   ([`top_k_discovered`]), and merges per-shard telemetry with
+//!   [`DiscoveryTelemetry::merge`].
+//!
+//! Routing is **slot-striped** (`slot % shards`) rather than
+//! hash-of-name: [`LakeEvent::Removed`](dialite_table::LakeEvent) carries
+//! only the slot, so routing must be a pure function of the slot for
+//! per-shard changelog replay to see its own removals. Slots are stable
+//! for a table's whole residency, so a table never migrates between
+//! shards while it lives.
+//!
+//! Contracts, pinned by `tests/shard_oracle.rs`:
+//!
+//! * `shards == 1` is byte-for-byte the single `LakeIndex` — queries run
+//!   inline on the caller thread, the budget split is the identity, and
+//!   results pass through without a re-rank.
+//! * Under the exact-verification config, every discovery surface
+//!   (probe-all, budgeted stage, planned top-k) returns byte-identical
+//!   output for any shard count, because per-table scores are independent
+//!   of co-resident tables and the stripes partition the lake exactly.
+//! * Snapshot consistency: a concurrent query never observes some shards
+//!   before and some after a sync. Fan-outs stamp each shard's version
+//!   and retry on disagreement, falling back to the churn lock (shared
+//!   with [`sync`](ShardedLakeIndex::sync)) after a bounded number of
+//!   optimistic rounds.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use dialite_kb::KnowledgeBase;
+use dialite_table::DataLake;
+
+use crate::index::{LakeIndex, LakeIndexConfig};
+use crate::telemetry::DiscoveryTelemetry;
+use crate::topk::{DiscoveryBudget, QueryBudget};
+use crate::types::{top_k_discovered, Discovered, Discovery, TableQuery};
+
+/// Optimistic consistent-snapshot rounds before a fan-out falls back to
+/// serializing against [`ShardedLakeIndex::sync`] on the churn lock.
+const CONSISTENT_RETRIES: usize = 8;
+
+/// One shard's slice of the lake's slot space: shard `shard` of `of`
+/// [`admits`](ShardScope::admits) exactly the slots congruent to it
+/// modulo `of`. [`ShardScope::all`] (`0 of 1`) admits every slot and
+/// makes scoped builds identical to unscoped ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardScope {
+    shard: u32,
+    of: u32,
+}
+
+impl ShardScope {
+    /// The whole-lake scope: shard 0 of 1, admitting every slot.
+    pub fn all() -> ShardScope {
+        ShardScope { shard: 0, of: 1 }
+    }
+
+    /// Which shard this scope is (`< of`).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Total shard count the stripe was cut from (`>= 1`).
+    pub fn of(&self) -> u32 {
+        self.of
+    }
+
+    /// `true` when the slot belongs to this scope's stripe. The stripes
+    /// of one shard count partition the slot space: every slot is
+    /// admitted by exactly one of them.
+    pub fn admits(&self, slot: u32) -> bool {
+        slot % self.of == self.shard
+    }
+}
+
+impl Default for ShardScope {
+    fn default() -> Self {
+        ShardScope::all()
+    }
+}
+
+/// The routing half of the sharded index: a pure `slot -> shard` function
+/// plus the per-shard [`ShardScope`]s it induces. Slot-striped
+/// (`slot % shards`) so that changelog events — which for removals carry
+/// only the slot — route identically to the live entries they concern.
+///
+/// ```
+/// use dialite_discovery::ShardRouter;
+///
+/// let router = ShardRouter::new(4);
+/// assert_eq!(router.shards(), 4);
+/// assert_eq!(router.route(6), 2);
+/// // Every slot lands in exactly the scope that admits it.
+/// for slot in 0..32 {
+///     let shard = router.route(slot);
+///     assert!(router.scope(shard).admits(slot));
+///     let owners = (0..4).filter(|&s| router.scope(s).admits(slot)).count();
+///     assert_eq!(owners, 1);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` stripes; a count of 0 is clamped to 1.
+    pub fn new(shards: usize) -> ShardRouter {
+        ShardRouter {
+            shards: u32::try_from(shards.max(1)).expect("shard count fits in u32"),
+        }
+    }
+
+    /// Number of shards routed across.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning a slot.
+    pub fn route(&self, slot: u32) -> u32 {
+        slot % self.shards
+    }
+
+    /// The slot stripe owned by one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn scope(&self, shard: u32) -> ShardScope {
+        assert!(
+            shard < self.shards,
+            "shard {shard} out of range for {} shards",
+            self.shards
+        );
+        ShardScope {
+            shard,
+            of: self.shards,
+        }
+    }
+}
+
+/// The execution layer over N storage shards: fans queries out across
+/// per-shard [`LakeIndex`]es in parallel, merges per-shard top-k with the
+/// one ordering rule, and merges per-shard telemetry windows (routing
+/// and consistency invariants are laid out in the module-level docs).
+///
+/// Writers go through [`sync`](ShardedLakeIndex::sync), which holds the
+/// churn lock and write-locks **one shard at a time** — concurrent
+/// queries keep flowing on every shard not currently being updated, and
+/// the version-stamped fan-out keeps their snapshots consistent.
+///
+/// ```
+/// use std::sync::Arc;
+/// use dialite_discovery::{
+///     DiscoveryBudget, LakeIndexConfig, ShardedLakeIndex, TableQuery,
+/// };
+/// use dialite_kb::curated::covid_kb;
+/// use dialite_table::fixtures;
+///
+/// let mut lake = fixtures::covid_lake();
+/// let index =
+///     ShardedLakeIndex::build(&lake, Arc::new(covid_kb()), LakeIndexConfig::default(), 4);
+/// assert_eq!(index.shard_count(), 4);
+///
+/// // The lake churns; one sync catches every shard up.
+/// lake.remove("animals").unwrap();
+/// index.sync(&lake);
+/// assert!(index.is_current(&lake));
+///
+/// let query = TableQuery::with_column(fixtures::fig2_query(), 1); // City
+/// let legs = index.discover_all_budgeted(&query, 5, &DiscoveryBudget::default());
+/// assert!(legs[1].1.iter().any(|d| d.table == "T3"));
+/// ```
+pub struct ShardedLakeIndex {
+    router: ShardRouter,
+    /// One scoped [`LakeIndex`] per stripe. Shard locks are only ever
+    /// taken after the churn lock (never the reverse), so the order is
+    /// acyclic.
+    shards: Vec<RwLock<LakeIndex>>,
+    /// Serializes [`sync`](ShardedLakeIndex::sync) runs against each
+    /// other and against the consistent-snapshot fallback of queries that
+    /// keep losing the optimistic version race.
+    churn: Mutex<()>,
+}
+
+impl ShardedLakeIndex {
+    /// Build `shards` scoped indexes over the lake's current state (a
+    /// count of 0 is clamped to 1).
+    pub fn build(
+        lake: &DataLake,
+        kb: Arc<KnowledgeBase>,
+        config: LakeIndexConfig,
+        shards: usize,
+    ) -> ShardedLakeIndex {
+        let router = ShardRouter::new(shards);
+        let shards = (0..router.shards())
+            .map(|i| {
+                RwLock::new(LakeIndex::build_scoped(
+                    lake,
+                    kb.clone(),
+                    config.clone(),
+                    router.scope(i),
+                ))
+            })
+            .collect();
+        ShardedLakeIndex {
+            router,
+            shards,
+            churn: Mutex::new(()),
+        }
+    }
+
+    /// Number of storage shards the lake is striped across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The slot router the stripes were cut with.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The knowledge base every shard's SANTOS engine annotates with.
+    pub fn kb(&self) -> Arc<KnowledgeBase> {
+        self.shards[0].read().expect("shard lock").kb()
+    }
+
+    /// The configuration every shard was built with (owned: the borrow
+    /// cannot outlive the shard lock).
+    pub fn config(&self) -> LakeIndexConfig {
+        self.shards[0].read().expect("shard lock").config().clone()
+    }
+
+    /// The lake version the shards reflect. Taken under the churn lock,
+    /// so mid-sync states (where stripes disagree) are never observed.
+    pub fn version(&self) -> u64 {
+        let _churn = self.churn.lock().expect("churn lock");
+        self.shards[0].read().expect("shard lock").version()
+    }
+
+    /// `true` when every shard reflects the lake's current version.
+    pub fn is_current(&self, lake: &DataLake) -> bool {
+        self.version() == lake.version()
+    }
+
+    /// Catch every shard up with the lake — each shard replays the
+    /// changelog filtered to its own stripe (or rebuilds its stripe when
+    /// the delta is unserviceable), per the [`LakeIndex::sync`] contract.
+    /// Holds the churn lock for the whole pass but write-locks one shard
+    /// at a time, so queries keep flowing on the other shards.
+    pub fn sync(&self, lake: &DataLake) {
+        let _churn = self.churn.lock().expect("churn lock");
+        for shard in &self.shards {
+            shard.write().expect("shard lock").sync(lake);
+        }
+    }
+
+    /// Run `f` against every shard and collect `(version, result)` pairs
+    /// in shard order. With one shard the call runs inline on the caller
+    /// thread; otherwise shards `1..` run on scoped threads while the
+    /// caller computes shard 0.
+    fn fan_out<R, F>(&self, f: &F) -> Vec<(u64, R)>
+    where
+        R: Send,
+        F: Fn(&LakeIndex) -> R + Sync,
+    {
+        let probe = |shard: &RwLock<LakeIndex>| {
+            let guard = shard.read().expect("shard lock");
+            (guard.version(), f(&guard))
+        };
+        if self.shards.len() == 1 {
+            return vec![probe(&self.shards[0])];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self.shards[1..]
+                .iter()
+                .map(|shard| scope.spawn(move || probe(shard)))
+                .collect();
+            let mut out = Vec::with_capacity(self.shards.len());
+            out.push(probe(&self.shards[0]));
+            // Joining in spawn order keeps the collection deterministic.
+            out.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard fan-out")),
+            );
+            out
+        })
+    }
+
+    /// [`fan_out`](Self::fan_out) with snapshot consistency: accept a
+    /// round only when every shard reported the same version (all-equal
+    /// versions imply one fully synced state — mid-sync, caught-up and
+    /// lagging stripes disagree). After [`CONSISTENT_RETRIES`] losing
+    /// races, serialize against sync on the churn lock instead.
+    fn fan_out_consistent<R, F>(&self, f: &F) -> (u64, Vec<R>)
+    where
+        R: Send,
+        F: Fn(&LakeIndex) -> R + Sync,
+    {
+        let unzip = |rounds: Vec<(u64, R)>| {
+            let version = rounds[0].0;
+            (version, rounds.into_iter().map(|(_, r)| r).collect())
+        };
+        for _ in 0..CONSISTENT_RETRIES {
+            let rounds = self.fan_out(f);
+            if rounds.iter().all(|(v, _)| *v == rounds[0].0) {
+                return unzip(rounds);
+            }
+        }
+        let _churn = self.churn.lock().expect("churn lock");
+        unzip(self.fan_out(f))
+    }
+
+    /// Concatenate per-shard engine legs and re-rank each leg with the
+    /// one ordering rule. A single shard's legs pass through untouched —
+    /// the `shards == 1` byte-for-byte contract.
+    fn merge_legs(
+        mut per_shard: Vec<Vec<(String, Vec<Discovered>)>>,
+        k: usize,
+    ) -> Vec<(String, Vec<Discovered>)> {
+        let mut merged = per_shard.remove(0);
+        if per_shard.is_empty() {
+            return merged;
+        }
+        for legs in per_shard {
+            for ((_, acc), (_, hits)) in merged.iter_mut().zip(legs) {
+                acc.extend(hits);
+            }
+        }
+        for (_, acc) in &mut merged {
+            *acc = top_k_discovered(std::mem::take(acc), k);
+        }
+        merged
+    }
+
+    /// Per-engine probe-all discovery fanned out across the shards —
+    /// the sharded form of [`LakeIndex::discover_all`], same leg shape
+    /// and order.
+    pub fn discover_all(&self, query: &TableQuery, k: usize) -> Vec<(String, Vec<Discovered>)> {
+        let (_, per_shard) = self.fan_out_consistent(&|ix: &LakeIndex| ix.discover_all(query, k));
+        Self::merge_legs(per_shard, k)
+    }
+
+    /// The budgeted discovery stage fanned out across the shards — the
+    /// sharded form of [`LakeIndex::discover_all_budgeted`]. Each shard
+    /// works under an even [`DiscoveryBudget::split`] slice and folds its
+    /// own stats into its own telemetry window.
+    pub fn discover_all_budgeted(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &DiscoveryBudget,
+    ) -> Vec<(String, Vec<Discovered>)> {
+        self.discover_all_budgeted_versioned(query, k, budget).1
+    }
+
+    /// [`discover_all_budgeted`](Self::discover_all_budgeted) plus the
+    /// lake version the consistent snapshot was taken at — what a serving
+    /// layer needs to stamp responses without holding any lake lock.
+    pub fn discover_all_budgeted_versioned(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &DiscoveryBudget,
+    ) -> (u64, Vec<(String, Vec<Discovered>)>) {
+        let split = budget.split(self.shards.len());
+        let (version, per_shard) =
+            self.fan_out_consistent(&|ix: &LakeIndex| ix.discover_all_budgeted(query, k, &split));
+        (version, Self::merge_legs(per_shard, k))
+    }
+
+    /// Budgeted top-k joinable search fanned out across the shards — the
+    /// sharded form of [`LakeIndex::discover_top_k`], with the
+    /// [`QueryBudget`] split evenly per shard.
+    pub fn discover_top_k(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Vec<Discovered> {
+        let split = budget.split(self.shards.len());
+        let (_, mut per_shard) =
+            self.fan_out_consistent(&|ix: &LakeIndex| ix.discover_top_k(query, k, &split));
+        if per_shard.len() == 1 {
+            return per_shard.remove(0);
+        }
+        top_k_discovered(per_shard.into_iter().flatten().collect(), k)
+    }
+
+    /// The merged telemetry window: per-shard [`DiscoveryTelemetry`]
+    /// snapshots folded with [`DiscoveryTelemetry::merge`]. Counters are
+    /// exactly the sums of [`telemetry_per_shard`](Self::telemetry_per_shard).
+    pub fn telemetry(&self) -> DiscoveryTelemetry {
+        let mut merged = DiscoveryTelemetry::default();
+        for window in self.telemetry_per_shard() {
+            merged.merge(&window);
+        }
+        merged
+    }
+
+    /// Each shard's own telemetry window, in shard order — the
+    /// per-stripe work breakdown the `sharded` bench group reports.
+    pub fn telemetry_per_shard(&self) -> Vec<DiscoveryTelemetry> {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().expect("shard lock").telemetry())
+            .collect()
+    }
+
+    /// Zero every shard's telemetry window.
+    pub fn reset_telemetry(&self) {
+        for shard in &self.shards {
+            shard.read().expect("shard lock").reset_telemetry();
+        }
+    }
+}
+
+impl Discovery for ShardedLakeIndex {
+    fn name(&self) -> &str {
+        "sharded-lake-index"
+    }
+
+    /// Union of both engines' results across all shards; a table found by
+    /// both engines keeps its best score (NaN-safe), exactly like
+    /// [`LakeIndex`]'s union.
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for (_, hits) in self.discover_all(query, k) {
+            crate::types::merge_best_scores(&mut best, hits);
+        }
+        top_k_discovered(
+            best.into_iter()
+                .map(|(table, score)| Discovered { table, score })
+                .collect(),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_kb::curated::covid_kb;
+    use dialite_table::table;
+
+    fn lake_of(n: usize) -> DataLake {
+        DataLake::from_tables((0..n).map(|i| {
+            table! {
+                &format!("t{i:02}"); ["city", "rate"];
+                [format!("city_{}", i % 5), i as i64],
+                [format!("city_{}", (i + 1) % 5), (i + 1) as i64],
+            }
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn scopes_partition_the_slot_space() {
+        for of in [1u32, 2, 3, 8] {
+            let router = ShardRouter::new(of as usize);
+            for slot in 0..64 {
+                let owners = (0..of).filter(|&s| router.scope(s).admits(slot)).count();
+                assert_eq!(owners, 1, "slot {slot} must have exactly one owner");
+                assert!(router.scope(router.route(slot)).admits(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let router = ShardRouter::new(0);
+        assert_eq!(router.shards(), 1);
+        let index = ShardedLakeIndex::build(
+            &lake_of(3),
+            Arc::new(covid_kb()),
+            LakeIndexConfig::default(),
+            0,
+        );
+        assert_eq!(index.shard_count(), 1);
+    }
+
+    #[test]
+    fn scoped_build_covers_exactly_the_stripe() {
+        let lake = lake_of(10);
+        let kb = Arc::new(covid_kb());
+        let index = ShardedLakeIndex::build(&lake, kb, LakeIndexConfig::default(), 4);
+        let per_shard: usize = index
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().santos().len())
+            .sum();
+        assert_eq!(per_shard, lake.len(), "stripes must partition the lake");
+    }
+
+    #[test]
+    fn sync_catches_every_shard_up() {
+        let mut lake = lake_of(8);
+        let kb = Arc::new(covid_kb());
+        let index = ShardedLakeIndex::build(&lake, kb, LakeIndexConfig::default(), 3);
+        lake.add(table! { "fresh"; ["city"]; ["city_0"], ["city_9"] })
+            .unwrap();
+        lake.remove("t03").unwrap();
+        index.sync(&lake);
+        assert!(index.is_current(&lake));
+        let total: usize = index
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().santos().len())
+            .sum();
+        assert_eq!(total, lake.len());
+    }
+
+    #[test]
+    fn merged_telemetry_is_the_sum_of_shards() {
+        let lake = lake_of(12);
+        let kb = Arc::new(covid_kb());
+        let index = ShardedLakeIndex::build(&lake, kb, LakeIndexConfig::default(), 4);
+        let query = TableQuery::with_column(
+            table! { "q"; ["city"]; ["city_0"], ["city_1"], ["city_2"] },
+            0,
+        );
+        for _ in 0..3 {
+            let _ = index.discover_all_budgeted(&query, 5, &DiscoveryBudget::default());
+        }
+        let merged = index.telemetry();
+        let mut folded = DiscoveryTelemetry::default();
+        for window in index.telemetry_per_shard() {
+            folded.merge(&window);
+        }
+        assert_eq!(merged.topk, folded.topk);
+        assert_eq!(merged.santos, folded.santos);
+        // Every shard saw every fan-out.
+        assert_eq!(merged.topk.queries, 3 * 4);
+        index.reset_telemetry();
+        assert_eq!(index.telemetry(), DiscoveryTelemetry::default());
+    }
+}

@@ -125,6 +125,20 @@ impl LatencyHistogram {
     /// [`merge`](LatencyHistogram::merge) first, *then* export percentiles
     /// (percentiles of merged windows are not sums of per-window
     /// percentiles).
+    ///
+    /// An empty window exports `None` in every percentile field (the
+    /// [`LatencyHistogram::percentile`] contract) — never `0` or `NaN` —
+    /// so a shard that served nothing cannot masquerade as a fast one:
+    ///
+    /// ```
+    /// use dialite_discovery::LatencyHistogram;
+    ///
+    /// let p = LatencyHistogram::default().percentiles();
+    /// assert_eq!(p.samples, 0);
+    /// assert_eq!(p.p50_us, None);
+    /// assert_eq!(p.p999_us, None);
+    /// assert_eq!(p.mean_us, 0.0);
+    /// ```
     pub fn percentiles(&self) -> LatencyPercentiles {
         LatencyPercentiles {
             samples: self.samples,
@@ -206,6 +220,31 @@ impl LatencyPercentiles {
             self.samples,
         )
     }
+
+    /// One JSON object, e.g.
+    /// `{"samples":128,"mean_us":412.5,"p50_us":390.1,...}`. Empty-window
+    /// `None` percentiles export as JSON `null`, preserving the
+    /// [`LatencyHistogram::percentile`] contract across serialization.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"samples\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p90_us\":{},\
+             \"p99_us\":{},\"p999_us\":{}}}",
+            self.samples,
+            self.mean_us,
+            json_opt_us(self.p50_us),
+            json_opt_us(self.p90_us),
+            json_opt_us(self.p99_us),
+            json_opt_us(self.p999_us),
+        )
+    }
+}
+
+/// `Option<f64>` microseconds as a JSON fragment: `null` for `None`.
+fn json_opt_us(v: Option<f64>) -> String {
+    match v {
+        Some(us) => format!("{us:.1}"),
+        None => "null".to_string(),
+    }
 }
 
 /// Number of independent telemetry shards. A small power of two comfortably
@@ -231,9 +270,10 @@ pub(crate) fn telemetry_shard() -> usize {
 /// into one window on demand. Counter sums and histogram merges are
 /// order-independent, so a snapshot equals the single-`Mutex` window
 /// exactly — pinned by the concurrent lockstep test in
-/// `tests/incremental_oracle.rs`.
+/// `tests/incremental_oracle.rs` and the thread-churn merge property in
+/// `tests/shard_oracle.rs`.
 #[derive(Debug, Default)]
-pub(crate) struct ShardedTelemetry {
+pub struct ShardedTelemetry {
     shards: [Mutex<DiscoveryTelemetry>; TELEMETRY_SHARDS],
 }
 
@@ -243,7 +283,7 @@ impl ShardedTelemetry {
     }
 
     /// Fold one planned joinable query into the calling thread's shard.
-    pub(crate) fn record_topk(&self, stats: &TopKStats, latency: Duration) {
+    pub fn record_topk(&self, stats: &TopKStats, latency: Duration) {
         self.shard()
             .lock()
             .expect("telemetry shard")
@@ -251,15 +291,17 @@ impl ShardedTelemetry {
     }
 
     /// Fold one capped SANTOS query into the calling thread's shard.
-    pub(crate) fn record_santos(&self, stats: &SantosStats, latency: Duration) {
+    pub fn record_santos(&self, stats: &SantosStats, latency: Duration) {
         self.shard()
             .lock()
             .expect("telemetry shard")
             .record_santos(stats, latency);
     }
 
-    /// Merge every shard into one window.
-    pub(crate) fn snapshot(&self) -> DiscoveryTelemetry {
+    /// Merge every shard into one window. Counter sums and histogram
+    /// merges are order-independent, so the snapshot equals a
+    /// single-threaded fold of the same recordings in any order.
+    pub fn snapshot(&self) -> DiscoveryTelemetry {
         let mut out = DiscoveryTelemetry::default();
         for shard in &self.shards {
             out.merge(&shard.lock().expect("telemetry shard"));
@@ -268,7 +310,7 @@ impl ShardedTelemetry {
     }
 
     /// Zero every shard.
-    pub(crate) fn reset(&self) {
+    pub fn reset(&self) {
         for shard in &self.shards {
             shard.lock().expect("telemetry shard").reset();
         }
@@ -304,7 +346,8 @@ pub struct TopKCounters {
     /// LSH partitions proven irrelevant (threshold/optimality/budget),
     /// summed.
     pub partitions_pruned: u64,
-    /// Candidate domains verified against stored token-id sets, summed.
+    /// Candidate domains whose containment was computed exactly (sketch
+    /// path verification or exact-path posting merge), summed.
     pub candidates_verified: u64,
     /// Queries ended by the provable optimality bound.
     pub terminated_early: u64,
@@ -516,6 +559,42 @@ impl DiscoveryTelemetry {
             self.santos_latency.mean_micros(),
         ));
         out
+    }
+
+    /// The whole window as one JSON object — counters per leg plus each
+    /// leg's latency percentiles ([`LatencyPercentiles::to_json`]). This is
+    /// the machine-readable sibling of [`DiscoveryTelemetry::summary`],
+    /// what `Pipeline::telemetry_json()` and the `dialite telemetry`
+    /// subcommand emit. Merge shard windows first, then export: JSON rows
+    /// are a terminal form, not mergeable.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"topk\":{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"exact_path\":{},\"partitions_probed\":{},\"partitions_pruned\":{},\
+             \"candidates_verified\":{},\"terminated_early\":{},\
+             \"budget_exhausted\":{}}},\
+             \"santos\":{{\"queries\":{},\"candidates_retrieved\":{},\
+             \"candidates_scored\":{},\"bound_pruned\":{},\"cap_hits\":{},\
+             \"full_scans\":{}}},\
+             \"joinable_latency\":{},\"santos_latency\":{}}}",
+            self.topk.queries,
+            self.topk.cache_hits,
+            self.topk.cache_misses,
+            self.topk.exact_path,
+            self.topk.partitions_probed,
+            self.topk.partitions_pruned,
+            self.topk.candidates_verified,
+            self.topk.terminated_early,
+            self.topk.budget_exhausted,
+            self.santos.queries,
+            self.santos.candidates_retrieved,
+            self.santos.candidates_scored,
+            self.santos.bound_pruned,
+            self.santos.cap_hits,
+            self.santos.full_scans,
+            self.joinable_latency.percentiles().to_json(),
+            self.santos_latency.percentiles().to_json(),
+        )
     }
 }
 
@@ -765,6 +844,32 @@ mod tests {
         assert_eq!(sharded.snapshot(), serial);
         sharded.reset();
         assert_eq!(sharded.snapshot(), DiscoveryTelemetry::default());
+    }
+
+    #[test]
+    fn json_export_carries_counters_and_null_percentiles() {
+        let mut t = DiscoveryTelemetry::default();
+        t.record_topk(&topk_stats(3, 7), Duration::from_micros(250));
+        let json = t.to_json();
+        for needle in [
+            "\"topk\":{\"queries\":1",
+            "\"partitions_probed\":3",
+            "\"candidates_verified\":7",
+            "\"santos\":{\"queries\":0",
+            "\"joinable_latency\":{\"samples\":1",
+            // The santos leg saw nothing: its percentiles must be JSON
+            // null, not 0 (the empty-window contract survives export).
+            "\"santos_latency\":{\"samples\":0,\"mean_us\":0.0,\"p50_us\":null",
+        ] {
+            assert!(json.contains(needle), "missing {needle}:\n{json}");
+        }
+        // Valid-JSON smoke: balanced braces, no trailing commas.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",}"), "{json}");
     }
 
     #[test]

@@ -87,6 +87,43 @@ impl QueryBudget {
         self.max_verifications = n;
         self
     }
+
+    /// The per-shard slice of this budget for a fan-out across `shards`
+    /// shards: each finite cap is divided by the shard count (rounding up,
+    /// so the fleet never gets *less* total budget than the single-index
+    /// query had), and unlimited caps stay unlimited. `split(1)` is the
+    /// identity — required for the `shards == 1` byte-for-byte contract.
+    ///
+    /// ```
+    /// use dialite_discovery::QueryBudget;
+    ///
+    /// let budget = QueryBudget::unlimited()
+    ///     .with_max_partitions(64)
+    ///     .with_max_verifications(100);
+    /// assert_eq!(budget.split(1), budget);
+    /// let per_shard = budget.split(8);
+    /// assert_eq!(per_shard.max_partitions, 8);
+    /// assert_eq!(per_shard.max_verifications, 13); // ceil(100 / 8)
+    /// assert_eq!(
+    ///     QueryBudget::unlimited().split(8),
+    ///     QueryBudget::unlimited()
+    /// );
+    /// ```
+    pub fn split(&self, shards: usize) -> QueryBudget {
+        QueryBudget {
+            max_partitions: split_cap(self.max_partitions, shards),
+            max_verifications: split_cap(self.max_verifications, shards),
+        }
+    }
+}
+
+/// `cap / shards` rounded up, with `usize::MAX` (unlimited) preserved.
+fn split_cap(cap: usize, shards: usize) -> usize {
+    if cap == usize::MAX {
+        usize::MAX
+    } else {
+        cap.div_ceil(shards.max(1))
+    }
 }
 
 /// Work limits of the whole discovery *stage* — the budget `Pipeline::run`
@@ -166,6 +203,32 @@ impl DiscoveryBudget {
         self.santos_candidates = cap;
         self
     }
+
+    /// The per-shard slice of this stage budget (see
+    /// [`QueryBudget::split`]): both legs are divided by the shard count,
+    /// rounding up, with unlimited caps preserved and `split(1)` the
+    /// identity.
+    ///
+    /// ```
+    /// use dialite_discovery::DiscoveryBudget;
+    ///
+    /// let budget = DiscoveryBudget::default(); // 64 / 4096 / 128
+    /// assert_eq!(budget.split(1), budget);
+    /// let per_shard = budget.split(4);
+    /// assert_eq!(per_shard.joinable.max_partitions, 16);
+    /// assert_eq!(per_shard.joinable.max_verifications, 1024);
+    /// assert_eq!(per_shard.santos_candidates, 32);
+    /// assert_eq!(
+    ///     DiscoveryBudget::unlimited().split(4),
+    ///     DiscoveryBudget::unlimited()
+    /// );
+    /// ```
+    pub fn split(&self, shards: usize) -> DiscoveryBudget {
+        DiscoveryBudget {
+            joinable: self.joinable.split(shards),
+            santos_candidates: split_cap(self.santos_candidates, shards),
+        }
+    }
 }
 
 /// What one planned query actually did — the observability half of the
@@ -182,7 +245,9 @@ pub struct TopKStats {
     /// Partitions skipped — below the threshold bound, beaten by the
     /// running top-k, or cut off by the budget.
     pub partitions_pruned: usize,
-    /// Candidate domains verified against their stored token-id sets.
+    /// Candidate domains whose containment was computed exactly — against
+    /// stored token-id sets on the sketch path, or in the posting-list
+    /// merge on the exact path.
     pub candidates_verified: usize,
     /// The optimality bound fired: remaining partitions provably could not
     /// change the top-k.

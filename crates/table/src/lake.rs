@@ -270,6 +270,28 @@ impl DataLake {
         entries.into_iter()
     }
 
+    /// The `(slot index, table)` pairs owned by one slot-striped shard, in
+    /// deterministic (name-sorted) order.
+    ///
+    /// Routing is a pure function of the slot: shard `shard` of `of` owns
+    /// exactly the slots with `slot % of == shard`. Because slots are
+    /// stable for a table's whole residency (and [`LakeEvent::Removed`]
+    /// carries only the slot), the same rule routes both live entries and
+    /// changelog events, so a per-shard index can replay
+    /// [`events_since`](DataLake::events_since) filtered to its own stripe.
+    /// The stripes partition [`entries`](DataLake::entries) exactly:
+    /// every entry appears in precisely one stripe, and `of == 1` yields
+    /// all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of == 0` or `shard >= of`.
+    pub fn entries_routed(&self, shard: u32, of: u32) -> impl Iterator<Item = (u32, &Arc<Table>)> {
+        assert!(of > 0, "shard count must be at least 1");
+        assert!(shard < of, "shard {shard} out of range for {of} shards");
+        self.entries().filter(move |(slot, _)| slot % of == shard)
+    }
+
     /// Number of tables.
     pub fn len(&self) -> usize {
         self.by_name.len()
@@ -513,6 +535,36 @@ mod tests {
         let a = lake.add_table(table! { "a"; ["x"]; [1] }).unwrap();
         let got: Vec<(u32, &str)> = lake.entries().map(|(i, t)| (i, t.name())).collect();
         assert_eq!(got, vec![(a, "a"), (z, "z")]);
+    }
+
+    #[test]
+    fn entries_routed_partitions_entries_exactly() {
+        let mut lake = DataLake::new();
+        for i in 0..9 {
+            lake.add(table! { &format!("t{i}"); ["x"]; [1] }).unwrap();
+        }
+        lake.remove("t3").unwrap(); // leave a hole in the slot space
+        for of in [1u32, 2, 3, 4] {
+            let mut striped: Vec<(u32, &str)> = Vec::new();
+            for shard in 0..of {
+                for (slot, t) in lake.entries_routed(shard, of) {
+                    assert_eq!(slot % of, shard, "entry routed to the wrong stripe");
+                    striped.push((slot, t.name()));
+                }
+            }
+            striped.sort_unstable();
+            let mut all: Vec<(u32, &str)> =
+                lake.entries().map(|(slot, t)| (slot, t.name())).collect();
+            all.sort_unstable();
+            assert_eq!(striped, all, "stripes must partition entries for of={of}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entries_routed_rejects_out_of_range_shard() {
+        let lake = DataLake::new();
+        let _ = lake.entries_routed(2, 2).count();
     }
 
     #[test]

@@ -4,12 +4,18 @@
 //!
 //! ```text
 //! dialite demo
-//! dialite discover  --lake DIR --query Q.csv [--column N] [--k K]
-//! dialite serve     --lake DIR --query Q.csv [--column N] [--clients N] [--requests M]
+//! dialite discover  --lake DIR --query Q.csv [--column N] [--k K] [--shards N]
+//! dialite serve     --lake DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N]
+//! dialite telemetry --lake DIR --query Q.csv [--column N] [--k K] [--requests M] [--shards N]
 //! dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
 //! dialite analyze   --table T.csv --corr colA,colB
 //! dialite generate  --prompt "covid cases" [--rows N] [--cols N]
 //! ```
+//!
+//! `--shards N` stripes the maintained discovery index across N shards
+//! (queries fan out in parallel and merge; `--shards 1`, the default, is
+//! byte-for-byte the single index). `telemetry` replays the query and
+//! dumps the merged discovery telemetry window as one JSON object.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,8 +47,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dialite demo
-  dialite discover  --lake DIR --query FILE.csv [--column N] [--k K]
-  dialite serve     --lake DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M]
+  dialite discover  --lake DIR --query FILE.csv [--column N] [--k K] [--shards N]
+  dialite serve     --lake DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N]
+  dialite telemetry --lake DIR --query FILE.csv [--column N] [--k K] [--requests M] [--shards N]
   dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
   dialite analyze   --table FILE.csv [--corr colA,colB] [--summary]
   dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]";
@@ -66,6 +73,28 @@ fn load_lake(dir: &str) -> Result<DataLake, String> {
     Ok(lake)
 }
 
+/// Parse `--shards` (default 1; the pipeline clamps 0 up to 1).
+fn shards_flag(args: &[String]) -> Result<usize, String> {
+    flag(args, "--shards")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--shards must be a number".to_string())
+}
+
+/// Turn a loaded query table into a [`TableQuery`], honoring `--column`.
+fn query_from(args: &[String], table: Table) -> Result<TableQuery, String> {
+    match flag(args, "--column") {
+        Some(c) => {
+            let col: usize = c.parse().map_err(|_| "--column must be a number")?;
+            if col >= table.column_count() {
+                return Err(format!("--column {col} out of range"));
+            }
+            Ok(TableQuery::with_column(table, col))
+        }
+        None => Ok(TableQuery::new(table)),
+    }
+}
+
 fn load_table(path: &str) -> Result<Table, String> {
     let text =
         std::fs::read_to_string(PathBuf::from(path)).map_err(|e| format!("reading {path}: {e}"))?;
@@ -81,6 +110,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("demo") => cmd_demo(),
         Some("discover") => cmd_discover(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("telemetry") => cmd_telemetry(&args[1..]),
         Some("integrate") => cmd_integrate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
@@ -116,21 +146,39 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         .unwrap_or("5")
         .parse()
         .map_err(|_| "--k must be a number")?;
-    let query = match flag(args, "--column") {
-        Some(c) => {
-            let col: usize = c.parse().map_err(|_| "--column must be a number")?;
-            if col >= table.column_count() {
-                return Err(format!("--column {col} out of range"));
-            }
-            TableQuery::with_column(table, col)
-        }
-        None => TableQuery::new(table),
-    };
-    let mut pipeline = Pipeline::demo_default(&lake);
+    let query = query_from(args, table)?;
+    let mut pipeline = Pipeline::demo_sharded(&lake, shards_flag(args)?);
     pipeline.set_top_k(k);
     let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
     println!("{}", run.report());
     print_telemetry(&pipeline);
+    Ok(())
+}
+
+/// Replay the query through the (optionally sharded) discovery stage and
+/// dump the merged telemetry window as one JSON object on stdout — the
+/// machine-readable sibling of the human summary the other commands print.
+fn cmd_telemetry(args: &[String]) -> Result<(), String> {
+    let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
+    let table = load_table(flag(args, "--query").ok_or("--query FILE is required")?)?;
+    let k: usize = flag(args, "--k")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "--k must be a number")?;
+    let requests: usize = flag(args, "--requests")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "--requests must be a number")?;
+    let query = query_from(args, table)?;
+    let mut pipeline = Pipeline::demo_sharded(&lake, shards_flag(args)?);
+    pipeline.set_top_k(k);
+    for _ in 0..requests.max(1) {
+        pipeline.discover_stage(&lake, &query);
+    }
+    let json = pipeline
+        .telemetry_json()
+        .expect("demo pipeline maintains an index");
+    println!("{json}");
     Ok(())
 }
 
@@ -152,17 +200,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or("64")
         .parse()
         .map_err(|_| "--requests must be a number")?;
-    let query = match flag(args, "--column") {
-        Some(c) => {
-            let col: usize = c.parse().map_err(|_| "--column must be a number")?;
-            if col >= table.column_count() {
-                return Err(format!("--column {col} out of range"));
-            }
-            TableQuery::with_column(table, col)
-        }
-        None => TableQuery::new(table),
-    };
-    let mut pipeline = Pipeline::demo_default(&lake);
+    let query = query_from(args, table)?;
+    let shards = shards_flag(args)?;
+    let mut pipeline = Pipeline::demo_sharded(&lake, shards);
     pipeline.set_top_k(k);
     let service = pipeline
         .serve(lake, 1024)
@@ -192,7 +232,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     let t = service.telemetry();
-    println!("\n== Serving telemetry ({clients} clients, {requests} requests) ==");
+    println!(
+        "\n== Serving telemetry ({clients} clients, {requests} requests, {} shard(s)) ==",
+        service.shard_count()
+    );
     println!("{}", t.summary());
     Ok(())
 }
