@@ -41,7 +41,12 @@ pub fn append_point(path: &Path, bench: &str, point_json: &str) -> io::Result<()
     let point = indent_point(point_json);
     let next = match std::fs::read_to_string(path) {
         Ok(text) => splice(&text, &point).unwrap_or_else(|| fresh(bench, &point)),
-        Err(_) => fresh(bench, &point),
+        // Only a genuinely missing file may start a fresh trajectory. Any
+        // other read failure (permissions, I/O, a directory in the way) is
+        // transient from the trajectory's point of view — rewriting fresh
+        // here would silently erase the accumulated history.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => fresh(bench, &point),
+        Err(e) => return Err(e),
     };
     std::fs::write(path, next)
 }
@@ -183,6 +188,22 @@ mod tests {
         assert!(!text.contains("not json"), "{text}");
         balanced(&text);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unreadable_path_propagates_instead_of_wiping_history() {
+        // A directory at the trajectory path fails `read_to_string` with a
+        // non-NotFound kind; that must surface as an error, not as a fresh
+        // rewrite that would have erased whatever lives there.
+        let dir = scratch("unreadable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = append_point(&dir, "demo", "{ \"x\": 1 }").unwrap_err();
+        assert_ne!(err.kind(), io::ErrorKind::NotFound, "{err}");
+        assert!(
+            std::fs::metadata(&dir).unwrap().is_dir(),
+            "the blocking entry must be left untouched"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,9 +23,15 @@
 //! ```
 
 pub mod demo;
+mod durable;
 mod pipeline;
 
+pub use durable::DurableService;
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineRun};
+
+// Durability layer handles, re-exported so durable pipelines need only
+// this crate: `Pipeline::open_durable` / `Pipeline::serve_durable`.
+pub use dialite_durable::{DurableConfig, DurableLake, Recovery};
 
 // Re-export the stage traits so downstream users need only this crate.
 pub use dialite_align::{Alignment, HolisticMatcher};

@@ -1,6 +1,8 @@
 //! The pipeline runner.
 
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use dialite_align::{Alignment, HolisticMatcher, KbAnnotator};
@@ -9,12 +11,15 @@ use dialite_discovery::{
     DiscoveryService, DiscoveryTelemetry, LakeIndexConfig, QueryBudget, ServingConfig,
     ShardedLakeIndex, TableQuery,
 };
+use dialite_durable::{DurableConfig, DurableLake};
 use dialite_integrate::{
     AliteFd, IntegrateError, IntegratedTable, Integrator, OuterJoinIntegrator,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_kb::KnowledgeBase;
 use dialite_table::{DataLake, Table, TableError};
+
+use crate::durable::DurableService;
 
 /// Pipeline failures.
 #[derive(Debug)]
@@ -364,6 +369,20 @@ impl Pipeline {
         self.telemetry().map(|t| t.to_json())
     }
 
+    /// Total MinHash signatures the maintained index has computed so far
+    /// (summed across shards). `None` without indexed discovery or before
+    /// the first build. This is the warm-start metric the recovery oracle
+    /// pins: after [`Pipeline::open_durable`] with a sketch-bearing
+    /// snapshot, the count is `O(events since snapshot)`, not `O(lake)`.
+    pub fn sketch_work(&self) -> Option<u64> {
+        let guard = self
+            .indexed
+            .as_ref()?
+            .read()
+            .expect("indexed discovery lock");
+        guard.index.as_ref().map(ShardedLakeIndex::sketch_work)
+    }
+
     /// Zero the maintained index's telemetry window (no-op when no index
     /// exists yet).
     pub fn reset_telemetry(&self) {
@@ -446,6 +465,117 @@ impl Pipeline {
             indexed.write().expect("fresh lock").ensure_current(lake);
         }
         pipeline
+    }
+
+    /// Open (or create) a durable demo pipeline rooted at `dir`: recover
+    /// the lake from the latest snapshot plus the commitlog tail
+    /// (tolerating a torn tail), warm-start the maintained index from the
+    /// persisted MinHash sketches instead of re-hashing the whole lake,
+    /// and re-seed the process stamp source strictly past everything
+    /// recovered — so versions minted after a restart can never collide
+    /// with persisted history.
+    ///
+    /// Returns the pipeline (demo configuration, `shards` index stripes),
+    /// the recovered lake, and the open durability handle, positioned for
+    /// appending. Mutate-and-append through
+    /// [`Pipeline::serve_durable`] or append manually with
+    /// [`DurableLake::append_since`](dialite_durable::DurableLake::append_since).
+    pub fn open_durable(
+        dir: &Path,
+        shards: usize,
+        config: DurableConfig,
+    ) -> io::Result<(Pipeline, DataLake, DurableLake)> {
+        let (durable, recovery) = DurableLake::open(dir, config)?;
+        let kb = Arc::new(covid_kb());
+        let pipeline = Pipeline::builder()
+            .indexed_discovery(kb.clone(), LakeIndexConfig::default())
+            .shards(shards)
+            .matcher(HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb))))
+            .integrator(Box::new(AliteFd::default()))
+            .alternative(Box::new(OuterJoinIntegrator))
+            .build();
+        if let Some(indexed) = &pipeline.indexed {
+            let mut guard = indexed.write().expect("fresh lock");
+            // Build over the snapshot state — reusing persisted sketches
+            // where they still match — then replay the commitlog tail as
+            // an ordinary changelog delta: the restored snapshot lake's
+            // log floor makes `sync` see exactly the replayed records.
+            let index = match &recovery.sketches {
+                Some(sketches) => ShardedLakeIndex::build_warm(
+                    &recovery.snapshot,
+                    guard.kb.clone(),
+                    guard.config.clone(),
+                    guard.shards,
+                    sketches,
+                ),
+                None => ShardedLakeIndex::build(
+                    &recovery.snapshot,
+                    guard.kb.clone(),
+                    guard.config.clone(),
+                    guard.shards,
+                ),
+            };
+            index.sync(&recovery.lake);
+            guard.index = Some(index);
+        }
+        Ok((pipeline, recovery.lake, durable))
+    }
+
+    /// Write a durable snapshot of `lake` — including the maintained
+    /// index's MinHash sketches, so the next [`Pipeline::open_durable`]
+    /// warm-starts in `O(events since snapshot)` sketch work instead of
+    /// `O(lake)` — and truncate the now-covered commitlog. The index is
+    /// first caught up with the lake so the exported sketches match the
+    /// snapshotted state.
+    pub fn snapshot(&self, lake: &DataLake, durable: &mut DurableLake) -> io::Result<()> {
+        let sketches = self.indexed.as_ref().map(|indexed| {
+            let mut guard = indexed.write().expect("indexed discovery lock");
+            guard.ensure_current(lake).export_sketches()
+        });
+        durable.write_snapshot(lake, sketches.as_ref())
+    }
+
+    /// [`Pipeline::serve`] with write-ahead durability: the returned
+    /// [`DurableService`] appends every mutation's events to `durable`'s
+    /// commitlog under the lake write lock (log order == serialization
+    /// order) and can checkpoint on demand. When the pipeline's own index
+    /// is current for `lake`, its sketches warm-start the serving index
+    /// so handover does not re-hash the lake.
+    ///
+    /// Returns `None` when the pipeline has no indexed discovery
+    /// configured, exactly like [`Pipeline::serve`].
+    pub fn serve_durable(
+        &self,
+        lake: DataLake,
+        max_in_flight: usize,
+        durable: DurableLake,
+    ) -> Option<DurableService> {
+        let guard = self
+            .indexed
+            .as_ref()?
+            .read()
+            .expect("indexed discovery lock");
+        let serving = ServingConfig::default()
+            .with_max_in_flight(max_in_flight)
+            .with_budget(self.budget)
+            .with_k(self.top_k);
+        let index = match guard.current(&lake) {
+            Some(current) => {
+                let sketches = current.export_sketches();
+                ShardedLakeIndex::build_warm(
+                    &lake,
+                    guard.kb.clone(),
+                    guard.config.clone(),
+                    guard.shards,
+                    &sketches,
+                )
+            }
+            None => {
+                ShardedLakeIndex::build(&lake, guard.kb.clone(), guard.config.clone(), guard.shards)
+            }
+        };
+        let service = DiscoveryService::with_prebuilt(lake, index, serving);
+        Some(crate::durable::DurableService::new(service, durable))
     }
 
     /// Budgeted top-k joinable discovery — the interactive hot path, run

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dialite_kb::KnowledgeBase;
+use dialite_minhash::SketchSnapshot;
 use dialite_table::{DataLake, LakeEvent};
 
 use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
@@ -115,6 +116,46 @@ impl LakeIndex {
             scope,
             synced: lake.version(),
         }
+    }
+
+    /// Like [`LakeIndex::build_scoped`], but warm-start the LSH engine
+    /// from persisted MinHash sketches (see
+    /// [`LshEnsembleDiscovery::build_scoped_warm`]). The SANTOS engine and
+    /// the exact verification structures are always rebuilt from the lake;
+    /// only the MinHash pass is skipped where the snapshot covers it.
+    pub fn build_scoped_warm(
+        lake: &DataLake,
+        kb: Arc<KnowledgeBase>,
+        config: LakeIndexConfig,
+        scope: ShardScope,
+        sketches: &SketchSnapshot,
+    ) -> LakeIndex {
+        LakeIndex {
+            santos: SantosDiscovery::build_scoped(lake, kb.clone(), config.santos.clone(), scope),
+            lshe: LshEnsembleDiscovery::build_scoped_warm(
+                lake,
+                config.lshe.clone(),
+                scope,
+                sketches,
+            ),
+            planner: TopKPlanner::new(),
+            telemetry: ShardedTelemetry::default(),
+            kb,
+            config,
+            scope,
+            synced: lake.version(),
+        }
+    }
+
+    /// Export the LSH engine's domain sketches for durable snapshotting.
+    pub fn export_sketches(&self) -> SketchSnapshot {
+        self.lshe.export_sketches()
+    }
+
+    /// MinHash signatures this index's hash family has computed so far —
+    /// the work a warm start keeps proportional to the replayed tail.
+    pub fn sketch_work(&self) -> u64 {
+        self.lshe.sketch_work()
     }
 
     /// The slot stripe this index covers ([`ShardScope::all`] unless it

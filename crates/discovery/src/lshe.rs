@@ -28,7 +28,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher};
+use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher, Signature, SketchSnapshot};
 use dialite_table::{DataLake, Table};
 
 use crate::pool::{StringPool, POOL_ID_DROPPED};
@@ -166,6 +166,96 @@ impl LshEnsembleDiscovery {
             retired_weight: 0,
             pool_generation: 0,
         }
+    }
+
+    /// Like [`LshEnsembleDiscovery::build_scoped`], but reuse persisted
+    /// MinHash signatures from a durable snapshot instead of re-hashing
+    /// every column domain. A sketch is reused only when its hash-family
+    /// identity (`num_perm`, `seed`) matches the config **and** its
+    /// recorded domain size equals the live domain's token count —
+    /// anything else falls back to hashing that domain fresh, so a stale
+    /// or foreign snapshot can slow a warm start but never corrupt it.
+    ///
+    /// Token interning, posting lists and exact verification sets are
+    /// always rebuilt from the lake (they are cheap `u32` work); only the
+    /// `O(num_perm × tokens)` MinHash pass is skipped.
+    pub fn build_scoped_warm(
+        lake: &DataLake,
+        config: LshEnsembleConfig,
+        scope: ShardScope,
+        sketches: &SketchSnapshot,
+    ) -> LshEnsembleDiscovery {
+        if !sketches.matches_family(config.num_perm, config.seed) {
+            return LshEnsembleDiscovery::build_scoped(lake, config, scope);
+        }
+        let by_key: HashMap<DomainKey, (usize, &Signature)> = sketches
+            .domains
+            .iter()
+            .map(|(key, size, sig)| (*key, (*size, sig)))
+            .collect();
+        let mut builder = LshEnsembleBuilder::new(config.num_perm, config.seed);
+        let mut domains: HashMap<DomainKey, HashSet<u32>> = HashMap::new();
+        let mut table_names = HashMap::new();
+        let mut cols_of: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut pool = StringPool::new();
+        let mut postings: HashMap<u32, Vec<DomainKey>> = HashMap::new();
+        let mut live_weight = 0usize;
+        for (t, table) in lake.entries_routed(scope.shard(), scope.of()) {
+            table_names.insert(t, table.name().to_string());
+            for c in 0..table.column_count() {
+                let tokens = table.column_token_set(c);
+                if tokens.is_empty() {
+                    continue;
+                }
+                let key: DomainKey = (t, c as u32);
+                match by_key.get(&key) {
+                    Some(&(size, sig)) if size == tokens.len() => {
+                        builder.insert_signature(key, size, sig.clone());
+                    }
+                    _ => builder.insert_tokens(key, tokens.iter().map(String::as_str)),
+                }
+                let ids: HashSet<u32> = tokens.iter().map(|tok| pool.intern(tok)).collect();
+                for &id in &ids {
+                    postings.entry(id).or_default().push(key);
+                }
+                live_weight += ids.len();
+                domains.insert(key, ids);
+                cols_of.entry(t).or_default().push(c as u32);
+            }
+        }
+        let hasher = builder.hasher().clone();
+        let mut ensemble = builder.build(config.num_partitions);
+        ensemble.set_rebalance_threshold(config.rebalance_dirtiness);
+        LshEnsembleDiscovery {
+            config,
+            hasher,
+            ensemble,
+            domains,
+            table_names,
+            cols_of,
+            pool,
+            postings,
+            live_weight,
+            retired_weight: 0,
+            pool_generation: 0,
+        }
+    }
+
+    /// Export every indexed domain's MinHash signature, tagged with the
+    /// hash-family identity, in the shape durable snapshots persist.
+    pub fn export_sketches(&self) -> SketchSnapshot {
+        SketchSnapshot {
+            num_perm: self.config.num_perm,
+            seed: self.config.seed,
+            domains: self.ensemble.export_entries(),
+        }
+    }
+
+    /// MinHash signatures computed by this engine's hash family so far
+    /// (across build, upserts and queries). Warm starts exist to keep this
+    /// near `O(events since snapshot)` instead of `O(lake)`.
+    pub fn sketch_work(&self) -> u64 {
+        self.hasher.signatures_computed()
     }
 
     /// Index (or re-index) one table under its lake slot. `O(table)`.
@@ -486,6 +576,49 @@ mod tests {
             },
             0,
         )
+    }
+
+    #[test]
+    fn warm_build_reuses_sketches_and_matches_cold_output() {
+        let lake = demo_lake();
+        let cold = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+        let sketches = cold.export_sketches();
+        assert_eq!(sketches.domains.len(), cold.indexed_domains());
+
+        let warm = LshEnsembleDiscovery::build_scoped_warm(
+            &lake,
+            LshEnsembleConfig::default(),
+            ShardScope::all(),
+            &sketches,
+        );
+        assert_eq!(
+            warm.sketch_work(),
+            0,
+            "full snapshot coverage must skip every MinHash pass"
+        );
+        assert_eq!(warm.indexed_domains(), cold.indexed_domains());
+        assert_eq!(warm.posting_stats(), cold.posting_stats());
+        assert_eq!(warm.discover(&query(), 5), cold.discover(&query(), 5));
+    }
+
+    #[test]
+    fn foreign_family_sketches_fall_back_to_hashing() {
+        let lake = demo_lake();
+        let cold = LshEnsembleDiscovery::build(&lake, LshEnsembleConfig::default());
+        let mut sketches = cold.export_sketches();
+        sketches.seed ^= 1; // pretend the snapshot came from another family
+        let warm = LshEnsembleDiscovery::build_scoped_warm(
+            &lake,
+            LshEnsembleConfig::default(),
+            ShardScope::all(),
+            &sketches,
+        );
+        assert_eq!(
+            warm.sketch_work(),
+            cold.sketch_work(),
+            "family mismatch must rebuild every sketch"
+        );
+        assert_eq!(warm.discover(&query(), 5), cold.discover(&query(), 5));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 use std::sync::{Arc, Mutex, RwLock};
 
 use dialite_kb::KnowledgeBase;
+use dialite_minhash::SketchSnapshot;
 use dialite_table::DataLake;
 
 use crate::index::{LakeIndex, LakeIndexConfig};
@@ -223,6 +224,68 @@ impl ShardedLakeIndex {
             shards,
             churn: Mutex::new(()),
         }
+    }
+
+    /// Like [`ShardedLakeIndex::build`], but warm-start every shard's LSH
+    /// engine from one lake-wide sketch snapshot. Each scoped build only
+    /// picks up the sketches for slots its stripe admits (domain keys are
+    /// slot-addressed, so the shards' subsets are disjoint); sketches the
+    /// snapshot lacks — or whose family/size no longer match — are hashed
+    /// fresh, exactly as in [`LakeIndex::build_scoped_warm`].
+    pub fn build_warm(
+        lake: &DataLake,
+        kb: Arc<KnowledgeBase>,
+        config: LakeIndexConfig,
+        shards: usize,
+        sketches: &SketchSnapshot,
+    ) -> ShardedLakeIndex {
+        let router = ShardRouter::new(shards);
+        let shards = (0..router.shards())
+            .map(|i| {
+                RwLock::new(LakeIndex::build_scoped_warm(
+                    lake,
+                    kb.clone(),
+                    config.clone(),
+                    router.scope(i),
+                    sketches,
+                ))
+            })
+            .collect();
+        ShardedLakeIndex {
+            router,
+            shards,
+            churn: Mutex::new(()),
+        }
+    }
+
+    /// Merge every shard's sketch export into one lake-wide snapshot.
+    /// Stripes own disjoint slot sets, so concatenation never collides;
+    /// the result is re-sorted into the canonical `(size, key)` order so
+    /// the export is byte-stable across shard counts.
+    pub fn export_sketches(&self) -> SketchSnapshot {
+        let mut merged = SketchSnapshot::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read().expect("shard lock");
+            let part = shard.export_sketches();
+            if i == 0 {
+                merged.num_perm = part.num_perm;
+                merged.seed = part.seed;
+            }
+            merged.domains.extend(part.domains);
+        }
+        merged
+            .domains
+            .sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        merged
+    }
+
+    /// Total MinHash signatures computed across all shards — the work a
+    /// warm start keeps proportional to the replayed tail.
+    pub fn sketch_work(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").sketch_work())
+            .sum()
     }
 
     /// Number of storage shards the lake is striped across.

@@ -452,6 +452,22 @@ impl<K: Clone + Eq + Hash + Ord> LshEnsemble<K> {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The live `(key, size, signature)` entries in canonical `(size, key)`
+    /// order — the durable sketch export. Feeding these back through
+    /// [`LshEnsembleBuilder::insert_signature`] and building reproduces
+    /// this index's canonical layout without recomputing a single MinHash
+    /// signature, which is what lets a snapshot warm-start skip the
+    /// per-token hashing pass entirely.
+    pub fn export_entries(&self) -> Vec<(K, usize, Signature)> {
+        let mut entries: Vec<(K, usize, Signature)> = self
+            .entries
+            .iter()
+            .map(|(k, (size, sig))| (k.clone(), *size, sig.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        entries
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +516,34 @@ mod tests {
             !hits.iter().any(|h| h.starts_with("noise")),
             "disjoint noise should not surface: {hits:?}"
         );
+    }
+
+    #[test]
+    fn exported_sketches_rebuild_the_index_without_hashing() {
+        let (index, hasher) = build_demo();
+        let exported = index.export_entries();
+        assert_eq!(exported.len(), index.len());
+        // Canonical (size, key) order, the same order build() sorts into.
+        for w in exported.windows(2) {
+            assert!((w[0].1, &w[0].0) < (w[1].1, &w[1].0), "unsorted export");
+        }
+        // Rebuild purely from signatures: zero signature computations…
+        let mut b: LshEnsembleBuilder<String> = LshEnsembleBuilder::new(256, 17);
+        let warm_hasher = b.hasher().clone();
+        for (key, size, sig) in exported {
+            b.insert_signature(key, size, sig);
+        }
+        let rebuilt = b.build(index.partition_count());
+        assert_eq!(warm_hasher.signatures_computed(), 0);
+        // …and identical layout and query behavior.
+        assert_eq!(rebuilt.partition_bounds(), index.partition_bounds());
+        let q = toks("q", 0..50);
+        let sig = hasher.signature(q.iter().map(String::as_str));
+        let mut a = index.query(&sig, q.len(), 0.5);
+        let mut b = rebuilt.query(&sig, q.len(), 0.5);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! MinHash signatures over string token sets.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use dialite_text::fnv1a64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,6 +17,10 @@ const MERSENNE_61: u64 = (1u64 << 61) - 1;
 pub struct MinHasher {
     a: Vec<u64>,
     b: Vec<u64>,
+    // Signatures computed through this family, shared across clones —
+    // the observable "sketch work" that warm-start recovery from durable
+    // snapshots is meant to avoid (asserted by the recovery oracle).
+    work: Arc<AtomicU64>,
 }
 
 /// A MinHash signature: the element-wise minimum of each hash function over
@@ -32,12 +39,24 @@ impl MinHasher {
         let b = (0..num_perm)
             .map(|_| rng.gen_range(0..MERSENNE_61))
             .collect();
-        MinHasher { a, b }
+        MinHasher {
+            a,
+            b,
+            work: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Number of hash functions / signature length.
     pub fn num_perm(&self) -> usize {
         self.a.len()
+    }
+
+    /// How many signatures this family has computed so far, counted across
+    /// all clones of the family (clones share the counter). Recovery tests
+    /// use this to assert that warm-starting an index from persisted
+    /// sketches does `O(events since snapshot)` hashing, not `O(lake)`.
+    pub fn signatures_computed(&self) -> u64 {
+        self.work.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -53,6 +72,7 @@ impl MinHasher {
     /// An empty set yields the all-`u64::MAX` signature, which estimates
     /// Jaccard 1.0 against another empty set and ~0 against anything else.
     pub fn signature<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Signature {
+        self.work.fetch_add(1, Ordering::Relaxed);
         let mut mins = vec![u64::MAX; self.a.len()];
         for tok in tokens {
             let x = fnv1a64(tok.as_bytes());
@@ -163,6 +183,20 @@ mod tests {
         let h = MinHasher::new(8, 0);
         let s = h.signature([]);
         assert!(s.0.iter().all(|&m| m == u64::MAX));
+    }
+
+    #[test]
+    fn work_counter_tracks_signatures_across_clones() {
+        let h = MinHasher::new(8, 3);
+        assert_eq!(h.signatures_computed(), 0);
+        let _ = sig_of(&h, &["a"]);
+        let clone = h.clone();
+        let _ = sig_of(&clone, &["b"]);
+        // Clones share one counter: both computations are visible on both.
+        assert_eq!(h.signatures_computed(), 2);
+        assert_eq!(clone.signatures_computed(), 2);
+        // A fresh family starts its own ledger.
+        assert_eq!(MinHasher::new(8, 3).signatures_computed(), 0);
     }
 
     #[test]

@@ -26,8 +26,10 @@ mod ensemble;
 mod hasher;
 mod lsh;
 mod params;
+mod sketch;
 
 pub use ensemble::{LshEnsemble, LshEnsembleBuilder, PartitionProbe, DEFAULT_REBALANCE_THRESHOLD};
 pub use hasher::{MinHasher, Signature};
 pub use lsh::LshIndex;
 pub use params::{containment_to_jaccard, optimal_params, optimal_params_restricted};
+pub use sketch::SketchSnapshot;

@@ -1,0 +1,51 @@
+//! Persisted MinHash sketch state, the exchange format between the
+//! durable layer (which serializes it) and index warm-start (which
+//! consumes it instead of re-hashing every token of every table).
+
+use crate::hasher::Signature;
+
+/// The MinHash sketch state of an indexed corpus as captured in a durable
+/// snapshot: the hash-family identity plus one `(domain key, set size,
+/// signature)` entry per indexed domain. Domain keys are `(slot, column)`
+/// pairs — the structural addressing the discovery layer keys its state
+/// by, so sketches survive table renames-by-replacement unambiguously.
+///
+/// A warm-starting index may consume the entries only when
+/// [`matches_family`](SketchSnapshot::matches_family) holds for its own
+/// configuration; signatures from a different family are incomparable and
+/// the consumer must fall back to a full re-hash.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SketchSnapshot {
+    /// Signature length of the family that produced the sketches.
+    pub num_perm: usize,
+    /// Seed of the family that produced the sketches.
+    pub seed: u64,
+    /// One `((slot, column), token-set size, signature)` per domain, in
+    /// canonical `(size, key)` order.
+    pub domains: Vec<((u32, u32), usize, Signature)>,
+}
+
+impl SketchSnapshot {
+    /// Whether sketches from this snapshot are comparable with signatures
+    /// minted by a `MinHasher::new(num_perm, seed)` family.
+    pub fn matches_family(&self, num_perm: usize, seed: u64) -> bool {
+        self.num_perm == num_perm && self.seed == seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_identity_gates_reuse() {
+        let snap = SketchSnapshot {
+            num_perm: 64,
+            seed: 7,
+            domains: Vec::new(),
+        };
+        assert!(snap.matches_family(64, 7));
+        assert!(!snap.matches_family(64, 8));
+        assert!(!snap.matches_family(32, 7));
+    }
+}

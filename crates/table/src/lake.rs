@@ -33,6 +33,20 @@ fn next_stamp() -> u64 {
     STAMP.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Raise the process-wide stamp source so every stamp minted from now on
+/// is strictly greater than `floor` — `max(current, floor + 1)` on the
+/// source, monotone and race-safe under concurrent minting.
+///
+/// The source starts at 1 on every process launch, so any state that
+/// outlives the process (a durable snapshot + commitlog) comes back
+/// holding stamps the fresh source would mint *again*; equal stamps from
+/// different lineages would defeat the [`DataLake::events_since`] lineage
+/// guard. Whoever reopens persisted state must call this with the maximum
+/// persisted stamp before mutating anything.
+pub fn bump_stamp_floor(floor: u64) {
+    STAMP.fetch_max(floor.saturating_add(1), Ordering::Relaxed);
+}
+
 /// Number of changelog entries a lake retains. Consumers further behind
 /// than this get `None` from [`DataLake::events_since`] and must rebuild.
 const MAX_LOG: usize = 4096;
@@ -344,12 +358,166 @@ impl DataLake {
         }
         Ok(loaded)
     }
+
+    // --- durability: snapshot restore and commitlog replay -------------
+    //
+    // These APIs exist for `dialite_durable`: they rebuild a lake from
+    // persisted state without minting fresh stamps, so the recovered
+    // lake's history is byte-for-byte the persisted one. Stamps re-enter
+    // the process from disk here; callers must re-seed the stamp source
+    // via [`bump_stamp_floor`] once the maximum persisted stamp is known.
+
+    /// The freed slot indices in reuse order (the last entry is claimed
+    /// first). Persisting this order is what lets a restored lake assign
+    /// the same slots to future tables as the lake it was snapshotted
+    /// from would have.
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Reassemble a lake from persisted snapshot state: the occupied
+    /// `(slot, table)` entries, the free list in reuse order, and the
+    /// version stamp the snapshot was taken at.
+    ///
+    /// The restored lake has an empty changelog with its floor at
+    /// `version`, exactly like a live lake whose log was fully truncated
+    /// at the snapshot point: `events_since(version)` serves the (empty)
+    /// delta and every older stamp reports a gap. No stamps are minted.
+    pub fn restore(
+        entries: Vec<(u32, Arc<Table>)>,
+        free: Vec<u32>,
+        version: u64,
+    ) -> Result<DataLake, TableError> {
+        let corrupt = |message: String| TableError::Io {
+            path: "<snapshot>".to_string(),
+            message,
+        };
+        let slot_count = entries.len() + free.len();
+        let mut slots: Vec<Option<Arc<Table>>> = vec![None; slot_count];
+        let mut by_name = HashMap::with_capacity(entries.len());
+        for (slot, table) in entries {
+            let cell = slots
+                .get_mut(slot as usize)
+                .ok_or_else(|| corrupt(format!("slot {slot} out of range {slot_count}")))?;
+            if cell.is_some() {
+                return Err(corrupt(format!("slot {slot} occupied twice")));
+            }
+            if by_name.insert(table.name().to_string(), slot).is_some() {
+                return Err(TableError::DuplicateTable {
+                    table: table.name().to_string(),
+                });
+            }
+            *cell = Some(table);
+        }
+        for &slot in &free {
+            match slots.get(slot as usize) {
+                None => return Err(corrupt(format!("free slot {slot} out of range"))),
+                Some(Some(_)) => {
+                    return Err(corrupt(format!("free slot {slot} is occupied")));
+                }
+                Some(None) => {}
+            }
+        }
+        let mut seen = free.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != free.len() {
+            return Err(corrupt("free list repeats a slot".to_string()));
+        }
+        Ok(DataLake {
+            slots,
+            by_name,
+            free,
+            version,
+            log: VecDeque::new(),
+            log_floor: version,
+        })
+    }
+
+    /// Apply one persisted changelog record — `(stamp, event)` plus the
+    /// table payload logged for [`LakeEvent::Added`]/[`LakeEvent::Replaced`]
+    /// — without minting a stamp: the lake's version becomes `stamp` and
+    /// the record joins the bounded changelog verbatim, so a consumer
+    /// synced at the snapshot version replays the recovered lake exactly
+    /// like a live one.
+    ///
+    /// Payloads carry the slot's content *at append time*, which (as with
+    /// `sync` consumers of [`DataLake::events_since`]) may already reflect
+    /// later events in the same batch; applying the records in order
+    /// converges on the exact persisted state. A missing payload means the
+    /// slot had already been emptied again when the record was appended.
+    ///
+    /// Stamps must ascend strictly; a non-monotone record is rejected as
+    /// corrupt so a mangled log can never smuggle in a fork.
+    pub fn apply_replayed(
+        &mut self,
+        stamp: u64,
+        event: LakeEvent,
+        table: Option<Arc<Table>>,
+    ) -> Result<(), TableError> {
+        let corrupt = |message: String| TableError::Io {
+            path: "<commitlog>".to_string(),
+            message,
+        };
+        if stamp <= self.version {
+            return Err(corrupt(format!(
+                "stamp {stamp} does not ascend past version {}",
+                self.version
+            )));
+        }
+        let slot = event.slot();
+        while self.slots.len() <= slot as usize {
+            self.slots.push(None);
+        }
+        // Mirror the live mutation's slot bookkeeping, then converge the
+        // content to the payload — the same rule `LakeIndex::sync` uses.
+        if matches!(event, LakeEvent::Added(_) | LakeEvent::Replaced(_)) {
+            // A (re)occupied slot is never on the free list.
+            if let Some(pos) = self.free.iter().position(|&f| f == slot) {
+                self.free.remove(pos);
+            }
+        }
+        if let Some(old) = self.slots[slot as usize].take() {
+            self.by_name.remove(old.name());
+        }
+        match (&event, table) {
+            (LakeEvent::Added(_) | LakeEvent::Replaced(_), Some(table)) => {
+                if let Some(&other) = self.by_name.get(table.name()) {
+                    if other != slot {
+                        return Err(corrupt(format!(
+                            "table '{}' claimed by slots {other} and {slot}",
+                            table.name()
+                        )));
+                    }
+                }
+                self.by_name.insert(table.name().to_string(), slot);
+                self.slots[slot as usize] = Some(table);
+            }
+            _ => {
+                // Removal, or an Added/Replaced whose slot was emptied
+                // again before the record was appended. The matching
+                // Removed record handles the free-list push.
+                if matches!(event, LakeEvent::Removed(_)) && !self.free.contains(&slot) {
+                    self.free.push(slot);
+                }
+            }
+        }
+        self.version = stamp;
+        if self.log.len() == MAX_LOG {
+            if let Some((floor, _)) = self.log.pop_front() {
+                self.log_floor = floor;
+            }
+        }
+        self.log.push_back((stamp, event));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::table;
+    use crate::value::Value;
 
     #[test]
     fn add_and_get() {
@@ -565,6 +733,180 @@ mod tests {
     fn entries_routed_rejects_out_of_range_shard() {
         let lake = DataLake::new();
         let _ = lake.entries_routed(2, 2).count();
+    }
+
+    #[test]
+    fn restore_rebuilds_slots_free_list_and_version() {
+        let mut live = DataLake::new();
+        live.add(table! { "a"; ["x"]; [1] }).unwrap();
+        live.add(table! { "b"; ["x"]; [2] }).unwrap();
+        live.add(table! { "c"; ["x"]; [3] }).unwrap();
+        live.remove("b").unwrap();
+        let entries: Vec<(u32, Arc<Table>)> =
+            live.entries().map(|(s, t)| (s, Arc::clone(t))).collect();
+        let restored =
+            DataLake::restore(entries, live.free_slots().to_vec(), live.version()).unwrap();
+        assert_eq!(restored.version(), live.version());
+        assert_eq!(
+            restored.entries().map(|(s, _)| s).collect::<Vec<_>>(),
+            live.entries().map(|(s, _)| s).collect::<Vec<_>>()
+        );
+        assert_eq!(restored.free_slots(), live.free_slots());
+        // The restored log is empty with its floor at the snapshot point…
+        assert!(restored
+            .events_since(restored.version())
+            .unwrap()
+            .is_empty());
+        assert!(restored.events_since(0).is_none(), "pre-snapshot gap");
+        // …and future adds reuse the same freed slot the live lake would.
+        let mut live2 = live.clone();
+        let mut restored2 = restored.clone();
+        let slot_live = live2.add_table(table! { "d"; ["x"]; [4] }).unwrap();
+        let slot_restored = restored2.add_table(table! { "d"; ["x"]; [4] }).unwrap();
+        assert_eq!(slot_live, slot_restored);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let t = |n: &str| Arc::new(table! { n; ["x"]; [1] });
+        assert!(DataLake::restore(vec![(5, t("a"))], vec![], 1).is_err());
+        assert!(DataLake::restore(vec![(0, t("a")), (0, t("b"))], vec![1], 1).is_err());
+        assert!(DataLake::restore(vec![(0, t("a")), (1, t("a"))], vec![], 1).is_err());
+        assert!(DataLake::restore(vec![(0, t("a"))], vec![0], 1).is_err());
+        assert!(DataLake::restore(vec![(0, t("a"))], vec![1, 1], 1).is_err());
+    }
+
+    #[test]
+    fn apply_replayed_reproduces_the_live_history() {
+        // Drive a live lake through churn, capturing each event with the
+        // payload visible right after the mutation — what the commitlog
+        // stores — then replay the records into a restored copy of the
+        // starting state and compare everything observable.
+        let mut live = DataLake::new();
+        live.add(table! { "base"; ["x"]; [0] }).unwrap();
+        let snap_entries: Vec<(u32, Arc<Table>)> =
+            live.entries().map(|(s, t)| (s, Arc::clone(t))).collect();
+        let snap_free = live.free_slots().to_vec();
+        let snap_version = live.version();
+
+        let mut records: Vec<(u64, LakeEvent, Option<Arc<Table>>)> = Vec::new();
+        let mut log_tail = |lake: &DataLake, since: u64| {
+            for (stamp, event) in lake.events_since(since).unwrap() {
+                let payload = lake.table_at(event.slot()).cloned();
+                records.push((stamp, event, payload));
+            }
+        };
+        let mut v = live.version();
+        live.add(table! { "a"; ["x"]; [1] }).unwrap();
+        log_tail(&live, v);
+        v = live.version();
+        live.upsert(table! { "a"; ["x"]; [2], [3] });
+        log_tail(&live, v);
+        v = live.version();
+        live.remove("base").unwrap();
+        log_tail(&live, v);
+        v = live.version();
+        live.add(table! { "c"; ["x"]; [4] }).unwrap(); // reuses base's slot
+        log_tail(&live, v);
+
+        let mut restored = DataLake::restore(snap_entries, snap_free, snap_version).unwrap();
+        for (stamp, event, payload) in records {
+            restored.apply_replayed(stamp, event, payload).unwrap();
+        }
+        assert_eq!(restored.version(), live.version());
+        assert_eq!(restored.free_slots(), live.free_slots());
+        let obs = |lake: &DataLake| {
+            lake.entries()
+                .map(|(s, t)| {
+                    let rows: Vec<Vec<Value>> = t.rows().map(|r| r.to_vec()).collect();
+                    (s, t.name().to_string(), rows)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(obs(&restored), obs(&live));
+        // The replayed changelog serves the same deltas as the live one.
+        assert_eq!(
+            restored.events_since(snap_version).unwrap(),
+            live.events_since(snap_version).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_replayed_rejects_non_monotone_stamps() {
+        let mut lake = DataLake::restore(Vec::new(), Vec::new(), 10).unwrap();
+        let t = Arc::new(table! { "t"; ["x"]; [1] });
+        lake.apply_replayed(11, LakeEvent::Added(0), Some(Arc::clone(&t)))
+            .unwrap();
+        assert!(lake
+            .apply_replayed(11, LakeEvent::Replaced(0), Some(Arc::clone(&t)))
+            .is_err());
+        assert!(lake
+            .apply_replayed(5, LakeEvent::Replaced(0), Some(t))
+            .is_err());
+    }
+
+    /// Satellite bugfix pin: the stamp source resets to 1 on process
+    /// restart, so a reopened lake's persisted history collides with
+    /// stamps the fresh process mints — unless the opener re-seeds via
+    /// [`bump_stamp_floor`]. Simulated here by restoring a lake whose
+    /// persisted stamps sit *ahead* of the live source, exactly the shape
+    /// a real restart produces (disk: stamps 1..=N; fresh process: 1..).
+    #[test]
+    fn stamp_reseed_blocks_cross_restart_collisions() {
+        // A live lineage in this process mints a stamp…
+        let mut fresh = DataLake::new();
+        fresh.add(table! { "fresh"; ["x"]; [1] }).unwrap();
+        let s = fresh.version();
+
+        // …and a previous process life, whose source also started at 1,
+        // persisted that *same* stamp value before dying. Reopening that
+        // disk image replays the stamp without minting:
+        let payload = Arc::new(table! { "t"; ["x"]; [1] });
+        let mut reopened = DataLake::restore(Vec::new(), Vec::new(), s - 1).unwrap();
+        reopened
+            .apply_replayed(s, LakeEvent::Added(0), Some(Arc::clone(&payload)))
+            .unwrap();
+
+        // BUG: both lineages now hold stamp `s`, so the reopened lake
+        // vouches for the fresh lineage's stamp and would serve it a
+        // delta from a history it never had.
+        assert!(
+            reopened.events_since(fresh.version()).is_some(),
+            "collision: reopened lake accepts a foreign lineage's stamp"
+        );
+
+        // Also pre-reseed: a reopened lake whose persisted stamps run
+        // ahead of the live source mints *backwards*, making its own
+        // newest mutation invisible to a synced consumer.
+        let far = s + 10_000_000; // far past anything this test run mints
+        let mut ahead = DataLake::restore(Vec::new(), Vec::new(), far).unwrap();
+        ahead
+            .apply_replayed(far + 1, LakeEvent::Added(0), Some(payload))
+            .unwrap();
+        let mut unfixed = ahead.clone();
+        let before = unfixed.version();
+        unfixed.upsert(table! { "t2"; ["x"]; [2] });
+        assert!(unfixed.version() < before, "version moved backwards");
+        let delta = unfixed.events_since(before);
+        assert!(
+            delta.is_none() || delta.as_deref() == Some(&[][..]),
+            "the post-restart mutation must have vanished from the delta \
+             (a correct lake would serve exactly one event): {delta:?}"
+        );
+
+        // FIX: re-seed the source past the maximum persisted stamp — what
+        // `dialite_durable` does on open. Monotonicity resumes and the
+        // lineages can never share a stamp again.
+        bump_stamp_floor(ahead.version());
+        let persisted_max = ahead.version();
+        ahead.upsert(table! { "t2"; ["x"]; [2] });
+        assert!(ahead.version() > persisted_max, "monotone after reseed");
+        fresh.upsert(table! { "fresh"; ["x"]; [2] });
+        assert!(fresh.version() > persisted_max);
+        assert!(
+            ahead.events_since(fresh.version()).is_none(),
+            "foreign stamps are refused again"
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod value;
 pub use csv::{parse_csv, read_csv_str, table_to_csv, write_csv_path, CsvOptions};
 pub use error::TableError;
 pub use intern::ValueInterner;
-pub use lake::{DataLake, LakeEvent};
+pub use lake::{bump_stamp_floor, DataLake, LakeEvent};
 pub use schema::{ColumnMeta, ColumnType, Schema};
 pub use table::{Table, Tid};
 pub use value::{NullKind, Value};

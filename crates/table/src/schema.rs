@@ -117,6 +117,25 @@ impl Schema {
         Ok(Schema { columns, by_name })
     }
 
+    /// Build a schema from fully specified columns — names *and* types —
+    /// the way persisted durable state carries them. Unlike the inference
+    /// path, the given types are kept verbatim, so a table restored from
+    /// a snapshot or commitlog record is byte-for-byte the table that was
+    /// persisted even when its schema did not come from inference.
+    /// Fails on duplicate names.
+    pub fn from_columns(table: &str, columns: Vec<ColumnMeta>) -> Result<Schema, TableError> {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateColumn {
+                    table: table.to_string(),
+                    column: c.name.clone(),
+                });
+            }
+        }
+        Ok(Schema { columns, by_name })
+    }
+
     /// Build a schema deduplicating repeated headers by suffixing `_2`, `_3`, …
     /// (real open-data CSVs do repeat headers).
     pub fn new_deduped<S: AsRef<str>>(names: &[S]) -> Schema {

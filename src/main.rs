@@ -4,18 +4,26 @@
 //!
 //! ```text
 //! dialite demo
-//! dialite discover  --lake DIR --query Q.csv [--column N] [--k K] [--shards N]
-//! dialite serve     --lake DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N]
+//! dialite discover  --lake DIR|--data-dir DIR --query Q.csv [--column N] [--k K] [--shards N]
+//! dialite serve     --lake DIR|--data-dir DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N]
 //! dialite telemetry --lake DIR --query Q.csv [--column N] [--k K] [--requests M] [--shards N]
 //! dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
 //! dialite analyze   --table T.csv --corr colA,colB
 //! dialite generate  --prompt "covid cases" [--rows N] [--cols N]
+//! dialite snapshot  --data-dir DIR [--lake CSVDIR] [--shards N]
 //! ```
 //!
 //! `--shards N` stripes the maintained discovery index across N shards
 //! (queries fan out in parallel and merge; `--shards 1`, the default, is
 //! byte-for-byte the single index). `telemetry` replays the query and
 //! dumps the merged discovery telemetry window as one JSON object.
+//!
+//! `--data-dir DIR` points at a **durable** lake: a checksummed snapshot
+//! plus commitlog that survive restarts. `dialite snapshot` ingests CSVs
+//! into it (appending to the log) and writes a checkpoint — including the
+//! discovery index's MinHash sketches, so the next open warm-starts
+//! without re-hashing the lake. `discover`/`serve` with `--data-dir`
+//! recover snapshot + log tail and serve the recovered state.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,9 +32,10 @@ use std::sync::Arc;
 use dialite::align::{HolisticMatcher, KbAnnotator};
 use dialite::analyze::{column_summary, pearson_columns};
 use dialite::datagen::TableSynth;
+use dialite::discovery::DiscoveryService;
 use dialite::discovery::TableQuery;
 use dialite::kb::curated::covid_kb;
-use dialite::pipeline::{demo, Pipeline};
+use dialite::pipeline::{demo, DurableConfig, DurableLake, Pipeline};
 use dialite::table::{read_csv_str, CsvOptions, DataLake, Table};
 use dialite_integrate::{
     AliteFd, InnerJoinIntegrator, Integrator, OuterJoinIntegrator, OuterUnionIntegrator,
@@ -47,12 +56,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dialite demo
-  dialite discover  --lake DIR --query FILE.csv [--column N] [--k K] [--shards N]
-  dialite serve     --lake DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N]
+  dialite discover  --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--shards N]
+  dialite serve     --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N]
   dialite telemetry --lake DIR --query FILE.csv [--column N] [--k K] [--requests M] [--shards N]
   dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
   dialite analyze   --table FILE.csv [--corr colA,colB] [--summary]
-  dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]";
+  dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]
+  dialite snapshot  --data-dir DIR [--lake CSVDIR] [--shards N]";
 
 /// Minimal `--flag value` argument reader.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -79,6 +89,37 @@ fn shards_flag(args: &[String]) -> Result<usize, String> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| "--shards must be a number".to_string())
+}
+
+/// Resolve the lake for a read command. `--data-dir` opens the durable
+/// store (recovering snapshot + commitlog tail and warm-starting the
+/// index from persisted sketches); `--lake` loads CSVs fresh and builds
+/// cold. Exactly one must be given.
+fn open_lake_source(
+    args: &[String],
+    shards: usize,
+) -> Result<(Pipeline, DataLake, Option<DurableLake>), String> {
+    match (flag(args, "--data-dir"), flag(args, "--lake")) {
+        (Some(dir), None) => {
+            let (pipeline, lake, durable) =
+                Pipeline::open_durable(Path::new(dir), shards, DurableConfig::default())
+                    .map_err(|e| format!("opening durable lake at {dir}: {e}"))?;
+            if lake.is_empty() {
+                return Err(format!(
+                    "durable lake at {dir} is empty; seed it with \
+                     `dialite snapshot --data-dir {dir} --lake CSVDIR`"
+                ));
+            }
+            Ok((pipeline, lake, Some(durable)))
+        }
+        (None, Some(dir)) => {
+            let lake = load_lake(dir)?;
+            let pipeline = Pipeline::demo_sharded(&lake, shards);
+            Ok((pipeline, lake, None))
+        }
+        (Some(_), Some(_)) => Err("--data-dir and --lake are mutually exclusive here".to_string()),
+        (None, None) => Err("--lake DIR or --data-dir DIR is required".to_string()),
+    }
 }
 
 /// Turn a loaded query table into a [`TableQuery`], honoring `--column`.
@@ -114,6 +155,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("integrate") => cmd_integrate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".to_string()),
     }
@@ -140,14 +182,14 @@ fn print_telemetry(pipeline: &Pipeline) {
 }
 
 fn cmd_discover(args: &[String]) -> Result<(), String> {
-    let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
+    let (pipeline, lake, _durable) = open_lake_source(args, shards_flag(args)?)?;
     let table = load_table(flag(args, "--query").ok_or("--query FILE is required")?)?;
     let k: usize = flag(args, "--k")
         .unwrap_or("5")
         .parse()
         .map_err(|_| "--k must be a number")?;
     let query = query_from(args, table)?;
-    let mut pipeline = Pipeline::demo_sharded(&lake, shards_flag(args)?);
+    let mut pipeline = pipeline;
     pipeline.set_top_k(k);
     let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
     println!("{}", run.report());
@@ -186,7 +228,8 @@ fn cmd_telemetry(args: &[String]) -> Result<(), String> {
 /// over the lake — the CLI face of discovery-as-a-service: admission
 /// control, version-stamped responses and a tail-latency report.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let lake = load_lake(flag(args, "--lake").ok_or("--lake DIR is required")?)?;
+    let shards = shards_flag(args)?;
+    let (pipeline, lake, durable) = open_lake_source(args, shards)?;
     let table = load_table(flag(args, "--query").ok_or("--query FILE is required")?)?;
     let k: usize = flag(args, "--k")
         .unwrap_or("5")
@@ -201,12 +244,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "--requests must be a number")?;
     let query = query_from(args, table)?;
-    let shards = shards_flag(args)?;
-    let mut pipeline = Pipeline::demo_sharded(&lake, shards);
+    let mut pipeline = pipeline;
     pipeline.set_top_k(k);
-    let service = pipeline
-        .serve(lake, 1024)
-        .expect("demo pipeline maintains an index");
+    // With --data-dir the service keeps write-ahead durability (warm
+    // index handover included); with --lake it serves in memory only.
+    let durable_service;
+    let plain_service;
+    let service: &DiscoveryService = match durable {
+        Some(d) => {
+            durable_service = pipeline
+                .serve_durable(lake, 1024, d)
+                .expect("demo pipeline maintains an index");
+            durable_service.service()
+        }
+        None => {
+            plain_service = pipeline
+                .serve(lake, 1024)
+                .expect("demo pipeline maintains an index");
+            &plain_service
+        }
+    };
 
     let done = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -237,6 +294,44 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         service.shard_count()
     );
     println!("{}", t.summary());
+    Ok(())
+}
+
+/// Ingest CSVs into the durable lake (each upsert appended to the
+/// commitlog) and write a checkpoint — snapshot + index sketches — so
+/// subsequent `--data-dir` opens warm-start from it.
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let dir = flag(args, "--data-dir").ok_or("--data-dir DIR is required")?;
+    let shards = shards_flag(args)?;
+    let (pipeline, mut lake, mut durable) =
+        Pipeline::open_durable(Path::new(dir), shards, DurableConfig::default())
+            .map_err(|e| format!("opening durable lake at {dir}: {e}"))?;
+    let mut ingested = 0usize;
+    if let Some(csv_dir) = flag(args, "--lake") {
+        let fresh = load_lake(csv_dir)?;
+        for t in fresh.tables() {
+            let since = lake.version();
+            lake.upsert(t.as_ref().clone());
+            durable
+                .append_since(&lake, since)
+                .map_err(|e| format!("appending to commitlog: {e}"))?;
+            ingested += 1;
+        }
+    }
+    if lake.is_empty() {
+        return Err(format!(
+            "nothing to snapshot: durable lake at {dir} is empty and no --lake CSVDIR was given"
+        ));
+    }
+    pipeline
+        .snapshot(&lake, &mut durable)
+        .map_err(|e| format!("writing snapshot: {e}"))?;
+    println!(
+        "snapshot written to {dir}: {} tables at lake version {} ({} ingested this run)",
+        lake.len(),
+        lake.version(),
+        ingested
+    );
     Ok(())
 }
 
