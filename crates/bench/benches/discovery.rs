@@ -4,8 +4,11 @@
 //! the `topk` group racing the budgeted `TopKPlanner` against the
 //! probe-all query path on a skewed 1k-table lake, the `pipeline` group
 //! racing the planner-routed budgeted discovery *stage* against the legacy
-//! probe-all stage, and the `santos_cap` group racing capped bound-ranked
-//! SANTOS retrieval against exhaustive scoring on a type-dense lake.
+//! probe-all stage, the `santos_cap` group racing capped bound-ranked
+//! SANTOS retrieval against exhaustive scoring on a type-dense lake, and
+//! the `cost_model` group racing the JOSIE-style cost-bounded exact path
+//! against the full posting merge (plus typeless SANTOS against its full
+//! scan) on mid-size queries.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -435,6 +438,225 @@ fn bench_santos_cap(c: &mut Criterion) {
     group.finish();
 }
 
+/// A lake with the Zipf-shaped token frequencies of real open-data
+/// corpora: 32 *stopword* tokens present in every table (headers, units,
+/// boilerplate — posting lists spanning the whole lake), 32 group tokens
+/// shared by each 1/50th of the lake, and 64 version tokens shared only
+/// by a table's near-duplicate re-publications (every 250th table). An
+/// unweighted posting merge drowns in the stopword lists; the cost
+/// model's cheapest-first schedule proves them irrelevant and never
+/// scans them.
+fn zipf_token_lake(tables: usize) -> DataLake {
+    let mut out = Vec::with_capacity(tables);
+    for t in 0..tables {
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(128);
+        for h in 0..32 {
+            rows.push(vec![Value::Text(format!("hub{h}"))]);
+        }
+        for m in 0..32 {
+            rows.push(vec![Value::Text(format!("m{}_{m}", t % 50))]);
+        }
+        for p in 0..64 {
+            rows.push(vec![Value::Text(format!("p{}_{p}", t % 250))]);
+        }
+        out.push(Table::from_rows(&format!("cost_t{t}"), &["key"], rows).expect("fixed arity"));
+    }
+    DataLake::from_tables(out).expect("unique names")
+}
+
+/// The cost-bounded exact path vs the unplanned full posting merge on
+/// mid-size queries (128 tokens — far past the default
+/// `exact_fallback_below`, the regime the JOSIE-style cost model opens
+/// up), plus the typeless SANTOS posting index vs its full scan on the
+/// same Zipf-shaped lake. Output equality — cost model at unlimited
+/// budget == full merge, covering cap == full scan, byte-for-byte — is
+/// asserted for every query before any number is published, and the
+/// measured point is appended to `BENCH_topk.json`.
+fn bench_cost_model(c: &mut Criterion) {
+    let lake = zipf_token_lake(1000);
+    // Sketch bypassed: every query takes the exact posting path, so the
+    // race is purely cost model vs full merge. num_perm only pays build
+    // cost on this path — keep it minimal.
+    let engine = LshEnsembleDiscovery::build(
+        &lake,
+        LshEnsembleConfig {
+            num_perm: 16,
+            num_partitions: 4,
+            exact_fallback_below: usize::MAX,
+            ..LshEnsembleConfig::default()
+        },
+    );
+    let planner = TopKPlanner::new();
+    let budget = QueryBudget::unlimited();
+    // Each query carries a lake table's full 128-token set, so it has
+    // near-duplicate 1.0-containment matches plus a band of
+    // exactly-at-threshold group matches — non-trivial top-k output on
+    // both sides of the race.
+    let queries: Vec<TableQuery> = (0..16)
+        .map(|qi| {
+            let src = lake.get(&format!("cost_t{}", qi * 61 % 1000)).unwrap();
+            let rows: Vec<Vec<Value>> = src.rows().map(|r| vec![r[0].clone()]).collect();
+            TableQuery::with_column(
+                Table::from_rows(&format!("cost_q{qi}"), &["key"], rows).expect("fixed arity"),
+                0,
+            )
+        })
+        .collect();
+
+    // Equality gate + work accounting: the unlimited cost model must
+    // reproduce the full merge exactly on every query.
+    let mut skipped = 0usize;
+    let mut verified = 0usize;
+    for q in &queries {
+        let (hits, stats) = planner.discover_top_k_with_stats(&engine, q, 10, &budget);
+        assert!(
+            stats.exact_path,
+            "mid-size queries must stay on the exact path"
+        );
+        assert_eq!(
+            hits,
+            engine.exact_merge_oracle(q, 10),
+            "cost model diverged from the full posting merge on {}",
+            q.table.name()
+        );
+        skipped += stats.postings_skipped;
+        verified += stats.candidates_verified;
+    }
+
+    // Headline: mean per-query latency, full merge vs cost model,
+    // measured once outside the criterion loop.
+    const REPS: usize = 30;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(engine.exact_merge_oracle(std::hint::black_box(q), 10));
+        }
+    }
+    let full_merge = t0.elapsed() / (REPS * queries.len()) as u32;
+    let t1 = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(planner.discover_top_k(
+                &engine,
+                std::hint::black_box(q),
+                10,
+                &budget,
+            ));
+        }
+    }
+    let bounded = t1.elapsed() / (REPS * queries.len()) as u32;
+    let speedup = full_merge.as_secs_f64() / bounded.as_secs_f64().max(1e-12);
+    println!(
+        "bench cost_model/headline: mid-size (128-token) exact query on Zipf 1k-table lake: \
+         full merge {full_merge:?} vs cost-bounded {bounded:?} ({speedup:.1}x), \
+         {skipped} postings skipped / {verified} candidates verified across {} queries",
+        queries.len()
+    );
+    // Correctness is gated by the equality asserts above; the wall-clock
+    // ratio stays a loud warning so shared-runner noise cannot flake CI.
+    if speedup < 2.0 {
+        eprintln!(
+            "WARNING: cost-bounded exact path speedup {speedup:.1}x fell below the 2x bar \
+             (noisy runner or a cost-model regression)"
+        );
+    }
+
+    // Typeless SANTOS on the same lake (`v{j}` tokens are unknown to the
+    // curated KB): covering cap == full scan, then race the default cap.
+    let santos = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+    let cap = DiscoveryBudget::default().santos_candidates;
+    let mut scan_scored = 0usize;
+    let mut capped_scored = 0usize;
+    for q in &queries {
+        let (want, scan_stats) = santos.discover_capped(q, 10, usize::MAX);
+        assert!(scan_stats.full_scan, "this lake must be KB-typeless");
+        let (got, cover_stats) = santos.discover_capped(q, 10, lake.len());
+        assert!(
+            !cover_stats.full_scan,
+            "finite caps must use the posting index"
+        );
+        assert_eq!(
+            got,
+            want,
+            "typeless covering cap diverged from the full scan on {}",
+            q.table.name()
+        );
+        let (_, cap_stats) = santos.discover_capped(q, 10, cap);
+        scan_scored += scan_stats.candidates_scored;
+        capped_scored += cap_stats.candidates_scored.max(1);
+    }
+    let t2 = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(santos.discover_capped(std::hint::black_box(q), 10, usize::MAX));
+        }
+    }
+    let full_scan = t2.elapsed() / (REPS * queries.len()) as u32;
+    let t3 = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(santos.discover_capped(std::hint::black_box(q), 10, cap));
+        }
+    }
+    let capped = t3.elapsed() / (REPS * queries.len()) as u32;
+    println!(
+        "bench cost_model/typeless: santos full scan {full_scan:?} ({scan_scored} scored) vs \
+         default cap {cap} {capped:?} ({capped_scored} scored, {:.1}x fewer)",
+        scan_scored as f64 / capped_scored as f64
+    );
+
+    let point = format!(
+        "{{ \"pr\": 9, \"group\": \"cost_model\", \"tables\": {}, \"queries\": {}, \
+         \"query_rows\": 128, \"host_cpus\": {}, \"exact\": {{ \"full_merge_us\": {:.1}, \
+         \"cost_bounded_us\": {:.1}, \"speedup\": {:.2}, \"postings_skipped\": {skipped}, \
+         \"verified\": {verified} }}, \"typeless\": {{ \"full_scan_us\": {:.1}, \
+         \"default_cap_us\": {:.1}, \"scored_full\": {scan_scored}, \
+         \"scored_capped\": {capped_scored} }} }}",
+        lake.len(),
+        queries.len(),
+        record::host_cpus(),
+        full_merge.as_secs_f64() * 1e6,
+        bounded.as_secs_f64() * 1e6,
+        speedup,
+        full_scan.as_secs_f64() * 1e6,
+        capped.as_secs_f64() * 1e6,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_topk.json");
+    record::append_point(&path, "topk", &point).expect("append BENCH_topk.json");
+
+    let mut group = c.benchmark_group("cost_model");
+    group.sample_size(10);
+    group.bench_function("exact/full-merge-1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            engine.exact_merge_oracle(std::hint::black_box(&queries[i]), 10)
+        })
+    });
+    group.bench_function("exact/cost-bounded-1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            planner.discover_top_k(&engine, std::hint::black_box(&queries[i]), 10, &budget)
+        })
+    });
+    group.bench_function("typeless/full-scan-1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            santos.discover_capped(std::hint::black_box(&queries[i]), 10, usize::MAX)
+        })
+    });
+    group.bench_function("typeless/default-cap-1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            santos.discover_capped(std::hint::black_box(&queries[i]), 10, cap)
+        })
+    });
+    group.finish();
+}
+
 /// The sharded fan-out vs the single index on a 100k-table streamed lake.
 /// Output equality (sharded == single-shard, byte-for-byte, unlimited
 /// budget, sketch-free config) is asserted for every query and every shard
@@ -601,6 +823,7 @@ criterion_group!(
     bench_topk,
     bench_pipeline_stage,
     bench_santos_cap,
+    bench_cost_model,
     bench_sharded
 );
 criterion_main!(benches);

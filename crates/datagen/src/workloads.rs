@@ -1408,4 +1408,82 @@ mod tests {
         }
         assert_eq!(queries, spec.queries(), "query set is deterministic");
     }
+
+    /// Same spec + same seed → identical lakes and queries, table for
+    /// table and value for value. The equality-gated benches and the
+    /// cost/shard oracles all compare engine output across independently
+    /// generated copies of a workload; a nondeterministic generator would
+    /// let those gates diverge silently across hosts or reruns.
+    #[test]
+    fn topk_workload_same_seed_generates_identical_traces() {
+        let spec = TopKWorkload {
+            tables: 30,
+            hub_tables: 3,
+            hub_rows: 48,
+            tail_rows: 4,
+            vocab: 600,
+            queries: 5,
+            query_rows: 24,
+            seed: 1234,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.tables, b.tables, "lake tables must be reproducible");
+        assert_eq!(a.queries, b.queries, "query tables must be reproducible");
+        let other = TopKWorkload { seed: 1235, ..spec }.generate();
+        assert_ne!(a.tables, other.tables, "the seed must actually matter");
+    }
+
+    #[test]
+    fn santos_workload_same_seed_generates_identical_traces() {
+        let spec = SantosWorkload {
+            tables: 24,
+            queries: 4,
+            ..SantosWorkload::default()
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.tables, b.tables, "lake tables must be reproducible");
+        assert_eq!(a.queries, b.queries, "query tables must be reproducible");
+        assert_eq!(
+            a.kb.stats(),
+            b.kb.stats(),
+            "the synthesized KB must be reproducible"
+        );
+        let other = SantosWorkload {
+            seed: spec.seed + 1,
+            ..spec
+        }
+        .generate();
+        assert_ne!(a.tables, other.tables, "the seed must actually matter");
+    }
+
+    #[test]
+    fn streamed_workload_same_seed_generates_identical_tables_and_queries() {
+        let spec = StreamedLakeWorkload {
+            tables: 50,
+            rows_per_table: 5,
+            vocab: 400,
+            queries: 4,
+            query_rows: 3,
+            seed: 99,
+        };
+        for i in [0usize, 7, 49] {
+            assert_eq!(
+                spec.table(i),
+                spec.table(i),
+                "streamed table {i} must be a pure function of (spec, i)"
+            );
+        }
+        let a: Vec<Table> = spec.stream().collect();
+        let b: Vec<Table> = spec.stream().collect();
+        assert_eq!(a, b, "streamed lake must be reproducible");
+        assert_eq!(spec.queries(), spec.queries());
+        let other = StreamedLakeWorkload { seed: 100, ..spec };
+        assert_ne!(
+            spec.table(0),
+            other.table(0),
+            "the seed must actually matter"
+        );
+    }
 }

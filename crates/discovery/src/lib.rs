@@ -37,9 +37,12 @@
 //! The discovery hot path is served by [`TopKPlanner`], the budgeted top-k
 //! query engine over the LSH index: cached query-column signatures, a
 //! best-bound-first partition schedule with provable early termination,
-//! and exact token posting lists for verification and small-query
-//! answering. [`LakeIndex::discover_top_k`] exposes it, and with an
-//! unlimited [`QueryBudget`] it returns exactly the probe-all results.
+//! and a JOSIE-style cost-bounded posting search (`cost`) that answers
+//! small-to-mid queries exactly — cheapest posting lists first, stopping
+//! when the residual lists provably cannot lift any unseen candidate past
+//! the k-th verified score, under the [`QueryBudget`] `postings` cap.
+//! [`LakeIndex::discover_top_k`] exposes it, and with an unlimited
+//! [`QueryBudget`] it returns exactly the probe-all results.
 //!
 //! The whole discovery *stage* is budgeted through [`DiscoveryBudget`]:
 //! [`LakeIndex::discover_all_budgeted`] routes the joinable leg through
@@ -59,6 +62,7 @@
 
 #![deny(missing_docs)]
 
+mod cost;
 mod custom;
 mod index;
 mod lshe;

@@ -31,6 +31,7 @@ use std::collections::{HashMap, HashSet};
 use dialite_minhash::{LshEnsemble, LshEnsembleBuilder, MinHasher, Signature, SketchSnapshot};
 use dialite_table::{DataLake, Table};
 
+use crate::cost::{self, ExactSearchStats};
 use crate::pool::{StringPool, POOL_ID_DROPPED};
 use crate::shard::ShardScope;
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
@@ -376,12 +377,16 @@ impl LshEnsembleDiscovery {
         q_tokens.iter().filter_map(|t| self.pool.get(t)).collect()
     }
 
-    /// The exact (sketch-free) answer for small queries: a posting-list
-    /// merge for any positive threshold, a full-domain scan in the
+    /// The exact (sketch-free) answer for small-to-mid queries: the
+    /// cost-bounded posting search of the `cost` module for any positive
+    /// threshold (cheapest-list-first merge, best-bound-first
+    /// verification, `max_postings` budget), a full-domain scan in the
     /// degenerate non-positive case (where zero-overlap domains — which
-    /// postings cannot see — still pass the threshold). Returns the
-    /// per-table best map plus the number of domains individually
-    /// verified (0 for the merge, which needs no per-domain probes).
+    /// postings cannot see — still pass the threshold; that scan is
+    /// exempt from the postings budget because it never touches
+    /// postings). With `k == usize::MAX` and an unlimited budget the
+    /// result is byte-identical to [`Self::exact_best_per_table`], the
+    /// exhaustive merge kept as the oracle.
     ///
     /// Both the probe-all `discover` and the `TopKPlanner` call this one
     /// helper, so the planner's exact-parity contract cannot drift.
@@ -390,9 +395,11 @@ impl LshEnsembleDiscovery {
         q_ids: &[u32],
         q_len: usize,
         exclude_table: &str,
-    ) -> (HashMap<&'a str, f64>, usize) {
+        k: usize,
+        max_postings: usize,
+    ) -> (HashMap<&'a str, f64>, ExactSearchStats) {
         if self.config.threshold > 0.0 {
-            self.exact_best_per_table(q_ids, q_len, exclude_table)
+            cost::exact_search(self, q_ids, q_len, exclude_table, k, max_postings)
         } else {
             let mut best = HashMap::new();
             let verified = self.verify_candidates(
@@ -402,7 +409,13 @@ impl LshEnsembleDiscovery {
                 exclude_table,
                 &mut best,
             );
-            (best, verified)
+            (
+                best,
+                ExactSearchStats {
+                    verified,
+                    ..ExactSearchStats::default()
+                },
+            )
         }
     }
 
@@ -445,6 +458,35 @@ impl LshEnsembleDiscovery {
             }
         }
         (best, scored)
+    }
+
+    /// The **unplanned** exhaustive posting merge, end to end: merge every
+    /// posting list of the query's tokens, truncate to top-`k`. This is
+    /// the oracle (and bench baseline) the cost-bounded exact path of
+    /// the `cost` module is pinned against — with an unlimited postings
+    /// budget the planner's exact path must reproduce it byte-for-byte,
+    /// while scanning only the posting lists the cost model cannot prove
+    /// irrelevant.
+    pub fn exact_merge_oracle(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        let col = query.effective_column();
+        if col >= query.table.column_count() {
+            return Vec::new();
+        }
+        let q_tokens = query.table.column_token_set(col);
+        if q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let q_ids = self.query_token_ids(&q_tokens);
+        let (best, _) = self.exact_best_per_table(&q_ids, q_tokens.len(), query.table.name());
+        top_k(
+            best.into_iter()
+                .map(|(t, s)| Discovered {
+                    table: t.to_string(),
+                    score: s,
+                })
+                .collect(),
+            k,
+        )
     }
 
     /// Verify candidate domains exactly against their stored token-id sets,
@@ -504,7 +546,7 @@ impl Discovery for LshEnsembleDiscovery {
         let best_per_table: HashMap<&str, f64> = if q_tokens.len()
             < self.config.exact_fallback_below
         {
-            self.exact_discover(&q_ids, q_tokens.len(), query.table.name())
+            self.exact_discover(&q_ids, q_tokens.len(), query.table.name(), k, usize::MAX)
                 .0
         } else {
             let sig = self.hasher.signature(q_tokens.iter().map(String::as_str));

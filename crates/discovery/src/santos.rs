@@ -26,8 +26,14 @@ use dialite_kb::{Direction, KnowledgeBase, RelationId, TypeId};
 use dialite_table::{DataLake, Table};
 use dialite_text::jaccard;
 
+use crate::pool::StringPool;
 use crate::shard::ShardScope;
 use crate::types::{score_cmp, top_k, Discovered, Discovery, TableQuery};
+
+/// Floor on the retired-token weight before table removal may trigger
+/// compaction of the synthesized-signal token pool; keeps tiny lakes from
+/// compacting on every remove.
+const POOL_COMPACT_MIN: usize = 1024;
 
 /// Configuration of the SANTOS-style engine.
 #[derive(Debug, Clone)]
@@ -76,6 +82,12 @@ struct TableSemantics {
     /// signal against *typed* query columns too, so the capped-retrieval
     /// upper bound must keep the `synth_weight` ceiling open for it.
     has_untyped_column: bool,
+    /// The table's distinct value tokens (union over columns) interned in
+    /// the engine's shared pool — the keys of its synthesized-signal
+    /// posting entries, kept so removal retires exactly those postings.
+    /// Empty until the engine indexes the semantics (query-side
+    /// annotations never intern).
+    token_ids: Vec<u32>,
 }
 
 /// What one capped SANTOS query actually did — the observability half of
@@ -93,9 +105,14 @@ pub struct SantosStats {
     pub bound_pruned: usize,
     /// Retrieval stopped at the candidate cap (results are best-effort).
     pub cap_hit: bool,
-    /// The query carried no usable annotations, so retrieval fell back to
-    /// the uncapped full scan (synthesized signal only).
+    /// The query carried no usable annotations *and* the cap was
+    /// unlimited, so retrieval ran the exhaustive typeless full scan
+    /// (synthesized signal only) — the oracle path of the typeless leg.
     pub full_scan: bool,
+    /// Typeless candidates skipped because the k-th best verified score
+    /// provably beats their synthesized-signal (token-overlap) upper
+    /// bound. Always 0 on typed queries and on the full-scan oracle path.
+    pub typeless_pruned: usize,
 }
 
 /// The SANTOS-style discovery engine. Build once per lake, then either
@@ -111,6 +128,19 @@ pub struct SantosDiscovery {
     tables: BTreeMap<u32, TableSemantics>,
     /// Inverted index: type → table slots exhibiting it on some column.
     by_type: HashMap<TypeId, HashSet<u32>>,
+    /// Token dictionary of the synthesized-signal postings (same
+    /// [`StringPool`] machinery the joinable engine interns through).
+    pool: StringPool,
+    /// Synthesized-signal inverted index: token id → table slots whose
+    /// value domain (union over columns) contains the token. Gives
+    /// typeless (KB-poor) queries best-bound-first retrieval where only
+    /// the full scan existed before.
+    token_postings: HashMap<u32, Vec<u32>>,
+    /// Σ distinct tokens over live tables (with multiplicity across
+    /// tables).
+    live_weight: usize,
+    /// Token weight retired since the last pool compaction.
+    retired_weight: usize,
 }
 
 impl SantosDiscovery {
@@ -134,6 +164,10 @@ impl SantosDiscovery {
             config,
             tables: BTreeMap::new(),
             by_type: HashMap::new(),
+            pool: StringPool::new(),
+            token_postings: HashMap::new(),
+            live_weight: 0,
+            retired_weight: 0,
         };
         for (slot, table) in lake.entries_routed(scope.shard(), scope.of()) {
             engine.upsert_table(slot, table);
@@ -145,12 +179,23 @@ impl SantosDiscovery {
     /// `O(that table)`.
     pub fn upsert_table(&mut self, slot: u32, table: &Table) {
         self.remove_table(slot);
-        let sem = annotate_table(&self.kb, table, &self.config);
+        let mut sem = annotate_table(&self.kb, table, &self.config);
         for col in &sem.columns {
             for (t, _) in &col.types {
                 self.by_type.entry(*t).or_default().insert(slot);
             }
         }
+        let ids: HashSet<u32> = sem
+            .columns
+            .iter()
+            .flat_map(|col| col.tokens.iter())
+            .map(|tok| self.pool.intern(tok))
+            .collect();
+        for &id in &ids {
+            self.token_postings.entry(id).or_default().push(slot);
+        }
+        self.live_weight += ids.len();
+        sem.token_ids = ids.into_iter().collect();
         self.tables.insert(slot, sem);
     }
 
@@ -169,6 +214,55 @@ impl SantosDiscovery {
                 }
             }
         }
+        for id in &sem.token_ids {
+            if let Some(list) = self.token_postings.get_mut(id) {
+                if let Some(pos) = list.iter().position(|s| *s == slot) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.token_postings.remove(id);
+                }
+            }
+        }
+        self.live_weight -= sem.token_ids.len();
+        self.retired_weight += sem.token_ids.len();
+        self.maybe_compact_pool();
+    }
+
+    /// Compact the synthesized-signal token pool once dead weight
+    /// overtakes live weight (and the [`POOL_COMPACT_MIN`] floor),
+    /// remapping every stored token id — the same overtake rule the
+    /// joinable engine uses, so long-churn memory stays bounded.
+    fn maybe_compact_pool(&mut self) {
+        if self.retired_weight <= self.live_weight.max(POOL_COMPACT_MIN) {
+            return;
+        }
+        let live: HashSet<u32> = self
+            .tables
+            .values()
+            .flat_map(|sem| sem.token_ids.iter().copied())
+            .collect();
+        let remap = self.pool.compact(&live);
+        for sem in self.tables.values_mut() {
+            for id in &mut sem.token_ids {
+                *id = remap[*id as usize];
+            }
+        }
+        self.token_postings = std::mem::take(&mut self.token_postings)
+            .into_iter()
+            .map(|(id, list)| (remap[id as usize], list))
+            .collect();
+        self.retired_weight = 0;
+    }
+
+    /// `(distinct interned tokens, total synthesized-signal posting
+    /// entries)` — the latter always equals the summed live per-table
+    /// token weights.
+    pub fn token_posting_stats(&self) -> (usize, usize) {
+        (
+            self.pool.len(),
+            self.token_postings.values().map(Vec::len).sum(),
+        )
     }
 
     /// Number of indexed tables.
@@ -275,6 +369,7 @@ fn annotate_table(kb: &KnowledgeBase, table: &Table, config: &SantosConfig) -> T
         columns,
         pairs,
         has_untyped_column,
+        token_ids: Vec::new(),
     }
 }
 
@@ -335,9 +430,12 @@ impl SantosDiscovery {
     /// baseline the capped path's equality and recall are measured
     /// against.
     ///
-    /// Queries with no usable annotations keep the full-scan fallback
-    /// (synthesized signal only): there is no type signal to rank or bound
-    /// by, so tiny/typeless lakes stay exact and uncapped.
+    /// Queries with no usable annotations (typeless, KB-poor) rank
+    /// candidates by a synthesized-signal upper bound from the token →
+    /// table posting index instead: under any finite `cap` they get the
+    /// same best-bound-first shape as typed queries, while
+    /// `cap == usize::MAX` keeps the exhaustive full scan as the typeless
+    /// oracle path (`full_scan` in the stats).
     pub fn discover_capped(
         &self,
         query: &TableQuery,
@@ -356,25 +454,28 @@ impl SantosDiscovery {
         let qcols = q_sem.columns.len();
         let any_types = q_sem.columns.iter().any(|c| !c.types.is_empty());
         if !any_types {
-            // Typeless full scan: nothing to rank or bound by; stays
-            // uncapped so degenerate lakes keep today's exact behavior.
-            stats.full_scan = true;
-            stats.candidates_retrieved = self.tables.len();
-            let mut scored = Vec::with_capacity(self.tables.len());
-            for cand in self.tables.values() {
-                if cand.name == query.table.name() {
-                    continue; // the query itself, if it lives in the lake
+            if cap == usize::MAX {
+                // Exhaustive typeless full scan — the oracle path the
+                // bounded typeless retrieval is measured against.
+                stats.full_scan = true;
+                stats.candidates_retrieved = self.tables.len();
+                let mut scored = Vec::with_capacity(self.tables.len());
+                for cand in self.tables.values() {
+                    if cand.name == query.table.name() {
+                        continue; // the query itself, if it lives in the lake
+                    }
+                    stats.candidates_scored += 1;
+                    let score = self.score_candidate(&q_sem, intent, cand);
+                    if score >= self.config.min_score && score > 0.0 {
+                        scored.push(Discovered {
+                            table: cand.name.clone(),
+                            score,
+                        });
+                    }
                 }
-                stats.candidates_scored += 1;
-                let score = self.score_candidate(&q_sem, intent, cand);
-                if score >= self.config.min_score && score > 0.0 {
-                    scored.push(Discovered {
-                        table: cand.name.clone(),
-                        score,
-                    });
-                }
+                return (top_k(scored, k), stats);
             }
-            return (top_k(scored, k), stats);
+            return self.discover_typeless_capped(query, &q_sem, intent, k, cap, stats);
         }
 
         if cap == usize::MAX {
@@ -501,6 +602,145 @@ impl SantosDiscovery {
             }
             stats.candidates_scored += 1;
             let score = self.score_candidate(&q_sem, intent, cand);
+            if score >= self.config.min_score && score > 0.0 {
+                push_topk(&mut kept, score, k);
+                scored.push(Discovered {
+                    table: cand.name.clone(),
+                    score,
+                });
+            }
+        }
+        (top_k(scored, k), stats)
+    }
+
+    /// Bounded retrieval for typeless queries: candidates are ranked by a
+    /// synthesized-signal upper bound computed from the token → table
+    /// posting index and scored best-bound-first, stopping at the cap or
+    /// when the k-th best kept score provably (strictly) beats every
+    /// remaining bound.
+    ///
+    /// The bound mirrors `score_candidate`'s normalization with each
+    /// column similarity replaced by its ceiling: a typeless query column
+    /// always scores through `synth_weight * jaccard`, and
+    /// `jaccard(Qj, C) <= min(1, |Q ∩ T| / |Qj|)` where `|Q ∩ T|` is the
+    /// table-level token overlap the postings count (an empty query
+    /// column can reach `jaccard == 1` against an empty candidate column,
+    /// so its ceiling stays the full `synth_weight`). Edge agreement is at
+    /// most the query's own pair confidence. Candidates the postings never
+    /// saw share the zero-overlap bound and are ranked only when that
+    /// bound could clear the reporting filter at all — otherwise their
+    /// true score fails the same filter. Any finite `cap >= lake size`
+    /// therefore equals the full-scan oracle exactly (order and
+    /// tie-breaks included), pinned by `tests/cost_oracle.rs`.
+    fn discover_typeless_capped(
+        &self,
+        query: &TableQuery,
+        q_sem: &TableSemantics,
+        intent: usize,
+        k: usize,
+        cap: usize,
+        mut stats: SantosStats,
+    ) -> (Vec<Discovered>, SantosStats) {
+        let qcols = q_sem.columns.len();
+        let synth = self.config.synth_weight.max(0.0);
+        let edge_w = self.config.edge_weight.max(0.0);
+        let node_w = (1.0 - self.config.edge_weight).max(0.0);
+        let edge_conf: Vec<f64> = (0..qcols)
+            .map(|j| {
+                if j == intent {
+                    return 0.0;
+                }
+                pair_rel(q_sem, intent, j).map(|(_, _, c)| c).unwrap_or(0.0)
+            })
+            .collect();
+
+        // Table-level token overlap |Q ∩ T| via the posting index. Query
+        // tokens resolve through `get` (never interned: the query is not
+        // part of the lake); unknown tokens occur in no table and drop out.
+        let q_ids: HashSet<u32> = q_sem
+            .columns
+            .iter()
+            .flat_map(|col| col.tokens.iter())
+            .filter_map(|tok| self.pool.get(tok))
+            .collect();
+        let mut overlap: HashMap<u32, usize> = HashMap::new();
+        for id in &q_ids {
+            if let Some(list) = self.token_postings.get(id) {
+                for &slot in list {
+                    *overlap.entry(slot).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let col_bound = |j: usize, ov: usize| -> f64 {
+            let qn = q_sem.columns[j].tokens.len();
+            if qn == 0 {
+                // jaccard(∅, ∅) == 1: an empty candidate column matches an
+                // empty query column perfectly, overlap or not.
+                synth
+            } else {
+                synth * (ov as f64 / qn as f64).min(1.0)
+            }
+        };
+        let bound_for = |ov: usize| -> f64 {
+            if qcols == 1 {
+                col_bound(intent, ov)
+            } else {
+                let rest: f64 = (0..qcols)
+                    .filter(|&j| j != intent)
+                    .map(|j| node_w * col_bound(j, ov) + edge_w * edge_conf[j])
+                    .sum();
+                (col_bound(intent, ov) + rest) / qcols as f64
+            }
+        };
+
+        let mut ranked: Vec<(u32, f64)> = overlap
+            .iter()
+            .map(|(&slot, &ov)| (slot, bound_for(ov)))
+            .collect();
+        // Zero-overlap candidates can still score — through pair-edge
+        // agreement, or empty-column jaccard — so they enter the ranking
+        // whenever their shared bound could clear the reporting filter
+        // (`score >= min_score && score > 0`). Below it, their true score
+        // fails the same filter and they are exactly the candidates the
+        // full scan would drop too.
+        let base_bound = bound_for(0);
+        if base_bound > 0.0 && base_bound >= self.config.min_score {
+            for &slot in self.tables.keys() {
+                if !overlap.contains_key(&slot) {
+                    ranked.push((slot, base_bound));
+                }
+            }
+        }
+        // Best bound first; slot index breaks ties so the scored prefix is
+        // deterministic even when the cap cuts inside a tie group.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        stats.candidates_retrieved = ranked.len();
+
+        let mut scored: Vec<Discovered> = Vec::new();
+        let mut kept: Vec<f64> = Vec::new();
+        for (pos, &(slot, bound)) in ranked.iter().enumerate() {
+            // Optimality bound: strictly `>` so bound ties with the k-th
+            // score are still scored and tie-breaks match the full scan
+            // exactly.
+            if let Some(kth) = kth_best(&kept, k) {
+                if kth > bound {
+                    stats.typeless_pruned = ranked.len() - pos;
+                    break;
+                }
+            }
+            if stats.candidates_scored >= cap {
+                stats.cap_hit = true;
+                break;
+            }
+            let Some(cand) = self.tables.get(&slot) else {
+                continue;
+            };
+            if cand.name == query.table.name() {
+                continue; // the query itself, if it lives in the lake
+            }
+            stats.candidates_scored += 1;
+            let score = self.score_candidate(q_sem, intent, cand);
             if score >= self.config.min_score && score > 0.0 {
                 push_topk(&mut kept, score, k);
                 scored.push(Discovered {
@@ -757,20 +997,124 @@ mod tests {
         }
     }
 
+    /// A KB-free lake: `n` part-list tables sharing a fraction of the
+    /// query's tokens, plus disjoint noise tables.
+    fn typeless_lake(n: usize) -> DataLake {
+        let mut tables = Vec::new();
+        for i in 0..n {
+            // Table i shares tokens p0..p{i} with the query (more overlap
+            // for higher i), plus private filler.
+            let mut rows: Vec<Vec<Value>> = (0..=i)
+                .map(|j| vec![Value::Text(format!("p{j}"))])
+                .collect();
+            rows.push(vec![Value::Text(format!("filler{i}"))]);
+            tables.push(
+                dialite_table::Table::from_rows(&format!("parts{i}"), &["part"], rows).unwrap(),
+            );
+        }
+        for i in 0..n {
+            let rows: Vec<Vec<Value>> = (0..3)
+                .map(|j| vec![Value::Text(format!("noise{i}_{j}"))])
+                .collect();
+            tables
+                .push(dialite_table::Table::from_rows(&format!("noise{i}"), &["x"], rows).unwrap());
+        }
+        DataLake::from_tables(tables).unwrap()
+    }
+
+    fn typeless_query(tokens: usize) -> TableQuery {
+        let rows: Vec<Vec<Value>> = (0..tokens)
+            .map(|j| vec![Value::Text(format!("p{j}"))])
+            .collect();
+        TableQuery::new(dialite_table::Table::from_rows("Q", &["p"], rows).unwrap())
+    }
+
     #[test]
-    fn typeless_queries_full_scan_regardless_of_cap() {
-        // No KB coverage → the full-scan fallback stays uncapped (there is
-        // no type signal to rank by), mirroring the uncapped engine.
-        let a = table! { "parts"; ["part"]; ["bolt-17"], ["nut-4"], ["washer-9"] };
-        let b = table! { "other"; ["x"]; ["gear-1"], ["gear-2"] };
-        let lake = DataLake::from_tables([a, b]).unwrap();
+    fn typeless_covering_cap_equals_the_full_scan_oracle() {
+        // Any finite cap covering the lake must reproduce the exhaustive
+        // full scan byte-for-byte — the typeless leg's equality contract.
+        let lake = typeless_lake(6);
         let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
-        let q = TableQuery::new(table! { "Q"; ["p"]; ["bolt-17"], ["nut-4"] });
-        let (hits, stats) = engine.discover_capped(&q, 2, 1);
-        assert!(stats.full_scan, "{stats:?}");
-        assert!(!stats.cap_hit);
-        assert_eq!(stats.candidates_scored, 2, "full scan ignores the cap");
-        assert_eq!(hits, engine.discover(&q, 2));
+        let q = typeless_query(4);
+        for k in [1, 2, 5, usize::MAX] {
+            let (oracle, ostats) = engine.discover_capped(&q, k, usize::MAX);
+            assert!(ostats.full_scan, "{ostats:?}");
+            let (capped, stats) = engine.discover_capped(&q, k, 1000);
+            assert!(!stats.full_scan, "finite cap takes the bounded path");
+            assert!(!stats.cap_hit);
+            assert_eq!(capped, oracle, "k={k}");
+        }
+    }
+
+    #[test]
+    fn typeless_bound_prunes_zero_overlap_noise() {
+        // With k=1 and a perfect-overlap candidate available, the bound
+        // should prune the noise tables (their token-overlap ceiling can't
+        // beat a verified full match).
+        let lake = typeless_lake(6);
+        let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let q = typeless_query(4);
+        let (hits, stats) = engine.discover_capped(&q, 1, 1000);
+        assert!(!hits.is_empty());
+        assert!(
+            stats.typeless_pruned > 0,
+            "disjoint noise must be pruned, not scored: {stats:?}"
+        );
+        let (oracle, _) = engine.discover_capped(&q, 1, usize::MAX);
+        assert_eq!(hits, oracle);
+    }
+
+    #[test]
+    fn typeless_cap_is_honored_and_results_stay_sound() {
+        let lake = typeless_lake(6);
+        let engine = SantosDiscovery::build(&lake, Arc::new(covid_kb()), SantosConfig::default());
+        let q = typeless_query(4);
+        let (hits, stats) = engine.discover_capped(&q, 5, 1);
+        assert!(stats.candidates_scored <= 1, "{stats:?}");
+        assert!(!stats.full_scan);
+        let (oracle, _) = engine.discover_capped(&q, 5, usize::MAX);
+        for hit in &hits {
+            assert!(
+                oracle.contains(hit),
+                "capped hit {hit:?} not in oracle {oracle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_postings_track_churn_and_compaction_preserves_answers() {
+        let mut lake = typeless_lake(3);
+        let kb = Arc::new(covid_kb());
+        let mut engine = SantosDiscovery::build(&lake, kb.clone(), SantosConfig::default());
+        let (_, entries) = engine.token_posting_stats();
+        let live: usize = 3 + (1 + 2 + 3) + 3 * 3; // fillers + shared + noise
+        assert_eq!(entries, live);
+
+        // Churn a large table in and out; postings must retire with it and
+        // the pool must eventually compact (overtake rule), without
+        // changing any answer.
+        let big_rows: Vec<Vec<Value>> = (0..5000)
+            .map(|i| vec![Value::Text(format!("dead{i}"))])
+            .collect();
+        let big = dialite_table::Table::from_rows("big", &["part"], big_rows).unwrap();
+        let slot = lake.add_table(big.clone()).unwrap();
+        engine.upsert_table(slot, &big);
+        lake.remove_table("big").unwrap();
+        engine.remove_table(slot);
+
+        let (pool_len, entries) = engine.token_posting_stats();
+        assert_eq!(entries, live, "retired postings must be gone");
+        assert!(
+            pool_len < 5000,
+            "5000 dead vs {live} live tokens must have compacted the pool"
+        );
+        let q = typeless_query(3);
+        let fresh = SantosDiscovery::build(&lake, kb, SantosConfig::default());
+        assert_eq!(
+            engine.discover_capped(&q, 5, 100),
+            fresh.discover_capped(&q, 5, 100),
+            "post-compaction bounded retrieval must answer like a rebuild"
+        );
     }
 
     #[test]

@@ -353,6 +353,9 @@ pub struct TopKCounters {
     pub terminated_early: u64,
     /// Queries cut short by a budget cap (best-effort results).
     pub budget_exhausted: u64,
+    /// Posting entries the exact path's cost model never scanned
+    /// (threshold bound or postings budget), summed.
+    pub postings_skipped: u64,
 }
 
 impl TopKCounters {
@@ -376,6 +379,7 @@ impl TopKCounters {
         if stats.budget_exhausted {
             self.budget_exhausted += 1;
         }
+        self.postings_skipped += stats.postings_skipped as u64;
     }
 
     /// Add another window's counters into this one.
@@ -389,6 +393,7 @@ impl TopKCounters {
         self.candidates_verified += other.candidates_verified;
         self.terminated_early += other.terminated_early;
         self.budget_exhausted += other.budget_exhausted;
+        self.postings_skipped += other.postings_skipped;
     }
 
     /// Signature-cache hit rate over sketch-path queries (0 when none ran).
@@ -427,8 +432,12 @@ pub struct SantosCounters {
     pub bound_pruned: u64,
     /// Queries whose retrieval stopped at the candidate cap.
     pub cap_hits: u64,
-    /// Queries that fell back to the typeless full scan (never capped).
+    /// Queries that ran the exhaustive typeless full scan (the typeless
+    /// oracle path, taken only at an unlimited cap).
     pub full_scans: u64,
+    /// Typeless candidates skipped because the k-th score provably beat
+    /// their synthesized-signal upper bound, summed.
+    pub typeless_pruned: u64,
 }
 
 impl SantosCounters {
@@ -444,6 +453,7 @@ impl SantosCounters {
         if stats.full_scan {
             self.full_scans += 1;
         }
+        self.typeless_pruned += stats.typeless_pruned as u64;
     }
 
     /// Add another window's counters into this one.
@@ -454,6 +464,7 @@ impl SantosCounters {
         self.bound_pruned += other.bound_pruned;
         self.cap_hits += other.cap_hits;
         self.full_scans += other.full_scans;
+        self.typeless_pruned += other.typeless_pruned;
     }
 }
 
@@ -528,13 +539,15 @@ impl DiscoveryTelemetry {
         out.push_str(&format!(
             "joinable: {} queries ({} exact-path), cache hit rate {:.2}, \
              partitions {} probed / {} pruned, {} verified, \
-             {} early-terminated, budget exhaustion rate {:.2}\n",
+             {} postings-skipped, {} early-terminated, \
+             budget exhaustion rate {:.2}\n",
             self.topk.queries,
             self.topk.exact_path,
             self.topk.cache_hit_rate(),
             self.topk.partitions_probed,
             self.topk.partitions_pruned,
             self.topk.candidates_verified,
+            self.topk.postings_skipped,
             self.topk.terminated_early,
             self.topk.budget_exhaustion_rate(),
         ));
@@ -545,12 +558,13 @@ impl DiscoveryTelemetry {
         ));
         out.push_str(&format!(
             "santos: {} queries ({} full-scan), candidates {} retrieved / \
-             {} scored / {} bound-pruned, {} cap-hits\n",
+             {} scored / {} bound-pruned / {} typeless-pruned, {} cap-hits\n",
             self.santos.queries,
             self.santos.full_scans,
             self.santos.candidates_retrieved,
             self.santos.candidates_scored,
             self.santos.bound_pruned,
+            self.santos.typeless_pruned,
             self.santos.cap_hits,
         ));
         out.push_str(&format!(
@@ -572,10 +586,10 @@ impl DiscoveryTelemetry {
             "{{\"topk\":{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"exact_path\":{},\"partitions_probed\":{},\"partitions_pruned\":{},\
              \"candidates_verified\":{},\"terminated_early\":{},\
-             \"budget_exhausted\":{}}},\
+             \"budget_exhausted\":{},\"postings_skipped\":{}}},\
              \"santos\":{{\"queries\":{},\"candidates_retrieved\":{},\
              \"candidates_scored\":{},\"bound_pruned\":{},\"cap_hits\":{},\
-             \"full_scans\":{}}},\
+             \"full_scans\":{},\"typeless_pruned\":{}}},\
              \"joinable_latency\":{},\"santos_latency\":{}}}",
             self.topk.queries,
             self.topk.cache_hits,
@@ -586,12 +600,14 @@ impl DiscoveryTelemetry {
             self.topk.candidates_verified,
             self.topk.terminated_early,
             self.topk.budget_exhausted,
+            self.topk.postings_skipped,
             self.santos.queries,
             self.santos.candidates_retrieved,
             self.santos.candidates_scored,
             self.santos.bound_pruned,
             self.santos.cap_hits,
             self.santos.full_scans,
+            self.santos.typeless_pruned,
             self.joinable_latency.percentiles().to_json(),
             self.santos_latency.percentiles().to_json(),
         )
@@ -611,6 +627,7 @@ mod tests {
             candidates_verified: verified,
             terminated_early: probed > 1,
             budget_exhausted: false,
+            postings_skipped: probed * 2,
         }
     }
 
@@ -668,6 +685,7 @@ mod tests {
                 bound_pruned: 6,
                 cap_hit: true,
                 full_scan: false,
+                typeless_pruned: 2,
             },
             Duration::from_micros(500),
         );
@@ -684,8 +702,10 @@ mod tests {
         assert_eq!(merged_ab.topk.partitions_probed, 4);
         assert_eq!(merged_ab.topk.candidates_verified, 9);
         assert_eq!(merged_ab.topk.terminated_early, 1);
+        assert_eq!(merged_ab.topk.postings_skipped, 8);
         assert_eq!(merged_ab.santos.candidates_retrieved, 10);
         assert_eq!(merged_ab.santos.cap_hits, 1);
+        assert_eq!(merged_ab.santos.typeless_pruned, 2);
         assert_eq!(merged_ab.joinable_latency.samples, 2);
         assert_eq!(merged_ab.joinable_latency.total_micros, 100);
     }

@@ -22,8 +22,12 @@
 //!    verified table score strictly beats the best possible score of every
 //!    unprobed partition.
 //! 3. **Posting-list verification.** Candidates are verified exactly
-//!    against interned token-id sets; small queries skip the sketch
-//!    entirely and are answered exactly by a posting-list merge.
+//!    against interned token-id sets; small and mid-size queries skip the
+//!    sketch entirely and are answered exactly by the cost-bounded
+//!    posting search of the `cost` module (cheapest-list-first merge,
+//!    best-bound-first verification, [`QueryBudget::postings`] cap) —
+//!    raising `exact_fallback_below` trades the sketch's approximation
+//!    for exact answers wherever the cost model keeps the merge cheap.
 //!
 //! With an unlimited [`QueryBudget`] the planner returns exactly what the
 //! probe-all path returns (same tables, same scores, same tie-breaks) —
@@ -40,6 +44,7 @@ use std::sync::Mutex;
 use dialite_minhash::Signature;
 use dialite_text::fnv1a64;
 
+use crate::cost::kth_best;
 use crate::lshe::{DomainKey, LshEnsembleDiscovery};
 use crate::types::{top_k, Discovered, TableQuery};
 
@@ -59,6 +64,13 @@ pub struct QueryBudget {
     /// Maximum candidate domains verified against their token-id sets.
     /// Staged (fresh-churn) domains are always verified and do not count.
     pub max_verifications: usize,
+    /// Maximum posting entries the exact path's cost-bounded merge may
+    /// scan per query (see the `cost` module). Candidates the truncated
+    /// merge already surfaced are still verified exactly, so a budgeted
+    /// exact answer is a sound subset at exact scores. The sketch path
+    /// and the degenerate non-positive-threshold scan ignore this cap —
+    /// neither retrieves through postings.
+    pub postings: usize,
 }
 
 impl Default for QueryBudget {
@@ -73,6 +85,7 @@ impl QueryBudget {
         QueryBudget {
             max_partitions: usize::MAX,
             max_verifications: usize::MAX,
+            postings: usize::MAX,
         }
     }
 
@@ -88,6 +101,12 @@ impl QueryBudget {
         self
     }
 
+    /// Cap the posting entries the exact path's merge may scan.
+    pub fn with_max_postings(mut self, n: usize) -> QueryBudget {
+        self.postings = n;
+        self
+    }
+
     /// The per-shard slice of this budget for a fan-out across `shards`
     /// shards: each finite cap is divided by the shard count (rounding up,
     /// so the fleet never gets *less* total budget than the single-index
@@ -99,11 +118,13 @@ impl QueryBudget {
     ///
     /// let budget = QueryBudget::unlimited()
     ///     .with_max_partitions(64)
-    ///     .with_max_verifications(100);
+    ///     .with_max_verifications(100)
+    ///     .with_max_postings(1000);
     /// assert_eq!(budget.split(1), budget);
     /// let per_shard = budget.split(8);
     /// assert_eq!(per_shard.max_partitions, 8);
     /// assert_eq!(per_shard.max_verifications, 13); // ceil(100 / 8)
+    /// assert_eq!(per_shard.postings, 125);
     /// assert_eq!(
     ///     QueryBudget::unlimited().split(8),
     ///     QueryBudget::unlimited()
@@ -113,6 +134,7 @@ impl QueryBudget {
         QueryBudget {
             max_partitions: split_cap(self.max_partitions, shards),
             max_verifications: split_cap(self.max_verifications, shards),
+            postings: split_cap(self.postings, shards),
         }
     }
 }
@@ -162,20 +184,24 @@ fn split_cap(cap: usize, shards: usize) -> usize {
 pub struct DiscoveryBudget {
     /// Per-query work limits of the planned joinable leg.
     pub joinable: QueryBudget,
-    /// Maximum candidate tables the SANTOS leg scores per query (the
-    /// typeless full-scan fallback is never capped; see
+    /// Maximum candidate tables the SANTOS leg scores per query. Typed
+    /// queries retrieve best-bound-first from the type index; typeless
+    /// (KB-poor) queries retrieve best-bound-first from the synthesized-
+    /// signal posting index — `usize::MAX` keeps both exhaustive (see
     /// [`SantosDiscovery::discover_capped`](crate::SantosDiscovery::discover_capped)).
     pub santos_candidates: usize,
 }
 
 impl Default for DiscoveryBudget {
-    /// Generous finite caps: 64 partitions / 4096 verifications on the
-    /// joinable leg, 128 scored SANTOS candidates.
+    /// Generous finite caps: 64 partitions / 4096 verifications / 2²⁰
+    /// scanned posting entries on the joinable leg, 128 scored SANTOS
+    /// candidates.
     fn default() -> Self {
         DiscoveryBudget {
             joinable: QueryBudget {
                 max_partitions: 64,
                 max_verifications: 4096,
+                postings: 1 << 20,
             },
             santos_candidates: 128,
         }
@@ -212,11 +238,12 @@ impl DiscoveryBudget {
     /// ```
     /// use dialite_discovery::DiscoveryBudget;
     ///
-    /// let budget = DiscoveryBudget::default(); // 64 / 4096 / 128
+    /// let budget = DiscoveryBudget::default(); // 64 / 4096 / 2²⁰ / 128
     /// assert_eq!(budget.split(1), budget);
     /// let per_shard = budget.split(4);
     /// assert_eq!(per_shard.joinable.max_partitions, 16);
     /// assert_eq!(per_shard.joinable.max_verifications, 1024);
+    /// assert_eq!(per_shard.joinable.postings, 1 << 18);
     /// assert_eq!(per_shard.santos_candidates, 32);
     /// assert_eq!(
     ///     DiscoveryBudget::unlimited().split(4),
@@ -254,6 +281,10 @@ pub struct TopKStats {
     pub terminated_early: bool,
     /// A budget cap cut the search short (results are best-effort).
     pub budget_exhausted: bool,
+    /// Posting entries the exact path's cost model never scanned — lists
+    /// proven unnecessary by the threshold bound or cut by the postings
+    /// budget. Always 0 on the sketch path.
+    pub postings_skipped: usize,
 }
 
 /// Commutative fingerprint of a token set: order-independent, cheap
@@ -459,13 +490,16 @@ impl TopKPlanner {
         let threshold = engine.config.threshold;
         let exclude = query.table.name();
 
-        // Small queries: answer exactly, no sketch work at all — the same
-        // shared engine helper the probe-all path uses, so planner and
-        // probe-all cannot drift apart here.
+        // Small-to-mid queries: answer exactly via the cost-bounded
+        // posting search, no sketch work at all — the same shared engine
+        // helper the probe-all path uses, so planner and probe-all cannot
+        // drift apart here.
         if q_len < engine.config.exact_fallback_below {
             stats.exact_path = true;
-            let (best, verified) = engine.exact_discover(&q_ids, q_len, exclude);
-            stats.candidates_verified += verified;
+            let (best, exact) = engine.exact_discover(&q_ids, q_len, exclude, k, budget.postings);
+            stats.candidates_verified += exact.verified;
+            stats.postings_skipped += exact.postings_skipped;
+            stats.budget_exhausted |= exact.budget_exhausted;
             return (finish(best, k), stats);
         }
 
@@ -558,16 +592,6 @@ impl TopKPlanner {
             .insert(key, sig.clone());
         sig
     }
-}
-
-/// The k-th best verified table score, once at least `k` tables scored.
-fn kth_best(best: &HashMap<&str, f64>, k: usize) -> Option<f64> {
-    if best.len() < k {
-        return None;
-    }
-    let mut scores: Vec<f64> = best.values().copied().collect();
-    scores.sort_by(|a, b| b.total_cmp(a));
-    scores.get(k - 1).copied()
 }
 
 fn finish(best: HashMap<&str, f64>, k: usize) -> Vec<Discovered> {
@@ -774,6 +798,48 @@ mod tests {
         assert_eq!(hits, engine.discover(&q, 5));
         assert_eq!(hits[0].table, "t1");
         assert!((hits[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raised_fallback_answers_mid_size_queries_exactly() {
+        // With `exact_fallback_below` raised past the query size, the
+        // 60-token query takes the cost-bounded exact path — and must
+        // still match the probe-all answer byte-for-byte, skipping the
+        // hub posting lists the threshold bound proves unnecessary.
+        let (lake, q) = skewed_lake(40);
+        let engine = LshEnsembleDiscovery::build(
+            &lake,
+            LshEnsembleConfig {
+                exact_fallback_below: usize::MAX,
+                ..LshEnsembleConfig::default()
+            },
+        );
+        let planner = TopKPlanner::new();
+        for k in [1, 2, 5, 50] {
+            let (hits, stats) =
+                planner.discover_top_k_with_stats(&engine, &q, k, &QueryBudget::unlimited());
+            assert!(stats.exact_path);
+            assert_eq!(hits, engine.discover(&q, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn postings_budget_bounds_the_exact_path_and_is_reported() {
+        let (lake, q) = skewed_lake(40);
+        let engine = LshEnsembleDiscovery::build(
+            &lake,
+            LshEnsembleConfig {
+                exact_fallback_below: usize::MAX,
+                ..LshEnsembleConfig::default()
+            },
+        );
+        let planner = TopKPlanner::new();
+        let budget = QueryBudget::unlimited().with_max_postings(0);
+        let (hits, stats) = planner.discover_top_k_with_stats(&engine, &q, 5, &budget);
+        assert!(stats.exact_path);
+        assert!(stats.budget_exhausted, "{stats:?}");
+        assert!(stats.postings_skipped > 0, "{stats:?}");
+        assert!(hits.is_empty(), "nothing scanned, nothing reported");
     }
 
     #[test]

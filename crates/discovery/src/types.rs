@@ -259,4 +259,133 @@ mod tests {
     fn query_column_out_of_range_panics() {
         let _ = TableQuery::with_column(table! { "q"; ["a"]; [1] }, 5);
     }
+
+    mod budget_split {
+        //! Edge cases of [`QueryBudget::split`] / [`DiscoveryBudget::split`]
+        //! — the budget-slicing contract every sharded fan-out relies on:
+        //! `split(1)` is the identity, unlimited (`usize::MAX`) caps stay
+        //! unlimited through any split (the `postings` knob included), no
+        //! finite cap is ever rounded down to starvation, and the fleet's
+        //! total budget (`per_shard × shards`) always covers the original.
+
+        use crate::topk::{DiscoveryBudget, QueryBudget};
+        use proptest::prelude::*;
+
+        /// Finite caps plus the two interesting extremes.
+        fn cap() -> impl Strategy<Value = usize> {
+            prop_oneof![
+                Just(0usize),
+                Just(usize::MAX),
+                1usize..10_000,
+                Just(usize::MAX - 1),
+            ]
+        }
+
+        fn query_budget() -> impl Strategy<Value = QueryBudget> {
+            (cap(), cap(), cap()).prop_map(|(p, v, postings)| QueryBudget {
+                max_partitions: p,
+                max_verifications: v,
+                postings,
+            })
+        }
+
+        fn check_cap(orig: usize, shard: usize, shards: usize) {
+            if orig == usize::MAX {
+                assert_eq!(shard, usize::MAX, "unlimited must survive split");
+            } else {
+                assert_eq!(shard, orig.div_ceil(shards.max(1)));
+                // Round-up: the fleet never gets less than the original
+                // budget in total, and a nonzero cap never starves a shard.
+                assert!(shard.checked_mul(shards.max(1)).is_none_or(|t| t >= orig));
+                assert!(orig == 0 || shard >= 1);
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn query_split_is_sound_for_any_shard_count(
+                budget in query_budget(),
+                shards in 0usize..64,
+            ) {
+                let per_shard = budget.split(shards);
+                check_cap(budget.max_partitions, per_shard.max_partitions, shards);
+                check_cap(budget.max_verifications, per_shard.max_verifications, shards);
+                check_cap(budget.postings, per_shard.postings, shards);
+            }
+
+            /// `split(1)` (and the degenerate `split(0)`) must be the exact
+            /// identity — the `shards == 1` byte-for-byte oracle depends on
+            /// the budget reaching the lone shard untouched.
+            #[test]
+            fn split_one_is_the_identity(budget in query_budget(), cap in cap()) {
+                prop_assert_eq!(budget.split(1), budget);
+                prop_assert_eq!(budget.split(0), budget);
+                let stage = DiscoveryBudget::default()
+                    .with_joinable(budget)
+                    .with_santos_candidates(cap);
+                prop_assert_eq!(stage.split(1), stage);
+            }
+
+            /// A split count larger than any finite cap degrades to
+            /// one-unit shard slices, never to zero-starved shards.
+            /// (Caps stay small here so `max cap + extra` shards cannot
+            /// overflow; `usize::MAX - 1` belongs to the soundness test.)
+            #[test]
+            fn oversplit_leaves_every_finite_cap_at_least_one(
+                budget in (
+                    prop_oneof![Just(0usize), Just(usize::MAX), 1usize..10_000],
+                    prop_oneof![Just(0usize), Just(usize::MAX), 1usize..10_000],
+                    prop_oneof![Just(0usize), Just(usize::MAX), 1usize..10_000],
+                )
+                    .prop_map(|(p, v, postings)| QueryBudget {
+                        max_partitions: p,
+                        max_verifications: v,
+                        postings,
+                    }),
+                extra in 1usize..1_000,
+            ) {
+                let finite: Vec<usize> = [
+                    budget.max_partitions,
+                    budget.max_verifications,
+                    budget.postings,
+                ]
+                .into_iter()
+                .filter(|&c| c != usize::MAX && c > 0)
+                .collect();
+                let shards = finite.iter().max().copied().unwrap_or(1) + extra;
+                let per_shard = budget.split(shards);
+                for (orig, shard) in [
+                    (budget.max_partitions, per_shard.max_partitions),
+                    (budget.max_verifications, per_shard.max_verifications),
+                    (budget.postings, per_shard.postings),
+                ] {
+                    match orig {
+                        usize::MAX => prop_assert_eq!(shard, usize::MAX),
+                        0 => prop_assert_eq!(shard, 0, "zero budget stays zero"),
+                        _ => prop_assert_eq!(shard, 1, "oversplit floors at 1"),
+                    }
+                }
+            }
+
+            /// The stage budget splits both legs with the same rule, and
+            /// `unlimited()` is a fixed point of any split.
+            #[test]
+            fn stage_split_covers_both_legs(
+                joinable in query_budget(),
+                santos in cap(),
+                shards in 1usize..64,
+            ) {
+                let stage = DiscoveryBudget::unlimited()
+                    .with_joinable(joinable)
+                    .with_santos_candidates(santos);
+                let per_shard = stage.split(shards);
+                prop_assert_eq!(per_shard.joinable, joinable.split(shards));
+                check_cap(santos, per_shard.santos_candidates, shards);
+                prop_assert_eq!(
+                    DiscoveryBudget::unlimited().split(shards),
+                    DiscoveryBudget::unlimited()
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,227 @@
+//! Cost-model oracle: the bounded retrieval paths introduced for the last
+//! two exhaustive legs must collapse to their exhaustive oracles exactly
+//! whenever nothing binds, and degrade to *sound subsets at exact scores*
+//! when a budget does bind — never to approximations.
+//!
+//! Three properties, over random churn traces (mirroring
+//! `pipeline_oracle.rs`):
+//!
+//! * **Unlimited == full posting merge, byte-for-byte**: with the sketch
+//!   bypassed (`exact_fallback_below = usize::MAX`) the planner's
+//!   cost-bounded exact path at an unlimited — or merely *covering* —
+//!   postings budget must reproduce the unplanned full posting merge
+//!   ([`LshEnsembleDiscovery::exact_merge_oracle`]) on keys, scores,
+//!   order and tie-breaks, at every `k`.
+//! * **Finite budgets are sound**: any postings cap yields a subset of
+//!   the exhaustive answer whose scores are *exactly* the exhaustive
+//!   scores (every reported containment is verified, never estimated),
+//!   ranked consistently with the oracle.
+//! * **Typeless capped == full scan at covering caps**: on a KB-empty
+//!   lake the SANTOS synthesized-signal posting index at any covering
+//!   cap equals the `cap == usize::MAX` exhaustive full scan
+//!   byte-for-byte, and smaller caps stay sound subsets.
+//!
+//! CI runs this with `PROPTEST_CASES=64` on push and 1024 in the
+//! scheduled deep job.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dialite_datagen::workloads::{ChurnOp, ChurnWorkload};
+use dialite_discovery::{
+    Discovered, LshEnsembleConfig, LshEnsembleDiscovery, QueryBudget, SantosConfig,
+    SantosDiscovery, TableQuery, TopKPlanner,
+};
+use dialite_kb::KbBuilder;
+use dialite_table::DataLake;
+use proptest::prelude::*;
+
+/// Sketch-free engine config: every query takes the exact posting path,
+/// so output is a pure function of lake state and budget — the regime
+/// where the cost model's equality contract is bit-exact.
+fn exact_config() -> LshEnsembleConfig {
+    LshEnsembleConfig {
+        num_perm: 32,
+        num_partitions: 2,
+        exact_fallback_below: usize::MAX,
+        ..LshEnsembleConfig::default()
+    }
+}
+
+fn churn(seed: u64, ops: usize) -> dialite_datagen::ChurnTrace {
+    ChurnWorkload {
+        initial_tables: 8,
+        rows_per_table: 12,
+        vocab: 150,
+        ops,
+        seed,
+    }
+    .generate()
+}
+
+/// Exhaustive per-table best scores: the full merge at `k = usize::MAX`
+/// (the k-bound disabled), keyed for subset checks.
+fn full_scores(engine: &LshEnsembleDiscovery, query: &TableQuery) -> HashMap<String, f64> {
+    engine
+        .exact_merge_oracle(query, usize::MAX)
+        .into_iter()
+        .map(|d| (d.table, d.score))
+        .collect()
+}
+
+proptest! {
+    /// Unlimited and covering postings budgets reproduce the unplanned
+    /// full posting merge exactly, at every query point of a churn trace
+    /// and every `k` — the contract that lets the cost model replace the
+    /// exhaustive merge at all.
+    #[test]
+    fn unlimited_budget_equals_the_full_posting_merge(
+        seed in any::<u64>(),
+        ops in 10usize..22,
+    ) {
+        let trace = churn(seed, ops);
+        let planner = TopKPlanner::new();
+        // Finite but covering: larger than any posting volume these small
+        // lakes can reach, so the budget arm is exercised without binding.
+        let covering = QueryBudget::unlimited().with_max_postings(1 << 40);
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut compared = 0usize;
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = op {
+                let engine = LshEnsembleDiscovery::build(&lake, exact_config());
+                let query = TableQuery::with_column(q, 0);
+                for k in [1usize, 6, usize::MAX] {
+                    let oracle = engine.exact_merge_oracle(&query, k);
+                    let (hits, stats) = planner.discover_top_k_with_stats(
+                        &engine,
+                        &query,
+                        k,
+                        &QueryBudget::unlimited(),
+                    );
+                    prop_assert!(stats.exact_path, "sketch must stay bypassed");
+                    prop_assert!(!stats.budget_exhausted);
+                    prop_assert_eq!(
+                        &hits, &oracle,
+                        "unlimited cost model diverged from the full merge at k={}",
+                        k
+                    );
+                    let budgeted = planner.discover_top_k(&engine, &query, k, &covering);
+                    prop_assert_eq!(
+                        &budgeted, &oracle,
+                        "covering postings budget diverged from the full merge at k={}",
+                        k
+                    );
+                }
+                compared += 1;
+            } else {
+                op.apply(&mut lake);
+            }
+        }
+        prop_assert!(compared > 0, "trace contained no queries");
+    }
+
+    /// Any finite postings budget returns a sound subset: every reported
+    /// table carries its *exact* exhaustive score (subset semantics, not
+    /// approximation), the list is within `k`, and exhaustion is reported
+    /// whenever results were dropped.
+    #[test]
+    fn finite_postings_budgets_are_sound_subsets_at_exact_scores(
+        seed in any::<u64>(),
+        ops in 10usize..22,
+        postings in 0usize..64,
+    ) {
+        let trace = churn(seed, ops);
+        let planner = TopKPlanner::new();
+        let budget = QueryBudget::unlimited().with_max_postings(postings);
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = op {
+                let engine = LshEnsembleDiscovery::build(&lake, exact_config());
+                let query = TableQuery::with_column(q, 0);
+                let full = full_scores(&engine, &query);
+                let k = 6usize;
+                let oracle = engine.exact_merge_oracle(&query, k);
+                let (hits, stats) =
+                    planner.discover_top_k_with_stats(&engine, &query, k, &budget);
+                prop_assert!(hits.len() <= k);
+                for d in &hits {
+                    let exact = full.get(&d.table);
+                    prop_assert_eq!(
+                        exact,
+                        Some(&d.score),
+                        "budgeted hit {} must carry its exact exhaustive score",
+                        d.table
+                    );
+                }
+                // Dropping results without flagging exhaustion would make
+                // the budget invisible to telemetry.
+                if hits != oracle {
+                    prop_assert!(
+                        stats.budget_exhausted,
+                        "a binding budget must be reported (postings={})",
+                        postings
+                    );
+                }
+            } else {
+                op.apply(&mut lake);
+            }
+        }
+    }
+
+    /// Typeless SANTOS (KB-empty lake): any covering candidate cap equals
+    /// the `usize::MAX` exhaustive full scan byte-for-byte, and tighter
+    /// caps return sound subsets at exact scores.
+    #[test]
+    fn typeless_covering_cap_equals_the_full_scan(
+        seed in any::<u64>(),
+        ops in 10usize..22,
+    ) {
+        let trace = churn(seed, ops);
+        let kb = Arc::new(KbBuilder::new().build());
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut compared = 0usize;
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = op {
+                let engine =
+                    SantosDiscovery::build(&lake, kb.clone(), SantosConfig::default());
+                let query = TableQuery::with_column(q, 0);
+                let full: HashMap<String, f64> = engine
+                    .discover_capped(&query, usize::MAX, usize::MAX)
+                    .0
+                    .into_iter()
+                    .map(|d: Discovered| (d.table, d.score))
+                    .collect();
+                for k in [1usize, 6, usize::MAX] {
+                    let (oracle, oracle_stats) =
+                        engine.discover_capped(&query, k, usize::MAX);
+                    prop_assert!(
+                        oracle_stats.full_scan,
+                        "usize::MAX must stay the exhaustive full-scan oracle"
+                    );
+                    let (capped, stats) = engine.discover_capped(&query, k, lake.len() + 8);
+                    prop_assert!(!stats.full_scan, "finite caps must use the posting index");
+                    prop_assert!(!stats.cap_hit, "a covering cap must never bind");
+                    prop_assert_eq!(
+                        &capped, &oracle,
+                        "covering cap diverged from the full scan at k={}",
+                        k
+                    );
+                    let (tight, _) = engine.discover_capped(&query, k, 2);
+                    prop_assert!(tight.len() <= k.min(2));
+                    for d in &tight {
+                        prop_assert_eq!(
+                            full.get(&d.table),
+                            Some(&d.score),
+                            "tight-cap hit {} must carry its exact score",
+                            &d.table
+                        );
+                    }
+                }
+                compared += 1;
+            } else {
+                op.apply(&mut lake);
+            }
+        }
+        prop_assert!(compared > 0, "trace contained no queries");
+    }
+}

@@ -157,6 +157,7 @@ proptest! {
                 candidates_verified: (x % 97) as usize,
                 terminated_early: x & 4 == 0,
                 budget_exhausted: x & 8 == 0,
+                postings_skipped: (x % 31) as usize,
             };
             let santos = SantosStats {
                 candidates_retrieved: (x % 211) as usize,
@@ -164,6 +165,7 @@ proptest! {
                 bound_pruned: (x % 13) as usize,
                 cap_hit: x & 16 == 0,
                 full_scan: x & 32 == 0,
+                typeless_pruned: (x % 17) as usize,
             };
             let latency = Duration::from_micros(x % 2_000_000);
             (topk, santos, latency)

@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! dialite demo
-//! dialite discover  --lake DIR|--data-dir DIR --query Q.csv [--column N] [--k K] [--shards N]
-//! dialite serve     --lake DIR|--data-dir DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N]
-//! dialite telemetry --lake DIR --query Q.csv [--column N] [--k K] [--requests M] [--shards N]
+//! dialite discover  --lake DIR|--data-dir DIR --query Q.csv [--column N] [--k K] [--shards N] [--max-postings P]
+//! dialite serve     --lake DIR|--data-dir DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N] [--max-postings P]
+//! dialite telemetry --lake DIR --query Q.csv [--column N] [--k K] [--requests M] [--shards N] [--max-postings P]
 //! dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
 //! dialite analyze   --table T.csv --corr colA,colB
 //! dialite generate  --prompt "covid cases" [--rows N] [--cols N]
@@ -17,6 +17,11 @@
 //! (queries fan out in parallel and merge; `--shards 1`, the default, is
 //! byte-for-byte the single index). `telemetry` replays the query and
 //! dumps the merged discovery telemetry window as one JSON object.
+//!
+//! `--max-postings P` caps the posting entries the exact top-k path may
+//! scan per query (the cost-based planner's budget knob, default 2²⁰;
+//! `unlimited` removes the cap, making the stage byte-identical to the
+//! exhaustive posting merge).
 //!
 //! `--data-dir DIR` points at a **durable** lake: a checksummed snapshot
 //! plus commitlog that survive restarts. `dialite snapshot` ingests CSVs
@@ -56,9 +61,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dialite demo
-  dialite discover  --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--shards N]
-  dialite serve     --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N]
-  dialite telemetry --lake DIR --query FILE.csv [--column N] [--k K] [--requests M] [--shards N]
+  dialite discover  --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--shards N] [--max-postings P|unlimited]
+  dialite serve     --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N] [--max-postings P|unlimited]
+  dialite telemetry --lake DIR --query FILE.csv [--column N] [--k K] [--requests M] [--shards N] [--max-postings P|unlimited]
   dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
   dialite analyze   --table FILE.csv [--corr colA,colB] [--summary]
   dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]
@@ -89,6 +94,26 @@ fn shards_flag(args: &[String]) -> Result<usize, String> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| "--shards must be a number".to_string())
+}
+
+/// Apply `--max-postings` to the pipeline's discovery budget: the cap on
+/// posting entries the cost-based exact top-k path may scan per query.
+/// Absent, the default budget (2²⁰ entries) stands; `unlimited` removes
+/// the cap so the exact path is byte-identical to the exhaustive merge.
+fn apply_max_postings(args: &[String], pipeline: &mut Pipeline) -> Result<(), String> {
+    let Some(raw) = flag(args, "--max-postings") else {
+        return Ok(());
+    };
+    let postings = match raw {
+        "unlimited" => usize::MAX,
+        n => n
+            .parse()
+            .map_err(|_| "--max-postings must be a number or 'unlimited'".to_string())?,
+    };
+    let mut budget = pipeline.discovery_budget();
+    budget.joinable = budget.joinable.with_max_postings(postings);
+    pipeline.set_discovery_budget(budget);
+    Ok(())
 }
 
 /// Resolve the lake for a read command. `--data-dir` opens the durable
@@ -191,6 +216,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     let query = query_from(args, table)?;
     let mut pipeline = pipeline;
     pipeline.set_top_k(k);
+    apply_max_postings(args, &mut pipeline)?;
     let run = pipeline.run(&lake, &query).map_err(|e| e.to_string())?;
     println!("{}", run.report());
     print_telemetry(&pipeline);
@@ -214,6 +240,7 @@ fn cmd_telemetry(args: &[String]) -> Result<(), String> {
     let query = query_from(args, table)?;
     let mut pipeline = Pipeline::demo_sharded(&lake, shards_flag(args)?);
     pipeline.set_top_k(k);
+    apply_max_postings(args, &mut pipeline)?;
     for _ in 0..requests.max(1) {
         pipeline.discover_stage(&lake, &query);
     }
@@ -246,6 +273,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let query = query_from(args, table)?;
     let mut pipeline = pipeline;
     pipeline.set_top_k(k);
+    apply_max_postings(args, &mut pipeline)?;
     // With --data-dir the service keeps write-ahead durability (warm
     // index handover included); with --lake it serves in memory only.
     let durable_service;
