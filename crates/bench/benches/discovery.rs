@@ -19,12 +19,12 @@ use dialite_bench::record;
 use dialite_core::Pipeline;
 use dialite_datagen::lake::{LakeSpec, SyntheticLake};
 use dialite_datagen::workloads::{
-    ChurnWorkload, SantosWorkload, StreamedLakeWorkload, TopKWorkload,
+    ChurnWorkload, HeterogeneousLakeWorkload, SantosWorkload, StreamedLakeWorkload, TopKWorkload,
 };
 use dialite_discovery::{
     Discovery, DiscoveryBudget, ExactOverlapDiscovery, LakeIndex, LakeIndexConfig,
-    LshEnsembleConfig, LshEnsembleDiscovery, QueryBudget, SantosConfig, SantosDiscovery,
-    ShardedLakeIndex, TableQuery, TopKPlanner,
+    LshEnsembleConfig, LshEnsembleDiscovery, MetadataConfig, MetadataDiscovery, QueryBudget,
+    SantosConfig, SantosDiscovery, ShardedLakeIndex, TableQuery, TopKPlanner,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_table::{DataLake, Table, Value};
@@ -697,6 +697,7 @@ fn bench_sharded(c: &mut Criterion) {
             exact_fallback_below: usize::MAX,
             ..LshEnsembleConfig::default()
         },
+        metadata: None,
     };
     let budget = DiscoveryBudget::unlimited();
 
@@ -816,6 +817,176 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// Corpus-scale heterogeneous lake (Zipf sizes, dirty cells, topical
+/// header clusters): token-mode discovery (typeless SANTOS under its
+/// candidate cap) vs metadata-mode discovery (header matching, capped and
+/// exhaustive) on the same 100k-table lake. Retrieval quality is computed
+/// against the generator's cluster ground truth and published alongside
+/// latency; before any number lands in the trajectory, the capped
+/// metadata path is gated byte-identical to the full header scan at a
+/// covering cap — the same contract `tests/metadata_oracle.rs` pins.
+fn bench_hetero(c: &mut Criterion) {
+    let tables = std::env::var("DIALITE_HETERO_TABLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let spec = HeterogeneousLakeWorkload {
+        tables,
+        ..HeterogeneousLakeWorkload::default()
+    };
+    let t0 = Instant::now();
+    let lake = spec.lake();
+    let streamed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let metadata = MetadataDiscovery::build(&lake, MetadataConfig::default());
+    let build_metadata = t1.elapsed();
+    let kb = Arc::new(covid_kb());
+    let t2 = Instant::now();
+    let santos = SantosDiscovery::build(&lake, kb, SantosConfig::default());
+    let build_santos = t2.elapsed();
+    println!(
+        "bench hetero/headline: {} tables streamed in {streamed:?}; santos build \
+         {build_santos:?}, metadata build {build_metadata:?}",
+        lake.len()
+    );
+
+    let cluster_of_hit = |name: &str| -> Option<usize> {
+        name.strip_prefix("hetero_t")
+            .and_then(|i| i.parse::<usize>().ok())
+            .map(|i| spec.cluster_of(i))
+    };
+
+    // Token mode: value queries drawn from cluster anchor columns, k=10
+    // through the capped typeless path. Quality is the fraction of hits
+    // whose primary cluster matches the query's source cluster.
+    let stride = (spec.tables / spec.queries.max(1)).max(1);
+    let token_queries: Vec<(usize, TableQuery)> = spec
+        .queries()
+        .into_iter()
+        .enumerate()
+        .map(|(q, t)| {
+            let source = (q * stride) % spec.tables.max(1);
+            (spec.cluster_of(source), TableQuery::with_column(t, 0))
+        })
+        .collect();
+    let mut token_hits = 0usize;
+    let mut token_total = 0usize;
+    let t3 = Instant::now();
+    for (cluster, query) in &token_queries {
+        let (hits, _) = santos.discover_capped(query, 10, 4096);
+        token_total += hits.len();
+        token_hits += hits
+            .iter()
+            .filter(|d| cluster_of_hit(&d.table) == Some(*cluster))
+            .count();
+    }
+    let token_query_us = t3.elapsed().as_secs_f64() * 1e6 / token_queries.len() as f64;
+    let token_recall = token_hits as f64 / token_total.max(1) as f64;
+
+    // Metadata mode: header queries against each cluster's shared header
+    // vocabulary. Ground truth: every table whose anchor header the query
+    // names must be retrievable; recall is measured at a k covering them.
+    let header_queries: Vec<TableQuery> = spec
+        .header_queries()
+        .into_iter()
+        .map(TableQuery::new)
+        .collect();
+    let meta_budget = DiscoveryBudget::default().metadata_candidates;
+    let mut meta_recall_sum = 0.0f64;
+    let mut meta_measured = 0usize;
+    let mut full_us = 0.0f64;
+    let mut capped_us = 0.0f64;
+    for query in &header_queries {
+        let q_headers: std::collections::HashSet<&str> = query
+            .table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        let relevant: Vec<&str> = lake
+            .tables()
+            .filter(|t| q_headers.contains(t.schema().column(0).name.as_str()))
+            .map(|t| t.name())
+            .collect();
+        let k = relevant.len().max(10);
+
+        let t = Instant::now();
+        let (full, stats) = metadata.discover_capped(query, k, usize::MAX);
+        full_us += t.elapsed().as_secs_f64() * 1e6;
+        assert!(stats.full_scan, "unlimited cap must full-scan");
+        let t = Instant::now();
+        let (_capped10, _) = metadata.discover_capped(query, 10, meta_budget);
+        capped_us += t.elapsed().as_secs_f64() * 1e6;
+
+        // Equality gate: a covering cap must reproduce the exhaustive
+        // output byte-for-byte, or the trajectory gets no point.
+        let (covering, cstats) = metadata.discover_capped(query, k, metadata.len().max(1));
+        assert!(!cstats.cap_hit, "covering cap reported cap_hit");
+        assert_eq!(
+            covering, full,
+            "covering-cap metadata retrieval diverged from the full header scan"
+        );
+
+        if !relevant.is_empty() {
+            let hit_names: std::collections::HashSet<&str> =
+                full.iter().map(|d| d.table.as_str()).collect();
+            let recalled = relevant.iter().filter(|r| hit_names.contains(*r)).count();
+            meta_recall_sum += recalled as f64 / relevant.len() as f64;
+            meta_measured += 1;
+        }
+    }
+    let meta_recall = meta_recall_sum / meta_measured.max(1) as f64;
+    full_us /= header_queries.len() as f64;
+    capped_us /= header_queries.len() as f64;
+    println!(
+        "bench hetero/modes: token query {token_query_us:.1}us recall {token_recall:.3}; \
+         metadata full-scan {full_us:.1}us, capped {capped_us:.1}us, recall {meta_recall:.3} \
+         over {meta_measured} queries"
+    );
+
+    let point = format!(
+        "{{ \"pr\": 10, \"group\": \"hetero\", \"tables\": {}, \"clusters\": {}, \
+         \"host_cpus\": {}, \"build\": {{ \"santos_ms\": {:.1}, \"metadata_ms\": {:.1} }}, \
+         \"token\": {{ \"query_us\": {token_query_us:.1}, \"recall\": {token_recall:.3} }}, \
+         \"metadata\": {{ \"full_scan_us\": {full_us:.1}, \"capped_us\": {capped_us:.1}, \
+         \"recall\": {meta_recall:.3} }} }}",
+        lake.len(),
+        spec.clusters,
+        record::host_cpus(),
+        build_santos.as_secs_f64() * 1e3,
+        build_metadata.as_secs_f64() * 1e3,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_topk.json");
+    record::append_point(&path, "topk", &point).expect("append BENCH_topk.json");
+
+    let mut group = c.benchmark_group("hetero");
+    group.sample_size(10);
+    group.bench_function("token/santos-cap-100k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % token_queries.len();
+            santos.discover_capped(std::hint::black_box(&token_queries[i].1), 10, 4096)
+        })
+    });
+    group.bench_function("metadata/capped-100k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % header_queries.len();
+            metadata.discover_capped(std::hint::black_box(&header_queries[i]), 10, meta_budget)
+        })
+    });
+    group.bench_function("metadata/full-scan-100k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % header_queries.len();
+            metadata.discover_capped(std::hint::black_box(&header_queries[i]), 10, usize::MAX)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_discovery,
@@ -824,6 +995,7 @@ criterion_group!(
     bench_pipeline_stage,
     bench_santos_cap,
     bench_cost_model,
-    bench_sharded
+    bench_sharded,
+    bench_hetero
 );
 criterion_main!(benches);

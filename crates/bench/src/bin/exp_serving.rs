@@ -40,6 +40,7 @@ fn exact_config() -> LakeIndexConfig {
             exact_fallback_below: usize::MAX,
             ..LshEnsembleConfig::default()
         },
+        metadata: None,
     }
 }
 

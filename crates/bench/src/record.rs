@@ -20,8 +20,10 @@
 //! offline workspace — the splice is plain string surgery, like every
 //! other JSON producer here.
 
+use std::fs::OpenOptions;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// The host's logical CPU count, as recorded in fresh trajectory files —
 /// wall-clock numbers are only comparable within one `host_cpus` regime
@@ -37,8 +39,15 @@ pub fn host_cpus() -> usize {
 /// fresh in the unified `{bench, host_cpus, points}` shape. `point_json`
 /// must be a self-contained JSON object (its internal layout is the
 /// caller's; multi-line objects are re-indented to the array level).
+///
+/// Concurrent appends are safe: the read–splice–write cycle runs under a
+/// sibling `.lock` file, so two bench processes (or threads) finishing at
+/// once both land in the trajectory instead of the later write erasing
+/// the earlier point. The new text goes to a sibling `.tmp` file first
+/// and is renamed into place, so readers never observe a torn file.
 pub fn append_point(path: &Path, bench: &str, point_json: &str) -> io::Result<()> {
     let point = indent_point(point_json);
+    let _lock = acquire_lock(path)?;
     let next = match std::fs::read_to_string(path) {
         Ok(text) => splice(&text, &point).unwrap_or_else(|| fresh(bench, &point)),
         // Only a genuinely missing file may start a fresh trajectory. Any
@@ -48,7 +57,51 @@ pub fn append_point(path: &Path, bench: &str, point_json: &str) -> io::Result<()
         Err(e) if e.kind() == io::ErrorKind::NotFound => fresh(bench, &point),
         Err(e) => return Err(e),
     };
-    std::fs::write(path, next)
+    let tmp = sibling(path, ".tmp");
+    std::fs::write(&tmp, next)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// `path` with `suffix` appended to its file name (same directory, so a
+/// rename onto `path` stays within one filesystem).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "trajectory".into());
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// Removes the lock file when the append is done (or fails).
+struct LockGuard(PathBuf);
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Take the trajectory's append lock: exclusive creation of a sibling
+/// `.lock` file, polled until free. An append is a sub-millisecond string
+/// splice, so a lock that stays held for seconds can only be the leftover
+/// of a crashed writer — it is broken and the wait resumes, rather than
+/// wedging every future bench run.
+fn acquire_lock(path: &Path) -> io::Result<LockGuard> {
+    let lock = sibling(path, ".lock");
+    let start = Instant::now();
+    loop {
+        match OpenOptions::new().write(true).create_new(true).open(&lock) {
+            Ok(_) => return Ok(LockGuard(lock)),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if start.elapsed() > Duration::from_secs(5) {
+                    let _ = std::fs::remove_file(&lock);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Indent every line of a point object to the `points`-array level.
@@ -87,6 +140,7 @@ fn fresh(bench: &str, point: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::path::PathBuf;
 
     fn scratch(name: &str) -> PathBuf {
@@ -214,5 +268,99 @@ mod tests {
         assert!(text.contains("    {\n      \"a\": 1,"), "{text}");
         balanced(&text);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The lost-update regression: before the lock, two appends racing
+    /// through read–splice–write could both read the same base text and
+    /// the later write would erase the earlier point. Every concurrent
+    /// append must land exactly once.
+    #[test]
+    fn concurrent_appends_all_land() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 4;
+        let path = scratch("concurrent");
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let path = &path;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let point = format!("{{ \"t\": {t}, \"i\": {i} }}");
+                        append_point(path, "race", &point).unwrap();
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let point = format!("{{ \"t\": {t}, \"i\": {i} }}");
+                assert_eq!(text.matches(&point).count(), 1, "missing {point}: {text}");
+            }
+        }
+        assert_eq!(text.matches("\"bench\"").count(), 1, "{text}");
+        balanced(&text);
+        assert!(!sibling(&path, ".lock").exists(), "lock must be released");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    proptest::proptest! {
+        /// Splice round-trips arbitrary well-shaped trajectory files:
+        /// whatever the extra top-level keys and however many points are
+        /// already there (zero included), the spliced text keeps every
+        /// existing point verbatim, appends the new one last, and stays
+        /// structurally balanced — so repeated bench runs can never decay
+        /// the file shape.
+        #[test]
+        fn splice_round_trips_arbitrary_trajectory_files(
+            existing in proptest::collection::vec(0u32..1_000_000, 0..8),
+            notes in "[a-zA-Z0-9 _.-]{0,16}",
+            with_notes in any::<bool>(),
+            trailing_newline in any::<bool>(),
+        ) {
+            let mut text = String::from("{\n  \"bench\": \"t\",\n  \"host_cpus\": 2,\n");
+            if with_notes {
+                text.push_str(&format!("  \"notes\": \"{notes}\",\n"));
+            }
+            if existing.is_empty() {
+                text.push_str("  \"points\": []\n}");
+            } else {
+                let body = existing
+                    .iter()
+                    .map(|v| format!("    {{ \"v\": {v} }}"))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                text.push_str(&format!("  \"points\": [\n{body}\n  ]\n}}"));
+            }
+            if trailing_newline {
+                text.push('\n');
+            }
+
+            let spliced = splice(&text, &indent_point("{ \"new\": true }"))
+                .expect("well-shaped trajectory must splice");
+            for v in &existing {
+                let point = format!("{{ \"v\": {v} }}");
+                prop_assert!(spliced.contains(&point), "lost {point}: {spliced}");
+            }
+            let new_at = spliced.find("{ \"new\": true }").expect("new point present");
+            for v in &existing {
+                let at = spliced.find(&format!("{{ \"v\": {v} }}")).unwrap();
+                prop_assert!(at < new_at, "new point must append last: {spliced}");
+            }
+            balanced(&spliced);
+            if with_notes {
+                prop_assert!(
+                    spliced.contains(&format!("\"notes\": \"{notes}\"")),
+                    "extra keys kept verbatim: {spliced}"
+                );
+            }
+
+            // And the spliced text is itself a valid splice base: a second
+            // append still lands cleanly (the round-trip part).
+            let again = splice(&spliced, &indent_point("{ \"again\": 2 }"))
+                .expect("spliced output must remain spliceable");
+            prop_assert!(again.contains("{ \"new\": true },"), "{again}");
+            prop_assert!(again.contains("{ \"again\": 2 }"), "{again}");
+            balanced(&again);
+        }
     }
 }

@@ -453,9 +453,17 @@ impl Pipeline {
     /// least 1) — what the CLI's `--shards` flag builds. `shards == 1` is
     /// exactly [`Pipeline::demo_default`].
     pub fn demo_sharded(lake: &DataLake, shards: usize) -> Pipeline {
+        Pipeline::demo_configured(lake, shards, LakeIndexConfig::default())
+    }
+
+    /// [`Pipeline::demo_sharded`] with an explicit index configuration —
+    /// what the CLI's `--metadata` flag builds (a third, header-matching
+    /// discovery leg via `LakeIndexConfig::metadata`). The default config
+    /// is exactly [`Pipeline::demo_sharded`].
+    pub fn demo_configured(lake: &DataLake, shards: usize, config: LakeIndexConfig) -> Pipeline {
         let kb = Arc::new(covid_kb());
         let pipeline = Pipeline::builder()
-            .indexed_discovery(kb.clone(), LakeIndexConfig::default())
+            .indexed_discovery(kb.clone(), config)
             .shards(shards)
             .matcher(HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb))))
             .integrator(Box::new(AliteFd::default()))
@@ -485,10 +493,23 @@ impl Pipeline {
         shards: usize,
         config: DurableConfig,
     ) -> io::Result<(Pipeline, DataLake, DurableLake)> {
+        Pipeline::open_durable_configured(dir, shards, config, LakeIndexConfig::default())
+    }
+
+    /// [`Pipeline::open_durable`] with an explicit index configuration
+    /// (e.g. the metadata leg enabled). The persisted sketches only cover
+    /// the LSH leg, so warm-starting is config-agnostic: any extra legs
+    /// are built fresh over the recovered snapshot.
+    pub fn open_durable_configured(
+        dir: &Path,
+        shards: usize,
+        config: DurableConfig,
+        index_config: LakeIndexConfig,
+    ) -> io::Result<(Pipeline, DataLake, DurableLake)> {
         let (durable, recovery) = DurableLake::open(dir, config)?;
         let kb = Arc::new(covid_kb());
         let pipeline = Pipeline::builder()
-            .indexed_discovery(kb.clone(), LakeIndexConfig::default())
+            .indexed_discovery(kb.clone(), index_config)
             .shards(shards)
             .matcher(HolisticMatcher::default().with_annotator(Arc::new(KbAnnotator::new(kb))))
             .integrator(Box::new(AliteFd::default()))
@@ -1187,6 +1208,7 @@ mod tests {
                 exact_fallback_below: usize::MAX,
                 ..dialite_discovery::LshEnsembleConfig::default()
             },
+            metadata: None,
         }
     }
 

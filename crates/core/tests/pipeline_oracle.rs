@@ -50,9 +50,12 @@ fn configs() -> Vec<LakeIndexConfig> {
                 pool_compact_min: 0,
                 ..LshEnsembleConfig::default()
             },
+            metadata: None,
         },
         // The exact-verification regime: output is a pure function of the
-        // lake state, so equality here pins scores bit-for-bit.
+        // lake state, so equality here pins scores bit-for-bit. The
+        // metadata leg is pure too, so it rides along here and the oracle
+        // pins its churn-sync equality at the pipeline level as well.
         LakeIndexConfig {
             santos: SantosConfig::default(),
             lshe: LshEnsembleConfig {
@@ -62,6 +65,7 @@ fn configs() -> Vec<LakeIndexConfig> {
                 rebalance_dirtiness: 0.15,
                 ..LshEnsembleConfig::default()
             },
+            metadata: Some(dialite_discovery::MetadataConfig::default()),
         },
     ]
 }
@@ -179,6 +183,7 @@ fn finite_budgets_stay_a_sound_subset_of_legacy() {
             exact_fallback_below: usize::MAX,
             ..LshEnsembleConfig::default()
         },
+        metadata: None,
     };
     let tight = DiscoveryBudget::default()
         .with_santos_candidates(2)

@@ -15,9 +15,12 @@
 //!   synthetic KB typed over the universe domains — enabling
 //!   precision/recall evaluation of discovery (E7) and alignment (E8).
 //! * [`workloads`] — parameterized workloads for the FD scaling bench (E6),
-//!   the ER-quality experiment (E10) and the lake-churn trace
+//!   the ER-quality experiment (E10), the lake-churn trace
 //!   ([`workloads::ChurnWorkload`]) behind the incremental-discovery bench
-//!   and oracle tests.
+//!   and oracle tests, and the corpus-scale streamed lakes: the uniform
+//!   [`workloads::StreamedLakeWorkload`] grid and the open-data-shaped
+//!   [`HeterogeneousLakeWorkload`] (Zipf table sizes, dirty/sparse cells,
+//!   overlapping topical clusters with shared header vocabulary).
 //! * [`metrics`] — precision/recall@k and pair-based alignment scoring.
 
 pub mod lake;
@@ -28,6 +31,6 @@ pub mod workloads;
 pub use lake::{GroundTruth, LakeSpec, SyntheticLake};
 pub use synth::TableSynth;
 pub use workloads::{
-    ChurnOp, ChurnTrace, ChurnWorkload, SantosTrace, SantosWorkload, ServingOp, ServingTrace,
-    ServingWorkload,
+    ChurnOp, ChurnTrace, ChurnWorkload, HeterogeneousLakeWorkload, SantosTrace, SantosWorkload,
+    ServingOp, ServingTrace, ServingWorkload,
 };

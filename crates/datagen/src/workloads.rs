@@ -203,7 +203,7 @@ impl Default for ChurnWorkload {
 }
 
 /// One operation of a churn trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ChurnOp {
     /// Register a new table.
     Add(Table),
@@ -689,7 +689,7 @@ impl Default for ServingWorkload {
 }
 
 /// One request of a serving trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServingOp {
     /// Run discovery with query-pool table of this index (column 0 is the
     /// probe column).
@@ -856,9 +856,13 @@ impl ServingWorkload {
 /// window, plus an integer `val` column): the workload measures index
 /// *fan-out* — how per-shard scored/verified work scales with shard
 /// count — not per-table cost. Key tokens are synthetic (`w<j>`),
-/// unknown to any curated KB, so the SANTOS leg takes its typeless full
-/// scan and scores exactly the tables its shard owns: the cleanest
-/// near-linear work signal a sharded bench can gate on.
+/// unknown to any curated KB, so queries hit the SANTOS leg's *typeless*
+/// path. Under a finite candidate cap that path runs capped
+/// posting-index retrieval (best-bound-first, so per-shard work depends
+/// on overlap, not shard size); under an **unlimited** stage budget —
+/// what the `sharded` bench group queries with — it takes the exhaustive
+/// typeless full scan and scores exactly the tables its shard owns: the
+/// cleanest near-linear work signal a sharded bench can gate on.
 #[derive(Debug, Clone)]
 pub struct StreamedLakeWorkload {
     /// Total tables streamed into the lake.
@@ -950,6 +954,342 @@ impl StreamedLakeWorkload {
             );
         }
         out
+    }
+}
+
+/// Boilerplate header vocabulary every topical cluster mixes in —
+/// the `id`/`name`/`year` columns that show up across a whole open-data
+/// corpus regardless of topic.
+const GLOBAL_HEADERS: &[&str] = &[
+    "record", "id", "name", "year", "value", "code", "region", "status", "date", "count",
+    "category", "total",
+];
+
+/// Parameters of the **heterogeneous corpus-scale lake workload**: a lake
+/// *streamed* table-by-table under the same O(1)-state contract as
+/// [`StreamedLakeWorkload`] — table `i` is a pure function of the spec and
+/// `seed + i` ([`HeterogeneousLakeWorkload::table`]) — but shaped like a
+/// real open-data corpus instead of a uniform grid:
+///
+/// * **Zipf-distributed table sizes**: row counts double across Zipf-ranked
+///   size classes, so most tables sit at the 2-row floor while a thin head
+///   reaches `max_rows` — the registry-vs-extract skew open-data portals
+///   document.
+/// * **Overlapping topical clusters**: every table belongs to a
+///   Zipf-popular primary cluster (and sometimes a secondary one), drawing
+///   both its column headers and its value vocabulary from the cluster's
+///   pools plus the shared `GLOBAL_HEADERS` boilerplate — so header
+///   vocab overlaps within and across clusters the way topically related
+///   datasets share schema fragments.
+/// * **Dirt**: configurable null and dirty-cell rates, plus *sparse*
+///   columns that are mostly null — except column 0, which stays clean so
+///   every table keeps a usable token domain for value-overlap queries.
+///
+/// Header tokens are fully alphanumeric (`h<cluster>x<t>`) so each header
+/// survives `dialite_text::word_tokens` as a single token — the contract
+/// the metadata-aware discovery engine indexes on.
+#[derive(Debug, Clone)]
+pub struct HeterogeneousLakeWorkload {
+    /// Total tables streamed into the lake.
+    pub tables: usize,
+    /// Topical clusters; each has its own header and value vocabularies.
+    /// Cluster popularity is Zipf-distributed (`zipf_s`).
+    pub clusters: usize,
+    /// Header tokens per cluster pool.
+    pub cluster_headers: usize,
+    /// Maximum columns per table (column count is Zipf-skewed toward 1).
+    pub max_cols: usize,
+    /// Maximum rows per table (sizes double across Zipf-ranked classes
+    /// from a 2-row floor up to this cap).
+    pub max_rows: usize,
+    /// Zipf exponent shared by the size, column-count and cluster
+    /// popularity distributions; `0.0` is uniform.
+    pub zipf_s: f64,
+    /// Distinct value tokens per cluster vocabulary.
+    pub value_vocab: usize,
+    /// Fraction of non-key cells nulled out.
+    pub null_rate: f64,
+    /// Fraction of non-key cells mangled into near-unique dirty tokens.
+    pub dirty_rate: f64,
+    /// Probability a non-key column is *sparse* (mostly null).
+    pub sparse_rate: f64,
+    /// Query tables generated by [`HeterogeneousLakeWorkload::queries`]
+    /// and header queries by
+    /// [`HeterogeneousLakeWorkload::header_queries`].
+    pub queries: usize,
+    /// Distinct keys per token-mode query table.
+    pub query_rows: usize,
+    /// Base RNG seed; table `i` derives its own stream from `seed` and
+    /// `i`, the query sets and serving trace from `seed` alone.
+    pub seed: u64,
+}
+
+impl Default for HeterogeneousLakeWorkload {
+    fn default() -> Self {
+        HeterogeneousLakeWorkload {
+            tables: 100_000,
+            clusters: 24,
+            cluster_headers: 16,
+            max_cols: 6,
+            max_rows: 256,
+            zipf_s: 1.1,
+            value_vocab: 4_000,
+            null_rate: 0.08,
+            dirty_rate: 0.04,
+            sparse_rate: 0.25,
+            queries: 8,
+            query_rows: 16,
+            seed: 83,
+        }
+    }
+}
+
+impl HeterogeneousLakeWorkload {
+    /// One header token of a cluster's pool — fully alphanumeric so
+    /// `word_tokens` keeps it whole.
+    fn cluster_header(&self, cluster: usize, t: usize) -> String {
+        format!("h{cluster}x{t}")
+    }
+
+    /// One value token of a cluster's vocabulary.
+    fn cluster_value(&self, cluster: usize, t: usize) -> String {
+        format!("c{cluster}v{t}")
+    }
+
+    /// The primary topical cluster of table `i` — re-derived from the
+    /// table's own seeded stream (the cluster is its *first* draw), so
+    /// callers can label any table without materializing it.
+    pub fn cluster_of(&self, i: usize) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1 + i as u64));
+        ZipfRanks::new(self.clusters.max(1), self.zipf_s.max(0.0)).sample(&mut rng)
+    }
+
+    /// The `i`-th lake table (`hetero_t<i>`), generated from its own
+    /// seeded stream: same spec + same `i` → identical table, regardless
+    /// of which other tables were ever materialized.
+    pub fn table(&self, i: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1 + i as u64));
+        let clusters = self.clusters.max(1);
+        let zipf_clusters = ZipfRanks::new(clusters, self.zipf_s.max(0.0));
+        // First draw: the primary cluster (the cluster_of contract).
+        let primary = zipf_clusters.sample(&mut rng);
+        let secondary = if clusters > 1 && rng.gen_bool(0.3) {
+            Some(zipf_clusters.sample(&mut rng))
+        } else {
+            None
+        };
+
+        // Zipf-ranked size classes double rows from the 2-row floor.
+        let max_rows = self.max_rows.max(2);
+        let mut classes = 1usize;
+        while (2usize << (classes - 1)) < max_rows {
+            classes += 1;
+        }
+        let z = ZipfRanks::new(classes, self.zipf_s.max(0.0)).sample(&mut rng);
+        let rows = (2usize << z).min(max_rows);
+        let cols = 1 + ZipfRanks::new(self.max_cols.max(1), self.zipf_s.max(0.0)).sample(&mut rng);
+
+        let headers_per_cluster = self.cluster_headers.max(1);
+        let vocab = self.value_vocab.max(1);
+        let null_rate = self.null_rate.clamp(0.0, 1.0);
+        let dirty_rate = self.dirty_rate.clamp(0.0, 1.0);
+        let sparse_rate = self.sparse_rate.clamp(0.0, 1.0);
+
+        // Per-column plan: header, value cluster, sparsity, numeric-ness.
+        let mut headers: Vec<String> = Vec::with_capacity(cols);
+        let mut value_cluster: Vec<usize> = Vec::with_capacity(cols);
+        let mut sparse: Vec<bool> = Vec::with_capacity(cols);
+        let mut numeric: Vec<bool> = Vec::with_capacity(cols);
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for c in 0..cols {
+            let (mut header, vc) = if c == 0 {
+                // The anchor column: always a primary-cluster header over
+                // primary-cluster values, clean and dense.
+                (
+                    self.cluster_header(primary, rng.gen_range(0..headers_per_cluster)),
+                    primary,
+                )
+            } else {
+                match (rng.gen_range(0..4), secondary) {
+                    (0, _) => (
+                        GLOBAL_HEADERS[rng.gen_range(0..GLOBAL_HEADERS.len())].to_string(),
+                        primary,
+                    ),
+                    (1, Some(s)) => (
+                        self.cluster_header(s, rng.gen_range(0..headers_per_cluster)),
+                        s,
+                    ),
+                    _ => (
+                        self.cluster_header(primary, rng.gen_range(0..headers_per_cluster)),
+                        primary,
+                    ),
+                }
+            };
+            if !seen.insert(header.clone()) {
+                // Schemas require unique headers; real corpora dedupe
+                // repeated ones with positional suffixes.
+                header = format!("{header} col{c}");
+                seen.insert(header.clone());
+            }
+            headers.push(header);
+            value_cluster.push(vc);
+            sparse.push(c != 0 && rng.gen_bool(sparse_rate));
+            numeric.push(c != 0 && rng.gen_bool(0.25));
+        }
+
+        let mut data: Vec<Vec<Value>> = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut row = Vec::with_capacity(cols);
+            for c in 0..cols {
+                if c == 0 {
+                    row.push(Value::Text(
+                        self.cluster_value(primary, rng.gen_range(0..vocab)),
+                    ));
+                    continue;
+                }
+                if sparse[c] && rng.gen_bool(0.9) {
+                    row.push(Value::null_missing());
+                    continue;
+                }
+                if rng.gen_bool(null_rate) {
+                    row.push(Value::null_missing());
+                    continue;
+                }
+                if numeric[c] {
+                    row.push(Value::Int(rng.gen_range(0..1_000_000_i64)));
+                    continue;
+                }
+                let tok = self.cluster_value(value_cluster[c], rng.gen_range(0..vocab));
+                if rng.gen_bool(dirty_rate) {
+                    // A mangled, near-unique cell — the typo/encoding dirt
+                    // profiling studies report for open-data CSVs.
+                    row.push(Value::Text(format!("{tok}zz{r}")));
+                } else {
+                    row.push(Value::Text(tok));
+                }
+            }
+            data.push(row);
+        }
+        Table::from_rows(&format!("hetero_t{i}"), &headers, data).expect("fixed arity")
+    }
+
+    /// Stream every lake table in slot order, one at a time.
+    pub fn stream(&self) -> impl Iterator<Item = Table> + '_ {
+        (0..self.tables).map(|i| self.table(i))
+    }
+
+    /// Stream the whole workload into a fresh [`DataLake`] (slot `i`
+    /// holds [`HeterogeneousLakeWorkload::table`]`(i)`).
+    pub fn lake(&self) -> DataLake {
+        let mut lake = DataLake::new();
+        for t in self.stream() {
+            lake.add_table(t).expect("streamed names are unique");
+        }
+        lake
+    }
+
+    /// The **token-mode** query set: query `q` (`hetero_q<q>`) keeps a
+    /// random `query_rows`-subset of the anchor-column tokens of an evenly
+    /// spaced lake table, so a high-overlap match always exists and
+    /// queries spread across every slot stripe (and every cluster the
+    /// stripe touches).
+    pub fn queries(&self) -> Vec<Table> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let stride = (self.tables / self.queries.max(1)).max(1);
+        let mut out = Vec::with_capacity(self.queries);
+        for q in 0..self.queries {
+            let source = self.table((q * stride) % self.tables.max(1));
+            let mut rows: Vec<Vec<Value>> = source.rows().map(|r| vec![r[0].clone()]).collect();
+            rows.shuffle(&mut rng);
+            rows.truncate(self.query_rows.max(1));
+            let header = source.schema().column(0).name.clone();
+            out.push(
+                Table::from_rows(&format!("hetero_q{q}"), &[header], rows).expect("fixed arity"),
+            );
+        }
+        out
+    }
+
+    /// The **metadata-mode** query set: query `q` (`hetero_hq<q>`)
+    /// carries the first three header tokens of cluster `q % clusters` as
+    /// its column headers (values are placeholders) — the
+    /// "find tables annotated like this" probe the metadata-aware engine
+    /// answers from its header-token index.
+    pub fn header_queries(&self) -> Vec<Table> {
+        let clusters = self.clusters.max(1);
+        let cols = self.cluster_headers.clamp(1, 3);
+        (0..self.queries)
+            .map(|q| {
+                let cluster = q % clusters;
+                let headers: Vec<String> =
+                    (0..cols).map(|t| self.cluster_header(cluster, t)).collect();
+                let row = vec![Value::Text("probe".to_string()); cols];
+                Table::from_rows(&format!("hetero_hq{q}"), &headers, vec![row])
+                    .expect("fixed arity")
+            })
+            .collect()
+    }
+
+    /// A zipfian read/churn **serving trace** over the heterogeneous lake:
+    /// `(query pool, ops)`. Reads draw from
+    /// [`queries`](HeterogeneousLakeWorkload::queries) under the spec's
+    /// Zipf skew; writes are adds of fresh streamed tables
+    /// (`hetero_t<tables + n>`), plus removes and in-place replaces of
+    /// live ones. The trace is valid replayed strictly in order against
+    /// [`lake`](HeterogeneousLakeWorkload::lake) and safe under any
+    /// interleaving via [`ServingOp::apply_tolerant`]. The initial lake is
+    /// *not* materialized here — stream it separately, preserving the
+    /// O(1)-state contract.
+    pub fn serving_ops(&self, ops: usize, read_ratio: f64) -> (Vec<Table>, Vec<ServingOp>) {
+        let pool = self.queries();
+        // Distinct stream from the table generator's so trace shape and
+        // lake shape vary independently under one seed.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7e11_a55e_d1ce_0afe);
+        let zipf = ZipfRanks::new(pool.len().max(1), self.zipf_s.max(0.0));
+
+        let reads = ((ops as f64) * read_ratio.clamp(0.0, 1.0)).round() as usize;
+        let reads = reads.min(ops);
+        let mut kinds: Vec<bool> = Vec::with_capacity(ops);
+        kinds.extend(std::iter::repeat_n(true, reads));
+        kinds.extend(std::iter::repeat_n(false, ops - reads));
+        kinds.shuffle(&mut rng);
+
+        let mut alive: Vec<String> = (0..self.tables).map(|i| format!("hetero_t{i}")).collect();
+        let mut next = 0usize;
+        let mut out = Vec::with_capacity(ops);
+        for is_read in kinds {
+            if is_read {
+                out.push(ServingOp::Query(zipf.sample(&mut rng)));
+                continue;
+            }
+            match rng.gen_range(0..3) {
+                0 => {
+                    let t = self.table(self.tables + next);
+                    next += 1;
+                    alive.push(t.name().to_string());
+                    out.push(ServingOp::Mutate(ChurnOp::Add(t)));
+                }
+                1 if alive.len() > 1 => {
+                    let idx = rng.gen_range(0..alive.len());
+                    let name = alive.swap_remove(idx);
+                    out.push(ServingOp::Mutate(ChurnOp::Remove(name)));
+                }
+                _ if !alive.is_empty() => {
+                    let idx = rng.gen_range(0..alive.len());
+                    let name = alive[idx].clone();
+                    let t = self.table(self.tables + next).renamed(&name);
+                    next += 1;
+                    out.push(ServingOp::Mutate(ChurnOp::Replace(t)));
+                }
+                _ => {
+                    let t = self.table(self.tables + next);
+                    next += 1;
+                    alive.push(t.name().to_string());
+                    out.push(ServingOp::Mutate(ChurnOp::Add(t)));
+                }
+            }
+        }
+        (pool, out)
     }
 }
 
@@ -1485,5 +1825,146 @@ mod tests {
             other.table(0),
             "the seed must actually matter"
         );
+    }
+
+    fn small_hetero() -> HeterogeneousLakeWorkload {
+        HeterogeneousLakeWorkload {
+            tables: 120,
+            clusters: 6,
+            cluster_headers: 8,
+            max_cols: 4,
+            max_rows: 64,
+            value_vocab: 200,
+            queries: 6,
+            query_rows: 4,
+            seed: 83,
+            ..HeterogeneousLakeWorkload::default()
+        }
+    }
+
+    #[test]
+    fn hetero_table_is_a_pure_function_of_spec_and_index() {
+        let spec = small_hetero();
+        for i in [0usize, 17, 119] {
+            assert_eq!(
+                spec.table(i),
+                spec.table(i),
+                "hetero table {i} must be a pure function of (spec, i)"
+            );
+        }
+        let a: Vec<Table> = spec.stream().collect();
+        let b: Vec<Table> = spec.stream().collect();
+        assert_eq!(a, b, "hetero lake must be reproducible");
+        assert_eq!(spec.queries(), spec.queries());
+        assert_eq!(spec.header_queries(), spec.header_queries());
+        let other = HeterogeneousLakeWorkload {
+            seed: 84,
+            ..spec.clone()
+        };
+        assert_ne!(
+            spec.table(0),
+            other.table(0),
+            "the seed must actually matter"
+        );
+    }
+
+    #[test]
+    fn hetero_sizes_are_zipf_skewed_with_a_long_tail() {
+        let spec = small_hetero();
+        let sizes: Vec<usize> = spec.stream().map(|t| t.row_count()).collect();
+        let floor = sizes.iter().filter(|&&n| n == 2).count();
+        let head = sizes.iter().filter(|&&n| n == spec.max_rows).count();
+        assert!(
+            floor * 3 > sizes.len() && floor > head,
+            "the 2-row floor should be the modal size class, got {floor}/{} (head {head})",
+            sizes.len()
+        );
+        let max = *sizes.iter().max().unwrap();
+        assert!(
+            max >= 16,
+            "the head of the size distribution should be much larger than the floor, got {max}"
+        );
+    }
+
+    #[test]
+    fn hetero_clusters_share_headers_and_cluster_of_matches_the_table() {
+        let spec = small_hetero();
+        for i in 0..spec.tables {
+            let t = spec.table(i);
+            let cluster = spec.cluster_of(i);
+            let anchor = &t.schema().column(0).name;
+            assert!(
+                anchor.starts_with(&format!("h{cluster}x")),
+                "table {i}: anchor header {anchor:?} must come from cluster {cluster}"
+            );
+        }
+        // Popular clusters are shared by many tables — header vocab overlaps.
+        let head = (0..spec.tables)
+            .filter(|&i| spec.cluster_of(i) == 0)
+            .count();
+        assert!(
+            head >= spec.tables / 4,
+            "the Zipf head cluster should dominate, got {head}/{}",
+            spec.tables
+        );
+    }
+
+    #[test]
+    fn hetero_dirt_materializes_nulls_and_dirty_cells() {
+        let spec = HeterogeneousLakeWorkload {
+            tables: 60,
+            null_rate: 0.3,
+            dirty_rate: 0.3,
+            ..small_hetero()
+        };
+        let mut nulls = 0usize;
+        let mut dirty = 0usize;
+        let mut anchor_nulls = 0usize;
+        for t in spec.stream() {
+            for row in t.rows() {
+                if row[0].is_null() {
+                    anchor_nulls += 1;
+                }
+                for v in row {
+                    match v {
+                        Value::Text(s) if s.contains("zz") => dirty += 1,
+                        v if v.is_null() => nulls += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(nulls > 0, "null cells should materialize");
+        assert!(dirty > 0, "dirty cells should materialize");
+        assert_eq!(anchor_nulls, 0, "the anchor column must stay clean");
+    }
+
+    #[test]
+    fn hetero_serving_trace_is_deterministic_and_replays_in_order() {
+        let spec = HeterogeneousLakeWorkload {
+            tables: 30,
+            ..small_hetero()
+        };
+        let (pool_a, ops_a) = spec.serving_ops(80, 0.7);
+        let (pool_b, ops_b) = spec.serving_ops(80, 0.7);
+        assert_eq!(pool_a, pool_b);
+        assert_eq!(ops_a, ops_b, "serving trace must be deterministic");
+        let reads = ops_a
+            .iter()
+            .filter(|op| matches!(op, ServingOp::Query(_)))
+            .count();
+        assert_eq!(reads, 56, "exact read share");
+        for op in &ops_a {
+            if let ServingOp::Query(i) = op {
+                assert!(*i < pool_a.len());
+            }
+        }
+        // Strict in-order replay must be valid against the streamed lake.
+        let mut lake = spec.lake();
+        for op in &ops_a {
+            if let ServingOp::Mutate(m) = op {
+                assert!(m.apply(&mut lake), "trace is valid in order");
+            }
+        }
     }
 }

@@ -27,19 +27,25 @@ use dialite_minhash::SketchSnapshot;
 use dialite_table::{DataLake, LakeEvent};
 
 use crate::lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
+use crate::metadata::{MetadataConfig, MetadataDiscovery};
 use crate::santos::{SantosConfig, SantosDiscovery};
 use crate::shard::ShardScope;
 use crate::telemetry::{DiscoveryTelemetry, ShardedTelemetry};
 use crate::topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats};
 use crate::types::{top_k, Discovered, Discovery, TableQuery};
 
-/// Configuration of both wrapped engines.
+/// Configuration of the wrapped engines.
 #[derive(Debug, Clone, Default)]
 pub struct LakeIndexConfig {
     /// SANTOS-style semantic union search.
     pub santos: SantosConfig,
     /// LSH Ensemble joinable search.
     pub lshe: LshEnsembleConfig,
+    /// Optional metadata (header-match) leg. `None` (the default) leaves
+    /// the index exactly two-legged — existing engine-order contracts are
+    /// untouched; `Some` appends a third `"metadata"` leg maintained
+    /// through the same sync/churn machinery.
+    pub metadata: Option<MetadataConfig>,
 }
 
 /// The maintained discovery index over a mutable lake. Build once, then
@@ -69,6 +75,9 @@ pub struct LakeIndex {
     config: LakeIndexConfig,
     santos: SantosDiscovery,
     lshe: LshEnsembleDiscovery,
+    /// The optional metadata (header-match) leg, present only when the
+    /// config enables it.
+    metadata: Option<MetadataDiscovery>,
     /// Budget-aware top-k planning over the LSH engine; holds the query
     /// signature cache, which stays warm across syncs and even rebuilds
     /// (cache entries are content-addressed, not version-addressed).
@@ -109,6 +118,10 @@ impl LakeIndex {
         LakeIndex {
             santos: SantosDiscovery::build_scoped(lake, kb.clone(), config.santos.clone(), scope),
             lshe: LshEnsembleDiscovery::build_scoped(lake, config.lshe.clone(), scope),
+            metadata: config
+                .metadata
+                .clone()
+                .map(|mc| MetadataDiscovery::build_scoped(lake, mc, scope)),
             planner: TopKPlanner::new(),
             telemetry: ShardedTelemetry::default(),
             kb,
@@ -138,6 +151,10 @@ impl LakeIndex {
                 scope,
                 sketches,
             ),
+            metadata: config
+                .metadata
+                .clone()
+                .map(|mc| MetadataDiscovery::build_scoped(lake, mc, scope)),
             planner: TopKPlanner::new(),
             telemetry: ShardedTelemetry::default(),
             kb,
@@ -221,10 +238,16 @@ impl LakeIndex {
                 (LakeEvent::Added(_) | LakeEvent::Replaced(_), Some(table)) => {
                     self.santos.upsert_table(slot, table);
                     self.lshe.upsert_table(slot, table);
+                    if let Some(metadata) = &mut self.metadata {
+                        metadata.upsert_table(slot, table);
+                    }
                 }
                 _ => {
                     self.santos.remove_table(slot);
                     self.lshe.remove_table(slot);
+                    if let Some(metadata) = &mut self.metadata {
+                        metadata.remove_table(slot);
+                    }
                 }
             }
         }
@@ -240,18 +263,23 @@ impl LakeIndex {
     /// production callers go through
     /// [`LakeIndex::discover_all_budgeted`].
     pub fn discover_all(&self, query: &TableQuery, k: usize) -> Vec<(String, Vec<Discovered>)> {
-        vec![
+        let mut legs = vec![
             (
                 self.santos.name().to_string(),
                 self.santos.discover(query, k),
             ),
             (self.lshe.name().to_string(), self.lshe.discover(query, k)),
-        ]
+        ];
+        if let Some(metadata) = &self.metadata {
+            legs.push((metadata.name().to_string(), metadata.discover(query, k)));
+        }
+        legs
     }
 
     /// The budgeted discovery stage: the SANTOS leg under the budget's
     /// candidate cap, the joinable leg through the [`TopKPlanner`] under
-    /// the budget's [`QueryBudget`] — same per-engine shape and order as
+    /// the budget's [`QueryBudget`], and — when enabled — the metadata
+    /// leg under its own candidate cap. Same per-engine shape and order as
     /// [`LakeIndex::discover_all`], and byte-identical output to it under
     /// [`DiscoveryBudget::unlimited`]. Every call folds its per-query
     /// stats and latency into the index's [`DiscoveryTelemetry`].
@@ -273,10 +301,19 @@ impl LakeIndex {
         let join_elapsed = join_t0.elapsed();
         self.telemetry.record_santos(&santos_stats, santos_elapsed);
         self.telemetry.record_topk(&join_stats, join_elapsed);
-        vec![
+        let mut legs = vec![
             (self.santos.name().to_string(), santos_hits),
             (self.lshe.name().to_string(), join_hits),
-        ]
+        ];
+        if let Some(metadata) = &self.metadata {
+            let meta_t0 = Instant::now();
+            let (meta_hits, meta_stats) =
+                metadata.discover_capped(query, k, budget.metadata_candidates);
+            self.telemetry
+                .record_metadata(&meta_stats, meta_t0.elapsed());
+            legs.push((metadata.name().to_string(), meta_hits));
+        }
+        legs
     }
 
     /// A snapshot of the rolling [`DiscoveryTelemetry`] this index has
@@ -351,6 +388,12 @@ impl LakeIndex {
     pub fn lshe(&self) -> &LshEnsembleDiscovery {
         &self.lshe
     }
+
+    /// The optional metadata (header-match) engine, `Some` only when
+    /// [`LakeIndexConfig::metadata`] enabled it.
+    pub fn metadata(&self) -> Option<&MetadataDiscovery> {
+        self.metadata.as_ref()
+    }
 }
 
 impl Discovery for LakeIndex {
@@ -419,6 +462,43 @@ mod tests {
         assert_eq!(all[0].0, "santos");
         assert_eq!(all[1].0, "lsh-ensemble");
         assert!(all[1].1.iter().any(|d| d.table == "cases_by_city"));
+    }
+
+    #[test]
+    fn metadata_leg_is_config_gated_and_syncs_with_churn() {
+        let mut lake = demo_lake();
+        let config = LakeIndexConfig {
+            metadata: Some(MetadataConfig::default()),
+            ..LakeIndexConfig::default()
+        };
+        let mut index = LakeIndex::build(&lake, Arc::new(covid_kb()), config.clone());
+        let q = TableQuery::new(table! { "HQ"; ["city", "rate"]; ["x", 1] });
+        let all = index.discover_all(&q, 5);
+        assert_eq!(all.len(), 3, "metadata appends a third leg");
+        assert_eq!(all[2].0, "metadata");
+        assert!(all[2].1.iter().any(|d| d.table == "cases_by_city"));
+
+        // Churn flows through sync into the metadata leg too.
+        lake.add(table! { "city_pop"; ["city", "rate"]; ["lima", 9] })
+            .unwrap();
+        lake.remove("cases_by_city").unwrap();
+        index.sync(&lake);
+        let budgeted = index.discover_all_budgeted(&q, 5, &DiscoveryBudget::unlimited());
+        assert_eq!(budgeted[2].0, "metadata");
+        assert!(budgeted[2].1.iter().any(|d| d.table == "city_pop"));
+        assert!(budgeted[2].1.iter().all(|d| d.table != "cases_by_city"));
+        assert_eq!(index.telemetry().metadata.queries, 1);
+        assert_eq!(index.telemetry().metadata.full_scans, 1);
+
+        // A diverged lineage forces a rebuild; the metadata leg must
+        // survive it (the config carries across).
+        let fresh = LakeIndex::build(&lake, Arc::new(covid_kb()), config);
+        assert_eq!(
+            fresh.discover_all(&q, 5),
+            index.discover_all(&q, 5),
+            "synced metadata leg must answer like a rebuild"
+        );
+        assert!(index.metadata().is_some());
     }
 
     #[test]

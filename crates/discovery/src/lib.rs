@@ -4,7 +4,7 @@
 //! and a data lake `D`, find tables that are *unionable*, *joinable* or
 //! simply similar to `Q`, returning an integration set for ALITE.
 //!
-//! Four search engines implement the common [`Discovery`] trait:
+//! Five search engines implement the common [`Discovery`] trait:
 //!
 //! * [`SantosDiscovery`] — semantic **union** search in the style of SANTOS
 //!   (Khatiwada et al., SIGMOD 2023): columns are annotated with semantic
@@ -20,6 +20,12 @@
 //! * [`ExactOverlapDiscovery`] — exact top-k overlap search over an inverted
 //!   token index (JOSIE-shaped, without the cost-based posting-list
 //!   scheduling that internet-scale lakes need — documented simplification).
+//! * [`MetadataDiscovery`] — **metadata-aware** search over column headers
+//!   (cf. TableNet): header tokens are interned in a shared [`StringPool`]
+//!   behind an inverted header-token index, answering "find tables
+//!   annotated like this" probes with the same best-bound-first capped
+//!   retrieval contract as the SANTOS leg. Off by default; enabled through
+//!   [`LakeIndexConfig::metadata`].
 //! * [`SimilarityDiscovery`] — the user-defined extension point of paper
 //!   Fig. 4: any `Fn(&Table, &Table) -> f64` becomes a discovery algorithm.
 //!
@@ -66,6 +72,7 @@ mod cost;
 mod custom;
 mod index;
 mod lshe;
+mod metadata;
 mod overlap;
 mod pool;
 mod santos;
@@ -78,6 +85,7 @@ mod types;
 pub use custom::SimilarityDiscovery;
 pub use index::{LakeIndex, LakeIndexConfig};
 pub use lshe::{LshEnsembleConfig, LshEnsembleDiscovery};
+pub use metadata::{MetadataConfig, MetadataDiscovery, MetadataStats};
 pub use overlap::ExactOverlapDiscovery;
 pub use pool::{StringPool, POOL_ID_DROPPED};
 pub use santos::{SantosConfig, SantosDiscovery, SantosStats};
@@ -86,8 +94,8 @@ pub use serving::{
 };
 pub use shard::{ShardRouter, ShardScope, ShardedLakeIndex};
 pub use telemetry::{
-    DiscoveryTelemetry, LatencyHistogram, LatencyPercentiles, SantosCounters, ShardedTelemetry,
-    TopKCounters, LATENCY_BUCKET_BOUNDS_US,
+    DiscoveryTelemetry, LatencyHistogram, LatencyPercentiles, MetadataCounters, SantosCounters,
+    ShardedTelemetry, TopKCounters, LATENCY_BUCKET_BOUNDS_US,
 };
 pub use topk::{DiscoveryBudget, QueryBudget, TopKPlanner, TopKStats, DEFAULT_SIGNATURE_CACHE};
 pub use types::{

@@ -1,0 +1,572 @@
+//! Metadata-aware discovery: match tables on their column **headers**.
+//!
+//! Real open-data corpora carry most of their reusable signal in the
+//! *annotations* — column names, labels, schema fragments shared across
+//! topically related datasets (cf. TableNet) — and a header probe is often
+//! the only query a user can pose before any data is downloaded. This
+//! engine answers exactly that query mode:
+//!
+//! 1. **Index.** For every lake table, tokenize each column header with
+//!    [`dialite_text::word_tokens`] and intern the tokens in a shared
+//!    [`StringPool`]. An inverted index `header token → tables` provides
+//!    candidate retrieval; the same retire/compact machinery as the SANTOS
+//!    leg's synthesized-signal postings keeps long-churn memory bounded.
+//! 2. **Query.** Tokenize the query table's headers the same way (query
+//!    tokens resolve through the pool, never intern — the query is not
+//!    part of the lake).
+//! 3. **Score.** Mean over query columns of the best header-token Jaccard
+//!    against any candidate column, normalized to `[0, 1]`. Every query
+//!    column counts the same: a header probe carries no intent column, so
+//!    the score is deliberately symmetric across columns.
+//!
+//! Retrieval follows the same **candidate-cap contract** as the SANTOS
+//! leg: under any finite cap, candidates are ranked by a sound upper bound
+//! and scored best-bound-first; `cap == usize::MAX` is the exhaustive
+//! full-header-scan oracle path the bounded path is pinned against
+//! (`tests/metadata_oracle.rs`).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use dialite_table::{DataLake, Table};
+use dialite_text::{jaccard, word_tokens};
+
+use crate::pool::StringPool;
+use crate::santos::{kth_best, push_topk, POOL_COMPACT_MIN};
+use crate::shard::ShardScope;
+use crate::types::{top_k, Discovered, Discovery, TableQuery};
+
+/// Configuration of the metadata (header-match) engine.
+#[derive(Debug, Clone)]
+pub struct MetadataConfig {
+    /// Minimum candidate score to be reported at all; keeps tables that
+    /// share only one boilerplate header token (`id`, `name`, …) out of
+    /// the integration set.
+    pub min_score: f64,
+}
+
+impl Default for MetadataConfig {
+    fn default() -> Self {
+        MetadataConfig { min_score: 0.2 }
+    }
+}
+
+/// What one capped metadata query actually did — the observability half of
+/// the candidate-cap contract, returned by
+/// [`MetadataDiscovery::discover_capped`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataStats {
+    /// Candidate tables surfaced by the header-token inverted index (or by
+    /// the full header scan).
+    pub candidates_retrieved: usize,
+    /// Candidates actually run through the full header-similarity score.
+    pub candidates_scored: usize,
+    /// Candidates skipped because the k-th best verified score provably
+    /// beats their header-overlap upper bound.
+    pub bound_pruned: usize,
+    /// Retrieval stopped at the candidate cap (results are best-effort).
+    pub cap_hit: bool,
+    /// The cap was unlimited, so retrieval ran the exhaustive full header
+    /// scan — the oracle path of this leg.
+    pub full_scan: bool,
+}
+
+/// Per-table header metadata kept in the index.
+struct TableMeta {
+    name: String,
+    /// Per-column header token sets (the unit the score compares).
+    columns: Vec<HashSet<String>>,
+    /// The table's distinct header tokens interned in the engine's shared
+    /// pool — the keys of its posting entries, kept so removal retires
+    /// exactly those postings.
+    header_ids: Vec<u32>,
+}
+
+/// The metadata-aware discovery engine. Build once per lake, then either
+/// query as-is or keep it warm across churn with
+/// [`MetadataDiscovery::upsert_table`] /
+/// [`MetadataDiscovery::remove_table`] — header metadata is independent
+/// per table, so incremental maintenance is exactly equivalent to a fresh
+/// build.
+pub struct MetadataDiscovery {
+    config: MetadataConfig,
+    /// Per-table metadata, keyed by the lake's stable slot index. A
+    /// `BTreeMap` keeps the full-scan oracle deterministic.
+    tables: BTreeMap<u32, TableMeta>,
+    /// Header-token dictionary (same [`StringPool`] machinery the other
+    /// legs intern through).
+    pool: StringPool,
+    /// Inverted index: header token id → table slots whose headers contain
+    /// the token.
+    header_postings: HashMap<u32, Vec<u32>>,
+    /// Σ distinct header tokens over live tables (with multiplicity across
+    /// tables).
+    live_weight: usize,
+    /// Header-token weight retired since the last pool compaction.
+    retired_weight: usize,
+}
+
+impl MetadataDiscovery {
+    /// Index the headers of the whole lake.
+    pub fn build(lake: &DataLake, config: MetadataConfig) -> MetadataDiscovery {
+        MetadataDiscovery::build_scoped(lake, config, ShardScope::all())
+    }
+
+    /// Index one shard's stripe of the lake (the slots `scope`
+    /// [`admits`](ShardScope::admits)). Header metadata is per-table, so a
+    /// scoped build is exactly a full build restricted to the stripe;
+    /// [`ShardScope::all`] reproduces [`MetadataDiscovery::build`].
+    pub fn build_scoped(
+        lake: &DataLake,
+        config: MetadataConfig,
+        scope: ShardScope,
+    ) -> MetadataDiscovery {
+        let mut engine = MetadataDiscovery {
+            config,
+            tables: BTreeMap::new(),
+            pool: StringPool::new(),
+            header_postings: HashMap::new(),
+            live_weight: 0,
+            retired_weight: 0,
+        };
+        for (slot, table) in lake.entries_routed(scope.shard(), scope.of()) {
+            engine.upsert_table(slot, table);
+        }
+        engine
+    }
+
+    /// Index (or re-index) one table's headers under its lake slot.
+    /// `O(that table's schema)` — row data is never touched.
+    pub fn upsert_table(&mut self, slot: u32, table: &Table) {
+        self.remove_table(slot);
+        let columns: Vec<HashSet<String>> = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|col| word_tokens(&col.name).into_iter().collect())
+            .collect();
+        let ids: HashSet<u32> = columns
+            .iter()
+            .flat_map(|col| col.iter())
+            .map(|tok| self.pool.intern(tok))
+            .collect();
+        for &id in &ids {
+            self.header_postings.entry(id).or_default().push(slot);
+        }
+        self.live_weight += ids.len();
+        self.tables.insert(
+            slot,
+            TableMeta {
+                name: table.name().to_string(),
+                columns,
+                header_ids: ids.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Drop the header metadata of the table occupying a lake slot.
+    pub fn remove_table(&mut self, slot: u32) {
+        let Some(meta) = self.tables.remove(&slot) else {
+            return;
+        };
+        for id in &meta.header_ids {
+            if let Some(list) = self.header_postings.get_mut(id) {
+                if let Some(pos) = list.iter().position(|s| *s == slot) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.header_postings.remove(id);
+                }
+            }
+        }
+        self.live_weight -= meta.header_ids.len();
+        self.retired_weight += meta.header_ids.len();
+        self.maybe_compact_pool();
+    }
+
+    /// Compact the header-token pool once dead weight overtakes live
+    /// weight (and the [`POOL_COMPACT_MIN`] floor), remapping every stored
+    /// token id — the same overtake rule the other legs use, so long-churn
+    /// memory stays bounded.
+    fn maybe_compact_pool(&mut self) {
+        if self.retired_weight <= self.live_weight.max(POOL_COMPACT_MIN) {
+            return;
+        }
+        let live: HashSet<u32> = self
+            .tables
+            .values()
+            .flat_map(|meta| meta.header_ids.iter().copied())
+            .collect();
+        let remap = self.pool.compact(&live);
+        for meta in self.tables.values_mut() {
+            for id in &mut meta.header_ids {
+                *id = remap[*id as usize];
+            }
+        }
+        self.header_postings = std::mem::take(&mut self.header_postings)
+            .into_iter()
+            .map(|(id, list)| (remap[id as usize], list))
+            .collect();
+        self.retired_weight = 0;
+    }
+
+    /// `(distinct interned header tokens, total posting entries)` — the
+    /// latter always equals the summed live per-table header weights.
+    pub fn header_posting_stats(&self) -> (usize, usize) {
+        (
+            self.pool.len(),
+            self.header_postings.values().map(Vec::len).sum(),
+        )
+    }
+
+    /// Number of indexed tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no table is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Header similarity: mean over query columns of the best Jaccard
+    /// against any candidate column's header tokens.
+    fn score_candidate(&self, q_cols: &[HashSet<String>], cand: &TableMeta) -> f64 {
+        if q_cols.is_empty() || cand.columns.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = q_cols
+            .iter()
+            .map(|qc| {
+                cand.columns
+                    .iter()
+                    .map(|cc| jaccard(qc, cc))
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        total / q_cols.len() as f64
+    }
+
+    /// [`Discovery::discover`] with a **candidate cap**: under any finite
+    /// `cap`, candidates are ranked by a cheap per-table *header-overlap
+    /// upper bound* on the full score and scored best-bound-first;
+    /// retrieval stops once `cap` candidates are scored, or earlier when
+    /// the k-th best kept score provably (strictly) beats every remaining
+    /// bound. Any finite `cap >= lake size` therefore equals the
+    /// exhaustive output exactly — tables the bound prunes can never enter
+    /// the top-k, and score ties are still scored so name tie-breaking is
+    /// preserved.
+    ///
+    /// `cap == usize::MAX` is the **exhaustive oracle path**: every
+    /// indexed table is scored in slot order with no ranking or pruning
+    /// (`full_scan` in the stats) — the baseline the capped path's
+    /// equality and recall are measured against, pinned by
+    /// `tests/metadata_oracle.rs`.
+    ///
+    /// The bound is sound because per query column `j`,
+    /// `jaccard(Qj, Cc) <= min(1, |Q ∩ T| / |Qj|)` where `|Q ∩ T|` is the
+    /// *table-level* header-token overlap the postings count
+    /// (`Qj ∩ Cc ⊆ Q ∩ T` and `|Qj ∪ Cc| >= |Qj|`); an empty query column
+    /// can reach `jaccard == 1` against an empty candidate header, so its
+    /// ceiling stays `1.0`. Candidates the postings never saw share the
+    /// zero-overlap bound and are ranked only when that bound could clear
+    /// the reporting filter at all — otherwise their true score fails the
+    /// same filter and they are exactly the tables the full scan would
+    /// drop too.
+    pub fn discover_capped(
+        &self,
+        query: &TableQuery,
+        k: usize,
+        cap: usize,
+    ) -> (Vec<Discovered>, MetadataStats) {
+        let mut stats = MetadataStats::default();
+        let q_cols: Vec<HashSet<String>> = query
+            .table
+            .schema()
+            .columns()
+            .iter()
+            .map(|col| word_tokens(&col.name).into_iter().collect())
+            .collect();
+        if q_cols.is_empty() || k == 0 {
+            return (Vec::new(), stats);
+        }
+
+        if cap == usize::MAX {
+            // Exhaustive full header scan — the oracle path the bounded
+            // retrieval is measured against.
+            stats.full_scan = true;
+            stats.candidates_retrieved = self.tables.len();
+            let mut scored = Vec::with_capacity(self.tables.len());
+            for cand in self.tables.values() {
+                if cand.name == query.table.name() {
+                    continue; // the query itself, if it lives in the lake
+                }
+                stats.candidates_scored += 1;
+                let score = self.score_candidate(&q_cols, cand);
+                if score >= self.config.min_score && score > 0.0 {
+                    scored.push(Discovered {
+                        table: cand.name.clone(),
+                        score,
+                    });
+                }
+            }
+            return (top_k(scored, k), stats);
+        }
+
+        // Table-level header overlap |Q ∩ T| via the posting index. Query
+        // tokens resolve through `get` (never interned: the query is not
+        // part of the lake); unknown tokens occur in no table and drop out.
+        let q_ids: HashSet<u32> = q_cols
+            .iter()
+            .flat_map(|col| col.iter())
+            .filter_map(|tok| self.pool.get(tok))
+            .collect();
+        let mut overlap: HashMap<u32, usize> = HashMap::new();
+        for id in &q_ids {
+            if let Some(list) = self.header_postings.get(id) {
+                for &slot in list {
+                    *overlap.entry(slot).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let col_bound = |j: usize, ov: usize| -> f64 {
+            let qn = q_cols[j].len();
+            if qn == 0 {
+                // jaccard(∅, ∅) == 1: an empty candidate header matches an
+                // empty query header perfectly, overlap or not.
+                1.0
+            } else {
+                (ov as f64 / qn as f64).min(1.0)
+            }
+        };
+        let bound_for = |ov: usize| -> f64 {
+            let total: f64 = (0..q_cols.len()).map(|j| col_bound(j, ov)).sum();
+            total / q_cols.len() as f64
+        };
+
+        let mut ranked: Vec<(u32, f64)> = overlap
+            .iter()
+            .map(|(&slot, &ov)| (slot, bound_for(ov)))
+            .collect();
+        // Zero-overlap candidates can still score — through empty-column
+        // jaccard — so they enter the ranking whenever their shared bound
+        // could clear the reporting filter (`score >= min_score &&
+        // score > 0`).
+        let base_bound = bound_for(0);
+        if base_bound > 0.0 && base_bound >= self.config.min_score {
+            for &slot in self.tables.keys() {
+                if !overlap.contains_key(&slot) {
+                    ranked.push((slot, base_bound));
+                }
+            }
+        }
+        // Best bound first; slot index breaks ties so the scored prefix is
+        // deterministic even when the cap cuts inside a tie group.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        stats.candidates_retrieved = ranked.len();
+
+        let mut scored: Vec<Discovered> = Vec::new();
+        let mut kept: Vec<f64> = Vec::new();
+        for (pos, &(slot, bound)) in ranked.iter().enumerate() {
+            // Optimality bound: strictly `>` so bound ties with the k-th
+            // score are still scored and tie-breaks match the full scan
+            // exactly.
+            if let Some(kth) = kth_best(&kept, k) {
+                if kth > bound {
+                    stats.bound_pruned = ranked.len() - pos;
+                    break;
+                }
+            }
+            if stats.candidates_scored >= cap {
+                stats.cap_hit = true;
+                break;
+            }
+            let Some(cand) = self.tables.get(&slot) else {
+                continue;
+            };
+            if cand.name == query.table.name() {
+                continue; // the query itself, if it lives in the lake
+            }
+            stats.candidates_scored += 1;
+            let score = self.score_candidate(&q_cols, cand);
+            if score >= self.config.min_score && score > 0.0 {
+                push_topk(&mut kept, score, k);
+                scored.push(Discovered {
+                    table: cand.name.clone(),
+                    score,
+                });
+            }
+        }
+        (top_k(scored, k), stats)
+    }
+}
+
+impl Discovery for MetadataDiscovery {
+    fn name(&self) -> &str {
+        "metadata"
+    }
+
+    fn discover(&self, query: &TableQuery, k: usize) -> Vec<Discovered> {
+        self.discover_capped(query, k, usize::MAX).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialite_table::{table, Value};
+
+    fn demo_lake() -> DataLake {
+        let covid = table! {
+            "covid_na"; ["country name", "city", "vaccination rate"];
+            ["Canada", "Toronto", 0.83],
+            ["USA", "Boston", 0.62],
+        };
+        let weather = table! {
+            "weather"; ["city", "temperature", "humidity"];
+            ["Toronto", 21, 60],
+            ["Boston", 24, 55],
+        };
+        let noise = table! {
+            "numbers"; ["a", "b"];
+            [1, 2],
+            [3, 4],
+        };
+        DataLake::from_tables([covid, weather, noise]).unwrap()
+    }
+
+    fn query() -> TableQuery {
+        TableQuery::new(table! {
+            "Q"; ["country name", "vaccination rate"];
+            ["Germany", 0.63],
+        })
+    }
+
+    fn engine() -> MetadataDiscovery {
+        MetadataDiscovery::build(&demo_lake(), MetadataConfig::default())
+    }
+
+    #[test]
+    fn headers_drive_the_match_regardless_of_values() {
+        // The query shares no *values* with the lake at all — only
+        // headers. The header-compatible table must win.
+        let hits = engine().discover(&query(), 3);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].table, "covid_na", "{hits:?}");
+        assert!(hits.iter().all(|d| d.table != "numbers"));
+    }
+
+    #[test]
+    fn finite_cap_covering_the_lake_equals_exhaustive() {
+        let engine = engine();
+        for k in [1, 2, 10, usize::MAX] {
+            let (oracle, ostats) = engine.discover_capped(&query(), k, usize::MAX);
+            assert!(ostats.full_scan);
+            let (capped, stats) = engine.discover_capped(&query(), k, 1000);
+            assert!(!stats.full_scan, "finite cap takes the bounded path");
+            assert!(!stats.cap_hit);
+            assert_eq!(capped, oracle, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cap_is_honored_and_results_stay_sound() {
+        let engine = engine();
+        let (hits, stats) = engine.discover_capped(&query(), 5, 1);
+        assert!(stats.candidates_scored <= 1, "{stats:?}");
+        let (oracle, _) = engine.discover_capped(&query(), 5, usize::MAX);
+        for hit in &hits {
+            assert!(
+                oracle.contains(hit),
+                "capped hit {hit:?} not in oracle {oracle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_prunes_weakly_overlapping_headers() {
+        // Many tables share only the boilerplate token `name` with the
+        // query; with a perfect verified match at k=1 their overlap
+        // ceiling (0.5) can't win, so they must be pruned, not scored.
+        let mut tables = vec![table! {
+            "match"; ["country name", "vaccination rate"];
+            ["X", 1.0],
+        }];
+        for i in 0..20 {
+            tables.push(
+                Table::from_rows(
+                    &format!("noise{i}"),
+                    &[&format!("name zzz{i}"), &format!("yyy{i}")],
+                    vec![vec![Value::Int(1), Value::Int(2)]],
+                )
+                .unwrap(),
+            );
+        }
+        let lake = DataLake::from_tables(tables).unwrap();
+        let engine = MetadataDiscovery::build(&lake, MetadataConfig::default());
+        let (hits, stats) = engine.discover_capped(&query(), 1, 1000);
+        assert_eq!(hits[0].table, "match");
+        assert!(stats.bound_pruned > 0, "{stats:?}");
+        let (oracle, _) = engine.discover_capped(&query(), 1, usize::MAX);
+        assert_eq!(hits, oracle);
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_fresh_build_through_compaction() {
+        let mut lake = demo_lake();
+        let mut engine = MetadataDiscovery::build(&lake, MetadataConfig::default());
+
+        // Churn a wide table in and out; postings must retire with it and
+        // the pool must eventually compact (overtake rule), without
+        // changing any answer.
+        let headers: Vec<String> = (0..3000).map(|i| format!("dead{i}")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let row: Vec<Value> = (0..3000).map(Value::Int).collect();
+        let big = Table::from_rows("big", &header_refs, vec![row]).unwrap();
+        let slot = lake.add_table(big.clone()).unwrap();
+        engine.upsert_table(slot, &big);
+        lake.remove_table("big").unwrap();
+        engine.remove_table(slot);
+
+        let newcomer = table! {
+            "covid_eu"; ["country name", "vaccination rate"];
+            ["Germany", 0.63],
+        };
+        let slot = lake.add_table(newcomer.clone()).unwrap();
+        engine.upsert_table(slot, &newcomer);
+
+        let fresh = MetadataDiscovery::build(&lake, MetadataConfig::default());
+        assert_eq!(engine.len(), fresh.len());
+        let (pool_len, entries) = engine.header_posting_stats();
+        let (_, fresh_entries) = fresh.header_posting_stats();
+        assert_eq!(entries, fresh_entries, "retired postings must be gone");
+        assert!(pool_len < 3000, "the pool must have compacted");
+        assert_eq!(
+            engine.discover_capped(&query(), 10, 100),
+            fresh.discover_capped(&query(), 10, 100),
+            "post-compaction bounded retrieval must answer like a rebuild"
+        );
+        assert_eq!(
+            engine.discover(&query(), 10),
+            fresh.discover(&query(), 10),
+            "incremental index must answer exactly like a rebuild"
+        );
+    }
+
+    #[test]
+    fn query_table_itself_is_excluded() {
+        let mut lake = demo_lake();
+        lake.add(query().table.as_ref().clone().renamed("Q"))
+            .unwrap();
+        let engine = MetadataDiscovery::build(&lake, MetadataConfig::default());
+        let hits = engine.discover(&query(), 10);
+        assert!(hits.iter().all(|d| d.table != "Q"));
+    }
+
+    #[test]
+    fn empty_lake_is_fine() {
+        let engine = MetadataDiscovery::build(&DataLake::new(), MetadataConfig::default());
+        assert!(engine.is_empty());
+        assert!(engine.discover(&query(), 5).is_empty());
+    }
+}

@@ -32,8 +32,9 @@ use crate::types::{score_cmp, top_k, Discovered, Discovery, TableQuery};
 
 /// Floor on the retired-token weight before table removal may trigger
 /// compaction of the synthesized-signal token pool; keeps tiny lakes from
-/// compacting on every remove.
-const POOL_COMPACT_MIN: usize = 1024;
+/// compacting on every remove. Shared with the metadata engine, which runs
+/// the same overtake rule over its header-token pool.
+pub(crate) const POOL_COMPACT_MIN: usize = 1024;
 
 /// Configuration of the SANTOS-style engine.
 #[derive(Debug, Clone)]
@@ -400,13 +401,13 @@ impl Discovery for SantosDiscovery {
 
 /// The k-th best kept score once at least `k` candidates kept; `None`
 /// before that (no pruning is provable yet).
-fn kth_best(kept: &[f64], k: usize) -> Option<f64> {
+pub(crate) fn kth_best(kept: &[f64], k: usize) -> Option<f64> {
     (kept.len() >= k).then(|| kept[k - 1])
 }
 
 /// Insert a score into a descending top-k window (kept sorted, length
 /// capped at `k`).
-fn push_topk(kept: &mut Vec<f64>, score: f64, k: usize) {
+pub(crate) fn push_topk(kept: &mut Vec<f64>, score: f64, k: usize) {
     let pos = kept.partition_point(|s| score_cmp(*s, score) == std::cmp::Ordering::Greater);
     kept.insert(pos, score);
     kept.truncate(k);

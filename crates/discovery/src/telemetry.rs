@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::metadata::MetadataStats;
 use crate::santos::SantosStats;
 use crate::topk::TopKStats;
 
@@ -298,6 +299,14 @@ impl ShardedTelemetry {
             .record_santos(stats, latency);
     }
 
+    /// Fold one capped metadata query into the calling thread's shard.
+    pub fn record_metadata(&self, stats: &MetadataStats, latency: Duration) {
+        self.shard()
+            .lock()
+            .expect("telemetry shard")
+            .record_metadata(stats, latency);
+    }
+
     /// Merge every shard into one window. Counter sums and histogram
     /// merges are order-independent, so the snapshot equals a
     /// single-threaded fold of the same recordings in any order.
@@ -468,6 +477,53 @@ impl SantosCounters {
     }
 }
 
+/// Aggregated counters of the capped metadata (header-match) leg — the
+/// rolling sum of every [`MetadataStats`](crate::MetadataStats) folded in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataCounters {
+    /// Capped-retrieval queries recorded.
+    pub queries: u64,
+    /// Candidate tables surfaced by the header-token inverted index (or
+    /// the full header scan), summed.
+    pub candidates_retrieved: u64,
+    /// Candidates actually scored, summed.
+    pub candidates_scored: u64,
+    /// Candidates skipped because the k-th score provably beat their
+    /// header-overlap upper bound, summed.
+    pub bound_pruned: u64,
+    /// Queries whose retrieval stopped at the candidate cap.
+    pub cap_hits: u64,
+    /// Queries that ran the exhaustive full header scan (the oracle path,
+    /// taken only at an unlimited cap).
+    pub full_scans: u64,
+}
+
+impl MetadataCounters {
+    /// Fold one query's stats in.
+    pub fn record(&mut self, stats: &MetadataStats) {
+        self.queries += 1;
+        self.candidates_retrieved += stats.candidates_retrieved as u64;
+        self.candidates_scored += stats.candidates_scored as u64;
+        self.bound_pruned += stats.bound_pruned as u64;
+        if stats.cap_hit {
+            self.cap_hits += 1;
+        }
+        if stats.full_scan {
+            self.full_scans += 1;
+        }
+    }
+
+    /// Add another window's counters into this one.
+    pub fn merge(&mut self, other: &MetadataCounters) {
+        self.queries += other.queries;
+        self.candidates_retrieved += other.candidates_retrieved;
+        self.candidates_scored += other.candidates_scored;
+        self.bound_pruned += other.bound_pruned;
+        self.cap_hits += other.cap_hits;
+        self.full_scans += other.full_scans;
+    }
+}
+
 /// The rolling aggregate of what the budgeted discovery stage actually did:
 /// per-leg counters plus per-engine latency histograms. `LakeIndex` owns
 /// one and folds every budgeted query in; `Pipeline::telemetry()` hands out
@@ -498,10 +554,15 @@ pub struct DiscoveryTelemetry {
     pub topk: TopKCounters,
     /// Capped SANTOS-leg counters.
     pub santos: SantosCounters,
+    /// Capped metadata-leg counters (all zero unless the optional
+    /// metadata leg is enabled).
+    pub metadata: MetadataCounters,
     /// Joinable-leg query latency.
     pub joinable_latency: LatencyHistogram,
     /// SANTOS-leg query latency.
     pub santos_latency: LatencyHistogram,
+    /// Metadata-leg query latency.
+    pub metadata_latency: LatencyHistogram,
 }
 
 impl DiscoveryTelemetry {
@@ -517,14 +578,22 @@ impl DiscoveryTelemetry {
         self.santos_latency.record(latency);
     }
 
+    /// Fold one capped metadata query in.
+    pub fn record_metadata(&mut self, stats: &MetadataStats, latency: Duration) {
+        self.metadata.record(stats);
+        self.metadata_latency.record(latency);
+    }
+
     /// Add another telemetry window into this one (counters sum, latency
     /// histograms concatenate). Merging is commutative up to counter
     /// arithmetic, so shard order does not matter.
     pub fn merge(&mut self, other: &DiscoveryTelemetry) {
         self.topk.merge(&other.topk);
         self.santos.merge(&other.santos);
+        self.metadata.merge(&other.metadata);
         self.joinable_latency.merge(&other.joinable_latency);
         self.santos_latency.merge(&other.santos_latency);
+        self.metadata_latency.merge(&other.metadata_latency);
     }
 
     /// Zero every counter and histogram — the start of a fresh window.
@@ -572,6 +641,23 @@ impl DiscoveryTelemetry {
             self.santos_latency.render(),
             self.santos_latency.mean_micros(),
         ));
+        if self.metadata.queries > 0 {
+            out.push_str(&format!(
+                "\nmetadata: {} queries ({} full-scan), candidates {} retrieved / \
+                 {} scored / {} bound-pruned, {} cap-hits\n",
+                self.metadata.queries,
+                self.metadata.full_scans,
+                self.metadata.candidates_retrieved,
+                self.metadata.candidates_scored,
+                self.metadata.bound_pruned,
+                self.metadata.cap_hits,
+            ));
+            out.push_str(&format!(
+                "  latency: {} (mean {:.0}us)",
+                self.metadata_latency.render(),
+                self.metadata_latency.mean_micros(),
+            ));
+        }
         out
     }
 
@@ -590,7 +676,11 @@ impl DiscoveryTelemetry {
              \"santos\":{{\"queries\":{},\"candidates_retrieved\":{},\
              \"candidates_scored\":{},\"bound_pruned\":{},\"cap_hits\":{},\
              \"full_scans\":{},\"typeless_pruned\":{}}},\
-             \"joinable_latency\":{},\"santos_latency\":{}}}",
+             \"metadata\":{{\"queries\":{},\"candidates_retrieved\":{},\
+             \"candidates_scored\":{},\"bound_pruned\":{},\"cap_hits\":{},\
+             \"full_scans\":{}}},\
+             \"joinable_latency\":{},\"santos_latency\":{},\
+             \"metadata_latency\":{}}}",
             self.topk.queries,
             self.topk.cache_hits,
             self.topk.cache_misses,
@@ -608,8 +698,15 @@ impl DiscoveryTelemetry {
             self.santos.cap_hits,
             self.santos.full_scans,
             self.santos.typeless_pruned,
+            self.metadata.queries,
+            self.metadata.candidates_retrieved,
+            self.metadata.candidates_scored,
+            self.metadata.bound_pruned,
+            self.metadata.cap_hits,
+            self.metadata.full_scans,
             self.joinable_latency.percentiles().to_json(),
             self.santos_latency.percentiles().to_json(),
+            self.metadata_latency.percentiles().to_json(),
         )
     }
 }
@@ -864,6 +961,44 @@ mod tests {
         assert_eq!(sharded.snapshot(), serial);
         sharded.reset();
         assert_eq!(sharded.snapshot(), DiscoveryTelemetry::default());
+    }
+
+    #[test]
+    fn metadata_leg_records_merges_and_exports() {
+        let mut a = DiscoveryTelemetry::default();
+        a.record_metadata(
+            &MetadataStats {
+                candidates_retrieved: 12,
+                candidates_scored: 5,
+                bound_pruned: 7,
+                cap_hit: true,
+                full_scan: false,
+            },
+            Duration::from_micros(40),
+        );
+        let mut b = DiscoveryTelemetry::default();
+        b.record_metadata(&MetadataStats::default(), Duration::from_micros(60));
+        a.merge(&b);
+        assert_eq!(a.metadata.queries, 2);
+        assert_eq!(a.metadata.candidates_retrieved, 12);
+        assert_eq!(a.metadata.bound_pruned, 7);
+        assert_eq!(a.metadata.cap_hits, 1);
+        assert_eq!(a.metadata_latency.samples, 2);
+        assert_eq!(a.metadata_latency.total_micros, 100);
+        assert!(a.summary().contains("metadata: 2 queries"));
+        let json = a.to_json();
+        assert!(
+            json.contains("\"metadata\":{\"queries\":2"),
+            "missing metadata block:\n{json}"
+        );
+        assert!(
+            json.contains("\"metadata_latency\":{\"samples\":2"),
+            "missing metadata latency:\n{json}"
+        );
+        // The sharded accumulator routes the metadata leg too.
+        let sharded = ShardedTelemetry::default();
+        sharded.record_metadata(&MetadataStats::default(), Duration::from_micros(9));
+        assert_eq!(sharded.snapshot().metadata.queries, 1);
     }
 
     #[test]

@@ -149,9 +149,11 @@ fn split_cap(cap: usize, shards: usize) -> usize {
 }
 
 /// Work limits of the whole discovery *stage* — the budget `Pipeline::run`
-/// hands to `LakeIndex::discover_all_budgeted`, covering both engine legs:
-/// the planned joinable search (a per-query [`QueryBudget`]) and the capped
-/// SANTOS retrieval (a candidate cap).
+/// hands to `LakeIndex::discover_all_budgeted`, covering every engine leg:
+/// the planned joinable search (a per-query [`QueryBudget`]), the capped
+/// SANTOS retrieval (a candidate cap), and — when the optional metadata
+/// leg is enabled — the capped header-match retrieval (its own candidate
+/// cap).
 ///
 /// The default is *generous but finite*: interactive latency stays bounded
 /// on type-dense or partition-heavy lakes, while small lakes never hit a
@@ -172,12 +174,15 @@ fn split_cap(cap: usize, shards: usize) -> usize {
 /// let exact = DiscoveryBudget::unlimited();
 /// assert_eq!(exact.joinable, QueryBudget::unlimited());
 /// assert_eq!(exact.santos_candidates, usize::MAX);
+/// assert_eq!(exact.metadata_candidates, usize::MAX);
 ///
 /// // Budgets compose builder-style.
 /// let tight = DiscoveryBudget::default()
 ///     .with_santos_candidates(32)
+///     .with_metadata_candidates(16)
 ///     .with_joinable(QueryBudget::unlimited().with_max_partitions(2));
 /// assert_eq!(tight.santos_candidates, 32);
+/// assert_eq!(tight.metadata_candidates, 16);
 /// assert_eq!(tight.joinable.max_partitions, 2);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,12 +195,17 @@ pub struct DiscoveryBudget {
     /// signal posting index — `usize::MAX` keeps both exhaustive (see
     /// [`SantosDiscovery::discover_capped`](crate::SantosDiscovery::discover_capped)).
     pub santos_candidates: usize,
+    /// Maximum candidate tables the optional metadata (header-match) leg
+    /// scores per query — `usize::MAX` keeps it exhaustive (see
+    /// [`MetadataDiscovery::discover_capped`](crate::MetadataDiscovery::discover_capped)).
+    /// Ignored when the leg is disabled.
+    pub metadata_candidates: usize,
 }
 
 impl Default for DiscoveryBudget {
     /// Generous finite caps: 64 partitions / 4096 verifications / 2²⁰
     /// scanned posting entries on the joinable leg, 128 scored SANTOS
-    /// candidates.
+    /// candidates, 128 scored metadata candidates.
     fn default() -> Self {
         DiscoveryBudget {
             joinable: QueryBudget {
@@ -204,6 +214,7 @@ impl Default for DiscoveryBudget {
                 postings: 1 << 20,
             },
             santos_candidates: 128,
+            metadata_candidates: 128,
         }
     }
 }
@@ -215,6 +226,7 @@ impl DiscoveryBudget {
         DiscoveryBudget {
             joinable: QueryBudget::unlimited(),
             santos_candidates: usize::MAX,
+            metadata_candidates: usize::MAX,
         }
     }
 
@@ -230,21 +242,28 @@ impl DiscoveryBudget {
         self
     }
 
+    /// Replace the metadata (header-match) candidate cap.
+    pub fn with_metadata_candidates(mut self, cap: usize) -> DiscoveryBudget {
+        self.metadata_candidates = cap;
+        self
+    }
+
     /// The per-shard slice of this stage budget (see
-    /// [`QueryBudget::split`]): both legs are divided by the shard count,
+    /// [`QueryBudget::split`]): every leg is divided by the shard count,
     /// rounding up, with unlimited caps preserved and `split(1)` the
     /// identity.
     ///
     /// ```
     /// use dialite_discovery::DiscoveryBudget;
     ///
-    /// let budget = DiscoveryBudget::default(); // 64 / 4096 / 2²⁰ / 128
+    /// let budget = DiscoveryBudget::default(); // 64 / 4096 / 2²⁰ / 128 / 128
     /// assert_eq!(budget.split(1), budget);
     /// let per_shard = budget.split(4);
     /// assert_eq!(per_shard.joinable.max_partitions, 16);
     /// assert_eq!(per_shard.joinable.max_verifications, 1024);
     /// assert_eq!(per_shard.joinable.postings, 1 << 18);
     /// assert_eq!(per_shard.santos_candidates, 32);
+    /// assert_eq!(per_shard.metadata_candidates, 32);
     /// assert_eq!(
     ///     DiscoveryBudget::unlimited().split(4),
     ///     DiscoveryBudget::unlimited()
@@ -254,6 +273,7 @@ impl DiscoveryBudget {
         DiscoveryBudget {
             joinable: self.joinable.split(shards),
             santos_candidates: split_cap(self.santos_candidates, shards),
+            metadata_candidates: split_cap(self.metadata_candidates, shards),
         }
     }
 }

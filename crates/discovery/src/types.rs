@@ -317,12 +317,17 @@ mod tests {
             /// identity — the `shards == 1` byte-for-byte oracle depends on
             /// the budget reaching the lone shard untouched.
             #[test]
-            fn split_one_is_the_identity(budget in query_budget(), cap in cap()) {
+            fn split_one_is_the_identity(
+                budget in query_budget(),
+                cap in cap(),
+                meta_cap in cap(),
+            ) {
                 prop_assert_eq!(budget.split(1), budget);
                 prop_assert_eq!(budget.split(0), budget);
                 let stage = DiscoveryBudget::default()
                     .with_joinable(budget)
-                    .with_santos_candidates(cap);
+                    .with_santos_candidates(cap)
+                    .with_metadata_candidates(meta_cap);
                 prop_assert_eq!(stage.split(1), stage);
             }
 
@@ -367,20 +372,23 @@ mod tests {
                 }
             }
 
-            /// The stage budget splits both legs with the same rule, and
+            /// The stage budget splits every leg with the same rule, and
             /// `unlimited()` is a fixed point of any split.
             #[test]
-            fn stage_split_covers_both_legs(
+            fn stage_split_covers_every_leg(
                 joinable in query_budget(),
                 santos in cap(),
+                metadata in cap(),
                 shards in 1usize..64,
             ) {
                 let stage = DiscoveryBudget::unlimited()
                     .with_joinable(joinable)
-                    .with_santos_candidates(santos);
+                    .with_santos_candidates(santos)
+                    .with_metadata_candidates(metadata);
                 let per_shard = stage.split(shards);
                 prop_assert_eq!(per_shard.joinable, joinable.split(shards));
                 check_cap(santos, per_shard.santos_candidates, shards);
+                check_cap(metadata, per_shard.metadata_candidates, shards);
                 prop_assert_eq!(
                     DiscoveryBudget::unlimited().split(shards),
                     DiscoveryBudget::unlimited()

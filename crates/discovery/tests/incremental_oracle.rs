@@ -46,6 +46,9 @@ fn exact_config() -> LakeIndexConfig {
             rebalance_dirtiness: 0.15,
             ..LshEnsembleConfig::default()
         },
+        // Three legs: incremental maintenance of the metadata engine must
+        // match a fresh build at every query point, like the other two.
+        metadata: Some(dialite_discovery::MetadataConfig::default()),
     }
 }
 
@@ -118,6 +121,7 @@ proptest! {
                 pool_compact_min: 0,
                 ..LshEnsembleConfig::default()
             },
+            metadata: None,
         };
         let budget = QueryBudget::unlimited();
         let mut lake = DataLake::from_tables(trace.initial).unwrap();
@@ -197,6 +201,7 @@ proptest! {
                 pool_compact_min: 0,
                 ..LshEnsembleConfig::default()
             },
+            metadata: None,
         };
         let budget = QueryBudget::unlimited().with_max_verifications(6);
         let stage_budget = DiscoveryBudget::default();
@@ -287,6 +292,7 @@ proptest! {
                 rebalance_dirtiness: 0.3,
                 ..LshEnsembleConfig::default()
             },
+            metadata: None,
         };
         let threshold = config.lshe.threshold;
         let mut lake = DataLake::from_tables(trace.initial).unwrap();

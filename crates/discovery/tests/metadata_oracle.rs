@@ -1,0 +1,273 @@
+//! Metadata-discovery oracle: the inverted-index, bound-pruned retrieval
+//! in [`MetadataDiscovery`] is measured against an *independent* naive
+//! full header scan written here straight from the definition — mean over
+//! query columns of the best header-token Jaccard against any candidate
+//! column, reported when it clears the score filter.
+//!
+//! Pinned properties:
+//!
+//! * **Unlimited cap is the exhaustive oracle**: `cap == usize::MAX`
+//!   output equals the naive scan byte-for-byte (keys *and* scores) at
+//!   every query point of a random churn trace — for a fresh build and
+//!   for an engine maintained incrementally through [`LakeIndex::sync`].
+//! * **Finite caps are sound**: under any cap, every returned hit carries
+//!   its exact full-scan score, results stay sorted and within `k`.
+//! * **Covering caps are exact**: any finite `cap >= lake size` equals
+//!   the exhaustive output exactly, with `cap_hit` never set.
+//! * **Recall floor on a heterogeneous lake**: header queries against a
+//!   [`HeterogeneousLakeWorkload`] corpus retrieve *every* table whose
+//!   anchor header they name once `k` covers the lake.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use dialite_datagen::workloads::{ChurnOp, ChurnWorkload, HeterogeneousLakeWorkload};
+use dialite_discovery::{
+    Discovered, LakeIndex, LakeIndexConfig, LshEnsembleConfig, MetadataConfig, MetadataDiscovery,
+    SantosConfig, TableQuery,
+};
+use dialite_kb::curated::covid_kb;
+use dialite_table::{DataLake, Table};
+use dialite_text::{jaccard, word_tokens};
+use proptest::prelude::*;
+
+/// Per-column header token sets, exactly as the engine tokenizes them.
+fn header_sets(table: &Table) -> Vec<HashSet<String>> {
+    table
+        .schema()
+        .columns()
+        .iter()
+        .map(|col| word_tokens(&col.name).into_iter().collect())
+        .collect()
+}
+
+/// The naive oracle: score every lake table directly, no index, no
+/// bounds, no caps. Mirrors the engine's definition (mean over query
+/// columns of the best per-column Jaccard), including the score filter,
+/// the score-then-name ordering and the query's self-exclusion.
+fn naive_scan(
+    lake: &DataLake,
+    query: &TableQuery,
+    k: usize,
+    config: &MetadataConfig,
+) -> Vec<Discovered> {
+    let q_cols = header_sets(&query.table);
+    if q_cols.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut hits: Vec<Discovered> = lake
+        .tables()
+        .filter(|t| t.name() != query.table.name())
+        .filter_map(|t| {
+            let cols = header_sets(t);
+            if cols.is_empty() {
+                return None;
+            }
+            let total: f64 = q_cols
+                .iter()
+                .map(|qc| cols.iter().map(|cc| jaccard(qc, cc)).fold(0.0, f64::max))
+                .sum();
+            let score = total / q_cols.len() as f64;
+            (score >= config.min_score && score > 0.0).then(|| Discovered {
+                table: t.name().to_string(),
+                score,
+            })
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.table.cmp(&b.table)));
+    hits.truncate(k);
+    hits
+}
+
+/// Index config with the metadata leg on; the value legs stay cheap —
+/// they are not under test here, the sync plumbing is.
+fn metadata_config() -> LakeIndexConfig {
+    LakeIndexConfig {
+        santos: SantosConfig::default(),
+        lshe: LshEnsembleConfig {
+            num_perm: 16,
+            num_partitions: 2,
+            ..LshEnsembleConfig::default()
+        },
+        metadata: Some(MetadataConfig::default()),
+    }
+}
+
+proptest! {
+    /// Unlimited-cap output equals the independent naive scan at every
+    /// query point of a random churn trace — both for the engine kept in
+    /// sync incrementally through the [`LakeIndex`] event path and for a
+    /// fresh standalone build of the current lake.
+    #[test]
+    fn unlimited_cap_equals_the_naive_full_scan_across_churn(
+        seed in any::<u64>(),
+        ops in 12usize..28,
+    ) {
+        let trace = ChurnWorkload {
+            initial_tables: 8,
+            rows_per_table: 12,
+            vocab: 150,
+            ops,
+            seed,
+        }
+        .generate();
+        let kb = Arc::new(covid_kb());
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut index = LakeIndex::build(&lake, kb, metadata_config());
+        let mut compared = 0usize;
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = &op {
+                index.sync(&lake);
+                let query = TableQuery::new(q.clone());
+                let maintained = index.metadata().expect("metadata leg is configured");
+                let fresh = MetadataDiscovery::build(&lake, MetadataConfig::default());
+                for k in [1usize, 3, 8] {
+                    let expected = naive_scan(&lake, &query, k, &MetadataConfig::default());
+                    let (got, stats) = maintained.discover_capped(&query, k, usize::MAX);
+                    prop_assert!(stats.full_scan, "unlimited cap must full-scan");
+                    prop_assert_eq!(
+                        &got, &expected,
+                        "maintained engine diverged from the naive scan at k={}", k
+                    );
+                    prop_assert_eq!(
+                        &fresh.discover_capped(&query, k, usize::MAX).0, &expected,
+                        "fresh build diverged from the naive scan at k={}", k
+                    );
+                }
+                compared += 1;
+            } else {
+                op.apply(&mut lake);
+            }
+        }
+        prop_assert!(compared > 0, "trace contained no queries");
+    }
+
+    /// Finite caps: sound under any cap (every hit is a true hit with its
+    /// exact score, sorted, within `k`), and *exact* — `cap_hit` never
+    /// set — as soon as the cap covers the lake.
+    #[test]
+    fn finite_caps_are_sound_and_covering_caps_are_exact(
+        seed in any::<u64>(),
+        ops in 8usize..20,
+        cap in 0usize..12,
+        k in 1usize..8,
+        pick in 0usize..8,
+    ) {
+        let trace = ChurnWorkload {
+            initial_tables: 8,
+            rows_per_table: 12,
+            vocab: 150,
+            ops,
+            seed,
+        }
+        .generate();
+        let mut lake = DataLake::from_tables(trace.initial).unwrap();
+        let mut queries = Vec::new();
+        for op in trace.ops {
+            if let ChurnOp::Query(q) = &op {
+                queries.push(q.clone());
+            } else {
+                op.apply(&mut lake);
+            }
+        }
+        if queries.is_empty() {
+            return; // trace without query points pins nothing
+        }
+        let query = TableQuery::new(queries[pick % queries.len()].clone());
+        let engine = MetadataDiscovery::build(&lake, MetadataConfig::default());
+        let oracle_all = naive_scan(&lake, &query, usize::MAX, &MetadataConfig::default());
+
+        let (got, _) = engine.discover_capped(&query, k, cap);
+        prop_assert!(got.len() <= k);
+        prop_assert!(
+            got.windows(2).all(|w| w[0].score >= w[1].score),
+            "capped results must stay sorted: {:?}", got
+        );
+        for d in &got {
+            prop_assert!(
+                oracle_all.contains(d),
+                "capped hit {:?} is not a true full-scan hit", d
+            );
+        }
+
+        // A covering cap is byte-identical to the exhaustive output.
+        let covering = engine.len().max(1);
+        let (exact, stats) = engine.discover_capped(&query, k, covering);
+        prop_assert!(!stats.cap_hit, "a covering cap must never report cap_hit");
+        prop_assert!(!stats.full_scan, "finite caps take the bounded path");
+        let mut expected = oracle_all;
+        expected.truncate(k);
+        prop_assert_eq!(exact, expected, "covering cap diverged from the oracle");
+    }
+}
+
+/// Recall floor on an open-data-shaped corpus: every table whose anchor
+/// header a cluster query names is retrieved once `k` covers the lake
+/// (their scores clear `min_score` by construction), and modest-`k`
+/// results never contain a table sharing no header token with the query.
+#[test]
+fn heterogeneous_header_queries_recall_their_cluster() {
+    let spec = HeterogeneousLakeWorkload {
+        tables: 240,
+        clusters: 6,
+        cluster_headers: 8,
+        max_cols: 4,
+        max_rows: 32,
+        value_vocab: 300,
+        queries: 6,
+        query_rows: 4,
+        seed: 83,
+        ..HeterogeneousLakeWorkload::default()
+    };
+    let lake = spec.lake();
+    let engine = MetadataDiscovery::build(&lake, MetadataConfig::default());
+    let mut checked = 0usize;
+    for q in spec.header_queries() {
+        let q_headers: HashSet<String> = q
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let relevant: HashSet<String> = lake
+            .tables()
+            .filter(|t| q_headers.contains(&t.schema().column(0).name))
+            .map(|t| t.name().to_string())
+            .collect();
+        if relevant.is_empty() {
+            continue; // tail cluster whose first headers no table drew
+        }
+        checked += 1;
+        let query = TableQuery::new(q);
+
+        // Full recall at lake-covering k: anchor matches score >= 1/cols
+        // >= min_score, so none may be dropped.
+        let (hits, _) = engine.discover_capped(&query, engine.len(), usize::MAX);
+        let hit_names: HashSet<&str> = hits.iter().map(|d| d.table.as_str()).collect();
+        for name in &relevant {
+            assert!(
+                hit_names.contains(name.as_str()),
+                "cluster table {name} missing from header-query results"
+            );
+        }
+
+        // Precision at modest k through the bounded path: every result
+        // genuinely shares a header token with the query.
+        let q_tokens: HashSet<String> = q_headers.iter().flat_map(|h| word_tokens(h)).collect();
+        let (top, _) = engine.discover_capped(&query, 16, 64);
+        for d in &top {
+            let table = lake.get(&d.table).expect("hit names a live table");
+            let shares = table
+                .schema()
+                .columns()
+                .iter()
+                .flat_map(|c| word_tokens(&c.name))
+                .any(|tok| q_tokens.contains(&tok));
+            assert!(shares, "{} shares no header token with the query", d.table);
+        }
+    }
+    assert!(
+        checked >= 3,
+        "too few clusters materialized anchors: {checked}"
+    );
+}

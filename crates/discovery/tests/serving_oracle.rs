@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use dialite_datagen::workloads::{ServingOp, ServingTrace, ServingWorkload};
 use dialite_discovery::{
     Discovered, DiscoveryBudget, DiscoveryService, LakeIndex, LakeIndexConfig, LshEnsembleConfig,
-    SantosConfig, ServingConfig, ServingError, TableQuery,
+    MetadataConfig, SantosConfig, ServingConfig, ServingError, TableQuery,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_table::DataLake;
@@ -45,6 +45,9 @@ fn exact_config() -> LakeIndexConfig {
             rebalance_dirtiness: 0.15,
             ..LshEnsembleConfig::default()
         },
+        // Serve all three legs: the metadata engine must stay coherent
+        // under the same concurrent read/churn interleavings as the rest.
+        metadata: Some(MetadataConfig::default()),
     }
 }
 
@@ -333,8 +336,9 @@ fn over_capacity_storm_yields_busy_and_capacity_recovers() {
                     match service.query(&queries[(t + i) % queries.len()], 5, budget) {
                         Ok(response) => {
                             // Full response, never partial: the result
-                            // shape is the complete per-engine list.
-                            assert_eq!(response.results.len(), 2);
+                            // shape is the complete per-engine list
+                            // (santos, lsh-ensemble, metadata).
+                            assert_eq!(response.results.len(), 3);
                             ok.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(ServingError::Busy) => {

@@ -24,8 +24,9 @@ use std::time::Duration;
 
 use dialite_datagen::workloads::{ChurnOp, ChurnWorkload};
 use dialite_discovery::{
-    DiscoveryBudget, DiscoveryTelemetry, LakeIndexConfig, LshEnsembleConfig, QueryBudget,
-    SantosConfig, SantosStats, ShardedLakeIndex, ShardedTelemetry, TableQuery, TopKStats,
+    DiscoveryBudget, DiscoveryTelemetry, LakeIndexConfig, LshEnsembleConfig, MetadataConfig,
+    MetadataStats, QueryBudget, SantosConfig, SantosStats, ShardedLakeIndex, ShardedTelemetry,
+    TableQuery, TopKStats,
 };
 use dialite_kb::curated::covid_kb;
 use dialite_table::DataLake;
@@ -34,7 +35,8 @@ use proptest::prelude::*;
 /// Sketch-free config (the incremental oracle's): every stored domain is
 /// verified exactly, so discovery output is deterministic given the lake —
 /// the precondition for byte-identity across shardings. The tiny dirtiness
-/// budget forces tombstone-triggered rebalances inside the traces.
+/// budget forces tombstone-triggered rebalances inside the traces, and the
+/// metadata leg is enabled so the oracle covers the full three-leg stage.
 fn exact_config() -> LakeIndexConfig {
     LakeIndexConfig {
         santos: SantosConfig::default(),
@@ -45,6 +47,7 @@ fn exact_config() -> LakeIndexConfig {
             rebalance_dirtiness: 0.15,
             ..LshEnsembleConfig::default()
         },
+        metadata: Some(MetadataConfig::default()),
     }
 }
 
@@ -62,10 +65,18 @@ fn assert_telemetry_lockstep(index: &ShardedLakeIndex) {
         "santos counters out of lockstep"
     );
     assert_eq!(
+        merged.metadata, folded.metadata,
+        "metadata counters out of lockstep"
+    );
+    assert_eq!(
         merged.joinable_latency.samples,
         folded.joinable_latency.samples
     );
     assert_eq!(merged.santos_latency.samples, folded.santos_latency.samples);
+    assert_eq!(
+        merged.metadata_latency.samples,
+        folded.metadata_latency.samples
+    );
 }
 
 proptest! {
@@ -167,16 +178,24 @@ proptest! {
                 full_scan: x & 32 == 0,
                 typeless_pruned: (x % 17) as usize,
             };
+            let metadata = MetadataStats {
+                candidates_retrieved: (x % 151) as usize,
+                candidates_scored: (x % 67) as usize,
+                bound_pruned: (x % 11) as usize,
+                cap_hit: x & 64 == 0,
+                full_scan: x & 128 == 0,
+            };
             let latency = Duration::from_micros(x % 2_000_000);
-            (topk, santos, latency)
+            (topk, santos, metadata, latency)
         };
 
         let mut expected = DiscoveryTelemetry::default();
         for t in 0..threads {
             for i in 0..per_thread {
-                let (topk, santos, latency) = stats_at(t, i);
+                let (topk, santos, metadata, latency) = stats_at(t, i);
                 expected.record_topk(&topk, latency);
                 expected.record_santos(&santos, latency);
+                expected.record_metadata(&metadata, latency);
             }
         }
 
@@ -186,9 +205,10 @@ proptest! {
                 let sharded = &sharded;
                 scope.spawn(move || {
                     for i in 0..per_thread {
-                        let (topk, santos, latency) = stats_at(t, i);
+                        let (topk, santos, metadata, latency) = stats_at(t, i);
                         sharded.record_topk(&topk, latency);
                         sharded.record_santos(&santos, latency);
+                        sharded.record_metadata(&metadata, latency);
                     }
                 });
             }

@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! dialite demo
-//! dialite discover  --lake DIR|--data-dir DIR --query Q.csv [--column N] [--k K] [--shards N] [--max-postings P]
-//! dialite serve     --lake DIR|--data-dir DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N] [--max-postings P]
-//! dialite telemetry --lake DIR --query Q.csv [--column N] [--k K] [--requests M] [--shards N] [--max-postings P]
+//! dialite discover  --lake DIR|--data-dir DIR --query Q.csv [--column N] [--k K] [--shards N] [--max-postings P] [--metadata]
+//! dialite serve     --lake DIR|--data-dir DIR --query Q.csv [--column N] [--clients N] [--requests M] [--shards N] [--max-postings P] [--metadata]
+//! dialite telemetry --lake DIR --query Q.csv [--column N] [--k K] [--requests M] [--shards N] [--max-postings P] [--metadata]
 //! dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
 //! dialite analyze   --table T.csv --corr colA,colB
 //! dialite generate  --prompt "covid cases" [--rows N] [--cols N]
@@ -22,6 +22,12 @@
 //! scan per query (the cost-based planner's budget knob, default 2²⁰;
 //! `unlimited` removes the cap, making the stage byte-identical to the
 //! exhaustive posting merge).
+//!
+//! `--metadata` enables the third, metadata-aware discovery leg: tables
+//! are retrieved by header/annotation match (column-name token overlap)
+//! instead of cell values, so sparse or value-disjoint tables that share
+//! a schema still surface. Results appear as a separate `[metadata]`
+//! engine block alongside `[santos]` and `[lsh-ensemble]`.
 //!
 //! `--data-dir DIR` points at a **durable** lake: a checksummed snapshot
 //! plus commitlog that survive restarts. `dialite snapshot` ingests CSVs
@@ -39,6 +45,7 @@ use dialite::analyze::{column_summary, pearson_columns};
 use dialite::datagen::TableSynth;
 use dialite::discovery::DiscoveryService;
 use dialite::discovery::TableQuery;
+use dialite::discovery::{LakeIndexConfig, MetadataConfig};
 use dialite::kb::curated::covid_kb;
 use dialite::pipeline::{demo, DurableConfig, DurableLake, Pipeline};
 use dialite::table::{read_csv_str, CsvOptions, DataLake, Table};
@@ -61,9 +68,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dialite demo
-  dialite discover  --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--shards N] [--max-postings P|unlimited]
-  dialite serve     --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N] [--max-postings P|unlimited]
-  dialite telemetry --lake DIR --query FILE.csv [--column N] [--k K] [--requests M] [--shards N] [--max-postings P|unlimited]
+  dialite discover  --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--shards N] [--max-postings P|unlimited] [--metadata]
+  dialite serve     --lake DIR|--data-dir DIR --query FILE.csv [--column N] [--k K] [--clients N] [--requests M] [--shards N] [--max-postings P|unlimited] [--metadata]
+  dialite telemetry --lake DIR --query FILE.csv [--column N] [--k K] [--requests M] [--shards N] [--max-postings P|unlimited] [--metadata]
   dialite integrate --lake DIR --tables a,b,c [--operator fd|outer-join|inner-join|union]
   dialite analyze   --table FILE.csv [--corr colA,colB] [--summary]
   dialite generate  --prompt TEXT [--rows N] [--cols N] [--seed S]
@@ -88,12 +95,32 @@ fn load_lake(dir: &str) -> Result<DataLake, String> {
     Ok(lake)
 }
 
-/// Parse `--shards` (default 1; the pipeline clamps 0 up to 1).
+/// Parse `--shards` (default 1; the pipeline clamps 0 up to 1). Shard ids
+/// are `u32` throughout the routing layer, so anything past `u32::MAX` is
+/// a usage error here rather than a panic deep inside the router.
 fn shards_flag(args: &[String]) -> Result<usize, String> {
-    flag(args, "--shards")
+    let shards: usize = flag(args, "--shards")
         .unwrap_or("1")
         .parse()
-        .map_err(|_| "--shards must be a number".to_string())
+        .map_err(|_| "--shards must be a number".to_string())?;
+    if u32::try_from(shards).is_err() {
+        return Err(format!(
+            "--shards {shards} is out of range (max {})",
+            u32::MAX
+        ));
+    }
+    Ok(shards)
+}
+
+/// Build the index configuration for the commands that maintain one:
+/// defaults everywhere, plus the third header-matching discovery leg
+/// when `--metadata` is given.
+fn index_config(args: &[String]) -> LakeIndexConfig {
+    let mut config = LakeIndexConfig::default();
+    if args.iter().any(|a| a == "--metadata") {
+        config.metadata = Some(MetadataConfig::default());
+    }
+    config
 }
 
 /// Apply `--max-postings` to the pipeline's discovery budget: the cap on
@@ -126,9 +153,13 @@ fn open_lake_source(
 ) -> Result<(Pipeline, DataLake, Option<DurableLake>), String> {
     match (flag(args, "--data-dir"), flag(args, "--lake")) {
         (Some(dir), None) => {
-            let (pipeline, lake, durable) =
-                Pipeline::open_durable(Path::new(dir), shards, DurableConfig::default())
-                    .map_err(|e| format!("opening durable lake at {dir}: {e}"))?;
+            let (pipeline, lake, durable) = Pipeline::open_durable_configured(
+                Path::new(dir),
+                shards,
+                DurableConfig::default(),
+                index_config(args),
+            )
+            .map_err(|e| format!("opening durable lake at {dir}: {e}"))?;
             if lake.is_empty() {
                 return Err(format!(
                     "durable lake at {dir} is empty; seed it with \
@@ -139,7 +170,7 @@ fn open_lake_source(
         }
         (None, Some(dir)) => {
             let lake = load_lake(dir)?;
-            let pipeline = Pipeline::demo_sharded(&lake, shards);
+            let pipeline = Pipeline::demo_configured(&lake, shards, index_config(args));
             Ok((pipeline, lake, None))
         }
         (Some(_), Some(_)) => Err("--data-dir and --lake are mutually exclusive here".to_string()),
@@ -238,7 +269,7 @@ fn cmd_telemetry(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "--requests must be a number")?;
     let query = query_from(args, table)?;
-    let mut pipeline = Pipeline::demo_sharded(&lake, shards_flag(args)?);
+    let mut pipeline = Pipeline::demo_configured(&lake, shards_flag(args)?, index_config(args));
     pipeline.set_top_k(k);
     apply_max_postings(args, &mut pipeline)?;
     for _ in 0..requests.max(1) {
